@@ -1,0 +1,23 @@
+// Shared helpers for the experiment-regeneration binaries. Each bench prints
+// the table EXPERIMENTS.md records; flags (--n=3,5,7 --seed=...) rescale the
+// run without recompiling.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dsm/util/cli.hpp"
+#include "dsm/util/table.hpp"
+
+namespace dsm::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+inline void footnote(const std::string& text) {
+  std::cout << "  note: " << text << "\n";
+}
+
+}  // namespace dsm::bench

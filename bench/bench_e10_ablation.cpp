@@ -1,0 +1,140 @@
+// E10 — ablations on the design choices DESIGN.md calls out:
+//   (a) majority quorum (q/2+1 of q+1, the paper) vs read-one/write-all on
+//       the SAME PP graph — isolates the contribution of the majority rule;
+//   (b) clustered Section-3 protocol vs single-owner greedy on the same
+//       scheme — isolates the contribution of clustering;
+//   (c) q = 2 vs q = 4 at comparable machine sizes — the paper's footnote 1
+//       singles out q = 2 (3 copies) as the practical choice;
+//   (d) worker-thread count: identical MPC cycle counts (determinism), only
+//       wall-clock changes.
+#include "bench_common.hpp"
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/util/timer.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace {
+
+using namespace dsm;
+
+/// PP graph with MV-style quorums (read one copy, write all copies).
+class ReadOneWriteAllPp : public scheme::PpScheme {
+ public:
+  using PpScheme::PpScheme;
+  std::string name() const override { return "pp-graph+write-all"; }
+  unsigned readQuorum() const override { return 1; }
+  unsigned writeQuorum() const override { return copiesPerVariable(); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::uint64_t seed = cli.getUint("seed", 23);
+  const int n = static_cast<int>(cli.getUint("n", 5));
+  dsm::bench::banner("E10", "ablations (n=" + std::to_string(n) + ")");
+
+  // (a) majority vs write-all on the same graph.
+  {
+    util::TextTable t({"quorum rule", "read iters", "write iters"});
+    const scheme::PpScheme majority(1, n);
+    const ReadOneWriteAllPp writeall(1, n);
+    util::Xoshiro256 rng(seed);
+    const auto vars = workload::randomDistinct(majority.numVariables(),
+                                               majority.numModules(), rng);
+    for (const scheme::MemoryScheme* s :
+         std::initializer_list<const scheme::MemoryScheme*>{&majority,
+                                                            &writeall}) {
+      mpc::Machine m1(s->numModules(), s->slotsPerModule());
+      protocol::MajorityEngine e1(*s, m1);
+      const auto rd = e1.execute(workload::makeReads(vars));
+      mpc::Machine m2(s->numModules(), s->slotsPerModule());
+      protocol::MajorityEngine e2(*s, m2);
+      const auto wr = e2.execute(workload::makeWrites(vars, 3));
+      t.addRow({s->name(), util::TextTable::num(rd.totalIterations),
+                util::TextTable::num(wr.totalIterations)});
+    }
+    std::cout << "\n(a) majority (paper) vs read-one/write-all quorums on "
+                 "the PP graph:\n";
+    t.print(std::cout);
+  }
+
+  // (b) clustered vs single-owner protocol on the PP scheme.
+  {
+    util::TextTable t({"protocol", "read iters", "write iters"});
+    const scheme::PpScheme s(1, n);
+    util::Xoshiro256 rng(seed + 1);
+    const auto vars =
+        workload::randomDistinct(s.numVariables(), s.numModules(), rng);
+    {
+      mpc::Machine m(s.numModules(), s.slotsPerModule());
+      protocol::MajorityEngine e(s, m);
+      const auto rd = e.execute(workload::makeReads(vars));
+      mpc::Machine m2(s.numModules(), s.slotsPerModule());
+      protocol::MajorityEngine e2(s, m2);
+      const auto wr = e2.execute(workload::makeWrites(vars, 3));
+      t.addRow({"clustered (Section 3)",
+                util::TextTable::num(rd.totalIterations),
+                util::TextTable::num(wr.totalIterations)});
+    }
+    {
+      mpc::Machine m(s.numModules(), s.slotsPerModule());
+      protocol::SingleOwnerEngine e(s, m);
+      const auto rd = e.execute(workload::makeReads(vars));
+      mpc::Machine m2(s.numModules(), s.slotsPerModule());
+      protocol::SingleOwnerEngine e2(s, m2);
+      const auto wr = e2.execute(workload::makeWrites(vars, 3));
+      t.addRow({"single-owner greedy",
+                util::TextTable::num(rd.totalIterations),
+                util::TextTable::num(wr.totalIterations)});
+    }
+    std::cout << "\n(b) clustered vs single-owner protocol (PP scheme):\n";
+    t.print(std::cout);
+  }
+
+  // (c) q = 2 vs q = 4 at comparable N.
+  {
+    util::TextTable t({"config", "M", "N", "copies", "quorum", "read iters"});
+    struct Cfg {
+      int e, n;
+    };
+    for (const Cfg c : {Cfg{1, 5}, Cfg{2, 3}}) {
+      const scheme::PpScheme s(c.e, c.n);
+      mpc::Machine m(s.numModules(), s.slotsPerModule());
+      protocol::MajorityEngine e(s, m);
+      util::Xoshiro256 rng(seed + 2);
+      const auto vars =
+          workload::randomDistinct(s.numVariables(), s.numModules(), rng);
+      const auto rd = e.execute(workload::makeReads(vars));
+      t.addRow({s.name(), util::TextTable::num(s.numVariables()),
+                util::TextTable::num(s.numModules()),
+                std::to_string(s.copiesPerVariable()),
+                std::to_string(s.readQuorum()),
+                util::TextTable::num(rd.totalIterations)});
+    }
+    std::cout << "\n(c) q=2 (footnote-1 practical case) vs q=4:\n";
+    t.print(std::cout);
+  }
+
+  // (d) thread-count determinism + wall clock.
+  {
+    util::TextTable t({"threads", "iterations", "wall ms"});
+    const scheme::PpScheme s(1, n);
+    util::Xoshiro256 rng(seed + 3);
+    const auto vars =
+        workload::randomDistinct(s.numVariables(), s.numModules(), rng);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      mpc::Machine m(s.numModules(), s.slotsPerModule(), threads);
+      protocol::MajorityEngine e(s, m);
+      util::Timer timer;
+      const auto rd = e.execute(workload::makeReads(vars));
+      t.addRow({std::to_string(threads),
+                util::TextTable::num(rd.totalIterations),
+                util::TextTable::num(timer.millis(), 2)});
+    }
+    std::cout << "\n(d) thread-count invariance of MPC cycles:\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E4 — Theorem 4: |Γ(S)| >= |S|^{2/3} q / 2^{1/3} for every S ⊂ V.
+// Measures min |Γ(S)| / (q |S|^{2/3}) over three set families — uniform
+// random, module-focused (Γ(u) saturation), and the greedy low-expansion
+// adversary — across set sizes and n. The paper's constant is
+// 2^{-1/3} ≈ 0.794; the theorem also notes the bound is tight for
+// composite n, so adversarial ratios near the constant are the expected
+// signature, not a failure.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "dsm/analysis/expansion.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t seed = cli.getUint("seed", 11);
+  const auto ns = cli.getUintList("n", {5, 7, 9});
+  const auto sub_ns = cli.getUintList("subn", {6, 9});
+  const std::uint64_t trials = cli.getUint("trials", 5);
+  dsm::bench::banner(
+      "E4", "Theorem 4 — expansion |Γ(S)| / (q |S|^{2/3}) vs 2^{-1/3}");
+
+  util::TextTable t({"n", "|S|", "family", "min ratio", "mean |Γ(S)|",
+                     "bound 0.794", "holds"});
+  for (const std::uint64_t n : ns) {
+    const scheme::PpScheme s(1, static_cast<int>(n));
+    util::Xoshiro256 rng(seed + n);
+    std::vector<std::uint64_t> sizes;
+    const std::uint64_t cap =
+        std::min<std::uint64_t>(s.numVariables() / 4, 1ULL << 16);
+    for (std::uint64_t sz = 8; sz <= cap; sz *= 4) {
+      sizes.push_back(sz);
+    }
+    for (const std::uint64_t size : sizes) {
+      struct Family {
+        const char* name;
+        std::vector<std::vector<std::uint64_t>> sets;
+      };
+      std::vector<Family> families{{"random", {}}, {"module-focused", {}},
+                                   {"greedy-adv", {}}};
+      for (std::uint64_t tr = 0; tr < trials; ++tr) {
+        families[0].sets.push_back(
+            workload::randomDistinct(s.numVariables(), size, rng));
+        families[1].sets.push_back(workload::moduleFocused(
+            s, rng.below(s.numModules()), size, rng));
+      }
+      // Greedy adversary is the expensive family: one instance per size.
+      families[2].sets.push_back(
+          workload::greedyAdversarial(s, size, 16, rng));
+
+      for (const auto& fam : families) {
+        if (fam.sets.empty()) continue;
+        double min_ratio = 1e18;
+        double mean_gamma = 0;
+        for (const auto& set : fam.sets) {
+          const auto e = analysis::measureExpansion(s, set, s.graph().q());
+          min_ratio = std::min(min_ratio, e.ratio);
+          mean_gamma += static_cast<double>(e.gammaSize);
+        }
+        mean_gamma /= static_cast<double>(fam.sets.size());
+        const bool holds = min_ratio >= analysis::theorem4Constant() - 1e-9;
+        t.addRow({std::to_string(n), util::TextTable::num(size), fam.name,
+                  util::TextTable::num(min_ratio, 3),
+                  util::TextTable::num(mean_gamma, 1),
+                  util::TextTable::num(analysis::theorem4Constant(), 3),
+                  holds ? "yes" : "VIOLATED"});
+      }
+    }
+  }
+  // The subfield family: the lowest-expansion explicit sets (PGL_2(q^d)
+  // subgroup images); one row per valid (n, d).
+  for (const std::uint64_t n : sub_ns) {
+    const scheme::PpScheme s(1, static_cast<int>(n));
+    for (int d = 2; d < static_cast<int>(n); ++d) {
+      if (static_cast<int>(n) % d != 0) continue;
+      if ((1ULL << d) > 64) continue;  // enumeration guard
+      const auto vars = workload::subfieldAdversarial(s, d);
+      const auto e = analysis::measureExpansion(s, vars, s.graph().q());
+      t.addRow({std::to_string(n), util::TextTable::num(e.setSize),
+                "subfield d=" + std::to_string(d),
+                util::TextTable::num(e.ratio, 3),
+                util::TextTable::num(static_cast<double>(e.gammaSize), 1),
+                util::TextTable::num(analysis::theorem4Constant(), 3),
+                e.ratio >= analysis::theorem4Constant() - 1e-9 ? "yes"
+                                                               : "VIOLATED"});
+    }
+  }
+  t.print(std::cout);
+  dsm::bench::footnote(
+      "ratios well above 0.794 for random sets, lower for adversarial sets, "
+      "lowest for the explicit subfield family (~1.65, the 6^{2/3}/2 "
+      "constant of subgroup images) — Theorem 4's truly tight sets are "
+      "existential (composite n).");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E6 — Theorem 1 end-to-end: serving any N' <= N distinct requests costs
+// O((N')^{1/3} log* N' + log N) on the MPC. Sweeps N' at fixed n for random
+// and adversarial request sets, reports measured iterations and the modeled
+// step count, and fits the exponent.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/util/stats.hpp"
+#include "dsm/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t seed = cli.getUint("seed", 5);
+  const int n = static_cast<int>(cli.getUint("n", 7));
+  dsm::bench::banner("E6", "Theorem 1 — MPC time vs N' (q=2, n=" +
+                               std::to_string(n) + ")");
+
+  const scheme::PpScheme s(1, n);
+  mpc::Machine machine(s.numModules(), s.slotsPerModule());
+  protocol::MajorityEngine eng(s, machine);
+  util::Xoshiro256 rng(seed);
+
+  util::TextTable t({"N'", "workload", "iterations", "modeled steps",
+                     "(N')^{1/3}log*N'+logN", "iters/shape"});
+  std::vector<double> xs, ys;
+  std::vector<std::uint64_t> sweep;
+  for (std::uint64_t np = 8; np < s.numModules(); np *= 4) sweep.push_back(np);
+  sweep.push_back(s.numModules());  // full load N' = N
+  for (const std::uint64_t np : sweep) {
+    for (const bool adversarial : {false, true}) {
+      const auto vars =
+          adversarial
+              ? workload::greedyAdversarial(s, np, 16, rng)
+              : workload::randomDistinct(s.numVariables(), np, rng);
+      const auto res = eng.execute(workload::makeReads(vars));
+      const double shape =
+          std::cbrt(static_cast<double>(np)) *
+              std::max(1, util::logStar(static_cast<double>(np))) +
+          util::ceilLog2(s.numModules());
+      t.addRow({util::TextTable::num(np),
+                adversarial ? "greedy-adv" : "random",
+                util::TextTable::num(res.totalIterations),
+                util::TextTable::num(res.modeledSteps),
+                util::TextTable::num(shape, 1),
+                util::TextTable::num(
+                    static_cast<double>(res.totalIterations) / shape, 3)});
+      if (adversarial) {
+        xs.push_back(static_cast<double>(np));
+        ys.push_back(static_cast<double>(res.totalIterations));
+      }
+    }
+  }
+  t.print(std::cout);
+  const auto fit = util::fitPowerLaw(xs, ys);
+  std::cout << "  adversarial-workload fit: iterations ~ (N')^"
+            << util::TextTable::num(fit.slope, 3)
+            << " (r2=" << util::TextTable::num(fit.r2, 3)
+            << "); Theorem 1 predicts exponent 1/3 (+log* and +logN terms "
+               "flattening small N')\n";
+  dsm::bench::footnote(
+      "iters/shape staying bounded across the sweep is the Theorem-1 "
+      "signature; adversarial sets may raise the constant, never the shape.");
+  return 0;
+}

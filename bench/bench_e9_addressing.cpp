@@ -1,0 +1,90 @@
+// E9 — Theorem 8 / Section 4: address-computation cost. Google-benchmark
+// microbenchmarks of the three processor-side primitives across field sizes:
+//   * unrank (index -> representative matrix A_i),
+//   * rank   (matrix -> index),
+//   * full physical addressing (index -> q+1 (module, slot) pairs).
+// Theorem 1 claims O(log N) time with O(1) state; the per-n growth should
+// be mild (log-table dlog realises the unit-cost field-op assumption).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "dsm/graph/address_map.hpp"
+#include "dsm/graph/var_indexer.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace {
+
+using namespace dsm;
+
+struct Instance {
+  graph::GraphG g;
+  graph::VarIndexer idx;
+  graph::AddressMap amap;
+
+  explicit Instance(int n) : g(1, n), idx(g), amap(g) {}
+};
+
+Instance& instanceFor(int n) {
+  // One lazily-built instance per n, shared across benchmark iterations.
+  static std::map<int, std::unique_ptr<Instance>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, std::make_unique<Instance>(n)).first;
+  }
+  return *it->second;
+}
+
+void BM_Unrank(benchmark::State& state) {
+  Instance& inst = instanceFor(static_cast<int>(state.range(0)));
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::uint64_t v = rng.below(inst.idx.numVariables());
+    benchmark::DoNotOptimize(inst.idx.matrixOf(v));
+  }
+}
+BENCHMARK(BM_Unrank)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(11)->Arg(13);
+
+void BM_Rank(benchmark::State& state) {
+  Instance& inst = instanceFor(static_cast<int>(state.range(0)));
+  util::Xoshiro256 rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const pgl::Mat2 a = inst.idx.matrixOf(rng.below(inst.idx.numVariables()));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(inst.idx.indexOf(a));
+  }
+}
+BENCHMARK(BM_Rank)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(11);
+
+void BM_PhysicalAddresses(benchmark::State& state) {
+  Instance& inst = instanceFor(static_cast<int>(state.range(0)));
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const std::uint64_t v = rng.below(inst.idx.numVariables());
+    benchmark::DoNotOptimize(inst.amap.copiesOf(inst.idx.matrixOf(v)));
+  }
+}
+BENCHMARK(BM_PhysicalAddresses)->Arg(3)->Arg(5)->Arg(7)->Arg(9)->Arg(11);
+
+void BM_ModuleCanonicalization(benchmark::State& state) {
+  Instance& inst = instanceFor(static_cast<int>(state.range(0)));
+  util::Xoshiro256 rng(4);
+  const gf::TowerCtx& k = inst.g.field();
+  for (auto _ : state) {
+    state.PauseTiming();
+    pgl::Mat2 m;
+    do {
+      m = pgl::Mat2{rng.below(k.size()), rng.below(k.size()),
+                    rng.below(k.size()), rng.below(k.size())};
+    } while (pgl::det(k, m) == 0);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(pgl::canonicalHn1Coset(k, m));
+  }
+}
+BENCHMARK(BM_ModuleCanonicalization)->Arg(5)->Arg(9)->Arg(13);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// address_inspector — CLI that walks one variable through the whole
+// Section-4 addressing pipeline, printing every intermediate object.
+//
+//   ./address_inspector [--n=5] [--var=123]
+//
+// Output: the S-family representative matrix A_i (Theorem 8), the three
+// module cosets of Lemma 1 with their (s, t) canonical forms and f(s, t)
+// indices, the slot index k within each module (Lemma 4), and the
+// round-trip verifications (rank(unrank(i)) == i; module-side slot lookup
+// recovers the variable).
+#include <iostream>
+
+#include "dsm/graph/address_map.hpp"
+#include "dsm/graph/var_indexer.hpp"
+#include "dsm/util/cli.hpp"
+
+namespace {
+
+using namespace dsm;
+
+std::string felemStr(gf::Felem v) { return std::to_string(v); }
+
+void printMat(const char* label, const pgl::Mat2& m) {
+  std::cout << label << " = [ " << felemStr(m.a) << " " << felemStr(m.b)
+            << " ; " << felemStr(m.c) << " " << felemStr(m.d) << " ]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.getUint("n", 5));
+  const graph::GraphG g(1, n);
+  const graph::VarIndexer idx(g);
+  const graph::AddressMap amap(g);
+  const std::uint64_t var = cli.getUint("var", 123) % idx.numVariables();
+
+  std::cout << "GF(2^" << n << "): M = " << g.numVariables()
+            << " variables, N = " << g.numModules() << " modules, "
+            << g.variableDegree() << " copies/variable, "
+            << g.moduleDegree() << " slots/module\n";
+  std::cout << "family sizes: |S1|=" << idx.sizeS1() << " |S2|=" << idx.sizeS2()
+            << " |S3|=" << idx.sizeS3() << " |S4|=" << idx.sizeS4() << "\n\n";
+
+  std::cout << "variable index " << var << "\n";
+  const pgl::Mat2 A = idx.matrixOf(var);
+  printMat("  A_i (Theorem 8 representative)", A);
+  const char* family = var < idx.sizeS1()                               ? "S1"
+                       : var < idx.sizeS1() + idx.sizeS2()              ? "S2"
+                       : var < idx.sizeS1() + idx.sizeS2() + idx.sizeS3()
+                           ? "S3"
+                           : "S4";
+  std::cout << "  family: " << family << "\n";
+  std::cout << "  rank(unrank(i)) = " << idx.indexOf(A)
+            << (idx.indexOf(A) == var ? "  (round-trip ok)\n" : "  (FAIL)\n");
+
+  std::cout << "\ncopies (Lemma 1 + eq.(1) canonicalisation + Lemma 4 "
+               "slots):\n";
+  const auto neighbors = g.moduleNeighbors(A);
+  const auto copies = amap.copiesOf(A);
+  for (std::size_t c = 0; c < copies.size(); ++c) {
+    const auto& coset = neighbors[c];
+    std::cout << "  copy " << c << ": (s=" << coset.s << ", t=" << coset.t
+              << ")  ->  module " << copies[c].module << ", slot "
+              << copies[c].slot << "\n";
+    printMat("          B_{f(s,t)}", coset.rep);
+    const pgl::Mat2 back = amap.variableAt(copies[c].module, copies[c].slot);
+    std::cout << "          module-side lookup recovers variable: "
+              << (back == g.variableKey(A) ? "yes" : "NO") << "\n";
+  }
+  std::cout << "\nevery quantity above was computed with O(1) state and\n"
+               "O(log N) field operations — no memory map was consulted.\n";
+  return 0;
+}

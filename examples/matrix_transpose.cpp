@@ -1,0 +1,106 @@
+// matrix_transpose — the classic granularity-problem victim.
+//
+//   ./matrix_transpose [--n=5] [--dim=24]
+//
+// Store a dim x dim matrix in shared variables (variable id = row*dim+col)
+// and have processors read it by ROWS, then by COLUMNS. Under a naive
+// "module = variable mod N" interleaved layout, a row access is conflict-
+// free but a column access with stride dim can pile onto few modules when
+// gcd(dim, N) is large — the access pattern dictates the cost. Under the PP
+// scheme the worst-case cost is pattern-independent by Theorem 1.
+//
+// This example uses a raw interleaved layout (not the hashed baseline) to
+// show the *structured* worst case the 1970s granularity literature
+// studied (see [Kuc77] in the paper's introduction).
+#include <iostream>
+
+#include "dsm/core/shared_memory.hpp"
+#include "dsm/mpc/machine.hpp"
+#include "dsm/util/cli.hpp"
+#include "dsm/util/table.hpp"
+
+namespace {
+
+using namespace dsm;
+
+// Cycles for accessing `vars` on a machine with an interleaved single-copy
+// layout: module = v mod N (one request per variable, one grant per module
+// per cycle).
+std::uint64_t interleavedCycles(const std::vector<std::uint64_t>& vars,
+                                std::uint64_t num_modules) {
+  mpc::Machine m(num_modules, 0);
+  std::vector<bool> done(vars.size(), false);
+  std::vector<mpc::Request> wire;
+  std::vector<mpc::Response> resp;
+  std::uint64_t cycles = 0;
+  while (true) {
+    wire.clear();
+    std::vector<std::size_t> owner;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (done[i]) continue;
+      wire.push_back(mpc::Request{static_cast<std::uint32_t>(i),
+                                  vars[i] % num_modules, vars[i],
+                                  mpc::Op::kRead, 0, 0});
+      owner.push_back(i);
+    }
+    if (wire.empty()) break;
+    m.step(wire, resp);
+    ++cycles;
+    for (std::size_t w = 0; w < wire.size(); ++w) {
+      if (resp[w].granted) done[owner[w]] = true;
+    }
+  }
+  return cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.getUint("n", 7));
+  SharedMemoryConfig cfg;
+  cfg.n = n;
+  SharedMemory mem(cfg);
+
+  // Pick dim so the column stride resonates with N for the naive layout:
+  // using a divisor-rich dim near sqrt(M).
+  const std::uint64_t dim = cli.getUint("dim", 33);
+  const std::uint64_t N = mem.numModules();
+  std::cout << "matrix " << dim << "x" << dim << " over " << mem.schemeName()
+            << "  (N=" << N << " modules)\n\n";
+
+  // Row access: variables r*dim + c for fixed r — consecutive ids.
+  // Column access: variables r*dim + c for fixed c — stride dim.
+  std::vector<std::uint64_t> row, col;
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    row.push_back(5 * dim + i);
+    col.push_back(i * dim + 5);
+  }
+
+  util::TextTable t({"access pattern", "interleaved layout cycles",
+                     "pp93 cycles"});
+  const std::uint64_t row_naive = interleavedCycles(row, N);
+  const std::uint64_t col_naive = interleavedCycles(col, N);
+  const std::uint64_t row_pp = mem.read(row).cost.totalIterations;
+  const std::uint64_t col_pp = mem.read(col).cost.totalIterations;
+  t.addRow({"row (stride 1)", util::TextTable::num(row_naive),
+            util::TextTable::num(row_pp)});
+  t.addRow({"column (stride " + std::to_string(dim) + ")",
+            util::TextTable::num(col_naive), util::TextTable::num(col_pp)});
+  t.print(std::cout);
+
+  // The killer stride: dim == N makes a whole column land on ONE module.
+  // Only floor(M/N) such variable ids exist, so cap the demonstration there.
+  std::vector<std::uint64_t> worst;
+  const std::uint64_t worst_len =
+      std::min<std::uint64_t>(dim, (mem.numVariables() - 6) / N + 1);
+  for (std::uint64_t i = 0; i < worst_len; ++i) {
+    worst.push_back(i * N + 5);
+  }
+  std::cout << "\nstride-N column (" << worst.size() << " elements): "
+            << interleavedCycles(worst, N) << " cycles interleaved vs "
+            << mem.read(worst).cost.totalIterations << " cycles pp93\n";
+  std::cout << "\nUnder the PP scheme the cost is pattern-independent: the\n"
+               "worst case over ALL patterns is the Theorem-1 bound.\n";
+  return 0;
+}

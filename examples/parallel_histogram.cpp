@@ -1,0 +1,111 @@
+// parallel_histogram — a PRAM-style program on the deterministic shared
+// memory: processors accumulate a histogram over shared counter variables.
+//
+//   ./parallel_histogram [--n=5] [--buckets=64] [--rounds=8]
+//
+// The granularity problem in its natural habitat. A hashed single-copy
+// layout is fine *on average*, but some bucket sets — here, counters that an
+// adversary (or just unlucky structured keys) co-located on one module —
+// serialise completely: every round costs Θ(#buckets) cycles. The PP scheme
+// has NO bad bucket set: Theorem 1 bounds every access pattern.
+//
+// Both layouts run the same histogram program on (a) a benign random bucket
+// set and (b) a layout-aware worst-case bucket set, and print cycle counts.
+#include <iostream>
+#include <map>
+
+#include "dsm/core/shared_memory.hpp"
+#include "dsm/util/cli.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/util/table.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace {
+
+using namespace dsm;
+
+// Runs `rounds` of read-modify-write histogram traffic over the given
+// counter variables; returns total MPC cycles. Verifies the final counts.
+std::uint64_t runHistogram(SharedMemory& mem,
+                           const std::vector<std::uint64_t>& counters,
+                           int rounds, bool& ok) {
+  std::map<std::uint64_t, std::uint64_t> expect;
+  util::Xoshiro256 rng(7);
+  std::uint64_t cycles = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // Processors draw keys; duplicate updates combine locally (CRCW->EREW
+    // style), then the distinct touched counters are read, bumped, written.
+    std::map<std::uint64_t, std::uint64_t> delta;
+    for (int p = 0; p < 256; ++p) {
+      ++delta[counters[rng.below(counters.size())]];
+    }
+    std::vector<std::uint64_t> touched;
+    for (const auto& [v, d] : delta) touched.push_back(v);
+    const ReadResult cur = mem.read(touched);
+    cycles += cur.cost.totalIterations;
+    std::vector<std::uint64_t> updated;
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      updated.push_back(cur.values[i] + delta[touched[i]]);
+      expect[touched[i]] += delta[touched[i]];
+    }
+    cycles += mem.write(touched, updated).totalIterations;
+  }
+  const ReadResult fin = mem.read(counters);
+  cycles += fin.cost.totalIterations;
+  ok = true;
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    ok = ok && fin.values[i] == expect[counters[i]];
+  }
+  return cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.getUint("n", 5));
+  const std::uint64_t buckets = cli.getUint("buckets", 64);
+  const int rounds = static_cast<int>(cli.getUint("rounds", 8));
+
+  util::TextTable t({"layout", "bucket placement", "total cycles",
+                     "histogram ok"});
+  for (const SchemeKind kind : {SchemeKind::kPp, SchemeKind::kSingleCopy}) {
+    SharedMemoryConfig cfg;
+    cfg.kind = kind;
+    cfg.n = n;
+    if (kind == SchemeKind::kSingleCopy) {
+      // Granularity-problem sizing: far more variables than modules, which
+      // is precisely what lets structured keys co-locate.
+      const graph::GraphG sizing(1, n);
+      cfg.numModules = sizing.numModules();
+      cfg.numVariables = sizing.numModules() * 256;
+    }
+    for (const bool adversarial : {false, true}) {
+      // Fresh memory per pass: the verification model assumes all counters
+      // start at zero.
+      SharedMemory mem(cfg);
+      std::vector<std::uint64_t> counters;
+      util::Xoshiro256 rng(3);
+      if (!adversarial) {
+        counters = workload::randomDistinct(mem.numVariables(), buckets, rng);
+      } else if (kind == SchemeKind::kSingleCopy) {
+        const auto* sc =
+            dynamic_cast<const scheme::SingleCopyScheme*>(&mem.scheme());
+        counters = workload::singleModuleAttack(*sc, buckets);
+      } else {
+        counters = workload::greedyAdversarial(mem.scheme(), buckets, 16, rng);
+      }
+      bool ok = false;
+      const std::uint64_t cycles = runHistogram(mem, counters, rounds, ok);
+      t.addRow({mem.schemeName(), adversarial ? "worst-case" : "random",
+                util::TextTable::num(cycles), ok ? "yes" : "NO"});
+    }
+  }
+  std::cout << "parallel histogram: " << buckets << " counters, " << rounds
+            << " rounds of 256 combined updates\n\n";
+  t.print(std::cout);
+  std::cout << "\nThe hashed layout is fast until the bucket set aligns with\n"
+               "its hash; the deterministic 3-copy scheme has no bad bucket\n"
+               "set — its worst case is its average case (Theorem 1).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// pram_kernels — classic PRAM algorithms executed through the deterministic
+// shared memory, with per-kernel MPC cycle accounting.
+//
+//   ./pram_kernels [--n=5] [--size=64]
+//
+// Runs prefix sum (Hillis–Steele), odd–even transposition sort, and list
+// ranking (Wyllie pointer jumping) on both the PP scheme and the hashed
+// single-copy layout, verifying results and printing cost tables. This is
+// the use case the paper's introduction puts first: simulating a PRAM on a
+// machine with restricted memory granularity.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "dsm/pram/kernels.hpp"
+#include "dsm/util/cli.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  const util::Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.getUint("n", 5));
+  const std::uint64_t size = cli.getUint("size", 64);
+
+  util::TextTable t({"kernel", "layout", "rounds", "MPC cycles",
+                     "cycles/round", "result"});
+  for (const SchemeKind kind : {SchemeKind::kPp, SchemeKind::kSingleCopy}) {
+    SharedMemoryConfig cfg;
+    cfg.kind = kind;
+    cfg.n = n;
+    util::Xoshiro256 rng(11);
+
+    {  // prefix sum
+      SharedMemory mem(cfg);
+      const pram::ArrayRef a{0, size};
+      std::vector<std::uint64_t> vals(size);
+      for (auto& v : vals) v = rng.below(100);
+      pram::scatter(mem, a, vals);
+      const pram::KernelStats s = pram::prefixSum(mem, a);
+      std::vector<std::uint64_t> expect = vals;
+      std::partial_sum(expect.begin(), expect.end(), expect.begin());
+      const bool ok = pram::gather(mem, a) == expect;
+      t.addRow({"prefix-sum", mem.schemeName(),
+                util::TextTable::num(s.rounds), util::TextTable::num(s.cycles),
+                util::TextTable::num(static_cast<double>(s.cycles) /
+                                         static_cast<double>(s.rounds),
+                                     1),
+                ok ? "ok" : "WRONG"});
+    }
+    {  // odd-even sort
+      SharedMemory mem(cfg);
+      const pram::ArrayRef a{0, size};
+      std::vector<std::uint64_t> vals(size);
+      for (auto& v : vals) v = rng.below(1000);
+      pram::scatter(mem, a, vals);
+      const pram::KernelStats s = pram::oddEvenSort(mem, a);
+      const auto out = pram::gather(mem, a);
+      const bool ok = std::is_sorted(out.begin(), out.end());
+      t.addRow({"odd-even sort", mem.schemeName(),
+                util::TextTable::num(s.rounds), util::TextTable::num(s.cycles),
+                util::TextTable::num(static_cast<double>(s.cycles) /
+                                         static_cast<double>(s.rounds),
+                                     1),
+                ok ? "ok" : "WRONG"});
+    }
+    {  // list ranking
+      SharedMemory mem(cfg);
+      const pram::ArrayRef next{0, size}, rank{size, size};
+      std::vector<std::uint64_t> order(size);
+      std::iota(order.begin(), order.end(), 0);
+      for (std::uint64_t i = size - 1; i > 0; --i) {
+        std::swap(order[i], order[rng.below(i + 1)]);
+      }
+      std::vector<std::uint64_t> nxt(size), expect(size);
+      for (std::uint64_t pos = 0; pos < size; ++pos) {
+        nxt[order[pos]] = pos + 1 < size ? order[pos + 1] : order[pos];
+        expect[order[pos]] = size - 1 - pos;
+      }
+      pram::scatter(mem, next, nxt);
+      const pram::KernelStats s = pram::listRank(mem, next, rank);
+      const bool ok = pram::gather(mem, rank) == expect;
+      t.addRow({"list ranking", mem.schemeName(),
+                util::TextTable::num(s.rounds), util::TextTable::num(s.cycles),
+                util::TextTable::num(static_cast<double>(s.cycles) /
+                                         static_cast<double>(s.rounds),
+                                     1),
+                ok ? "ok" : "WRONG"});
+    }
+  }
+  std::cout << "PRAM kernels over " << size << " elements\n\n";
+  t.print(std::cout);
+  std::cout << "\nEvery round's memory traffic is served by the memory\n"
+               "organization scheme; the PP scheme's per-round cost is\n"
+               "bounded for EVERY access pattern the kernels generate.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a deterministic shared memory, write a batch, read it
+// back, and inspect the physical layout of one variable.
+//
+//   ./quickstart [--n=5] [--seed=1]
+//
+// Demonstrates the full public API surface in ~60 lines: SharedMemory
+// construction, batched write/read with cost accounting, and the Section-4
+// address computation (variable index -> 3 physical (module, slot) pairs).
+#include <iostream>
+
+#include "dsm/core/shared_memory.hpp"
+#include "dsm/util/cli.hpp"
+#include "dsm/workload/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  const util::Cli cli(argc, argv);
+  SharedMemoryConfig cfg;
+  cfg.n = static_cast<int>(cli.getUint("n", 5));
+
+  SharedMemory mem(cfg);
+  std::cout << "scheme:      " << mem.schemeName() << "\n"
+            << "variables M: " << mem.numVariables() << "\n"
+            << "modules N:   " << mem.numModules() << "\n"
+            << "copies:      " << mem.scheme().copiesPerVariable()
+            << " (majority quorum " << mem.scheme().readQuorum() << ")\n\n";
+
+  // Write a batch of distinct variables.
+  util::Xoshiro256 rng(cli.getUint("seed", 1));
+  const auto vars = workload::randomDistinct(mem.numVariables(), 100, rng);
+  std::vector<std::uint64_t> vals;
+  for (const auto v : vars) vals.push_back(v * 10 + 1);
+  const auto wcost = mem.write(vars, vals);
+  std::cout << "wrote " << vars.size() << " variables in "
+            << wcost.totalIterations << " MPC cycles ("
+            << wcost.modeledSteps << " modeled steps, "
+            << wcost.phaseIterations.size() << " phases)\n";
+
+  // Read them back.
+  const ReadResult r = mem.read(vars);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    correct += r.values[i] == vals[i];
+  }
+  std::cout << "read back " << correct << "/" << vars.size()
+            << " correct values in " << r.cost.totalIterations
+            << " MPC cycles\n\n";
+
+  // Physical layout of the first variable: the q+1 copies Lemma 1 places.
+  const std::uint64_t v0 = vars.front();
+  std::cout << "physical copies of variable " << v0 << ":\n";
+  const auto* pp = mem.ppScheme();
+  for (const auto& pa : pp->copiesOf(v0)) {
+    std::cout << "  module " << pa.module << ", slot " << pa.slot << "\n";
+  }
+  std::cout << "\n(the address computation used no memory map: it is pure\n"
+               " field algebra over GF(2^" << cfg.n << "), Theorem 8)\n";
+  return 0;
+}

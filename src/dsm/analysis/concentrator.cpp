@@ -1,0 +1,98 @@
+#include "dsm/analysis/concentrator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::analysis {
+
+std::uint64_t ConcentrationResult::impliedCycles(unsigned quorum) const {
+  if (modules.empty()) return 0;
+  const std::uint64_t work = variables.size() * quorum;
+  return (work + modules.size() - 1) / modules.size();
+}
+
+ConcentrationResult concentrate(const scheme::MemoryScheme& scheme,
+                                std::uint64_t sample_limit,
+                                util::Xoshiro256& rng) {
+  const unsigned r = scheme.copiesPerVariable();
+  const std::uint64_t m = scheme.numVariables();
+
+  // Candidate pool: all variables, or a uniform random sample.
+  std::vector<std::uint64_t> cands;
+  if (m <= sample_limit) {
+    cands.resize(static_cast<std::size_t>(m));
+    for (std::uint64_t v = 0; v < m; ++v) cands[v] = v;
+  } else {
+    std::unordered_set<std::uint64_t> seen;
+    cands.reserve(static_cast<std::size_t>(sample_limit));
+    while (cands.size() < sample_limit) {
+      const std::uint64_t v = rng.below(m);
+      if (seen.insert(v).second) cands.push_back(v);
+    }
+  }
+
+  // Cache each candidate's copy modules.
+  std::vector<std::vector<std::uint64_t>> copy_modules(cands.size());
+  {
+    std::vector<scheme::PhysicalAddress> copies;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      scheme.copies(cands[i], copies);
+      copy_modules[i].reserve(copies.size());
+      for (const auto& pa : copies) copy_modules[i].push_back(pa.module);
+    }
+  }
+
+  ConcentrationResult result;
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::size_t> alive(cands.size());
+  for (std::size_t i = 0; i < cands.size(); ++i) alive[i] = i;
+
+  for (unsigned round = 0; round < r; ++round) {
+    // Most frequent uncovered module among surviving candidates.
+    std::unordered_map<std::uint64_t, std::uint64_t> freq;
+    for (const std::size_t i : alive) {
+      for (const std::uint64_t mod : copy_modules[i]) {
+        if (!chosen.count(mod)) ++freq[mod];
+      }
+    }
+    if (freq.empty()) break;  // everyone already fully covered
+    std::uint64_t best_mod = 0, best_cnt = 0;
+    for (const auto& [mod, cnt] : freq) {
+      if (cnt > best_cnt || (cnt == best_cnt && mod < best_mod)) {
+        best_mod = mod;
+        best_cnt = cnt;
+      }
+    }
+    chosen.insert(best_mod);
+    result.modules.push_back(best_mod);
+    // A candidate stays alive iff its uncovered copies can still fit into
+    // the remaining module budget.
+    const unsigned budget = r - (round + 1);
+    std::vector<std::size_t> next;
+    next.reserve(alive.size());
+    for (const std::size_t i : alive) {
+      unsigned uncovered = 0;
+      for (const std::uint64_t mod : copy_modules[i]) {
+        uncovered += chosen.count(mod) == 0;
+      }
+      if (uncovered <= budget) next.push_back(i);
+    }
+    alive = std::move(next);
+  }
+
+  for (const std::size_t i : alive) {
+    // Fully covered candidates only (uncovered == 0 by the last filter).
+    unsigned uncovered = 0;
+    for (const std::uint64_t mod : copy_modules[i]) {
+      uncovered += chosen.count(mod) == 0;
+    }
+    if (uncovered == 0) result.variables.push_back(cands[i]);
+  }
+  std::sort(result.variables.begin(), result.variables.end());
+  return result;
+}
+
+}  // namespace dsm::analysis

@@ -1,0 +1,33 @@
+// The Theorem-7 adversary. For any memory organization scheme with exactly
+// r copies per variable, some r modules jointly contain ALL copies of many
+// variables; requesting those variables forces every access through the r
+// modules, i.e. time >= quorum * |set| / r. The paper uses this to prove the
+// Ω((M/N)^{1/r}) lower bound; this module constructs such sets greedily so
+// the bound can be exhibited empirically for every implemented scheme.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/scheme/memory_scheme.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::analysis {
+
+struct ConcentrationResult {
+  std::vector<std::uint64_t> modules;    ///< the r chosen modules
+  std::vector<std::uint64_t> variables;  ///< vars with every copy inside them
+  /// Implied lower bound on cycles for accessing the variables with the
+  /// given per-variable quorum: ceil(|variables| * quorum / r).
+  std::uint64_t impliedCycles(unsigned quorum) const;
+};
+
+/// Greedy concentration: r rounds, each adding the module that covers the
+/// most not-yet-covered copies among surviving candidates, then filtering to
+/// candidates coverable within the budget. Scans at most sample_limit
+/// variables (uniformly spread) to stay cheap on large M.
+ConcentrationResult concentrate(const scheme::MemoryScheme& scheme,
+                                std::uint64_t sample_limit,
+                                util::Xoshiro256& rng);
+
+}  // namespace dsm::analysis

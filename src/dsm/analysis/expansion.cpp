@@ -1,0 +1,31 @@
+#include "dsm/analysis/expansion.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace dsm::analysis {
+
+ExpansionSample measureExpansion(const scheme::MemoryScheme& scheme,
+                                 const std::vector<std::uint64_t>& vars,
+                                 std::uint64_t q_for_ratio) {
+  std::unordered_set<std::uint64_t> gamma;
+  std::vector<scheme::PhysicalAddress> copies;
+  for (const std::uint64_t v : vars) {
+    scheme.copies(v, copies);
+    for (const auto& pa : copies) gamma.insert(pa.module);
+  }
+  ExpansionSample s;
+  s.setSize = vars.size();
+  s.gammaSize = gamma.size();
+  if (!vars.empty()) {
+    const double denom = static_cast<double>(q_for_ratio) *
+                         std::pow(static_cast<double>(vars.size()), 2.0 / 3.0);
+    s.ratio = static_cast<double>(gamma.size()) / denom;
+  }
+  return s;
+}
+
+double theorem4Constant() { return 1.0 / std::cbrt(2.0); }
+double theorem5Constant() { return 0.25; }
+
+}  // namespace dsm::analysis

@@ -1,0 +1,31 @@
+// Empirical expansion measurement — the quantity Theorem 4 bounds:
+// for a set S of variables, |Γ(S)| >= |S|^{2/3} q / 2^{1/3}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/scheme/memory_scheme.hpp"
+
+namespace dsm::analysis {
+
+struct ExpansionSample {
+  std::uint64_t setSize = 0;
+  std::uint64_t gammaSize = 0;   ///< |Γ(S)|
+  double ratio = 0.0;            ///< |Γ(S)| / (q |S|^{2/3})
+};
+
+/// Measures |Γ(S)| for the given variable set under the given scheme.
+/// q_for_ratio is the q of the paper's bound (pass scheme q; for baselines
+/// pass copies-1 for comparability).
+ExpansionSample measureExpansion(const scheme::MemoryScheme& scheme,
+                                 const std::vector<std::uint64_t>& vars,
+                                 std::uint64_t q_for_ratio);
+
+/// The paper's Theorem 4 constant: 1 / 2^{1/3}.
+double theorem4Constant();
+
+/// The live-copy variant constant of Theorem 5: 1/4.
+double theorem5Constant();
+
+}  // namespace dsm::analysis

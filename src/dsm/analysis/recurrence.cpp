@@ -1,0 +1,41 @@
+#include "dsm/analysis/recurrence.hpp"
+
+#include <cmath>
+
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::analysis {
+
+std::vector<double> predictedTrajectory(std::uint64_t initial_live,
+                                        std::uint64_t q, double c,
+                                        std::size_t max_steps) {
+  std::vector<double> out;
+  double r = static_cast<double>(initial_live);
+  const double qd = static_cast<double>(q);
+  while (r >= 1.0 && out.size() < max_steps) {
+    out.push_back(r);
+    const double shrink = 1.0 - c * std::cbrt(qd / r);
+    // shrink <= 0 means this iteration empties the phase (R_k was already
+    // recorded above, so the iteration is counted).
+    if (shrink <= 0.0) break;
+    r *= shrink;
+  }
+  return out;
+}
+
+std::uint64_t predictedPhi(std::uint64_t initial_live, std::uint64_t q,
+                           double c) {
+  const auto traj = predictedTrajectory(initial_live, q, c);
+  // traj holds R_0 .. R_{Phi-1} (all >= 1); Phi iterations empty the phase.
+  return traj.empty() ? 0 : traj.size();
+}
+
+double theorem6Shape(double n) {
+  return std::cbrt(n) * static_cast<double>(util::logStar(n));
+}
+
+double theorem7Bound(double m, double n, unsigned r) {
+  return std::pow(m / n, 1.0 / static_cast<double>(r));
+}
+
+}  // namespace dsm::analysis

@@ -1,0 +1,36 @@
+// The live-variable decay recurrence of Section 3, eq. (2):
+//
+//   R_{k+1} <= R_k (1 - c (q / R_k)^{1/3}),    c ≈ 0.397,  R_0 = N'
+//
+// and the Φ ∈ O(N^{1/3} log* N) consequence (Theorem 6). This module
+// evaluates the recurrence numerically so the benchmark harness can compare
+// the *measured* R_k trajectory of the protocol against the paper's bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsm::analysis {
+
+/// The constant of eq. (2).
+inline constexpr double kRecurrenceC = 0.397;
+
+/// Predicted upper-bound trajectory R_0, R_1, ... until R_k < 1.
+/// Returns at most max_steps entries (guard against tiny q effects).
+std::vector<double> predictedTrajectory(std::uint64_t initial_live,
+                                        std::uint64_t q,
+                                        double c = kRecurrenceC,
+                                        std::size_t max_steps = 1u << 20);
+
+/// Number of iterations until the predicted trajectory drops below 1 —
+/// the paper's bound on Φ for one phase.
+std::uint64_t predictedPhi(std::uint64_t initial_live, std::uint64_t q,
+                           double c = kRecurrenceC);
+
+/// The Theorem 6 asymptotic shape N^{1/3} log*(N) (for fitting/reporting).
+double theorem6Shape(double n);
+
+/// Theorem 7 lower bound on worst-case time: (M/N)^{1/r}.
+double theorem7Bound(double m, double n, unsigned r);
+
+}  // namespace dsm::analysis

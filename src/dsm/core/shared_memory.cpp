@@ -1,0 +1,82 @@
+#include "dsm/core/shared_memory.hpp"
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm {
+
+SharedMemory::SharedMemory(const SharedMemoryConfig& config) : config_(config) {
+  // Baseline sizing defaults to the matching PP instance so comparisons run
+  // at identical (M, N).
+  std::uint64_t m = config.numVariables;
+  std::uint64_t n_modules = config.numModules;
+  if ((m == 0 || n_modules == 0) && config.kind != SchemeKind::kPp) {
+    const graph::GraphG sizing(config.e, config.n);
+    if (m == 0) m = sizing.numVariables();
+    if (n_modules == 0) n_modules = sizing.numModules();
+  }
+  switch (config.kind) {
+    case SchemeKind::kPp: {
+      auto pp = std::make_unique<scheme::PpScheme>(config.e, config.n);
+      pp_ = pp.get();
+      scheme_ = std::move(pp);
+      break;
+    }
+    case SchemeKind::kMv:
+      scheme_ = std::make_unique<scheme::MvScheme>(m, n_modules,
+                                                   config.mvCopies);
+      break;
+    case SchemeKind::kUwRandom:
+      scheme_ = std::make_unique<scheme::UwRandomScheme>(m, n_modules,
+                                                         config.uwC,
+                                                         config.seed);
+      break;
+    case SchemeKind::kSingleCopy:
+      scheme_ = std::make_unique<scheme::SingleCopyScheme>(m, n_modules,
+                                                           config.seed);
+      break;
+  }
+  DSM_CHECK(scheme_ != nullptr);
+  machine_ = std::make_unique<mpc::Machine>(
+      scheme_->numModules(), scheme_->slotsPerModule(), config.threads);
+  // PP and UW use the clustered majority protocol; MV and single-copy are
+  // single-owner disciplines.
+  if (config.kind == SchemeKind::kPp || config.kind == SchemeKind::kUwRandom) {
+    engine_ = std::make_unique<protocol::MajorityEngine>(*scheme_, *machine_);
+  } else {
+    engine_ = std::make_unique<protocol::SingleOwnerEngine>(*scheme_,
+                                                            *machine_);
+  }
+}
+
+protocol::AccessResult SharedMemory::write(
+    const std::vector<std::uint64_t>& variables,
+    const std::vector<std::uint64_t>& values) {
+  DSM_CHECK_MSG(variables.size() == values.size(),
+                "write: variables/values size mismatch");
+  std::vector<protocol::AccessRequest> batch;
+  batch.reserve(variables.size());
+  for (std::size_t i = 0; i < variables.size(); ++i) {
+    batch.push_back(
+        protocol::AccessRequest{variables[i], mpc::Op::kWrite, values[i]});
+  }
+  return engine_->execute(batch);
+}
+
+ReadResult SharedMemory::read(const std::vector<std::uint64_t>& variables) {
+  std::vector<protocol::AccessRequest> batch;
+  batch.reserve(variables.size());
+  for (const std::uint64_t v : variables) {
+    batch.push_back(protocol::AccessRequest{v, mpc::Op::kRead, 0});
+  }
+  ReadResult out;
+  out.cost = engine_->execute(batch);
+  out.values = out.cost.values;
+  return out;
+}
+
+protocol::AccessResult SharedMemory::execute(
+    const std::vector<protocol::AccessRequest>& batch) {
+  return engine_->execute(batch);
+}
+
+}  // namespace dsm

@@ -1,0 +1,88 @@
+// SharedMemory — the library's top-level facade. It assembles a memory
+// organization scheme, an MPC machine sized for it, and the matching access
+// protocol engine, and exposes batched read/write with full cost accounting.
+//
+// This is the object a downstream user of the library holds: a deterministic
+// shared memory of M variables over N modules where any batch of distinct
+// variables completes in O((N')^{1/3} log* N' + log N) MPC steps (PP scheme)
+// regardless of the access pattern.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+
+namespace dsm {
+
+/// Which memory organization scheme backs the shared memory.
+enum class SchemeKind {
+  kPp,          ///< this paper (deterministic, constructive)
+  kMv,          ///< Mehlhorn–Vishkin read-one/write-all baseline
+  kUwRandom,    ///< Upfal–Wigderson-style random-graph majority baseline
+  kSingleCopy,  ///< no redundancy baseline
+};
+
+/// Construction parameters.
+struct SharedMemoryConfig {
+  SchemeKind kind = SchemeKind::kPp;
+  /// PP scheme field parameters: q = 2^e, GF(q^n).
+  int e = 1;
+  int n = 5;
+  /// Baseline sizing: matched to the PP instance unless overridden (!= 0).
+  std::uint64_t numVariables = 0;
+  std::uint64_t numModules = 0;
+  /// MV copy count / UW majority parameter.
+  unsigned mvCopies = 3;
+  unsigned uwC = 2;  ///< 2c-1 copies, quorum c
+  std::uint64_t seed = 0xD5A93;
+  unsigned threads = 1;
+};
+
+/// Result of a batched read: per-variable values plus the protocol cost.
+struct ReadResult {
+  std::vector<std::uint64_t> values;
+  protocol::AccessResult cost;
+};
+
+/// Deterministic shared memory on a simulated MPC.
+class SharedMemory {
+ public:
+  explicit SharedMemory(const SharedMemoryConfig& config);
+
+  const SharedMemoryConfig& config() const noexcept { return config_; }
+  std::string schemeName() const { return scheme_->name(); }
+  std::uint64_t numVariables() const { return scheme_->numVariables(); }
+  std::uint64_t numModules() const { return scheme_->numModules(); }
+
+  /// Writes values[i] to variables[i] (all distinct). Returns protocol cost.
+  protocol::AccessResult write(const std::vector<std::uint64_t>& variables,
+                               const std::vector<std::uint64_t>& values);
+
+  /// Reads the variables (all distinct).
+  ReadResult read(const std::vector<std::uint64_t>& variables);
+
+  /// Executes a pre-built mixed batch.
+  protocol::AccessResult execute(
+      const std::vector<protocol::AccessRequest>& batch);
+
+  const scheme::MemoryScheme& scheme() const noexcept { return *scheme_; }
+  /// The PP scheme object when kind == kPp (nullptr otherwise).
+  const scheme::PpScheme* ppScheme() const noexcept { return pp_; }
+  mpc::Machine& machine() noexcept { return *machine_; }
+  const mpc::Machine& machine() const noexcept { return *machine_; }
+
+ private:
+  SharedMemoryConfig config_;
+  std::unique_ptr<scheme::MemoryScheme> scheme_;
+  const scheme::PpScheme* pp_ = nullptr;
+  std::unique_ptr<mpc::Machine> machine_;
+  std::unique_ptr<protocol::EngineBase> engine_;
+};
+
+}  // namespace dsm

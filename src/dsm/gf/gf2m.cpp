@@ -1,0 +1,103 @@
+#include "dsm/gf/gf2m.hpp"
+
+#include "dsm/gf/gf2poly.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::gf {
+
+Gf2mCtx::Gf2mCtx(int m) : Gf2mCtx(m, findPrimitivePolyGf2(m)) {}
+
+Gf2mCtx::Gf2mCtx(int m, std::uint64_t poly) : m_(m), poly_(poly) {
+  DSM_CHECK_MSG(m >= 1 && m <= 32, "GF(2^m): m out of range: " << m);
+  DSM_CHECK_MSG(polyDegree(poly) == m,
+                "reduction polynomial degree mismatch for m=" << m);
+  DSM_CHECK_MSG(isPrimitiveGf2(poly),
+                "reduction polynomial is not primitive: 0x" << std::hex << poly);
+  mask_ = (m == 64) ? ~0ULL : ((1ULL << m) - 1);
+  init();
+}
+
+void Gf2mCtx::init() {
+  const std::uint64_t order = groupOrder();
+  if (m_ <= kTableLimit) {
+    // Full log/antilog tables: exp doubled so mul can index exp[la + lb]
+    // without a modulo.
+    exp_.resize(2 * order);
+    log_.assign(size(), 0);
+    Felem v = 1;
+    for (std::uint64_t i = 0; i < order; ++i) {
+      exp_[i] = static_cast<std::uint32_t>(v);
+      exp_[i + order] = static_cast<std::uint32_t>(v);
+      log_[v] = static_cast<std::uint32_t>(i);
+      v = polyMulMod(v, gamma(), poly_);
+    }
+    DSM_CHECK_MSG(v == 1, "gamma does not have full order (table build)");
+  } else {
+    // BSGS setup for dlog on large fields.
+    bsgsStep_ = util::isqrt(order) + 1;
+    baby_.reserve(static_cast<std::size_t>(bsgsStep_) * 2);
+    Felem v = 1;
+    for (std::uint64_t j = 0; j < bsgsStep_; ++j) {
+      baby_.emplace(v, static_cast<std::uint32_t>(j));
+      v = polyMulMod(v, gamma(), poly_);
+    }
+    // v == gamma^bsgsStep_; giant step multiplies by gamma^{-bsgsStep_}.
+    bsgsGiant_ = pow(v, order - 1);  // inverse via a^{order-1} ... see below
+  }
+}
+
+Felem Gf2mCtx::mul(Felem a, Felem b) const noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (!log_.empty()) {
+    return exp_[log_[a] + log_[b]];
+  }
+  return polyMulMod(a, b, poly_);
+}
+
+Felem Gf2mCtx::pow(Felem a, std::uint64_t e) const noexcept {
+  Felem r = 1;
+  a &= mask_;
+  while (e != 0) {
+    if (e & 1u) r = mul(r, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+Felem Gf2mCtx::inv(Felem a) const {
+  DSM_CHECK_MSG(a != 0, "inverse of zero in GF(2^" << m_ << ")");
+  if (!log_.empty()) {
+    const std::uint64_t order = groupOrder();
+    const std::uint64_t la = log_[a];
+    return exp_[(order - la) % order];
+  }
+  // a^{2^m - 2} = a^{-1}.
+  return pow(a, groupOrder() - 1);
+}
+
+Felem Gf2mCtx::exp(std::uint64_t e) const noexcept {
+  const std::uint64_t order = groupOrder();
+  e %= order;
+  if (!exp_.empty()) return exp_[e];
+  return pow(gamma(), e);
+}
+
+std::uint64_t Gf2mCtx::dlog(Felem a) const {
+  DSM_CHECK_MSG(a != 0, "dlog of zero in GF(2^" << m_ << ")");
+  if (!log_.empty()) return log_[a];
+  // BSGS: a * (gamma^{-s})^i lands in the baby table for some giant step i.
+  Felem cur = a;
+  for (std::uint64_t i = 0; i <= bsgsStep_; ++i) {
+    const auto it = baby_.find(cur);
+    if (it != baby_.end()) {
+      return (i * bsgsStep_ + it->second) % groupOrder();
+    }
+    cur = mul(cur, bsgsGiant_);
+  }
+  DSM_CHECK_MSG(false, "BSGS dlog failed (element outside group?)");
+  return 0;  // unreachable
+}
+
+}  // namespace dsm::gf

@@ -1,0 +1,85 @@
+// GF(2^m) — the binary extension field, elements packed as m-bit values.
+//
+// This is the workhorse field of the reproduction: the paper instantiates
+// its scheme with q = 2, so F_{q^n} = GF(2^n), and the Section-4 address
+// bijections work in GF(2^{2n}) (built on top of this class by QuadExtCtx).
+//
+// A context object owns the reduction polynomial and (for small m) full
+// log/antilog tables, which realise the paper's assumption that discrete
+// logarithms base the primitive element γ are unit-cost field operations
+// (see DESIGN.md, substitutions). For large m a baby-step/giant-step
+// fallback is used.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dsm::gf {
+
+/// Universal raw element type across all field contexts in this library.
+using Felem = std::uint64_t;
+
+/// Runtime context for GF(2^m), 1 <= m <= 32.
+///
+/// Elements are uint64_t values with only the low m bits used; the value is
+/// the coefficient vector of a polynomial in the primitive element gamma
+/// (bit i = coefficient of gamma^i). gamma itself is the value 0b10.
+class Gf2mCtx {
+ public:
+  /// Largest m for which full log/exp tables are materialised (2 * 2^m * 4
+  /// bytes; m = 22 costs 32 MiB). Above this, dlog() uses BSGS.
+  static constexpr int kTableLimit = 22;
+
+  /// Builds the field with the canonical primitive polynomial of degree m
+  /// (findPrimitivePolyGf2). Verified at construction.
+  explicit Gf2mCtx(int m);
+
+  /// Builds the field with an explicit reduction polynomial (must be
+  /// primitive of degree m; checked).
+  Gf2mCtx(int m, std::uint64_t poly);
+
+  int m() const noexcept { return m_; }
+  std::uint64_t poly() const noexcept { return poly_; }
+  /// Field size 2^m.
+  std::uint64_t size() const noexcept { return 1ULL << m_; }
+  /// Multiplicative group order 2^m - 1.
+  std::uint64_t groupOrder() const noexcept { return size() - 1; }
+  /// The primitive element gamma = x (for m == 1, GF(2)* is trivial and
+  /// gamma == 1).
+  Felem gamma() const noexcept { return m_ == 1 ? 1 : 0b10; }
+
+  bool isValid(Felem a) const noexcept { return a < size(); }
+
+  Felem add(Felem a, Felem b) const noexcept { return a ^ b; }
+  Felem sub(Felem a, Felem b) const noexcept { return a ^ b; }  // char 2
+  Felem mul(Felem a, Felem b) const noexcept;
+  Felem inv(Felem a) const;   ///< multiplicative inverse; DSM_CHECK(a != 0)
+  Felem div(Felem a, Felem b) const { return mul(a, inv(b)); }
+  Felem pow(Felem a, std::uint64_t e) const noexcept;
+
+  /// gamma^e (e taken mod the group order).
+  Felem exp(std::uint64_t e) const noexcept;
+
+  /// Discrete log base gamma: returns r in [0, 2^m - 1) with gamma^r == a.
+  /// DSM_CHECK(a != 0). O(1) with tables, O(sqrt(2^m)) via BSGS otherwise.
+  std::uint64_t dlog(Felem a) const;
+
+  bool hasTables() const noexcept { return !log_.empty(); }
+
+ private:
+  void init();
+
+  int m_;
+  std::uint64_t poly_;
+  std::uint64_t mask_;
+  std::vector<std::uint32_t> exp_;  // exp_[i] = gamma^i, i in [0, 2(2^m-1))
+  std::vector<std::uint32_t> log_;  // log_[a] = dlog(a), a in [1, 2^m)
+  // BSGS baby-step table (built lazily is avoided: construct eagerly when
+  // tables are disabled, so dlog stays const and thread-safe).
+  std::unordered_map<std::uint64_t, std::uint32_t> baby_;
+  std::uint64_t bsgsStep_ = 0;  // number of baby steps
+  Felem bsgsGiant_ = 0;         // gamma^{-bsgsStep_}
+};
+
+}  // namespace dsm::gf

@@ -1,0 +1,135 @@
+#include "dsm/gf/gf2poly.hpp"
+
+#include <bit>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/factor.hpp"
+
+namespace dsm::gf {
+
+std::uint64_t clmul(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t r = 0;
+  while (b != 0) {
+    if (b & 1u) r ^= a;
+    a <<= 1;
+    b >>= 1;
+  }
+  return r;
+}
+
+int polyDegree(std::uint64_t p) noexcept {
+  if (p == 0) return -1;
+  return 63 - std::countl_zero(p);
+}
+
+std::uint64_t polyMod(std::uint64_t a, std::uint64_t m) noexcept {
+  const int dm = polyDegree(m);
+  int da = polyDegree(a);
+  while (da >= dm) {
+    a ^= m << (da - dm);
+    da = polyDegree(a);
+  }
+  return a;
+}
+
+std::uint64_t polyMulMod(std::uint64_t a, std::uint64_t b,
+                         std::uint64_t m) noexcept {
+  const int dm = polyDegree(m);
+  a = polyMod(a, m);
+  std::uint64_t r = 0;
+  // Shift-and-add with eager reduction so intermediate degree stays < dm + 1.
+  while (b != 0) {
+    if (b & 1u) r ^= a;
+    b >>= 1;
+    a <<= 1;
+    if (a >> dm & 1u) a ^= m;
+  }
+  return r;
+}
+
+std::uint64_t polyGcd(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t t = polyMod(a, b);
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t polyPowMod(std::uint64_t a, std::uint64_t e,
+                         std::uint64_t m) noexcept {
+  std::uint64_t r = polyMod(1, m);
+  a = polyMod(a, m);
+  while (e != 0) {
+    if (e & 1u) r = polyMulMod(r, a, m);
+    a = polyMulMod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+namespace {
+
+// Computes x^{2^k} mod p by repeated squaring of the Frobenius power.
+std::uint64_t xPow2k(unsigned k, std::uint64_t p) noexcept {
+  std::uint64_t v = polyMod(0b10, p);  // x
+  for (unsigned i = 0; i < k; ++i) v = polyMulMod(v, v, p);
+  return v;
+}
+
+}  // namespace
+
+bool isIrreducibleGf2(std::uint64_t p) {
+  const int m = polyDegree(p);
+  if (m <= 0) return false;
+  if ((p & 1u) == 0) return m == 1;  // divisible by x
+  if (m == 1) return true;
+  // Rabin: x^{2^m} == x mod p ...
+  if (xPow2k(static_cast<unsigned>(m), p) != polyMod(0b10, p)) return false;
+  // ... and gcd(x^{2^{m/r}} - x, p) == 1 for each prime r | m.
+  for (std::uint64_t r : util::distinctPrimeFactors(static_cast<std::uint64_t>(m))) {
+    const unsigned k = static_cast<unsigned>(m / static_cast<int>(r));
+    const std::uint64_t diff = xPow2k(k, p) ^ polyMod(0b10, p);
+    if (polyGcd(diff, p) != 1) return false;
+  }
+  return true;
+}
+
+bool isPrimitiveGf2(std::uint64_t p) {
+  const int m = polyDegree(p);
+  if (m < 1 || m > 32) return false;
+  if (!isIrreducibleGf2(p)) return false;
+  if (m == 1) return p == 0b11;  // x + 1: GF(2)* is trivial, x == 1 generates
+  const std::uint64_t order = (m == 32)
+                                  ? 0xFFFFFFFFULL
+                                  : (1ULL << m) - 1;
+  for (std::uint64_t r : util::distinctPrimeFactors(order)) {
+    if (polyPowMod(0b10, order / r, p) == 1) return false;
+  }
+  return true;
+}
+
+std::uint64_t findPrimitivePolyGf2(int m) {
+  DSM_CHECK_MSG(m >= 1 && m <= 32, "degree out of range: " << m);
+  // Known primitive polynomials used as starting hints (verified below, so a
+  // wrong entry only costs search time, never correctness).
+  static constexpr std::uint64_t kHints[33] = {
+      0,          0x3,        0x7,        0xB,        0x13,      0x25,
+      0x43,       0x89,       0x11D,      0x211,      0x409,     0x805,
+      0x1053,     0x201B,     0x4443,     0x8003,     0x1100B,   0x20009,
+      0x40081,    0x80027,    0x100009,   0x200005,   0x400003,  0x800021,
+      0x1000087,  0x2000009,  0x4000047,  0x8000027,  0x10000009,
+      0x20000005, 0x40800007, 0x80000009, 0x100400007};
+  const std::uint64_t hint = kHints[m];
+  if (isPrimitiveGf2(hint)) return hint;
+  // Fallback: exhaustive scan over odd candidates of degree m.
+  const std::uint64_t lo = 1ULL << m;
+  const std::uint64_t hi = 1ULL << (m + 1);
+  for (std::uint64_t p = lo | 1u; p < hi; p += 2) {
+    if (isPrimitiveGf2(p)) return p;
+  }
+  DSM_CHECK_MSG(false, "no primitive polynomial of degree " << m);
+  return 0;  // unreachable
+}
+
+}  // namespace dsm::gf

@@ -1,0 +1,45 @@
+// Arithmetic on polynomials over GF(2), represented as bit vectors in a
+// uint64_t (bit i = coefficient of x^i). This is the bootstrap layer for
+// constructing GF(2^m): reduction polynomials are found and verified here.
+#pragma once
+
+#include <cstdint>
+
+namespace dsm::gf {
+
+/// Carry-less multiplication of two GF(2) polynomials (degrees must sum to
+/// < 64). Pure shift-and-xor; portable (no PCLMUL dependency).
+std::uint64_t clmul(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Degree of the polynomial (index of the highest set bit); degree(0) == -1.
+int polyDegree(std::uint64_t p) noexcept;
+
+/// Remainder of a modulo m (m != 0).
+std::uint64_t polyMod(std::uint64_t a, std::uint64_t m) noexcept;
+
+/// (a * b) mod m over GF(2); deg a, deg b < deg m, deg m <= 32.
+std::uint64_t polyMulMod(std::uint64_t a, std::uint64_t b,
+                         std::uint64_t m) noexcept;
+
+/// gcd of two GF(2) polynomials.
+std::uint64_t polyGcd(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// (a ^ e) mod m over GF(2), e a plain integer exponent.
+std::uint64_t polyPowMod(std::uint64_t a, std::uint64_t e,
+                         std::uint64_t m) noexcept;
+
+/// True iff p (degree m, bit m set) is irreducible over GF(2).
+/// Uses the Rabin test: x^{2^m} == x (mod p) and gcd(x^{2^{m/r}} - x, p) == 1
+/// for every prime r | m.
+bool isIrreducibleGf2(std::uint64_t p);
+
+/// True iff p is irreducible AND x is a generator of the multiplicative
+/// group of GF(2)[x]/(p) (i.e. p is primitive).
+bool isPrimitiveGf2(std::uint64_t p);
+
+/// Finds the smallest (as an integer) primitive polynomial of degree m over
+/// GF(2), starting the search from a table of known-good candidates.
+/// m in [1, 32].
+std::uint64_t findPrimitivePolyGf2(int m);
+
+}  // namespace dsm::gf

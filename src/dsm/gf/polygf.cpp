@@ -1,0 +1,174 @@
+#include "dsm/gf/polygf.hpp"
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/factor.hpp"
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::gf {
+
+PolyGF::PolyGF(std::vector<Felem> coeffs) : coeffs_(std::move(coeffs)) {
+  normalize();
+}
+
+PolyGF PolyGF::constant(Felem c) {
+  PolyGF p;
+  if (c != 0) p.coeffs_ = {c};
+  return p;
+}
+
+PolyGF PolyGF::monomial(unsigned d, Felem c) {
+  PolyGF p;
+  if (c != 0) {
+    p.coeffs_.assign(d + 1, 0);
+    p.coeffs_[d] = c;
+  }
+  return p;
+}
+
+int PolyGF::degree() const noexcept {
+  return static_cast<int>(coeffs_.size()) - 1;
+}
+
+void PolyGF::normalize() noexcept {
+  while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+}
+
+PolyGF PolyGF::add(const Gf2mCtx& k, const PolyGF& a, const PolyGF& b) {
+  PolyGF r;
+  r.coeffs_.resize(std::max(a.coeffs_.size(), b.coeffs_.size()), 0);
+  for (std::size_t i = 0; i < r.coeffs_.size(); ++i) {
+    r.coeffs_[i] = k.add(a.coeff(i), b.coeff(i));
+  }
+  r.normalize();
+  return r;
+}
+
+PolyGF PolyGF::mul(const Gf2mCtx& k, const PolyGF& a, const PolyGF& b) {
+  if (a.isZero() || b.isZero()) return {};
+  PolyGF r;
+  r.coeffs_.assign(a.coeffs_.size() + b.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    if (a.coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      r.coeffs_[i + j] =
+          k.add(r.coeffs_[i + j], k.mul(a.coeffs_[i], b.coeffs_[j]));
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+PolyGF PolyGF::mod(const Gf2mCtx& k, PolyGF a, const PolyGF& m) {
+  DSM_CHECK(!m.isZero());
+  const int dm = m.degree();
+  const Felem lead_inv = k.inv(m.coeffs_.back());
+  while (a.degree() >= dm) {
+    const int shift = a.degree() - dm;
+    const Felem factor = k.mul(a.coeffs_.back(), lead_inv);
+    for (int i = 0; i <= dm; ++i) {
+      a.coeffs_[static_cast<std::size_t>(i + shift)] =
+          k.sub(a.coeffs_[static_cast<std::size_t>(i + shift)],
+                k.mul(factor, m.coeff(static_cast<std::size_t>(i))));
+    }
+    a.normalize();
+  }
+  return a;
+}
+
+PolyGF PolyGF::mulMod(const Gf2mCtx& k, const PolyGF& a, const PolyGF& b,
+                      const PolyGF& m) {
+  return mod(k, mul(k, a, b), m);
+}
+
+PolyGF PolyGF::powMod(const Gf2mCtx& k, PolyGF a, std::uint64_t e,
+                      const PolyGF& m) {
+  PolyGF r = mod(k, constant(1), m);
+  a = mod(k, std::move(a), m);
+  while (e != 0) {
+    if (e & 1u) r = mulMod(k, r, a, m);
+    a = mulMod(k, a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+PolyGF PolyGF::gcd(const Gf2mCtx& k, PolyGF a, PolyGF b) {
+  while (!b.isZero()) {
+    PolyGF t = mod(k, std::move(a), b);
+    a = std::move(b);
+    b = std::move(t);
+  }
+  return makeMonic(k, std::move(a));
+}
+
+PolyGF PolyGF::makeMonic(const Gf2mCtx& k, PolyGF a) {
+  if (a.isZero()) return a;
+  const Felem inv = k.inv(a.coeffs_.back());
+  for (auto& c : a.coeffs_) c = k.mul(c, inv);
+  return a;
+}
+
+bool isIrreducible(const Gf2mCtx& base, const PolyGF& f) {
+  const int n = f.degree();
+  if (n <= 0) return false;
+  if (n == 1) return true;
+  const std::uint64_t q = base.size();
+  const PolyGF x = PolyGF::monomial(1);
+  // x^{q^n} == x mod f: compute by n-fold Frobenius (x -> x^q).
+  PolyGF v = PolyGF::mod(base, x, f);
+  for (int i = 0; i < n; ++i) v = PolyGF::powMod(base, v, q, f);
+  if (!(v == PolyGF::mod(base, x, f))) return false;
+  for (std::uint64_t r :
+       util::distinctPrimeFactors(static_cast<std::uint64_t>(n))) {
+    const int k = n / static_cast<int>(r);
+    PolyGF u = PolyGF::mod(base, x, f);
+    for (int i = 0; i < k; ++i) u = PolyGF::powMod(base, u, q, f);
+    const PolyGF diff = PolyGF::add(base, u, PolyGF::mod(base, x, f));
+    if (PolyGF::gcd(base, diff, f).degree() != 0) return false;
+  }
+  return true;
+}
+
+bool isPrimitive(const Gf2mCtx& base, const PolyGF& f) {
+  if (!isIrreducible(base, f)) return false;
+  const int n = f.degree();
+  const std::uint64_t q = base.size();
+  // Group order q^n - 1 (checked to fit u64 by ipow).
+  const std::uint64_t order = util::ipow(q, static_cast<unsigned>(n)) - 1;
+  const PolyGF x = PolyGF::monomial(1);
+  for (std::uint64_t r : util::distinctPrimeFactors(order)) {
+    // x generates the full group iff x^{order/r} != 1 for every prime r.
+    // A non-identity constant is fine: it still has positive order left.
+    const PolyGF p = PolyGF::powMod(base, x, order / r, f);
+    if (p.degree() == 0 && p.coeff(0) == 1) return false;
+  }
+  return true;
+}
+
+PolyGF findPrimitivePoly(const Gf2mCtx& base, int n) {
+  DSM_CHECK(n >= 1);
+  const std::uint64_t q = base.size();
+  DSM_CHECK_MSG(static_cast<double>(n) * base.m() <= 44,
+                "tower field too large: q^n must fit packed in 44 bits");
+  // Enumerate monic candidates x^n + c_{n-1} x^{n-1} + ... + c_0, c_0 != 0,
+  // in lexicographic order of (c_{n-1}, ..., c_0) — deterministic and
+  // reproducible across runs.
+  const std::uint64_t total = util::ipow(q, static_cast<unsigned>(n));
+  for (std::uint64_t code = 0; code < total; ++code) {
+    std::vector<Felem> coeffs(static_cast<std::size_t>(n) + 1, 0);
+    coeffs[static_cast<std::size_t>(n)] = 1;
+    std::uint64_t c = code;
+    for (int i = 0; i < n; ++i) {
+      coeffs[static_cast<std::size_t>(i)] = c % q;
+      c /= q;
+    }
+    if (coeffs[0] == 0) continue;  // reducible (divisible by x)
+    PolyGF f(std::move(coeffs));
+    if (isPrimitive(base, f)) return f;
+  }
+  DSM_CHECK_MSG(false, "no primitive polynomial of degree " << n << " over GF("
+                                                            << q << ")");
+  return {};  // unreachable
+}
+
+}  // namespace dsm::gf

@@ -1,0 +1,65 @@
+// Dense univariate polynomials over a small binary field GF(q), q = 2^e.
+// Used to find the primitive reduction polynomial that defines the tower
+// field GF(q^n) = GF(q)[x]/(f). Coefficients are Felem values of the base
+// field context; index i = coefficient of x^i.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/gf/gf2m.hpp"
+
+namespace dsm::gf {
+
+/// Polynomial over a base field. Value-type; all operations take the field
+/// context explicitly (contexts are shared, polynomials are data).
+class PolyGF {
+ public:
+  PolyGF() = default;
+  explicit PolyGF(std::vector<Felem> coeffs);
+
+  /// The constant polynomial c.
+  static PolyGF constant(Felem c);
+  /// The monomial x^d.
+  static PolyGF monomial(unsigned d, Felem c = 1);
+
+  int degree() const noexcept;  ///< -1 for the zero polynomial
+  bool isZero() const noexcept { return coeffs_.empty(); }
+  Felem coeff(std::size_t i) const noexcept {
+    return i < coeffs_.size() ? coeffs_[i] : 0;
+  }
+  const std::vector<Felem>& coeffs() const noexcept { return coeffs_; }
+
+  /// Strips leading zero coefficients (normal form).
+  void normalize() noexcept;
+
+  static PolyGF add(const Gf2mCtx& k, const PolyGF& a, const PolyGF& b);
+  static PolyGF mul(const Gf2mCtx& k, const PolyGF& a, const PolyGF& b);
+  /// Remainder a mod m; m must be non-zero.
+  static PolyGF mod(const Gf2mCtx& k, PolyGF a, const PolyGF& m);
+  static PolyGF mulMod(const Gf2mCtx& k, const PolyGF& a, const PolyGF& b,
+                       const PolyGF& m);
+  static PolyGF powMod(const Gf2mCtx& k, PolyGF a, std::uint64_t e,
+                       const PolyGF& m);
+  static PolyGF gcd(const Gf2mCtx& k, PolyGF a, PolyGF b);
+  /// Scales to a monic polynomial (leading coefficient 1).
+  static PolyGF makeMonic(const Gf2mCtx& k, PolyGF a);
+
+  friend bool operator==(const PolyGF&, const PolyGF&) = default;
+
+ private:
+  std::vector<Felem> coeffs_;
+};
+
+/// True iff f (monic, degree n >= 1) is irreducible over GF(q) (Rabin test).
+bool isIrreducible(const Gf2mCtx& base, const PolyGF& f);
+
+/// True iff f is irreducible and x generates GF(q^n)* modulo f (f primitive).
+/// Requires q^n - 1 to fit in 64 bits.
+bool isPrimitive(const Gf2mCtx& base, const PolyGF& f);
+
+/// Deterministic search for a primitive monic polynomial of degree n over
+/// GF(q). Enumerates candidates in lexicographic coefficient order.
+PolyGF findPrimitivePoly(const Gf2mCtx& base, int n);
+
+}  // namespace dsm::gf

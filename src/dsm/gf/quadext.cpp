@@ -1,0 +1,153 @@
+#include "dsm/gf/quadext.hpp"
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/factor.hpp"
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::gf {
+namespace {
+
+/// Dense index for table storage: packs (a, b) contiguously into 2n bits.
+std::uint64_t dense(Felem v, int n) noexcept {
+  return (QuadExtCtx::hi(v) << n) | QuadExtCtx::lo(v);
+}
+
+Felem undense(std::uint64_t d, int n) noexcept {
+  return QuadExtCtx::pack(d >> n, d & ((1ULL << n) - 1));
+}
+
+}  // namespace
+
+QuadExtCtx::QuadExtCtx(const TowerCtx& base) : base_(base) {
+  DSM_CHECK_MSG(base.e() == 1, "QuadExtCtx requires a GF(2^n) base (e == 1)");
+  DSM_CHECK_MSG(base.n() % 2 == 1 && base.n() >= 3,
+                "Section-4 construction requires odd n >= 3, got " << base.n());
+  const int n = base.n();
+  size_ = 1ULL << (2 * n);
+  rho_ = (size_ - 1) / 3;
+  sigma_ = (1ULL << n) + 1;
+  tau_ = sigma_ / 3;
+  DSM_CHECK(sigma_ % 3 == 0);  // n odd => 3 | 2^n + 1
+  findLambda();
+  w_ = pow(lambda_, rho_);
+  // w is a primitive cube root of unity; both roots of X^2+X+1 have high
+  // component exactly 1 (w^2 = w + 1 forces hi(w)^2 == hi(w) != 0).
+  DSM_CHECK(hi(w_) == 1);
+  w_b_ = lo(w_);
+  buildDlog();
+}
+
+Felem QuadExtCtx::mul(Felem x, Felem y) const noexcept {
+  const Felem a = hi(x), b = lo(x), c = hi(y), d = lo(y);
+  // (a w + b)(c w + d) with w^2 = w + 1:
+  const Felem ac = base_.mul(a, c);
+  const Felem ad = base_.mul(a, d);
+  const Felem bc = base_.mul(b, c);
+  const Felem bd = base_.mul(b, d);
+  return pack(ac ^ ad ^ bc, ac ^ bd);
+}
+
+Felem QuadExtCtx::inv(Felem x) const {
+  DSM_CHECK_MSG(x != 0, "inverse of zero in GF(2^{2n})");
+  const Felem a = hi(x), b = lo(x);
+  // Conjugate (Frobenius ^{2^n}) of a w + b is a w + (a + b); the norm
+  // a^2 + a b + b^2 lies in F_{2^n}*.
+  const Felem norm =
+      base_.mul(a, a) ^ base_.mul(a, b) ^ base_.mul(b, b);
+  const Felem ninv = base_.inv(norm);
+  return pack(base_.mul(a, ninv), base_.mul(a ^ b, ninv));
+}
+
+Felem QuadExtCtx::pow(Felem x, std::uint64_t e) const noexcept {
+  Felem r = pack(0, 1);
+  while (e != 0) {
+    if (e & 1u) r = mul(r, x);
+    x = mul(x, x);
+    e >>= 1;
+  }
+  return r;
+}
+
+void QuadExtCtx::findLambda() {
+  const std::uint64_t order = groupOrder();
+  const auto primes = util::distinctPrimeFactors(order);
+  const int n = base_.n();
+  // Deterministic scan in dense order; the generator density is high
+  // (phi(order)/order), so this terminates almost immediately.
+  for (std::uint64_t d = 2; d < size_; ++d) {
+    const Felem cand = undense(d, n);
+    bool ok = true;
+    for (std::uint64_t p : primes) {
+      if (pow(cand, order / p) == pack(0, 1)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      lambda_ = cand;
+      return;
+    }
+  }
+  DSM_CHECK_MSG(false, "no generator found in GF(2^{2n}) — impossible");
+}
+
+void QuadExtCtx::buildDlog() {
+  const std::uint64_t order = groupOrder();
+  const int n = base_.n();
+  if (size_ <= (1ULL << 22)) {
+    exp_.resize(2 * order);
+    log_.assign(size_, 0);
+    Felem v = pack(0, 1);
+    for (std::uint64_t i = 0; i < order; ++i) {
+      const auto dv = static_cast<std::uint32_t>(dense(v, n));
+      exp_[i] = dv;
+      exp_[i + order] = dv;
+      log_[dv] = static_cast<std::uint32_t>(i);
+      v = mul(v, lambda_);
+    }
+    DSM_CHECK_MSG(v == pack(0, 1), "lambda order mismatch (table build)");
+  } else {
+    bsgsStep_ = util::isqrt(order) + 1;
+    baby_.reserve(static_cast<std::size_t>(bsgsStep_) * 2);
+    Felem v = pack(0, 1);
+    for (std::uint64_t j = 0; j < bsgsStep_; ++j) {
+      baby_.emplace(v, static_cast<std::uint32_t>(j));
+      v = mul(v, lambda_);
+    }
+    bsgsGiant_ = pow(v, order - 1);  // v^{-1}
+  }
+}
+
+Felem QuadExtCtx::expLambda(std::uint64_t e) const noexcept {
+  const std::uint64_t order = groupOrder();
+  e %= order;
+  if (!exp_.empty()) return undense(exp_[e], base_.n());
+  return pow(lambda_, e);
+}
+
+std::uint64_t QuadExtCtx::dlogLambda(Felem x) const {
+  DSM_CHECK_MSG(x != 0, "dlog of zero in GF(2^{2n})");
+  if (!log_.empty()) return log_[dense(x, base_.n())];
+  Felem cur = x;
+  for (std::uint64_t i = 0; i <= bsgsStep_; ++i) {
+    const auto it = baby_.find(cur);
+    if (it != baby_.end()) return (i * bsgsStep_ + it->second) % groupOrder();
+    cur = mul(cur, bsgsGiant_);
+  }
+  DSM_CHECK_MSG(false, "BSGS dlog failed in GF(2^{2n})");
+  return 0;  // unreachable
+}
+
+Felem QuadExtCtx::fromRow(Felem x, Felem y) const noexcept {
+  // x·w + y where w = (1, w_b): scalar multiplication by x ∈ F_{2^n} acts
+  // componentwise, so x·w = (x, x·w_b).
+  return pack(x, base_.mul(x, w_b_) ^ y);
+}
+
+std::pair<Felem, Felem> QuadExtCtx::toRow(Felem alpha) const noexcept {
+  const Felem x = hi(alpha);
+  const Felem y = lo(alpha) ^ base_.mul(x, w_b_);
+  return {x, y};
+}
+
+}  // namespace dsm::gf

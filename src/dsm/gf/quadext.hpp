@@ -1,0 +1,94 @@
+// GF(2^{2n}) realised as the quadratic extension GF(2^n)[w]/(w^2 + w + 1),
+// valid for odd n (X^2+X+1 is irreducible over GF(2^n) iff F_4 is not a
+// subfield of F_{2^n}, i.e. iff n is odd — exactly the regime of Section 4
+// of the paper).
+//
+// This is the field where the Section-4 variable-index bijection lives: a
+// 2x2 matrix row (x, y) over F_{2^n} is identified with the single element
+// x*w + y of F_{2^{2n}}, where w = λ^ρ is a cube root of unity and λ
+// generates F_{2^{2n}}*. The class finds λ deterministically and exposes the
+// paper's constants ρ = (2^{2n}-1)/3, σ = 2^n + 1, τ = (2^n+1)/3.
+//
+// Element encoding: (a << 32) | b  represents  a·w' + b,  where w' is the
+// canonical root with packed value (1 << 32). λ^ρ equals w' or w'+1; the
+// row<->element conversion below is expressed in the (w, 1) basis the paper
+// uses, independent of which root λ^ρ lands on.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dsm/gf/tower.hpp"
+
+namespace dsm::gf {
+
+/// Runtime context for GF(2^{2n}) over a TowerCtx with e == 1 (i.e. GF(2^n)).
+/// Immutable after construction; safe to share across threads.
+class QuadExtCtx {
+ public:
+  /// base must be GF(2^n) (e == 1) with n odd, n >= 3.
+  explicit QuadExtCtx(const TowerCtx& base);
+
+  const TowerCtx& base() const noexcept { return base_; }
+  int n() const noexcept { return base_.n(); }
+  /// Field size 2^{2n}.
+  std::uint64_t size() const noexcept { return size_; }
+  std::uint64_t groupOrder() const noexcept { return size_ - 1; }
+
+  /// Paper constants (Section 4).
+  std::uint64_t rho() const noexcept { return rho_; }      ///< (2^{2n}-1)/3
+  std::uint64_t sigma() const noexcept { return sigma_; }  ///< 2^n + 1
+  std::uint64_t tau() const noexcept { return tau_; }      ///< (2^n + 1)/3
+
+  /// The deterministic generator λ of F_{2^{2n}}*.
+  Felem lambda() const noexcept { return lambda_; }
+  /// w = λ^ρ, a primitive cube root of unity (generator of F_4*).
+  Felem w() const noexcept { return w_; }
+
+  static Felem pack(Felem a, Felem b) noexcept { return (a << 32) | b; }
+  static Felem hi(Felem v) noexcept { return v >> 32; }
+  static Felem lo(Felem v) noexcept { return v & 0xFFFFFFFFULL; }
+
+  /// Embeds an element of the base field F_{2^n}.
+  static Felem embed(Felem x) noexcept { return x; }
+  /// True iff v lies in the base subfield F_{2^n}.
+  static bool inBaseField(Felem v) noexcept { return hi(v) == 0; }
+  /// True iff v ∈ F_{2^n}* (the paper's exclusion test for S₄).
+  static bool inBaseFieldStar(Felem v) noexcept {
+    return hi(v) == 0 && lo(v) != 0;
+  }
+
+  Felem add(Felem x, Felem y) const noexcept { return x ^ y; }
+  Felem mul(Felem x, Felem y) const noexcept;
+  Felem inv(Felem x) const;
+  Felem pow(Felem x, std::uint64_t e) const noexcept;
+  /// λ^e (e mod group order).
+  Felem expLambda(std::uint64_t e) const noexcept;
+  /// Discrete log base λ; DSM_CHECK(x != 0).
+  std::uint64_t dlogLambda(Felem x) const;
+
+  /// Matrix row (x, y) over F_{2^n}  ->  α = x·w + y  (paper's ⟨..⟩ map).
+  Felem fromRow(Felem x, Felem y) const noexcept;
+  /// Inverse of fromRow: decomposes α in the (w, 1) basis.
+  std::pair<Felem, Felem> toRow(Felem alpha) const noexcept;
+
+ private:
+  void findLambda();
+  void buildDlog();
+
+  const TowerCtx& base_;
+  std::uint64_t size_;
+  std::uint64_t rho_, sigma_, tau_;
+  Felem lambda_ = 0;
+  Felem w_ = 0;    // λ^ρ
+  Felem w_b_ = 0;  // low component of w (w = (1, w_b_) always: see ctor)
+  std::vector<std::uint32_t> log_;  // full dlog table when 2^{2n} <= 2^22
+  std::vector<std::uint32_t> exp_;
+  std::unordered_map<std::uint64_t, std::uint32_t> baby_;
+  std::uint64_t bsgsStep_ = 0;
+  Felem bsgsGiant_ = 0;
+};
+
+}  // namespace dsm::gf

@@ -1,0 +1,170 @@
+#include "dsm/gf/tower.hpp"
+
+#include "dsm/gf/gf2poly.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::gf {
+namespace {
+
+// Lifts the GF(2) bitmask polynomial into PolyGF coefficient form.
+PolyGF fromBitPoly(std::uint64_t bits) {
+  std::vector<Felem> coeffs;
+  for (int i = 0; i <= polyDegree(bits); ++i) {
+    coeffs.push_back((bits >> i) & 1u);
+  }
+  return PolyGF(std::move(coeffs));
+}
+
+}  // namespace
+
+TowerCtx::TowerCtx(int e, int n) : base_(e), n_(n) {
+  DSM_CHECK_MSG(n >= 2, "tower degree n must be >= 2, got " << n);
+  DSM_CHECK_MSG(e >= 1 && e <= 8, "base field exponent e out of range: " << e);
+  DSM_CHECK_MSG(e * n <= 44, "q^n too large to pack: e*n = " << e * n);
+  size_ = util::ipow(base_.size(), static_cast<unsigned>(n));
+  scalar_index_ = (size_ - 1) / (base_.size() - 1);
+  if (e == 1) {
+    // Bit-compatible with Gf2mCtx(n): same canonical primitive polynomial.
+    reduction_ = fromBitPoly(findPrimitivePolyGf2(n));
+  } else {
+    reduction_ = findPrimitivePoly(base_, n);
+  }
+  init();
+}
+
+void TowerCtx::init() {
+  const int e = base_.m();
+  // Precompute x^{n+j} mod f for the schoolbook reduction step.
+  // x^n mod f = f - x^n (monic, char 2) = low coefficients of f.
+  Felem xn = 0;
+  for (int i = 0; i < n_; ++i) {
+    xn |= reduction_.coeff(static_cast<std::size_t>(i)) << (i * e);
+  }
+  xpow_.resize(static_cast<std::size_t>(n_) - 1);
+  Felem cur = xn;
+  for (int j = 0; j + 1 < n_; ++j) {
+    xpow_[static_cast<std::size_t>(j)] = cur;
+    // Multiply by x: shift coefficients up one slot, reduce overflow.
+    const Felem top = (cur >> ((n_ - 1) * e)) & (q() - 1);
+    cur = (cur << e) & (size_ - 1);
+    if (top != 0) {
+      // overflowed coefficient times x^n mod f
+      Felem scaled = 0;
+      for (int i = 0; i < n_; ++i) {
+        const Felem ci = (xn >> (i * e)) & (q() - 1);
+        scaled |= base_.mul(ci, top) << (i * e);
+      }
+      cur ^= scaled;
+    }
+  }
+
+  const std::uint64_t order = groupOrder();
+  if (size_ <= kTableLimit) {
+    exp_.resize(2 * order);
+    log_.assign(size_, 0);
+    Felem v = 1;
+    for (std::uint64_t i = 0; i < order; ++i) {
+      exp_[i] = static_cast<std::uint32_t>(v);
+      exp_[i + order] = static_cast<std::uint32_t>(v);
+      log_[v] = static_cast<std::uint32_t>(i);
+      v = mulSchoolbook(v, gamma());
+    }
+    DSM_CHECK_MSG(v == 1, "gamma does not have full order in GF(q^n)");
+  } else {
+    bsgsStep_ = util::isqrt(order) + 1;
+    baby_.reserve(static_cast<std::size_t>(bsgsStep_) * 2);
+    Felem v = 1;
+    for (std::uint64_t j = 0; j < bsgsStep_; ++j) {
+      baby_.emplace(v, static_cast<std::uint32_t>(j));
+      v = mulSchoolbook(v, gamma());
+    }
+    // bsgsGiant_ = gamma^{-bsgsStep_} = v^{-1} = v^{order-1}.
+    Felem g = 1, b = v;
+    std::uint64_t exp = order - 1;
+    while (exp != 0) {
+      if (exp & 1u) g = mulSchoolbook(g, b);
+      b = mulSchoolbook(b, b);
+      exp >>= 1;
+    }
+    bsgsGiant_ = g;
+  }
+}
+
+Felem TowerCtx::mulSchoolbook(Felem a, Felem b) const noexcept {
+  const int e = base_.m();
+  const Felem cmask = q() - 1;
+  // Convolution of coefficient vectors; conv[k] for k in [0, 2n-1).
+  Felem acc[2 * 44];  // generous upper bound on 2n
+  const int two_n1 = 2 * n_ - 1;
+  for (int k = 0; k < two_n1; ++k) acc[k] = 0;
+  for (int i = 0; i < n_; ++i) {
+    const Felem ai = (a >> (i * e)) & cmask;
+    if (ai == 0) continue;
+    for (int j = 0; j < n_; ++j) {
+      const Felem bj = (b >> (j * e)) & cmask;
+      if (bj == 0) continue;
+      acc[i + j] ^= base_.mul(ai, bj);
+    }
+  }
+  // Low part directly; high coefficients fold through x^{n+j} mod f.
+  Felem r = 0;
+  for (int k = 0; k < n_; ++k) r |= acc[k] << (k * e);
+  for (int k = n_; k < two_n1; ++k) {
+    const Felem c = acc[k];
+    if (c == 0) continue;
+    const Felem red = xpow_[static_cast<std::size_t>(k - n_)];
+    for (int i = 0; i < n_; ++i) {
+      const Felem ri = (red >> (i * e)) & cmask;
+      if (ri != 0) r ^= base_.mul(ri, c) << (i * e);
+    }
+  }
+  return r;
+}
+
+Felem TowerCtx::mul(Felem a, Felem b) const noexcept {
+  if (a == 0 || b == 0) return 0;
+  if (!log_.empty()) return exp_[log_[a] + log_[b]];
+  return mulSchoolbook(a, b);
+}
+
+Felem TowerCtx::pow(Felem a, std::uint64_t e) const noexcept {
+  Felem r = 1;
+  while (e != 0) {
+    if (e & 1u) r = mul(r, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+Felem TowerCtx::inv(Felem a) const {
+  DSM_CHECK_MSG(a != 0, "inverse of zero in GF(" << q() << "^" << n_ << ")");
+  if (!log_.empty()) {
+    const std::uint64_t order = groupOrder();
+    return exp_[(order - log_[a]) % order];
+  }
+  return pow(a, groupOrder() - 1);
+}
+
+Felem TowerCtx::exp(std::uint64_t e) const noexcept {
+  const std::uint64_t order = groupOrder();
+  e %= order;
+  if (!exp_.empty()) return exp_[e];
+  return pow(gamma(), e);
+}
+
+std::uint64_t TowerCtx::dlog(Felem a) const {
+  DSM_CHECK_MSG(a != 0, "dlog of zero in GF(" << q() << "^" << n_ << ")");
+  if (!log_.empty()) return log_[a];
+  Felem cur = a;
+  for (std::uint64_t i = 0; i <= bsgsStep_; ++i) {
+    const auto it = baby_.find(cur);
+    if (it != baby_.end()) return (i * bsgsStep_ + it->second) % groupOrder();
+    cur = mul(cur, bsgsGiant_);
+  }
+  DSM_CHECK_MSG(false, "BSGS dlog failed");
+  return 0;  // unreachable
+}
+
+}  // namespace dsm::gf

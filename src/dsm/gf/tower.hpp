@@ -1,0 +1,101 @@
+// GF(q^n) as a tower over the base field GF(q), q = 2^e.
+//
+// The paper's graph G lives over F_{q^n} with q an even prime power; its
+// structural objects — the subfield F_q, the primitive element γ = x, and
+// the set P_γ of elements with zero constant term in the γ-basis — all refer
+// to the *polynomial basis over GF(q)*, which is exactly the representation
+// this class exposes.
+//
+// Element encoding: packed uint64_t, coefficient a_i of γ^i occupying bits
+// [i*e, (i+1)*e). Consequences used throughout the graph layer:
+//   * addition is XOR,
+//   * F_q  = packed values < q (constant polynomials),
+//   * P_γ  = packed values with zero low-e bits; its k-th member is k << e.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/gf/gf2m.hpp"
+#include "dsm/gf/polygf.hpp"
+
+namespace dsm::gf {
+
+/// Runtime context for GF(q^n), q = 2^e. Immutable after construction and
+/// safe to share across threads.
+class TowerCtx {
+ public:
+  /// Largest q^n for which full log/exp tables are materialised.
+  static constexpr std::uint64_t kTableLimit = 1ULL << 22;
+
+  /// Builds GF(q^n) over GF(2^e). For e == 1 the reduction polynomial is the
+  /// canonical GF(2) primitive polynomial (bit-compatible with Gf2mCtx(n));
+  /// otherwise it is found by deterministic search over GF(q).
+  TowerCtx(int e, int n);
+
+  const Gf2mCtx& base() const noexcept { return base_; }
+  int e() const noexcept { return base_.m(); }
+  int n() const noexcept { return n_; }
+  std::uint64_t q() const noexcept { return base_.size(); }
+  /// Field size q^n.
+  std::uint64_t size() const noexcept { return size_; }
+  std::uint64_t groupOrder() const noexcept { return size_ - 1; }
+  /// (q^n - 1) / (q - 1): the index of F_q* in F_{q^n}*, i.e. the number of
+  /// scalar classes; the module-representative exponents of eq. (1) range
+  /// over [0, scalarIndex()).
+  std::uint64_t scalarIndex() const noexcept { return scalar_index_; }
+  /// The reduction polynomial f (over GF(q)) with γ = x primitive mod f.
+  const PolyGF& reduction() const noexcept { return reduction_; }
+
+  /// γ, the primitive element (the polynomial x). For n == 1 this field
+  /// degenerates; we require n >= 2.
+  Felem gamma() const noexcept { return 1ULL << base_.m(); }
+
+  bool isValid(Felem a) const noexcept { return a < size_; }
+  /// True iff a lies in the base subfield F_q (constant polynomial).
+  bool inBaseField(Felem a) const noexcept { return a < q(); }
+  /// True iff a ∈ F_q* (non-zero scalar).
+  bool isScalar(Felem a) const noexcept { return a != 0 && a < q(); }
+  /// True iff a ∈ P_γ (zero constant term).
+  bool inPGamma(Felem a) const noexcept {
+    return (a & (q() - 1)) == 0 && a < size_;
+  }
+  /// Index of p within P_γ (p must satisfy inPGamma); inverse of pGammaAt.
+  std::uint64_t pGammaIndex(Felem p) const noexcept { return p >> base_.m(); }
+  /// k-th element of P_γ, k in [0, q^{n-1}).
+  Felem pGammaAt(std::uint64_t k) const noexcept { return k << base_.m(); }
+  /// |P_γ| = q^{n-1}.
+  std::uint64_t pGammaSize() const noexcept { return size_ / q(); }
+
+  Felem add(Felem a, Felem b) const noexcept { return a ^ b; }
+  Felem sub(Felem a, Felem b) const noexcept { return a ^ b; }
+  Felem mul(Felem a, Felem b) const noexcept;
+  Felem inv(Felem a) const;
+  Felem div(Felem a, Felem b) const { return mul(a, inv(b)); }
+  Felem pow(Felem a, std::uint64_t e) const noexcept;
+  /// γ^e (e mod group order).
+  Felem exp(std::uint64_t e) const noexcept;
+  /// Discrete log base γ; DSM_CHECK(a != 0).
+  std::uint64_t dlog(Felem a) const;
+
+  bool hasTables() const noexcept { return !log_.empty(); }
+
+ private:
+  Felem mulSchoolbook(Felem a, Felem b) const noexcept;
+  void init();
+
+  Gf2mCtx base_;
+  int n_;
+  std::uint64_t size_;
+  std::uint64_t scalar_index_;
+  PolyGF reduction_;
+  std::vector<Felem> xpow_;  // x^{n+j} mod f, packed, j in [0, n-1)
+  std::vector<std::uint32_t> exp_;
+  std::vector<std::uint32_t> log_;
+  std::unordered_map<std::uint64_t, std::uint32_t> baby_;
+  std::uint64_t bsgsStep_ = 0;
+  Felem bsgsGiant_ = 0;
+};
+
+}  // namespace dsm::gf

@@ -1,0 +1,45 @@
+#include "dsm/graph/address_map.hpp"
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::graph {
+
+AddressMap::AddressMap(const GraphG& g) : g_(g), modules_(g.field()) {}
+
+std::uint64_t AddressMap::slotOf(const pgl::Hn1Coset& module,
+                                 const pgl::Mat2& A) const {
+  const gf::TowerCtx& k = g_.field();
+  // Find p in P_γ with  B·(1 p; 0 1)·H_0 = A·H_0,  i.e.
+  // (1 p; 0 1) ∈ D·H_0 (mod scalars) where D = B^{-1}·A.
+  const pgl::Mat2 D = pgl::mul(k, pgl::inverse(k, module.rep), A);
+  for (const pgl::Mat2& h : g_.h0().elements()) {
+    const pgl::Mat2 E = pgl::mul(k, D, h);
+    if (E.c != 0 || E.d == 0) continue;
+    // Normalise bottom row to (0, 1); need top row (1, p).
+    const gf::Felem dinv = k.inv(E.d);
+    if (k.mul(E.a, dinv) != 1) continue;
+    const gf::Felem p = k.mul(E.b, dinv);
+    if (!k.inPGamma(p)) continue;
+    return k.pGammaIndex(p);
+  }
+  DSM_CHECK_MSG(false, "slotOf: variable does not neighbour this module");
+  return 0;  // unreachable
+}
+
+std::vector<PhysicalAddress> AddressMap::copiesOf(const pgl::Mat2& A) const {
+  const auto neighbors = g_.moduleNeighbors(A);
+  std::vector<PhysicalAddress> out;
+  out.reserve(neighbors.size());
+  for (const pgl::Hn1Coset& m : neighbors) {
+    out.push_back(PhysicalAddress{modules_.index(m), slotOf(m, A)});
+  }
+  return out;
+}
+
+pgl::Mat2 AddressMap::variableAt(std::uint64_t module_index,
+                                 std::uint64_t slot) const {
+  const pgl::Hn1Coset m = modules_.coset(module_index);
+  return g_.variableKey(g_.slotVariableMatrix(m.rep, slot));
+}
+
+}  // namespace dsm::graph

@@ -1,0 +1,62 @@
+// Physical addressing: variable -> the q+1 (module, slot) pairs holding its
+// copies. This is the processor-side computation the paper highlights in
+// Theorem 1: O(log N) time, O(1) internal state, no memory map.
+//
+// Pipeline for one variable with representative A (Lemma 1 + Section 4):
+//   1. its modules are A·H_{n-1} and A·(a 1; 1 0)·H_{n-1} for a in F_q;
+//   2. each module coset canonicalises analytically to (s, t) and the index
+//      f(s, t) = s(q^n + 1) + t + 1;
+//   3. within module B_{f(s,t)}, the copy sits in slot k where
+//      C_k = B_{f(s,t)}·(1 p_k; 0 1) generates the same H_0 coset (Lemma 4);
+//      k is recovered by scanning D·h over the |H_0| subgroup elements for
+//      the unique (1 p; 0 1) shape with p in P_γ, where D = B^{-1}·A.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dsm/graph/graphg.hpp"
+#include "dsm/graph/module_indexer.hpp"
+
+namespace dsm::graph {
+
+/// One physical copy location.
+struct PhysicalAddress {
+  std::uint64_t module = 0;
+  std::uint64_t slot = 0;
+
+  friend bool operator==(const PhysicalAddress&, const PhysicalAddress&) =
+      default;
+  friend auto operator<=>(const PhysicalAddress&, const PhysicalAddress&) =
+      default;
+};
+
+/// Computes physical copy addresses from variable representatives.
+/// Stateless beyond the shared graph context; thread-safe.
+class AddressMap {
+ public:
+  explicit AddressMap(const GraphG& g);
+
+  const GraphG& graph() const noexcept { return g_; }
+  const ModuleIndexer& modules() const noexcept { return modules_; }
+
+  /// All q+1 copies of the variable with coset representative A, ordered as
+  /// in Lemma 1 (copy 0 via A itself, copy 1+a via the (a 1; 1 0) twist).
+  /// The returned modules are pairwise distinct and the slots are exact.
+  std::vector<PhysicalAddress> copiesOf(const pgl::Mat2& A) const;
+
+  /// Slot of the copy of variable A inside the module with canonical coset
+  /// `module` (A must actually neighbour that module — checked).
+  std::uint64_t slotOf(const pgl::Hn1Coset& module, const pgl::Mat2& A) const;
+
+  /// Inverse direction (module side): the variable coset key stored in slot
+  /// k of module j.
+  pgl::Mat2 variableAt(std::uint64_t module_index, std::uint64_t slot) const;
+
+ private:
+  const GraphG& g_;
+  ModuleIndexer modules_;
+};
+
+}  // namespace dsm::graph

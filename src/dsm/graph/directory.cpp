@@ -1,0 +1,58 @@
+#include "dsm/graph/directory.hpp"
+
+#include <algorithm>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::graph {
+
+Directory::Directory(const GraphG& g) : g_(g) {
+  const gf::TowerCtx& k = g.field();
+  const std::uint64_t kk = k.size();
+  // Enumeration visits |PGL_2(q^n)| ~ (q^n)^3 matrices and canonicalises
+  // each against |H_0| subgroup elements; bound the total work.
+  DSM_CHECK_MSG(kk <= (1ULL << 8),
+                "directory enumeration infeasible for q^n = "
+                    << kk << " (|PGL_2| ~ (q^n)^3 matrices)");
+  // Enumerate one scalar-canonical matrix per projective class: bottom row
+  // (0, 1) with a != 0, or (1, v) with det != 0.
+  std::vector<pgl::Mat2> keys;
+  keys.reserve(static_cast<std::size_t>(g.numVariables()));
+  std::unordered_map<pgl::Mat2, bool, pgl::Mat2Hash> seen;
+  seen.reserve(static_cast<std::size_t>(g.numVariables()) * 2);
+  auto visit = [&](const pgl::Mat2& m) {
+    const pgl::Mat2 key = g_.variableKey(m);
+    if (seen.emplace(key, true).second) keys.push_back(key);
+  };
+  for (gf::Felem a = 0; a < kk; ++a) {
+    for (gf::Felem b = 0; b < kk; ++b) {
+      if (a != 0) visit(pgl::Mat2{a, b, 0, 1});
+      for (gf::Felem v = 0; v < kk; ++v) {
+        if (k.add(k.mul(a, v), b) != 0) visit(pgl::Mat2{a, b, 1, v});
+      }
+    }
+  }
+  DSM_CHECK_MSG(keys.size() == g.numVariables(),
+                "directory found " << keys.size() << " cosets, expected "
+                                   << g.numVariables());
+  // Deterministic ordering independent of enumeration details.
+  std::sort(keys.begin(), keys.end());
+  reps_ = std::move(keys);
+  index_.reserve(reps_.size() * 2);
+  for (std::uint64_t i = 0; i < reps_.size(); ++i) {
+    index_.emplace(reps_[static_cast<std::size_t>(i)], i);
+  }
+}
+
+const pgl::Mat2& Directory::matrixOf(std::uint64_t index) const {
+  DSM_CHECK_MSG(index < reps_.size(), "variable index out of range");
+  return reps_[static_cast<std::size_t>(index)];
+}
+
+std::uint64_t Directory::indexOf(const pgl::Mat2& A) const {
+  const auto it = index_.find(g_.variableKey(A));
+  DSM_CHECK_MSG(it != index_.end(), "matrix is not a valid group element");
+  return it->second;
+}
+
+}  // namespace dsm::graph

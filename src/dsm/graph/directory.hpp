@@ -1,0 +1,38 @@
+// Enumerated variable directory for general q (the published paper defines
+// the explicit index bijection only for q = 2, odd n; for other parameters
+// it defers to an extended version). The directory materialises the coset
+// map by exhaustive enumeration of PGL_2(q^n) — usable for the small
+// configurations the general-q experiments run on, and as the ground truth
+// that validates VarIndexer (Theorem 8 completeness) at small n.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/graph/graphg.hpp"
+
+namespace dsm::graph {
+
+/// Exhaustive index <-> coset map for V = PGL_2(q^n)/H_0.
+/// Construction costs O(|PGL_2(q^n)| * |H_0|) field operations; intended for
+/// q^n up to ~2^21.
+class Directory {
+ public:
+  explicit Directory(const GraphG& g);
+
+  std::uint64_t numVariables() const noexcept { return reps_.size(); }
+
+  /// Canonical representative of variable i (H_0-canonical matrix).
+  const pgl::Mat2& matrixOf(std::uint64_t index) const;
+
+  /// Index of the variable whose coset contains A.
+  std::uint64_t indexOf(const pgl::Mat2& A) const;
+
+ private:
+  const GraphG& g_;
+  std::vector<pgl::Mat2> reps_;
+  std::unordered_map<pgl::Mat2, std::uint64_t, pgl::Mat2Hash> index_;
+};
+
+}  // namespace dsm::graph

@@ -1,0 +1,66 @@
+#include "dsm/graph/graphg.hpp"
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"  // for util::Uint128
+
+namespace dsm::graph {
+
+GraphG::GraphG(int e, int n) : field_(e, n), h0_(field_) {
+  DSM_CHECK_MSG(n >= 3, "the construction requires n >= 3, got " << n);
+  const std::uint64_t qn = field_.size();
+  const std::uint64_t q = field_.q();
+  num_modules_ = (qn + 1) * ((qn - 1) / (q - 1));
+  // Fact 1.1: M = (q^n+1) q^n (q^n-1) / ((q+1) q (q-1)). Divide factor by
+  // factor (each division below is exact: q | q^n; (q-1) | q^n-1 always;
+  // (q+1) divides q^n+1 for odd n and q^n-1 for even n), then multiply with
+  // an overflow check.
+  std::uint64_t f1 = qn + 1;
+  std::uint64_t f2 = qn / q;
+  std::uint64_t f3 = (qn - 1) / (q - 1);
+  if (n % 2 == 1) {
+    DSM_CHECK(f1 % (q + 1) == 0);
+    f1 /= q + 1;
+  } else {
+    DSM_CHECK(f3 % (q + 1) == 0);
+    f3 /= q + 1;
+  }
+  const util::Uint128 m128 = static_cast<util::Uint128>(f1) * f2 * f3;
+  DSM_CHECK_MSG(m128 <= UINT64_MAX, "|V| overflows 64 bits for this (q, n)");
+  num_variables_ = static_cast<std::uint64_t>(m128);
+}
+
+pgl::Mat2 GraphG::variableKey(const pgl::Mat2& A) const {
+  return pgl::canonicalH0Coset(field_, h0_, A);
+}
+
+std::vector<pgl::Hn1Coset> GraphG::moduleNeighbors(const pgl::Mat2& A) const {
+  DSM_CHECK_MSG(pgl::det(field_, A) != 0, "singular variable representative");
+  std::vector<pgl::Hn1Coset> out;
+  out.reserve(static_cast<std::size_t>(q()) + 1);
+  out.push_back(pgl::canonicalHn1Coset(field_, A));
+  for (gf::Felem a = 0; a < q(); ++a) {
+    // A * (a 1; 1 0)
+    const pgl::Mat2 twisted = pgl::mul(field_, A, pgl::Mat2{a, 1, 1, 0});
+    out.push_back(pgl::canonicalHn1Coset(field_, twisted));
+  }
+  return out;
+}
+
+std::vector<pgl::Mat2> GraphG::variableNeighbors(const pgl::Mat2& B) const {
+  DSM_CHECK_MSG(pgl::det(field_, B) != 0, "singular module representative");
+  std::vector<pgl::Mat2> out;
+  out.reserve(static_cast<std::size_t>(moduleDegree()));
+  for (std::uint64_t k = 0; k < moduleDegree(); ++k) {
+    out.push_back(variableKey(slotVariableMatrix(B, k)));
+  }
+  return out;
+}
+
+pgl::Mat2 GraphG::slotVariableMatrix(const pgl::Mat2& B,
+                                     std::uint64_t k) const {
+  DSM_CHECK_MSG(k < moduleDegree(), "slot index out of range: " << k);
+  const gf::Felem p = field_.pGammaAt(k);
+  return pgl::mul(field_, B, pgl::Mat2{1, p, 0, 1});
+}
+
+}  // namespace dsm::graph

@@ -1,0 +1,70 @@
+// The bipartite memory-organization graph G(V, U; E) of Section 2.
+//
+//   V = PGL_2(q^n)/H_0        — variables  (|V| = M, Fact 1.1)
+//   U = PGL_2(q^n)/H_{n-1}    — modules    (|U| = N, Fact 1.2)
+//   (v, u) in E  iff  the cosets intersect.
+//
+// GraphG is the structural layer: it evaluates the neighbour formulas of
+// Lemma 1 (modules of a variable) and Lemma 2 (variables of a module) and
+// the Fact 1 cardinalities, for any even prime power q = 2^e and n >= 3.
+// Variable *indexing* is layered on top (VarIndexer for q = 2, Directory
+// for general q).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/gf/tower.hpp"
+#include "dsm/pgl/cosets.hpp"
+#include "dsm/pgl/mat2.hpp"
+
+namespace dsm::graph {
+
+/// Structural view of G. Holds the field context and H_0 subgroup; immutable
+/// and shareable across threads after construction.
+class GraphG {
+ public:
+  /// Builds G over GF(q^n), q = 2^e. Requires n >= 3 (the paper's setting).
+  GraphG(int e, int n);
+
+  const gf::TowerCtx& field() const noexcept { return field_; }
+  const pgl::H0Group& h0() const noexcept { return h0_; }
+  std::uint64_t q() const noexcept { return field_.q(); }
+  int n() const noexcept { return field_.n(); }
+
+  /// Fact 1.1: |V| = (q^n+1) q^n (q^n-1) / ((q+1) q (q-1)).
+  std::uint64_t numVariables() const noexcept { return num_variables_; }
+  /// Fact 1.2: |U| = (q^n+1)(q^n-1)/(q-1).
+  std::uint64_t numModules() const noexcept { return num_modules_; }
+  /// Fact 1.3: deg(v) = q + 1 — copies per variable.
+  std::uint64_t variableDegree() const noexcept { return q() + 1; }
+  /// Fact 1.4: deg(u) = q^{n-1} — copies stored per module.
+  std::uint64_t moduleDegree() const noexcept {
+    return field_.size() / field_.q();
+  }
+
+  /// Canonical coset key of the variable A·H_0 (hashable identity).
+  pgl::Mat2 variableKey(const pgl::Mat2& A) const;
+
+  /// Lemma 1: Γ(A·H_0) = {A·H_{n-1}} ∪ {A·(a 1; 1 0)·H_{n-1} : a in F_q}.
+  /// Returns the q+1 module cosets, canonicalised, in that order
+  /// (slot 0 = A itself, slot 1+a = the (a 1; 1 0) twist).
+  std::vector<pgl::Hn1Coset> moduleNeighbors(const pgl::Mat2& A) const;
+
+  /// Lemma 2: Γ(B·H_{n-1}) = {B·(1 p; 0 1)·H_0 : p in P_γ}.
+  /// Returns the q^{n-1} variable coset keys; entry k corresponds to
+  /// p = pGammaAt(k), i.e. physical slot k of the module.
+  std::vector<pgl::Mat2> variableNeighbors(const pgl::Mat2& B) const;
+
+  /// Raw (un-canonicalised) member of the variable coset stored in slot k of
+  /// the module with representative B: C_k = B·(1 p_k; 0 1).
+  pgl::Mat2 slotVariableMatrix(const pgl::Mat2& B, std::uint64_t k) const;
+
+ private:
+  gf::TowerCtx field_;
+  pgl::H0Group h0_;
+  std::uint64_t num_variables_;
+  std::uint64_t num_modules_;
+};
+
+}  // namespace dsm::graph

@@ -1,0 +1,34 @@
+#include "dsm/graph/module_indexer.hpp"
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::graph {
+
+ModuleIndexer::ModuleIndexer(const gf::TowerCtx& field)
+    : field_(field),
+      qn_plus_1_(field.size() + 1),
+      num_modules_(qn_plus_1_ * field.scalarIndex()) {}
+
+std::uint64_t ModuleIndexer::index(const pgl::Hn1Coset& coset) const {
+  DSM_CHECK_MSG(coset.s < field_.scalarIndex(), "s out of range: " << coset.s);
+  DSM_CHECK_MSG(coset.t >= -1 &&
+                    coset.t < static_cast<std::int64_t>(field_.size()),
+                "t out of range: " << coset.t);
+  return coset.s * qn_plus_1_ + static_cast<std::uint64_t>(coset.t + 1);
+}
+
+pgl::Hn1Coset ModuleIndexer::coset(std::uint64_t module_index) const {
+  DSM_CHECK_MSG(module_index < num_modules_,
+                "module index out of range: " << module_index);
+  pgl::Hn1Coset out;
+  out.s = module_index / qn_plus_1_;
+  out.t = static_cast<std::int64_t>(module_index % qn_plus_1_) - 1;
+  if (out.t == -1) {
+    out.rep = pgl::Mat2{field_.exp(out.s), 0, 0, 1};
+  } else {
+    out.rep = pgl::Mat2{static_cast<gf::Felem>(out.t), field_.exp(out.s), 1, 0};
+  }
+  return out;
+}
+
+}  // namespace dsm::graph

@@ -1,0 +1,35 @@
+// The module-index bijection of Section 4, item 2:
+//
+//   f(s, t) = s (q^n + 1) + t + 1,   0 <= s < (q^n-1)/(q-1),  -1 <= t < q^n,
+//
+// mapping the canonical H_{n-1} coset representatives of eq. (1)
+//   t == -1:  diag(γ^s, 1)        t >= 0:  ((α_t, γ^s), (1, 0))
+// onto [0, N). Pure arithmetic: O(1) both ways.
+#pragma once
+
+#include <cstdint>
+
+#include "dsm/pgl/cosets.hpp"
+
+namespace dsm::graph {
+
+/// Bijection between canonical H_{n-1} cosets and module indices [0, N).
+class ModuleIndexer {
+ public:
+  explicit ModuleIndexer(const gf::TowerCtx& field);
+
+  std::uint64_t numModules() const noexcept { return num_modules_; }
+
+  /// f(s, t): index of a canonicalised coset.
+  std::uint64_t index(const pgl::Hn1Coset& coset) const;
+
+  /// Inverse of index(): reconstructs (s, t) and the representative matrix.
+  pgl::Hn1Coset coset(std::uint64_t module_index) const;
+
+ private:
+  const gf::TowerCtx& field_;
+  std::uint64_t qn_plus_1_;
+  std::uint64_t num_modules_;
+};
+
+}  // namespace dsm::graph

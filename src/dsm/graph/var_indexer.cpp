@@ -1,0 +1,237 @@
+#include "dsm/graph/var_indexer.hpp"
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::graph {
+
+namespace {
+constexpr std::uint64_t kJ = 3;  // powers of w
+}
+
+VarIndexer::VarIndexer(const GraphG& g) : g_(g), ext_(g.field()) {
+  DSM_CHECK_MSG(g.q() == 2, "the explicit bijection requires q = 2");
+  // ext_ construction already enforces odd n >= 3.
+  bigQ_ = g.field().size();
+  tMax_ = bigQ_ - 1;
+  sMax_ = (bigQ_ / 2 - 1) / 3;
+  DSM_CHECK((bigQ_ / 2 - 1) % 3 == 0);
+  n1_ = tMax_;
+  n2_ = sMax_ * tMax_ * kJ;
+  n3_ = n2_;
+  // Per-s S4 block sizes; the paper proves each equals (2^n-1)(2^n-3), and
+  // the constructor verifies that the families add up to exactly M.
+  s4_prefix_.assign(sMax_ + 1, 0);
+  for (std::uint64_t s = 1; s <= sMax_; ++s) {
+    std::uint64_t block = 0;
+    for (std::uint64_t j = 0; j < kJ; ++j) {
+      block += s4Count(s, j, ext_.rho() - 1);
+    }
+    s4_prefix_[s] = s4_prefix_[s - 1] + block;
+  }
+  total_ = n1_ + n2_ + n3_ + s4_prefix_[sMax_];
+  DSM_CHECK_MSG(total_ == g_.numVariables(),
+                "S1..S4 sizes do not sum to M: " << total_ << " vs "
+                                                 << g_.numVariables());
+}
+
+std::uint64_t VarIndexer::s4ExcludedResidue(std::uint64_t s,
+                                            std::uint64_t j) const noexcept {
+  const std::uint64_t sigma = ext_.sigma();
+  const std::uint64_t jrho = (j * (ext_.rho() % sigma)) % sigma;
+  return (s % sigma + sigma - jrho) % sigma;
+}
+
+std::uint64_t VarIndexer::s4Count(std::uint64_t s, std::uint64_t j,
+                                  std::uint64_t X) const noexcept {
+  // #{ i in [1, X] : i % tau != 0  and  i % sigma != c(s,j) }.
+  const std::uint64_t sigma = ext_.sigma();
+  const std::uint64_t tau = ext_.tau();
+  const std::uint64_t c = s4ExcludedResidue(s, j);
+  const std::uint64_t tau_hits = X / tau;
+  std::uint64_t sigma_hits;
+  if (c == 0) {
+    sigma_hits = X / sigma;
+  } else {
+    sigma_hits = X >= c ? (X - c) / sigma + 1 : 0;
+  }
+  // tau | sigma, so the excluded sigma-class is either entirely inside the
+  // tau-multiples (c % tau == 0: already excluded, don't double-count) or
+  // disjoint from them.
+  if (c % tau == 0) return X - tau_hits;
+  return X - tau_hits - sigma_hits;
+}
+
+pgl::Mat2 VarIndexer::fromAlphaBeta(gf::Felem alpha, gf::Felem beta) const {
+  const auto [a, b] = ext_.toRow(alpha);
+  const auto [c, d] = ext_.toRow(beta);
+  return pgl::Mat2{a, b, c, d};
+}
+
+pgl::Mat2 VarIndexer::matrixOf(std::uint64_t index) const {
+  DSM_CHECK_MSG(index < total_, "variable index out of range: " << index);
+  const std::uint64_t rho = ext_.rho();
+  const std::uint64_t sigma = ext_.sigma();
+  const gf::Felem one = gf::QuadExtCtx::pack(0, 1);
+  if (index < n1_) {
+    // S1: <1, λ^{iσ} w>.
+    return fromAlphaBeta(one, ext_.expLambda(index * sigma + rho));
+  }
+  index -= n1_;
+  if (index < n2_) {
+    // S2: <1, λ^{k(s,t)} w^j>, ordered by (s, t, j).
+    const std::uint64_t s = index / (tMax_ * kJ) + 1;
+    const std::uint64_t r = index % (tMax_ * kJ);
+    const std::uint64_t t = r / kJ;
+    const std::uint64_t j = r % kJ;
+    const std::uint64_t k = (s + t * sigma) % rho;
+    return fromAlphaBeta(one, ext_.expLambda(k + j * rho));
+  }
+  index -= n2_;
+  if (index < n3_) {
+    // S3: <λ^{k(s,t)} w^j, 1>.
+    const std::uint64_t s = index / (tMax_ * kJ) + 1;
+    const std::uint64_t r = index % (tMax_ * kJ);
+    const std::uint64_t t = r / kJ;
+    const std::uint64_t j = r % kJ;
+    const std::uint64_t k = (s + t * sigma) % rho;
+    return fromAlphaBeta(ext_.expLambda(k + j * rho), one);
+  }
+  index -= n3_;
+  // S4: find the s block, then (j, i) within it.
+  DSM_CHECK(index < s4_prefix_[sMax_]);
+  // Binary search smallest s with s4_prefix_[s] > index.
+  std::uint64_t lo = 1, hi = sMax_;
+  while (lo < hi) {
+    const std::uint64_t mid = (lo + hi) / 2;
+    if (s4_prefix_[mid] > index) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::uint64_t s = lo;
+  std::uint64_t local = index - s4_prefix_[s - 1];
+  std::uint64_t j = 0;
+  while (true) {
+    const std::uint64_t vj = s4Count(s, j, rho - 1);
+    if (local < vj) break;
+    local -= vj;
+    ++j;
+    DSM_CHECK(j < kJ);
+  }
+  // Unrank i: smallest X in [1, rho) with s4Count(s, j, X) == local + 1.
+  std::uint64_t ilo = 1, ihi = rho - 1;
+  while (ilo < ihi) {
+    const std::uint64_t mid = (ilo + ihi) / 2;
+    if (s4Count(s, j, mid) >= local + 1) {
+      ihi = mid;
+    } else {
+      ilo = mid + 1;
+    }
+  }
+  const std::uint64_t i = ilo;
+  return fromAlphaBeta(ext_.expLambda(s), ext_.expLambda(i + j * rho));
+}
+
+VarIndexer::Parsed VarIndexer::parse(const pgl::Mat2& M) const {
+  const std::uint64_t rho = ext_.rho();
+  const std::uint64_t sigma = ext_.sigma();
+  const std::uint64_t tau = ext_.tau();
+  const std::uint64_t ord = ext_.groupOrder();
+  const gf::Felem alpha = ext_.fromRow(M.a, M.b);
+  const gf::Felem beta = ext_.fromRow(M.c, M.d);
+  Parsed out;
+
+  // Decomposes e = k + j*rho with k = (s + t*sigma) mod rho and returns the
+  // (s, t, j)-ordered index within S2/S3, or fails.
+  auto parseS23 = [&](std::uint64_t e, std::uint64_t& local) {
+    const std::uint64_t j = e / rho;
+    const std::uint64_t k = e % rho;
+    for (std::uint64_t m = 0; m < 3; ++m) {
+      const std::uint64_t u = k + m * rho;
+      const std::uint64_t s = u % sigma;
+      const std::uint64_t t = u / sigma;
+      if (s >= 1 && s <= sMax_ && t < tMax_) {
+        local = ((s - 1) * tMax_ + t) * kJ + j;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  if (gf::QuadExtCtx::inBaseFieldStar(alpha)) {
+    // Candidate S1 or S2 after scaling alpha to 1.
+    const gf::Felem scale = ext_.inv(gf::QuadExtCtx::embed(
+        gf::QuadExtCtx::lo(alpha)));
+    const gf::Felem beta_n = ext_.mul(beta, scale);
+    if (beta_n == 0) return out;  // singular; caller checks
+    const std::uint64_t e = ext_.dlogLambda(beta_n);
+    // S1: e == i*sigma + rho (mod ord).
+    const std::uint64_t d = (e + ord - rho % ord) % ord;
+    if (d % sigma == 0 && d / sigma < tMax_) {
+      out.ok = true;
+      out.index = d / sigma;
+      return out;
+    }
+    std::uint64_t local = 0;
+    if (parseS23(e, local)) {
+      out.ok = true;
+      out.index = n1_ + local;
+      return out;
+    }
+    return out;
+  }
+  if (gf::QuadExtCtx::inBaseFieldStar(beta)) {
+    // Candidate S3 after scaling beta to 1.
+    const gf::Felem scale =
+        ext_.inv(gf::QuadExtCtx::embed(gf::QuadExtCtx::lo(beta)));
+    const gf::Felem alpha_n = ext_.mul(alpha, scale);
+    if (alpha_n == 0) return out;
+    const std::uint64_t e = ext_.dlogLambda(alpha_n);
+    std::uint64_t local = 0;
+    if (parseS23(e, local)) {
+      out.ok = true;
+      out.index = n1_ + n2_ + local;
+      return out;
+    }
+    return out;
+  }
+  // Candidate S4: alpha = c * λ^s with c in F_{2^n}* fixes s = e_alpha mod σ.
+  if (alpha == 0 || beta == 0) return out;
+  const std::uint64_t e_alpha = ext_.dlogLambda(alpha);
+  const std::uint64_t s = e_alpha % sigma;
+  if (s < 1 || s > sMax_) return out;
+  const gf::Felem scal = ext_.expLambda(e_alpha - s);
+  if (!gf::QuadExtCtx::inBaseFieldStar(scal)) return out;
+  const gf::Felem beta_n = ext_.mul(beta, ext_.inv(scal));
+  const std::uint64_t e_beta = ext_.dlogLambda(beta_n);
+  const std::uint64_t j = e_beta / rho;
+  const std::uint64_t i = e_beta % rho;
+  if (i == 0 || i % tau == 0) return out;
+  if (i % sigma == s4ExcludedResidue(s, j)) return out;
+  const std::uint64_t local = s4Count(s, j, i) - 1;
+  std::uint64_t idx = n1_ + n2_ + n3_ + s4_prefix_[s - 1] + local;
+  for (std::uint64_t jj = 0; jj < j; ++jj) {
+    idx += s4Count(s, jj, rho - 1);
+  }
+  out.ok = true;
+  out.index = idx;
+  return out;
+}
+
+std::uint64_t VarIndexer::indexOf(const pgl::Mat2& A) const {
+  const gf::TowerCtx& k = g_.field();
+  DSM_CHECK_MSG(pgl::det(k, A) != 0, "indexOf: singular matrix");
+  for (const pgl::Mat2& h : g_.h0().elements()) {
+    const pgl::Mat2 M = pgl::mul(k, A, h);
+    const Parsed p = parse(M);
+    if (!p.ok) continue;
+    // Self-verification: the parsed index must unrank to this coset mate.
+    if (pgl::projEqual(k, matrixOf(p.index), M)) return p.index;
+  }
+  DSM_CHECK_MSG(false,
+                "indexOf: coset matches no S-family (contradicts Theorem 8)");
+  return 0;  // unreachable
+}
+
+}  // namespace dsm::graph

@@ -1,0 +1,85 @@
+// The Section-4 variable-index bijection (Theorem 8), for q = 2 and odd n:
+// an explicit, O(log N)-time, O(1)-state mapping between variable indices
+// [0, M) and coset representatives A_i of PGL_2(2^n)/H_0.
+//
+// The representatives form four families over F_{2^{2n}} (matrices written
+// as ⟨α, β⟩ with α, β the two rows folded into the quadratic extension,
+// λ a generator of F_{2^{2n}}*, w = λ^ρ, k(s,t) = (s + tσ) mod ρ):
+//
+//   S1 = { ⟨1, λ^{iσ} w⟩ : 0 <= i < 2^n-1 }
+//   S2 = { ⟨1, λ^{k(s,t)} w^j⟩ }
+//   S3 = { ⟨λ^{k(s,t)} w^j, 1⟩ }
+//   S4 = { ⟨λ^{k(s,0)}, λ^i w^j⟩ : 1 <= i < ρ, τ ∤ i,
+//                                  λ^{k(s,0)} (w^j λ^i)^{-1} ∉ F_{2^n}* }
+//
+// with 1 <= s <= (2^{n-1}-1)/3, 0 <= t < 2^n-1, 0 <= j < 3.
+//
+// Global index layout: [S1 | S2 | S3 | S4]; S2/S3 ordered by (s, t, j); S4
+// ordered by (s, j, i) with i ascending over valid values. unrank is O(log N)
+// (a binary search over the S4 counting function); rank tries the |H_0| = 6
+// coset mates of the input, pattern-matches each against the four families,
+// and verifies the candidate by unranking — so a successful rank is
+// self-checking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/gf/quadext.hpp"
+#include "dsm/graph/graphg.hpp"
+
+namespace dsm::graph {
+
+/// Explicit bijection index <-> coset representative (q = 2, n odd).
+/// Immutable after construction; thread-safe.
+class VarIndexer {
+ public:
+  /// g must have q == 2 and odd n >= 3.
+  explicit VarIndexer(const GraphG& g);
+
+  std::uint64_t numVariables() const noexcept { return total_; }
+  const gf::QuadExtCtx& ext() const noexcept { return ext_; }
+
+  /// Family boundaries (for tests and diagnostics): sizes of S1..S4.
+  std::uint64_t sizeS1() const noexcept { return n1_; }
+  std::uint64_t sizeS2() const noexcept { return n2_; }
+  std::uint64_t sizeS3() const noexcept { return n3_; }
+  std::uint64_t sizeS4() const noexcept { return total_ - n1_ - n2_ - n3_; }
+
+  /// unrank: the representative matrix A_i of variable i (raw S-family form,
+  /// not H_0-canonicalised). O(log N).
+  pgl::Mat2 matrixOf(std::uint64_t index) const;
+
+  /// rank: the index of the variable whose coset contains A (A may be any
+  /// member of the coset, any scalar). Self-verifying; throws CheckError if
+  /// A is singular or the coset matches no family (impossible per Thm 8).
+  std::uint64_t indexOf(const pgl::Mat2& A) const;
+
+ private:
+  struct Parsed {
+    bool ok = false;
+    std::uint64_t index = 0;
+  };
+
+  // Number of valid S4 inner indices i in [1, X] for the (s, j) block.
+  std::uint64_t s4Count(std::uint64_t s, std::uint64_t j,
+                        std::uint64_t X) const noexcept;
+  // Excluded residue class c(s, j) = (s - jρ) mod σ.
+  std::uint64_t s4ExcludedResidue(std::uint64_t s,
+                                  std::uint64_t j) const noexcept;
+  // Assembles a matrix from the folded rows.
+  pgl::Mat2 fromAlphaBeta(gf::Felem alpha, gf::Felem beta) const;
+  // Tries to interpret M (an exact group element, any scalar) as a member of
+  // one of the four families; returns its global index on success.
+  Parsed parse(const pgl::Mat2& M) const;
+
+  const GraphG& g_;
+  gf::QuadExtCtx ext_;
+  std::uint64_t bigQ_;   // 2^n
+  std::uint64_t sMax_;   // (2^{n-1}-1)/3
+  std::uint64_t tMax_;   // 2^n - 1
+  std::uint64_t n1_, n2_, n3_, total_;
+  std::vector<std::uint64_t> s4_prefix_;  // s4_prefix_[s] = |S4 blocks with s' <= s|
+};
+
+}  // namespace dsm::graph

@@ -1,0 +1,181 @@
+#include "dsm/mpc/machine.hpp"
+
+#include <algorithm>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::mpc {
+
+namespace {
+constexpr std::uint64_t kNoWinner = ~0ULL;
+
+// Arbitration key: lowest processor wins; ties (which a well-formed protocol
+// never produces) break towards the lowest request index.
+std::uint64_t arbKey(std::uint32_t processor, std::size_t request_index) {
+  return (static_cast<std::uint64_t>(processor) << 32) |
+         static_cast<std::uint64_t>(request_index);
+}
+}  // namespace
+
+Machine::Machine(std::uint64_t module_count, std::uint64_t slots_per_module,
+                 unsigned threads)
+    : module_count_(module_count),
+      slots_per_module_(slots_per_module),
+      eager_(slots_per_module != 0 &&
+             module_count * slots_per_module <= kEagerLimit),
+      arb_(module_count),
+      counts_(module_count),
+      pool_(threads) {
+  DSM_CHECK_MSG(module_count > 0, "machine needs at least one module");
+  if (eager_) {
+    flat_.assign(static_cast<std::size_t>(module_count * slots_per_module_),
+                 Cell{});
+  } else {
+    sparse_.resize(static_cast<std::size_t>(module_count));
+  }
+  for (auto& a : arb_) a.store(kNoWinner, std::memory_order_relaxed);
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  failed_.assign(static_cast<std::size_t>(module_count), 0);
+}
+
+void Machine::failModule(std::uint64_t module) {
+  DSM_CHECK_MSG(module < module_count_, "module out of range: " << module);
+  if (!failed_[static_cast<std::size_t>(module)]) {
+    failed_[static_cast<std::size_t>(module)] = 1;
+    ++failed_count_;
+  }
+}
+
+void Machine::healModule(std::uint64_t module) {
+  DSM_CHECK_MSG(module < module_count_, "module out of range: " << module);
+  if (failed_[static_cast<std::size_t>(module)]) {
+    failed_[static_cast<std::size_t>(module)] = 0;
+    --failed_count_;
+  }
+}
+
+void Machine::enableLoadTracking() {
+  module_load_.assign(static_cast<std::size_t>(module_count_), 0);
+}
+
+bool Machine::isFailed(std::uint64_t module) const {
+  DSM_CHECK_MSG(module < module_count_, "module out of range: " << module);
+  return failed_[static_cast<std::size_t>(module)] != 0;
+}
+
+void Machine::checkAddress(std::uint64_t module, std::uint64_t slot) const {
+  DSM_CHECK_MSG(module < module_count_, "module out of range: " << module);
+  if (slots_per_module_ != 0) {
+    DSM_CHECK_MSG(slot < slots_per_module_, "slot out of range: " << slot);
+  }
+}
+
+Cell& Machine::cellRef(std::uint64_t module, std::uint64_t slot) {
+  if (eager_) {
+    return flat_[static_cast<std::size_t>(module * slots_per_module_ + slot)];
+  }
+  return sparse_[static_cast<std::size_t>(module)][slot];
+}
+
+Cell Machine::peek(std::uint64_t module, std::uint64_t slot) const {
+  checkAddress(module, slot);
+  if (eager_) {
+    return flat_[static_cast<std::size_t>(module * slots_per_module_ + slot)];
+  }
+  const auto& map = sparse_[static_cast<std::size_t>(module)];
+  const auto it = map.find(slot);
+  return it == map.end() ? Cell{} : it->second;
+}
+
+void Machine::poke(std::uint64_t module, std::uint64_t slot, Cell cell) {
+  checkAddress(module, slot);
+  cellRef(module, slot) = cell;
+}
+
+void Machine::step(const std::vector<Request>& requests,
+                   std::vector<Response>& responses) {
+  responses.assign(requests.size(), Response{});
+  if (requests.empty()) return;
+
+  for (const Request& r : requests) checkAddress(r.module, r.slot);
+
+  // Phase A: elect a winner per module (commutative atomic min, so the
+  // result is identical for any thread count) and count per-module load.
+  // Failed modules take no part in arbitration.
+  pool_.parallelFor(requests.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (failed_[static_cast<std::size_t>(requests[i].module)]) {
+        responses[i].moduleFailed = true;
+        continue;
+      }
+      const std::uint64_t key = arbKey(requests[i].processor, i);
+      std::uint64_t cur =
+          arb_[requests[i].module].load(std::memory_order_relaxed);
+      while (key < cur && !arb_[requests[i].module].compare_exchange_weak(
+                              cur, key, std::memory_order_relaxed)) {
+      }
+      counts_[requests[i].module].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  // Phase B: winners perform their access. Distinct winners own distinct
+  // modules, so cell mutation is race-free; sparse-map insertion is confined
+  // to the winning thread of that module.
+  std::atomic<std::uint64_t> granted{0};
+  pool_.parallelFor(requests.size(), [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t local_granted = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Request& r = requests[i];
+      if (responses[i].moduleFailed) continue;
+      if (arb_[r.module].load(std::memory_order_relaxed) !=
+          arbKey(r.processor, i)) {
+        continue;
+      }
+      Cell& cell = cellRef(r.module, r.slot);
+      if (r.op == Op::kWrite) {
+        cell.value = r.value;
+        cell.timestamp = r.timestamp;
+      }
+      // Winners own their module this cycle, so the counter bump is
+      // race-free across workers.
+      if (!module_load_.empty()) {
+        ++module_load_[static_cast<std::size_t>(r.module)];
+      }
+      responses[i].granted = true;
+      responses[i].value = cell.value;
+      responses[i].timestamp = cell.timestamp;
+      ++local_granted;
+    }
+    granted.fetch_add(local_granted, std::memory_order_relaxed);
+  });
+
+  // Phase C: read off the peak per-module contention of this cycle, then
+  // reset the arbitration and count slots we touched.
+  std::atomic<std::uint32_t> peak{0};
+  pool_.parallelFor(requests.size(), [&](std::size_t lo, std::size_t hi) {
+    std::uint32_t local_peak = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      local_peak = std::max(
+          local_peak, counts_[requests[i].module].load(std::memory_order_relaxed));
+    }
+    std::uint32_t cur = peak.load(std::memory_order_relaxed);
+    while (local_peak > cur &&
+           !peak.compare_exchange_weak(cur, local_peak,
+                                       std::memory_order_relaxed)) {
+    }
+  });
+  pool_.parallelFor(requests.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      arb_[requests[i].module].store(kNoWinner, std::memory_order_relaxed);
+      counts_[requests[i].module].store(0, std::memory_order_relaxed);
+    }
+  });
+
+  metrics_.cycles += 1;
+  metrics_.requestsIssued += requests.size();
+  metrics_.requestsGranted += granted.load(std::memory_order_relaxed);
+  metrics_.maxModuleQueue = std::max<std::uint64_t>(
+      metrics_.maxModuleQueue, peak.load(std::memory_order_relaxed));
+}
+
+}  // namespace dsm::mpc

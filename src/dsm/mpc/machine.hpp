@@ -1,0 +1,127 @@
+// The Module Parallel Computer (MPC) of Mehlhorn & Vishkin [MV84], the cost
+// model the paper analyses: N processors and N memory modules joined by a
+// complete bipartite interconnect; execution is synchronous, and each module
+// fulfils at most ONE access request per cycle. The time to serve a batch of
+// requests is therefore the number of cycles until every request is granted
+// — exactly what this simulator counts.
+//
+// Arbitration is deterministic: among the requests that target a module in
+// a cycle, the lowest processor id wins. This makes every simulation
+// reproducible and independent of the number of worker threads used to
+// execute a cycle (the winner is an associative/commutative min).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/mpc/thread_pool.hpp"
+
+namespace dsm::mpc {
+
+/// One memory word with its majority-protocol timestamp [UW87, Tho79].
+struct Cell {
+  std::uint64_t value = 0;
+  std::uint64_t timestamp = 0;
+};
+
+enum class Op : std::uint8_t { kRead, kWrite };
+
+/// A single-cycle access request issued by a processor.
+struct Request {
+  std::uint32_t processor = 0;
+  std::uint64_t module = 0;
+  std::uint64_t slot = 0;
+  Op op = Op::kRead;
+  std::uint64_t value = 0;      ///< payload for writes
+  std::uint64_t timestamp = 0;  ///< write timestamp (majority protocol)
+};
+
+/// Outcome of one request after a cycle.
+struct Response {
+  bool granted = false;
+  bool moduleFailed = false;  ///< target module is down; retrying is futile
+  std::uint64_t value = 0;      ///< cell contents for granted reads
+  std::uint64_t timestamp = 0;  ///< cell timestamp for granted reads
+};
+
+/// Aggregate simulation metrics.
+struct MachineMetrics {
+  std::uint64_t cycles = 0;          ///< MPC time units consumed
+  std::uint64_t requestsIssued = 0;  ///< total requests across cycles
+  std::uint64_t requestsGranted = 0;
+  std::uint64_t maxModuleQueue = 0;  ///< worst per-module contention seen
+};
+
+/// The synchronous MPC simulator. Storage is allocated eagerly as a flat
+/// slot array when module_count * slots_per_module is small enough, and as
+/// per-module hash maps beyond that (large-n configurations address far
+/// fewer cells than exist).
+class Machine {
+ public:
+  /// slots_per_module == 0 selects sparse storage with unbounded slot ids
+  /// (used by baseline schemes that key slots by variable index).
+  Machine(std::uint64_t module_count, std::uint64_t slots_per_module,
+          unsigned threads = 1);
+
+  std::uint64_t moduleCount() const noexcept { return module_count_; }
+  std::uint64_t slotsPerModule() const noexcept { return slots_per_module_; }
+  unsigned threads() const noexcept { return pool_.threads(); }
+
+  /// Executes one synchronous cycle over the given requests. Responses are
+  /// written 1:1 (responses.size() is resized to requests.size()).
+  /// Deterministic: the winner per module is the lowest processor id.
+  void step(const std::vector<Request>& requests,
+            std::vector<Response>& responses);
+
+  /// Direct cell access (setup/verification; does not consume cycles).
+  Cell peek(std::uint64_t module, std::uint64_t slot) const;
+  void poke(std::uint64_t module, std::uint64_t slot, Cell cell);
+
+  /// Optional per-module grant accounting (off by default; costs one counter
+  /// bump per grant). Used by the load-balance experiments.
+  void enableLoadTracking();
+  /// Cumulative grants per module since tracking was enabled (empty if
+  /// tracking is off).
+  const std::vector<std::uint64_t>& moduleLoad() const noexcept {
+    return module_load_;
+  }
+
+  /// Fault injection: a failed module grants nothing (requests targeting it
+  /// come back with moduleFailed set). Its cells are preserved — healing
+  /// brings the stale contents back, exactly the scenario the timestamped
+  /// majority rule [Tho79] is designed to survive.
+  void failModule(std::uint64_t module);
+  void healModule(std::uint64_t module);
+  bool isFailed(std::uint64_t module) const;
+  std::uint64_t failedCount() const noexcept { return failed_count_; }
+
+  const MachineMetrics& metrics() const noexcept { return metrics_; }
+  void resetMetrics() noexcept { metrics_ = {}; }
+
+  ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  static constexpr std::uint64_t kEagerLimit = 1ULL << 24;
+
+  Cell& cellRef(std::uint64_t module, std::uint64_t slot);
+  void checkAddress(std::uint64_t module, std::uint64_t slot) const;
+
+  std::uint64_t module_count_;
+  std::uint64_t slots_per_module_;
+  bool eager_;
+  std::vector<Cell> flat_;  // eager storage
+  std::vector<std::unordered_map<std::uint64_t, Cell>> sparse_;
+  // Per-module arbitration scratch: current best (lowest) processor id + the
+  // index of its request; reset lazily via the touched list.
+  std::vector<std::atomic<std::uint64_t>> arb_;
+  std::vector<std::atomic<std::uint32_t>> counts_;  // per-module load scratch
+  std::vector<std::uint8_t> failed_;  // fault-injection flags
+  std::uint64_t failed_count_ = 0;
+  std::vector<std::uint64_t> module_load_;  // grants per module (optional)
+  MachineMetrics metrics_;
+  ThreadPool pool_;
+};
+
+}  // namespace dsm::mpc

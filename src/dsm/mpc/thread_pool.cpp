@@ -1,0 +1,28 @@
+#include "dsm/mpc/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dsm::mpc {
+
+void ThreadPool::parallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) const {
+  if (n == 0) return;
+  const std::size_t workers = std::min<std::size_t>(threads_, n);
+  if (workers <= 1) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::jthread> crew;
+  crew.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    crew.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  // jthread joins on destruction (scoped-container discipline).
+}
+
+}  // namespace dsm::mpc

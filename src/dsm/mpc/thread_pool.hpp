@@ -1,0 +1,40 @@
+// Minimal fork-join helper for data-parallel loops over processors.
+//
+// Design notes (CppCoreGuidelines CP.*): threads are joined scoped
+// containers (std::jthread), no detach, no shared mutable state beyond the
+// caller-provided ranges, and the MPC arbitration that runs under this pool
+// uses a commutative atomic-min so results are independent of the schedule.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace dsm::mpc {
+
+/// Fork-join executor with a fixed thread budget. threads == 1 runs inline
+/// (the default on single-core hosts); the parallel path slices [0, n) into
+/// contiguous chunks, one per worker.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads = 1)
+      : threads_(threads == 0 ? defaultThreads() : threads) {}
+
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Applies body(begin, end) over a partition of [0, n).
+  /// body must be safe to run concurrently on disjoint ranges.
+  void parallelFor(std::size_t n,
+                   const std::function<void(std::size_t, std::size_t)>& body) const;
+
+  static unsigned defaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace dsm::mpc

@@ -1,0 +1,55 @@
+// Butterfly-network routing — the layer the paper deliberately separates
+// from the memory organization problem ("the request routing problem — to be
+// dealt with when the bipartite graph is simulated by a bounded-degree
+// network"). This module provides that substrate as an extension so the
+// complete-graph MPC cycle counts can be translated into bounded-degree
+// network time, the setting of [AHMP87, HB88, Her89, Ran91].
+//
+// Model: a d-dimensional butterfly with 2^d rows and d+1 columns of nodes.
+// A packet entering at row s, column 0 and destined for row t crosses one
+// column per hop; at column i it corrects bit (d-1-i) of its current row
+// towards t (bit-fixing / destination routing — deterministic and oblivious).
+// Store-and-forward with unbounded FIFO queues: per cycle every node
+// forwards at most one packet along each of its two output links. Delivery
+// time = max over packets of arrival cycle; congestion shows up as queueing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsm::net {
+
+/// One routing job: deliver a packet from input row `source` to output row
+/// `destination`.
+struct Packet {
+  std::uint32_t source = 0;
+  std::uint32_t destination = 0;
+};
+
+/// Outcome of routing one batch.
+struct RoutingStats {
+  std::uint64_t cycles = 0;       ///< cycles until the last packet arrived
+  std::uint64_t packets = 0;      ///< packets routed
+  std::uint64_t totalHops = 0;    ///< sum of hops actually taken (= d each)
+  std::uint64_t maxQueue = 0;     ///< worst queue length observed
+  double stretch = 0.0;           ///< cycles / d (1.0 = contention-free)
+};
+
+/// Synchronous store-and-forward butterfly router.
+class Butterfly {
+ public:
+  /// 2^log_n rows; log_n >= 1.
+  explicit Butterfly(int log_n);
+
+  int dimension() const noexcept { return d_; }
+  std::uint64_t rows() const noexcept { return 1ULL << d_; }
+
+  /// Routes the batch from scratch (the network starts empty) and returns
+  /// the cost. Deterministic: FIFO queues, tie-break by packet index.
+  RoutingStats route(const std::vector<Packet>& packets) const;
+
+ private:
+  int d_;
+};
+
+}  // namespace dsm::net

@@ -1,0 +1,88 @@
+#include "dsm/pgl/cosets.hpp"
+
+#include <algorithm>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::pgl {
+
+H0Group::H0Group(const gf::TowerCtx& k) {
+  const std::uint64_t q = k.q();
+  // Enumerate all invertible matrices with entries in F_q, keep one
+  // scalar-canonical representative per projective class.
+  std::vector<Mat2> all;
+  for (gf::Felem a = 0; a < q; ++a) {
+    for (gf::Felem b = 0; b < q; ++b) {
+      for (gf::Felem c = 0; c < q; ++c) {
+        for (gf::Felem d = 0; d < q; ++d) {
+          const Mat2 m{a, b, c, d};
+          if (det(k, m) == 0) continue;
+          all.push_back(scalarCanonical(k, m));
+        }
+      }
+    }
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  elems_ = std::move(all);
+  DSM_CHECK_MSG(elems_.size() == pglOrder(q),
+                "|PGL_2(q)| mismatch: " << elems_.size() << " vs "
+                                        << pglOrder(q));
+}
+
+bool H0Group::contains(const gf::TowerCtx& k, const Mat2& m) const {
+  if (det(k, m) == 0) return false;
+  const Mat2 c = scalarCanonical(k, m);
+  const std::uint64_t q = k.q();
+  return c.a < q && c.b < q && c.c < q && c.d < q;
+}
+
+Mat2 canonicalH0Coset(const gf::TowerCtx& k, const H0Group& h0,
+                      const Mat2& A) {
+  DSM_CHECK_MSG(det(k, A) != 0, "coset of a singular matrix");
+  Mat2 best = scalarCanonical(k, mul(k, A, h0.elements().front()));
+  for (std::size_t i = 1; i < h0.elements().size(); ++i) {
+    const Mat2 cand = scalarCanonical(k, mul(k, A, h0.elements()[i]));
+    if (cand < best) best = cand;
+  }
+  return best;
+}
+
+Hn1Coset canonicalHn1Coset(const gf::TowerCtx& k, const Mat2& A) {
+  DSM_CHECK_MSG(det(k, A) != 0, "coset of a singular matrix");
+  Hn1Coset out;
+  const std::uint64_t s_idx = k.scalarIndex();
+  if (A.c == 0) {
+    // A ~ ((x, y), (0, 1)): right-multiplication by H_{n-1} zeroes y and
+    // sweeps the top-left over x·F_q*; the canonical exponent is taken
+    // modulo (q^n-1)/(q-1).
+    const gf::Felem x = k.div(A.a, A.d);
+    out.s = k.dlog(x) % s_idx;
+    out.t = -1;
+    out.rep = Mat2{k.exp(out.s), 0, 0, 1};
+  } else {
+    // A ~ ((x, y), (1, v)): the canonical form is ((x, γ^s), (1, 0)) with
+    // γ^s the canonical member of (x·v + y)·F_q*.
+    const gf::Felem x = k.div(A.a, A.c);
+    const gf::Felem y = k.div(A.b, A.c);
+    const gf::Felem v = k.div(A.d, A.c);
+    const gf::Felem beta0 = k.add(k.mul(x, v), y);  // det(A)/c^2 != 0
+    out.s = k.dlog(beta0) % s_idx;
+    out.t = static_cast<std::int64_t>(x);
+    out.rep = Mat2{x, k.exp(out.s), 1, 0};
+  }
+  return out;
+}
+
+bool inHn1(const gf::TowerCtx& k, const Mat2& m) {
+  if (det(k, m) == 0) return false;
+  if (m.c != 0) return false;
+  // m ~ ((a, b), (0, d)), d != 0; member iff a/d is a non-zero scalar.
+  return k.isScalar(k.div(m.a, m.d));
+}
+
+std::uint64_t hn1Order(const gf::TowerCtx& k) noexcept {
+  return (k.q() - 1) * k.size();
+}
+
+}  // namespace dsm::pgl

@@ -1,0 +1,66 @@
+// Coset machinery for the two subgroups the paper quotients by:
+//
+//   H_0     = PGL_2(q)          (variables:  V = PGL_2(q^n) / H_0)
+//   H_{n-1} = { (a α; 0 1) }    (modules:    U = PGL_2(q^n) / H_{n-1})
+//
+// H_0 cosets are canonicalised by minimising over the |PGL_2(q)| group
+// elements (q is a small constant: 6 elements for q = 2, 60 for q = 4).
+// H_{n-1} cosets are canonicalised analytically to the representative set of
+// the paper's eq. (1): diag(γ^s, 1) or ((α_t, γ^s), (1, 0)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/pgl/mat2.hpp"
+
+namespace dsm::pgl {
+
+/// The finite subgroup H_0 = PGL_2(q) embedded in PGL_2(q^n): all matrices
+/// with entries in the base subfield F_q, in canonical scalar form.
+/// Constructed once per field context and shared (immutable, thread-safe).
+class H0Group {
+ public:
+  explicit H0Group(const gf::TowerCtx& k);
+
+  const std::vector<Mat2>& elements() const noexcept { return elems_; }
+  std::uint64_t order() const noexcept { return elems_.size(); }
+
+  /// True iff m lies in H_0 (modulo scalars).
+  bool contains(const gf::TowerCtx& k, const Mat2& m) const;
+
+ private:
+  std::vector<Mat2> elems_;
+};
+
+/// Canonical representative of the left coset A·H_0: the lexicographically
+/// smallest scalar-canonical matrix in { A·h : h in H_0 }. Two matrices are
+/// in the same coset iff their canonical representatives are equal, so the
+/// result doubles as a hashable coset key. Cost O(|H_0|) field ops.
+Mat2 canonicalH0Coset(const gf::TowerCtx& k, const H0Group& h0, const Mat2& A);
+
+/// Decomposed canonical representative of the left coset A·H_{n-1},
+/// following the paper's eq. (1) representative set:
+///   t == -1:  rep = diag(γ^s, 1)
+///   t >= 0:   rep = ((α_t, γ^s), (1, 0)),  α_t = field element with packed
+///                                          value t
+/// s in [0, (q^n-1)/(q-1)).
+struct Hn1Coset {
+  std::uint64_t s = 0;
+  std::int64_t t = -1;
+  Mat2 rep;
+
+  friend bool operator==(const Hn1Coset&, const Hn1Coset&) = default;
+};
+
+/// Analytic canonicalisation (O(1) field operations + one discrete log).
+Hn1Coset canonicalHn1Coset(const gf::TowerCtx& k, const Mat2& A);
+
+/// True iff m lies in H_{n-1} (modulo scalars): lower-left entry zero,
+/// lower-right non-zero, and upper-left/lower-right ratio in F_q*.
+bool inHn1(const gf::TowerCtx& k, const Mat2& m);
+
+/// |H_{n-1}| = (q-1) * q^n  (projectively).
+std::uint64_t hn1Order(const gf::TowerCtx& k) noexcept;
+
+}  // namespace dsm::pgl

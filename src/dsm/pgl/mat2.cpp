@@ -1,0 +1,50 @@
+#include "dsm/pgl/mat2.hpp"
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::pgl {
+
+gf::Felem det(const gf::TowerCtx& k, const Mat2& m) noexcept {
+  return k.add(k.mul(m.a, m.d), k.mul(m.b, m.c));
+}
+
+bool isInvertible(const gf::TowerCtx& k, const Mat2& m) noexcept {
+  return k.isValid(m.a) && k.isValid(m.b) && k.isValid(m.c) &&
+         k.isValid(m.d) && det(k, m) != 0;
+}
+
+Mat2 mul(const gf::TowerCtx& k, const Mat2& x, const Mat2& y) noexcept {
+  return Mat2{
+      k.add(k.mul(x.a, y.a), k.mul(x.b, y.c)),
+      k.add(k.mul(x.a, y.b), k.mul(x.b, y.d)),
+      k.add(k.mul(x.c, y.a), k.mul(x.d, y.c)),
+      k.add(k.mul(x.c, y.b), k.mul(x.d, y.d)),
+  };
+}
+
+Mat2 inverse(const gf::TowerCtx& k, const Mat2& m) {
+  DSM_CHECK_MSG(det(k, m) != 0, "inverse of singular matrix");
+  // adj(m) = ((d, -b), (-c, a)); minus signs vanish in characteristic 2.
+  return Mat2{m.d, m.b, m.c, m.a};
+}
+
+Mat2 scalarCanonical(const gf::TowerCtx& k, const Mat2& m) {
+  gf::Felem lead = m.a;
+  if (lead == 0) lead = m.b;
+  if (lead == 0) lead = m.c;
+  if (lead == 0) lead = m.d;
+  DSM_CHECK_MSG(lead != 0, "scalarCanonical of the zero matrix");
+  if (lead == 1) return m;
+  const gf::Felem s = k.inv(lead);
+  return Mat2{k.mul(m.a, s), k.mul(m.b, s), k.mul(m.c, s), k.mul(m.d, s)};
+}
+
+bool projEqual(const gf::TowerCtx& k, const Mat2& x, const Mat2& y) {
+  return scalarCanonical(k, x) == scalarCanonical(k, y);
+}
+
+std::uint64_t pglOrder(std::uint64_t field_size) noexcept {
+  return field_size * field_size * field_size - field_size;
+}
+
+}  // namespace dsm::pgl

@@ -1,0 +1,70 @@
+// 2x2 projective matrices over F_{q^n} — the elements of PGL_2(q^n).
+//
+// A Mat2 holds four field elements (row-major). Projective equality is
+// equality modulo a non-zero scalar; scalarCanonical() fixes the scalar by
+// scaling the first non-zero entry (scan order a, b, c, d) to 1, giving a
+// unique representative per projective class that can be compared bitwise
+// and hashed.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "dsm/gf/tower.hpp"
+
+namespace dsm::pgl {
+
+/// A 2x2 matrix ((a, b), (c, d)) with entries in F_{q^n} (packed Felem).
+struct Mat2 {
+  gf::Felem a = 0, b = 0, c = 0, d = 0;
+
+  friend bool operator==(const Mat2&, const Mat2&) = default;
+  friend auto operator<=>(const Mat2&, const Mat2&) = default;
+};
+
+/// The identity matrix.
+inline constexpr Mat2 kIdentity{1, 0, 0, 1};
+
+/// Determinant ad - bc (char 2: ad + bc).
+gf::Felem det(const gf::TowerCtx& k, const Mat2& m) noexcept;
+
+/// True iff det != 0 and all entries are valid field elements.
+bool isInvertible(const gf::TowerCtx& k, const Mat2& m) noexcept;
+
+/// Matrix product x * y.
+Mat2 mul(const gf::TowerCtx& k, const Mat2& x, const Mat2& y) noexcept;
+
+/// Projective inverse: the adjugate ((d, b), (c, a)) in characteristic 2.
+/// (Scaling by det^{-1} is unnecessary modulo scalars.) DSM_CHECK(det != 0).
+Mat2 inverse(const gf::TowerCtx& k, const Mat2& m);
+
+/// Scales m so its first non-zero entry (scan a, b, c, d) equals 1.
+/// The result is the unique bitwise-comparable representative of the
+/// projective class of m. DSM_CHECK(m != 0).
+Mat2 scalarCanonical(const gf::TowerCtx& k, const Mat2& m);
+
+/// True iff x and y represent the same element of PGL_2(q^n).
+bool projEqual(const gf::TowerCtx& k, const Mat2& x, const Mat2& y);
+
+/// |PGL_2(k)| = k^3 - k for field size k.
+std::uint64_t pglOrder(std::uint64_t field_size) noexcept;
+
+/// Hash for canonical (scalar-normalised) matrices.
+struct Mat2Hash {
+  std::size_t operator()(const Mat2& m) const noexcept {
+    // splitmix-style mixing of the four entries.
+    auto mix = [](std::uint64_t h, std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return h;
+    };
+    std::uint64_t h = 0;
+    h = mix(h, m.a);
+    h = mix(h, m.b);
+    h = mix(h, m.c);
+    h = mix(h, m.d);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace dsm::pgl

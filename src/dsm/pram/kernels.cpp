@@ -1,0 +1,161 @@
+#include "dsm/pram/kernels.hpp"
+
+#include <unordered_map>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::pram {
+
+namespace {
+
+void checkArray(const SharedMemory& mem, ArrayRef a) {
+  DSM_CHECK_MSG(a.length > 0, "empty array region");
+  DSM_CHECK_MSG(a.base + a.length <= mem.numVariables(),
+                "array region [" << a.base << ", " << a.base + a.length
+                                 << ") exceeds M = " << mem.numVariables());
+}
+
+std::vector<std::uint64_t> arrayVars(ArrayRef a) {
+  std::vector<std::uint64_t> vars(static_cast<std::size_t>(a.length));
+  for (std::uint64_t i = 0; i < a.length; ++i) vars[i] = a.base + i;
+  return vars;
+}
+
+}  // namespace
+
+KernelStats scatter(SharedMemory& mem, ArrayRef a,
+                    const std::vector<std::uint64_t>& values) {
+  checkArray(mem, a);
+  DSM_CHECK_MSG(values.size() == a.length, "scatter size mismatch");
+  KernelStats stats;
+  stats.rounds = 1;
+  stats.absorb(mem.write(arrayVars(a), values));
+  return stats;
+}
+
+std::vector<std::uint64_t> gather(SharedMemory& mem, ArrayRef a,
+                                  KernelStats* stats) {
+  checkArray(mem, a);
+  const ReadResult r = mem.read(arrayVars(a));
+  if (stats != nullptr) {
+    ++stats->rounds;
+    stats->absorb(r.cost);
+  }
+  return r.values;
+}
+
+std::vector<std::uint64_t> gatherIndexed(
+    SharedMemory& mem, ArrayRef a, const std::vector<std::uint64_t>& indices,
+    KernelStats* stats) {
+  checkArray(mem, a);
+  // CRCW combining: read each distinct variable once, then fan out.
+  std::unordered_map<std::uint64_t, std::size_t> slot;
+  std::vector<std::uint64_t> distinct;
+  for (const std::uint64_t idx : indices) {
+    DSM_CHECK_MSG(idx < a.length, "gather index out of range: " << idx);
+    if (slot.emplace(idx, distinct.size()).second) {
+      distinct.push_back(a.base + idx);
+    }
+  }
+  const ReadResult r = mem.read(distinct);
+  if (stats != nullptr) {
+    ++stats->rounds;
+    stats->absorb(r.cost);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(indices.size());
+  for (const std::uint64_t idx : indices) {
+    out.push_back(r.values[slot.at(idx)]);
+  }
+  return out;
+}
+
+KernelStats prefixSum(SharedMemory& mem, ArrayRef a) {
+  checkArray(mem, a);
+  KernelStats stats;
+  const auto vars = arrayVars(a);
+  for (std::uint64_t stride = 1; stride < a.length; stride <<= 1) {
+    const ReadResult cur = mem.read(vars);
+    stats.absorb(cur.cost);
+    // Element i (i >= stride) adds element i - stride; the write batch only
+    // touches the elements that change.
+    std::vector<std::uint64_t> wvars, wvals;
+    for (std::uint64_t i = stride; i < a.length; ++i) {
+      wvars.push_back(vars[static_cast<std::size_t>(i)]);
+      wvals.push_back(cur.values[static_cast<std::size_t>(i)] +
+                      cur.values[static_cast<std::size_t>(i - stride)]);
+    }
+    stats.absorb(mem.write(wvars, wvals));
+    ++stats.rounds;
+  }
+  return stats;
+}
+
+KernelStats oddEvenSort(SharedMemory& mem, ArrayRef a) {
+  checkArray(mem, a);
+  KernelStats stats;
+  const auto vars = arrayVars(a);
+  for (std::uint64_t round = 0; round < a.length; ++round) {
+    const ReadResult cur = mem.read(vars);
+    stats.absorb(cur.cost);
+    std::vector<std::uint64_t> wvars, wvals;
+    for (std::uint64_t i = round % 2; i + 1 < a.length; i += 2) {
+      const std::uint64_t lo = cur.values[static_cast<std::size_t>(i)];
+      const std::uint64_t hi = cur.values[static_cast<std::size_t>(i + 1)];
+      if (lo > hi) {
+        wvars.push_back(vars[static_cast<std::size_t>(i)]);
+        wvals.push_back(hi);
+        wvars.push_back(vars[static_cast<std::size_t>(i + 1)]);
+        wvals.push_back(lo);
+      }
+    }
+    if (!wvars.empty()) stats.absorb(mem.write(wvars, wvals));
+    ++stats.rounds;
+  }
+  return stats;
+}
+
+KernelStats listRank(SharedMemory& mem, ArrayRef next, ArrayRef rank) {
+  checkArray(mem, next);
+  checkArray(mem, rank);
+  DSM_CHECK_MSG(next.length == rank.length, "next/rank length mismatch");
+  KernelStats stats;
+  const std::uint64_t n = next.length;
+  // Initialise rank[i] = 0 if next[i] == i (tail) else 1.
+  std::vector<std::uint64_t> nxt = gather(mem, next, &stats);
+  {
+    std::vector<std::uint64_t> init(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      DSM_CHECK_MSG(nxt[static_cast<std::size_t>(i)] < n,
+                    "next[] entry out of range");
+      init[static_cast<std::size_t>(i)] =
+          nxt[static_cast<std::size_t>(i)] == i ? 0 : 1;
+    }
+    stats.absorb(mem.write(arrayVars(rank), init));
+    ++stats.rounds;
+  }
+  // Pointer jumping: rank[i] += rank[next[i]]; next[i] = next[next[i]].
+  std::uint64_t jump_rounds = 0;
+  for (std::uint64_t hop = 1; hop < n; hop <<= 1) {
+    const std::vector<std::uint64_t> rk = gather(mem, rank, &stats);
+    const std::vector<std::uint64_t> rk_at_next =
+        gatherIndexed(mem, rank, nxt, &stats);
+    const std::vector<std::uint64_t> nxt_at_next =
+        gatherIndexed(mem, next, nxt, &stats);
+    std::vector<std::uint64_t> new_rank(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      new_rank[static_cast<std::size_t>(i)] =
+          rk[static_cast<std::size_t>(i)] + rk_at_next[static_cast<std::size_t>(i)];
+    }
+    stats.absorb(mem.write(arrayVars(rank), new_rank));
+    stats.absorb(mem.write(arrayVars(next), nxt_at_next));
+    nxt = nxt_at_next;
+    ++jump_rounds;
+  }
+  // One PRAM round per jump plus the init round; the intermediate gathers
+  // are sub-steps of a round, not rounds of their own.
+  stats.rounds = jump_rounds + 1;
+  return stats;
+}
+
+}  // namespace dsm::pram

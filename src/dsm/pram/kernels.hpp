@@ -1,0 +1,69 @@
+// PRAM kernels on the deterministic shared memory — the application layer
+// the paper's context (PRAM simulation on distributed-memory machines)
+// motivates. Each kernel is a sequence of synchronous rounds; every round's
+// memory traffic goes through the SharedMemory batch interface, so the cost
+// of the whole algorithm is counted in MPC cycles under whichever memory
+// organization scheme backs the memory.
+//
+// Concurrent reads are combined before hitting the memory (CRCW -> EREW
+// lowering: duplicate indices are deduplicated per round), matching how a
+// PRAM step is scheduled onto the MPC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/core/shared_memory.hpp"
+
+namespace dsm::pram {
+
+/// A contiguous region of shared variables interpreted as an array:
+/// element i lives in variable base + i.
+struct ArrayRef {
+  std::uint64_t base = 0;
+  std::uint64_t length = 0;
+};
+
+/// Cost accounting accumulated over a kernel's rounds.
+struct KernelStats {
+  std::uint64_t rounds = 0;        ///< synchronous PRAM rounds executed
+  std::uint64_t cycles = 0;        ///< total MPC cycles across all batches
+  std::uint64_t modeledSteps = 0;  ///< paper cost model, summed
+
+  void absorb(const protocol::AccessResult& r) {
+    cycles += r.totalIterations;
+    modeledSteps += r.modeledSteps;
+  }
+};
+
+/// Writes values into the array (one batched write). values.size() must
+/// equal a.length.
+KernelStats scatter(SharedMemory& mem, ArrayRef a,
+                    const std::vector<std::uint64_t>& values);
+
+/// Reads the whole array (one batched read).
+std::vector<std::uint64_t> gather(SharedMemory& mem, ArrayRef a,
+                                  KernelStats* stats = nullptr);
+
+/// Gather with arbitrary (possibly duplicate) indices into the array:
+/// deduplicates before issuing the batch (CRCW combining). Returns one value
+/// per requested index.
+std::vector<std::uint64_t> gatherIndexed(
+    SharedMemory& mem, ArrayRef a, const std::vector<std::uint64_t>& indices,
+    KernelStats* stats = nullptr);
+
+/// Inclusive prefix sum in place (Hillis–Steele): ceil(log2 n) rounds, each
+/// one full-array read + one write of the shifted partial sums.
+KernelStats prefixSum(SharedMemory& mem, ArrayRef a);
+
+/// Odd–even transposition sort in place: a.length rounds of compare-exchange
+/// on alternating adjacent pairs. O(n) rounds — the point is the per-round
+/// MPC cost, not asymptotic optimality.
+KernelStats oddEvenSort(SharedMemory& mem, ArrayRef a);
+
+/// List ranking by pointer jumping: `next` holds successor indices (tail
+/// points to itself); on return `rank` holds each node's distance to the
+/// tail. ceil(log2 n) + 1 rounds of combined gathers.
+KernelStats listRank(SharedMemory& mem, ArrayRef next, ArrayRef rank);
+
+}  // namespace dsm::pram

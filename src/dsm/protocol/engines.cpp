@@ -1,0 +1,261 @@
+#include "dsm/protocol/engines.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::protocol {
+
+std::uint64_t AccessResult::maxPhaseIterations() const {
+  std::uint64_t m = 0;
+  for (const std::uint64_t phi : phaseIterations) m = std::max(m, phi);
+  return m;
+}
+
+EngineBase::EngineBase(const scheme::MemoryScheme& scheme,
+                       mpc::Machine& machine)
+    : scheme_(scheme), machine_(machine) {
+  DSM_CHECK_MSG(machine.moduleCount() == scheme.numModules(),
+                "machine/scheme module count mismatch");
+}
+
+void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
+  std::unordered_set<std::uint64_t> distinct;
+  distinct.reserve(batch.size() * 2);
+  copies_.resize(batch.size());
+  stamps_.assign(batch.size(), 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    DSM_CHECK_MSG(batch[i].variable < scheme_.numVariables(),
+                  "variable out of range: " << batch[i].variable);
+    DSM_CHECK_MSG(distinct.insert(batch[i].variable).second,
+                  "duplicate variable in batch: " << batch[i].variable);
+    scheme_.copies(batch[i].variable, copies_[i]);
+    DSM_CHECK(copies_[i].size() == scheme_.copiesPerVariable());
+    if (batch[i].op == mpc::Op::kWrite) stamps_[i] = ++clock_;
+  }
+  // Reads must observe any write completed in an earlier batch; bump the
+  // clock so later batches always stamp strictly newer.
+  ++clock_;
+}
+
+namespace {
+
+/// Collects the newest (timestamp, value) pair.
+struct Freshest {
+  std::uint64_t timestamp = 0;
+  std::uint64_t value = 0;
+  bool any = false;
+
+  void offer(std::uint64_t ts, std::uint64_t v) {
+    if (!any || ts > timestamp) {
+      timestamp = ts;
+      value = v;
+      any = true;
+    }
+  }
+};
+
+}  // namespace
+
+AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
+  AccessResult result;
+  result.values.assign(batch.size(), 0);
+  if (batch.empty()) return result;
+  preprocess(batch);
+
+  const std::size_t r = scheme_.copiesPerVariable();  // cluster size
+  const std::size_t clusters = (batch.size() + r - 1) / r;
+  const int coord_cost = 1 + util::ceilLog2(r);
+  const int addr_cost = util::ceilLog2(scheme_.numModules());
+
+  std::vector<mpc::Request> wire;
+  std::vector<mpc::Response> replies;
+  std::vector<Freshest> fresh(batch.size());
+
+  // Phase k: cluster i serves batch request i*r + k. Processor (i, j) — the
+  // global id i*r + j — owns copy j of that variable.
+  for (std::size_t k = 0; k < r; ++k) {
+    std::vector<std::size_t> active;  // request indices served this phase
+    for (std::size_t i = 0; i < clusters; ++i) {
+      const std::size_t req = i * r + k;
+      if (req < batch.size()) active.push_back(req);
+    }
+    if (active.empty()) {
+      result.phaseIterations.push_back(0);
+      result.liveTrajectory.emplace_back();
+      continue;
+    }
+    // accessed[a][j]: copy j of active variable a granted already.
+    // dead[a][j]: copy j's module is failed — never retried; a variable
+    // whose live copies cannot reach the quorum is unsatisfiable.
+    std::vector<std::vector<bool>> accessed(active.size());
+    std::vector<std::vector<bool>> dead(active.size());
+    std::vector<unsigned> done(active.size(), 0);
+    std::vector<unsigned> dead_count(active.size(), 0);
+    std::vector<unsigned> quorum(active.size());
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      accessed[a].assign(r, false);
+      dead[a].assign(r, false);
+      quorum[a] = batch[active[a]].op == mpc::Op::kRead
+                      ? scheme_.readQuorum()
+                      : scheme_.writeQuorum();
+    }
+    std::uint64_t iters = 0;
+    std::vector<std::uint64_t> trajectory;
+    std::vector<std::size_t> wire_owner;  // (active idx, copy) per wire entry
+    std::vector<std::size_t> wire_copy;
+    while (true) {
+      wire.clear();
+      wire_owner.clear();
+      wire_copy.clear();
+      std::uint64_t live = 0;
+      for (std::size_t a = 0; a < active.size(); ++a) {
+        if (done[a] >= quorum[a]) continue;
+        if (dead_count[a] > r - quorum[a]) continue;  // unsatisfiable
+        ++live;
+        const std::size_t req = active[a];
+        const std::size_t cluster = req / r;
+        for (std::size_t j = 0; j < r; ++j) {
+          if (accessed[a][j] || dead[a][j]) continue;
+          const auto& pa = copies_[req][j];
+          wire.push_back(mpc::Request{
+              static_cast<std::uint32_t>(cluster * r + j), pa.module, pa.slot,
+              batch[req].op, batch[req].value, stamps_[req]});
+          wire_owner.push_back(a);
+          wire_copy.push_back(j);
+        }
+      }
+      if (live == 0) break;
+      trajectory.push_back(live);
+      machine_.step(wire, replies);
+      ++iters;
+      for (std::size_t w = 0; w < wire.size(); ++w) {
+        const std::size_t a = wire_owner[w];
+        if (replies[w].moduleFailed) {
+          if (!dead[a][wire_copy[w]]) {
+            dead[a][wire_copy[w]] = true;
+            ++dead_count[a];
+          }
+          continue;
+        }
+        if (!replies[w].granted) continue;
+        accessed[a][wire_copy[w]] = true;
+        ++done[a];
+        if (batch[active[a]].op == mpc::Op::kRead) {
+          fresh[active[a]].offer(replies[w].timestamp, replies[w].value);
+        }
+      }
+    }
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (done[a] < quorum[a]) result.unsatisfiable.push_back(active[a]);
+    }
+    result.phaseIterations.push_back(iters);
+    result.liveTrajectory.push_back(std::move(trajectory));
+    result.totalIterations += iters;
+    result.modeledSteps +=
+        iters * static_cast<std::uint64_t>(coord_cost) +
+        static_cast<std::uint64_t>(addr_cost);
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    result.values[i] = batch[i].op == mpc::Op::kRead ? fresh[i].value
+                                                     : batch[i].value;
+  }
+  return result;
+}
+
+AccessResult SingleOwnerEngine::execute(
+    const std::vector<AccessRequest>& batch) {
+  AccessResult result;
+  result.values.assign(batch.size(), 0);
+  if (batch.empty()) return result;
+  preprocess(batch);
+
+  const std::size_t r = scheme_.copiesPerVariable();
+  const int addr_cost = util::ceilLog2(scheme_.numModules());
+
+  std::vector<std::vector<bool>> accessed(batch.size());
+  std::vector<std::vector<bool>> dead(batch.size());
+  std::vector<unsigned> done(batch.size(), 0);
+  std::vector<unsigned> dead_count(batch.size(), 0);
+  std::vector<unsigned> quorum(batch.size());
+  std::vector<Freshest> fresh(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    accessed[i].assign(r, false);
+    dead[i].assign(r, false);
+    quorum[i] = batch[i].op == mpc::Op::kRead ? scheme_.readQuorum()
+                                              : scheme_.writeQuorum();
+  }
+
+  std::vector<mpc::Request> wire;
+  std::vector<mpc::Response> replies;
+  std::vector<std::size_t> wire_req, wire_copy;
+  std::uint64_t iters = 0;
+  std::vector<std::uint64_t> trajectory;
+  while (true) {
+    wire.clear();
+    wire_req.clear();
+    wire_copy.clear();
+    std::uint64_t live = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (done[i] >= quorum[i]) continue;
+      if (dead_count[i] > r - quorum[i]) continue;  // unsatisfiable
+      ++live;
+      // Round-robin over the remaining copies, staggered by request index so
+      // identical-copy-set requests spread their attempts.
+      const std::size_t start = (i + iters) % r;
+      std::size_t pick = r;
+      for (std::size_t off = 0; off < r; ++off) {
+        const std::size_t j = (start + off) % r;
+        if (!accessed[i][j] && !dead[i][j]) {
+          pick = j;
+          break;
+        }
+      }
+      DSM_CHECK(pick < r);
+      const auto& pa = copies_[i][pick];
+      wire.push_back(mpc::Request{static_cast<std::uint32_t>(i), pa.module,
+                                  pa.slot, batch[i].op, batch[i].value,
+                                  stamps_[i]});
+      wire_req.push_back(i);
+      wire_copy.push_back(pick);
+    }
+    if (live == 0) break;
+    trajectory.push_back(live);
+    machine_.step(wire, replies);
+    ++iters;
+    for (std::size_t w = 0; w < wire.size(); ++w) {
+      const std::size_t i = wire_req[w];
+      if (replies[w].moduleFailed) {
+        if (!dead[i][wire_copy[w]]) {
+          dead[i][wire_copy[w]] = true;
+          ++dead_count[i];
+        }
+        continue;
+      }
+      if (!replies[w].granted) continue;
+      accessed[i][wire_copy[w]] = true;
+      ++done[i];
+      if (batch[i].op == mpc::Op::kRead) {
+        fresh[i].offer(replies[w].timestamp, replies[w].value);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (done[i] < quorum[i]) result.unsatisfiable.push_back(i);
+  }
+
+  result.phaseIterations.push_back(iters);
+  result.liveTrajectory.push_back(std::move(trajectory));
+  result.totalIterations = iters;
+  result.modeledSteps = iters + static_cast<std::uint64_t>(addr_cost);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    result.values[i] = batch[i].op == mpc::Op::kRead ? fresh[i].value
+                                                     : batch[i].value;
+  }
+  return result;
+}
+
+}  // namespace dsm::protocol

@@ -1,0 +1,97 @@
+// Access-protocol engines executing batches of read/write requests on the
+// MPC through a MemoryScheme.
+//
+// MajorityEngine — the paper's Section-3 protocol (also the UW87 protocol):
+// processors form clusters of r = copiesPerVariable(); the batch is served
+// in r phases; in phase k the r processors of cluster i cooperatively attack
+// the r copies of the variable requested by cluster member k, processor j
+// owning copy j. Iterations repeat until every live variable has had a
+// quorum of its copies granted; each module serves one request per cycle.
+// Copies carry timestamps (majority rule of [Tho79]/[UW87]): a write stamps
+// a fresh global timestamp on a write-quorum of copies; a read collects a
+// read-quorum and keeps the value with the newest stamp. Because any two
+// quorums intersect, reads always observe the latest completed write.
+//
+// SingleOwnerEngine — the MV84 / single-copy discipline: each request is
+// owned by one processor which acquires `quorum` of its copies one grant at
+// a time (round-robin over the remaining copies).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+#include "dsm/scheme/memory_scheme.hpp"
+
+namespace dsm::protocol {
+
+/// One logical access in a batch. Variables within a batch must be distinct
+/// (the paper's assumption; checked).
+struct AccessRequest {
+  std::uint64_t variable = 0;
+  mpc::Op op = mpc::Op::kRead;
+  std::uint64_t value = 0;  ///< payload for writes
+};
+
+/// Outcome and cost accounting of one executed batch.
+struct AccessResult {
+  /// For every request (writes get their written value echoed back): the
+  /// value observed with the newest timestamp among granted copies.
+  std::vector<std::uint64_t> values;
+  /// MPC cycles consumed (== sum of iterations over phases).
+  std::uint64_t totalIterations = 0;
+  /// Φ_p per phase (MajorityEngine) or a single entry (SingleOwnerEngine).
+  std::vector<std::uint64_t> phaseIterations;
+  /// R_k — live variables at the start of iteration k, per phase.
+  std::vector<std::vector<std::uint64_t>> liveTrajectory;
+  /// The paper's cost model O(q(Φ log q + log N)): per phase
+  /// Φ_p * (1 + ceil(log2 r)) intra-cluster coordination plus ceil(log2 N)
+  /// address-computation steps.
+  std::uint64_t modeledSteps = 0;
+  /// Requests whose quorum became unreachable because too many of their
+  /// copies live in failed modules (> r - quorum dead copies). Their values
+  /// entry is 0. Empty when no module faults are injected.
+  std::vector<std::size_t> unsatisfiable;
+
+  std::uint64_t maxPhaseIterations() const;
+};
+
+/// Shared engine base: owns the copy cache and the global timestamp.
+class EngineBase {
+ public:
+  EngineBase(const scheme::MemoryScheme& scheme, mpc::Machine& machine);
+  virtual ~EngineBase() = default;
+
+  virtual AccessResult execute(const std::vector<AccessRequest>& batch) = 0;
+
+  const scheme::MemoryScheme& scheme() const noexcept { return scheme_; }
+  mpc::Machine& machine() noexcept { return machine_; }
+
+ protected:
+  /// Validates batch (range, distinct variables) and stamps write requests.
+  void preprocess(const std::vector<AccessRequest>& batch);
+
+  const scheme::MemoryScheme& scheme_;
+  mpc::Machine& machine_;
+  std::uint64_t clock_ = 0;  ///< global timestamp source (monotone)
+  // Per-batch scratch (sized in preprocess).
+  std::vector<std::vector<scheme::PhysicalAddress>> copies_;
+  std::vector<std::uint64_t> stamps_;
+};
+
+/// Section-3 clustered majority protocol (used by PP and UW schemes).
+class MajorityEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+};
+
+/// One-processor-per-request engine (used by MV84 and single-copy schemes).
+class SingleOwnerEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+};
+
+}  // namespace dsm::protocol

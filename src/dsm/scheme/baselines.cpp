@@ -1,0 +1,115 @@
+#include "dsm/scheme/baselines.hpp"
+
+#include <sstream>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::scheme {
+
+MvScheme::MvScheme(std::uint64_t num_variables, std::uint64_t num_modules,
+                   unsigned c)
+    : m_(num_variables), n_(num_modules), c_(c), p_(util::nextPrime(n_)) {
+  DSM_CHECK_MSG(c >= 1, "MV scheme needs at least one copy");
+  DSM_CHECK_MSG(n_ >= 1, "MV scheme needs at least one module");
+  // Each variable needs a distinct coefficient vector in Z_p^c.
+  util::Uint128 cap = 1;
+  for (unsigned i = 0; i < c_; ++i) cap *= p_;
+  DSM_CHECK_MSG(static_cast<util::Uint128>(m_) <= cap,
+                "M exceeds p^c: too many variables for " << c_ << " copies");
+}
+
+std::string MvScheme::name() const {
+  std::ostringstream os;
+  os << "mv84(c=" << c_ << ")";
+  return os.str();
+}
+
+void MvScheme::copies(std::uint64_t v,
+                      std::vector<PhysicalAddress>& out) const {
+  DSM_CHECK_MSG(v < m_, "variable out of range: " << v);
+  out.clear();
+  out.reserve(c_);
+  // Coefficients: base-p digits of v; copy j placed at poly(j) mod N.
+  for (unsigned j = 0; j < c_; ++j) {
+    std::uint64_t digits = v;
+    std::uint64_t acc = 0;
+    std::uint64_t x = 1;  // j^k mod p
+    for (unsigned k = 0; k < c_; ++k) {
+      const std::uint64_t coeff = digits % p_;
+      digits /= p_;
+      acc = (acc + util::mulmod(coeff, x, p_)) % p_;
+      x = util::mulmod(x, j, p_);
+    }
+    std::uint64_t module = acc % n_;
+    // The polynomial map can fold two copies of one variable onto the same
+    // module; deterministic linear probing restores distinctness (the MV
+    // analysis assumes distinct modules per variable).
+    bool collide = true;
+    while (collide) {
+      collide = false;
+      for (const auto& prev : out) {
+        if (prev.module == module) {
+          module = (module + 1) % n_;
+          collide = true;
+          break;
+        }
+      }
+    }
+    out.push_back(PhysicalAddress{module, v});
+  }
+}
+
+UwRandomScheme::UwRandomScheme(std::uint64_t num_variables,
+                               std::uint64_t num_modules, unsigned c,
+                               std::uint64_t seed)
+    : m_(num_variables), n_(num_modules), c_(c), seed_(seed) {
+  DSM_CHECK_MSG(c >= 1, "UW scheme needs c >= 1");
+  DSM_CHECK_MSG(2ULL * c - 1 <= n_, "2c-1 distinct modules must exist");
+}
+
+std::string UwRandomScheme::name() const {
+  std::ostringstream os;
+  os << "uw87-random(c=" << c_ << ")";
+  return os.str();
+}
+
+void UwRandomScheme::copies(std::uint64_t v,
+                            std::vector<PhysicalAddress>& out) const {
+  DSM_CHECK_MSG(v < m_, "variable out of range: " << v);
+  out.clear();
+  const unsigned r = 2 * c_ - 1;
+  out.reserve(r);
+  // Per-variable deterministic stream: the scheme is a fixed random graph,
+  // not fresh randomness per access.
+  util::SplitMix64 sm(seed_ ^ (v * 0x9e3779b97f4a7c15ULL + 1));
+  util::Xoshiro256 rng(sm.next());
+  while (out.size() < r) {
+    const std::uint64_t module = rng.below(n_);
+    bool dup = false;
+    for (const auto& prev : out) dup = dup || prev.module == module;
+    if (!dup) out.push_back(PhysicalAddress{module, v});
+  }
+}
+
+SingleCopyScheme::SingleCopyScheme(std::uint64_t num_variables,
+                                   std::uint64_t num_modules,
+                                   std::uint64_t seed)
+    : m_(num_variables), n_(num_modules), seed_(seed) {
+  DSM_CHECK(n_ >= 1);
+}
+
+std::uint64_t SingleCopyScheme::moduleOf(std::uint64_t v) const {
+  DSM_CHECK_MSG(v < m_, "variable out of range: " << v);
+  util::SplitMix64 sm(seed_ ^ (v * 0xbf58476d1ce4e5b9ULL + 7));
+  return sm.next() % n_;
+}
+
+void SingleCopyScheme::copies(std::uint64_t v,
+                              std::vector<PhysicalAddress>& out) const {
+  out.clear();
+  out.push_back(PhysicalAddress{moduleOf(v), v});
+}
+
+}  // namespace dsm::scheme

@@ -1,0 +1,88 @@
+// Baseline memory organization schemes the paper positions itself against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/scheme/memory_scheme.hpp"
+
+namespace dsm::scheme {
+
+/// Mehlhorn–Vishkin [MV84]: c copies per variable, placed by evaluating the
+/// degree-(c-1) polynomial whose coefficients are the base-p digits of the
+/// variable index, at the copy index, over Z_p (p prime >= N). Reads access
+/// any ONE copy; writes must update ALL c copies — the asymmetry the paper
+/// criticises (worst-case O(cN) writes).
+class MvScheme : public MemoryScheme {
+ public:
+  /// M variables over N modules with c >= 1 copies. Requires p = nextPrime(N)
+  /// and M <= p^c (every variable needs a distinct coefficient vector).
+  MvScheme(std::uint64_t num_variables, std::uint64_t num_modules, unsigned c);
+
+  std::string name() const override;
+  std::uint64_t numVariables() const override { return m_; }
+  std::uint64_t numModules() const override { return n_; }
+  unsigned copiesPerVariable() const override { return c_; }
+  unsigned readQuorum() const override { return 1; }
+  unsigned writeQuorum() const override { return c_; }
+  std::uint64_t slotsPerModule() const override { return 0; }  // sparse
+  void copies(std::uint64_t v, std::vector<PhysicalAddress>& out) const override;
+
+ private:
+  std::uint64_t m_, n_;
+  unsigned c_;
+  std::uint64_t p_;  // prime modulus >= n_
+};
+
+/// Upfal–Wigderson [UW87] style scheme: 2c-1 copies per variable assigned to
+/// distinct modules by a seeded PRNG (the random graph whose existence the
+/// paper's introduction criticises as untestable), majority quorum c for both
+/// reads and writes, timestamped copies.
+class UwRandomScheme : public MemoryScheme {
+ public:
+  /// 2c-1 copies; modules drawn without replacement per variable from a
+  /// deterministic per-variable PRNG stream (seed, v).
+  UwRandomScheme(std::uint64_t num_variables, std::uint64_t num_modules,
+                 unsigned c, std::uint64_t seed);
+
+  std::string name() const override;
+  std::uint64_t numVariables() const override { return m_; }
+  std::uint64_t numModules() const override { return n_; }
+  unsigned copiesPerVariable() const override { return 2 * c_ - 1; }
+  unsigned readQuorum() const override { return c_; }
+  unsigned writeQuorum() const override { return c_; }
+  std::uint64_t slotsPerModule() const override { return 0; }  // sparse
+  void copies(std::uint64_t v, std::vector<PhysicalAddress>& out) const override;
+
+ private:
+  std::uint64_t m_, n_;
+  unsigned c_;
+  std::uint64_t seed_;
+};
+
+/// No redundancy: variable v lives in exactly one module, chosen by a fixed
+/// hash. Any request set concentrated on one module costs Θ(N') cycles —
+/// the degenerate case motivating multi-copy organizations.
+class SingleCopyScheme : public MemoryScheme {
+ public:
+  SingleCopyScheme(std::uint64_t num_variables, std::uint64_t num_modules,
+                   std::uint64_t seed);
+
+  std::string name() const override { return "single-copy"; }
+  std::uint64_t numVariables() const override { return m_; }
+  std::uint64_t numModules() const override { return n_; }
+  unsigned copiesPerVariable() const override { return 1; }
+  unsigned readQuorum() const override { return 1; }
+  unsigned writeQuorum() const override { return 1; }
+  std::uint64_t slotsPerModule() const override { return 0; }  // sparse
+  void copies(std::uint64_t v, std::vector<PhysicalAddress>& out) const override;
+
+  /// The module of variable v (exposed so adversarial workloads can build
+  /// all-to-one-module request sets).
+  std::uint64_t moduleOf(std::uint64_t v) const;
+
+ private:
+  std::uint64_t m_, n_, seed_;
+};
+
+}  // namespace dsm::scheme

@@ -1,0 +1,57 @@
+// The MemoryScheme abstraction: a memory organization scheme in the sense of
+// the paper — a rule assigning each of M logical variables a multiset of
+// physical (module, slot) copies plus the read/write quorum discipline.
+//
+// Implementations:
+//   PpScheme        — this paper: PGL_2(q^n)-coset graph, q+1 copies,
+//                     majority quorum q/2+1 (deterministic, constructive).
+//   MvScheme        — Mehlhorn–Vishkin [MV84]: c copies, read-one/write-all.
+//   UwRandomScheme  — Upfal–Wigderson [UW87] style: 2c-1 random copies,
+//                     majority c (existential graph, randomly instantiated).
+//   SingleCopyScheme— no redundancy: hashing only (the worst-case victim).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsm/graph/address_map.hpp"
+
+namespace dsm::scheme {
+
+using graph::PhysicalAddress;
+
+/// Abstract memory organization scheme. Implementations must be immutable
+/// after construction and thread-safe for concurrent copies() calls.
+class MemoryScheme {
+ public:
+  virtual ~MemoryScheme() = default;
+
+  virtual std::string name() const = 0;
+  /// Number of addressable logical variables M.
+  virtual std::uint64_t numVariables() const = 0;
+  /// Number of memory modules N.
+  virtual std::uint64_t numModules() const = 0;
+  /// Copies per variable r (exact, not average).
+  virtual unsigned copiesPerVariable() const = 0;
+  /// How many copies a read must reach to be correct.
+  virtual unsigned readQuorum() const = 0;
+  /// How many copies a write must reach to be correct.
+  virtual unsigned writeQuorum() const = 0;
+  /// Slots per module for machine sizing (0 = sparse/unbounded).
+  virtual std::uint64_t slotsPerModule() const = 0;
+
+  /// The physical copies of variable v, in a fixed deterministic order.
+  /// out is cleared and filled; modules are pairwise distinct.
+  virtual void copies(std::uint64_t v,
+                      std::vector<PhysicalAddress>& out) const = 0;
+
+  /// Convenience wrapper.
+  std::vector<PhysicalAddress> copiesOf(std::uint64_t v) const {
+    std::vector<PhysicalAddress> out;
+    copies(v, out);
+    return out;
+  }
+};
+
+}  // namespace dsm::scheme

@@ -1,0 +1,42 @@
+#include "dsm/scheme/pp_scheme.hpp"
+
+#include <sstream>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::scheme {
+
+PpScheme::PpScheme(int e, int n) : graph_(e, n), amap_(graph_) {
+  if (e == 1 && n % 2 == 1) {
+    indexer_.emplace(graph_);
+    num_variables_ = indexer_->numVariables();
+  } else {
+    directory_.emplace(graph_);
+    num_variables_ = directory_->numVariables();
+  }
+}
+
+std::string PpScheme::name() const {
+  std::ostringstream os;
+  os << "pp93(q=" << graph_.q() << ",n=" << graph_.n()
+     << (constructiveIndexing() ? ",constructive" : ",directory") << ")";
+  return os.str();
+}
+
+pgl::Mat2 PpScheme::matrixOf(std::uint64_t v) const {
+  DSM_CHECK_MSG(v < num_variables_, "variable out of range: " << v);
+  return indexer_ ? indexer_->matrixOf(v) : directory_->matrixOf(v);
+}
+
+std::uint64_t PpScheme::indexOf(const pgl::Mat2& A) const {
+  return indexer_ ? indexer_->indexOf(A) : directory_->indexOf(A);
+}
+
+void PpScheme::copies(std::uint64_t v,
+                      std::vector<PhysicalAddress>& out) const {
+  out.clear();
+  const auto addrs = amap_.copiesOf(matrixOf(v));
+  out.assign(addrs.begin(), addrs.end());
+}
+
+}  // namespace dsm::scheme

@@ -1,0 +1,59 @@
+// The paper's memory organization scheme, assembled from the graph layer:
+// variables indexed by the Theorem-8 bijection (q = 2, odd n) or by the
+// enumerated Directory (general q); copies located through Lemma 1 +
+// Section 4 addressing; majority quorum q/2 + 1 of the q + 1 copies.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "dsm/graph/directory.hpp"
+#include "dsm/graph/var_indexer.hpp"
+#include "dsm/scheme/memory_scheme.hpp"
+
+namespace dsm::scheme {
+
+/// Deterministic constructive scheme of Pietracaprina & Preparata (SPAA'93).
+class PpScheme : public MemoryScheme {
+ public:
+  /// Builds the scheme over GF(q^n), q = 2^e. For e == 1 and odd n the
+  /// constructive Theorem-8 indexer is used; otherwise the enumerated
+  /// directory (small configurations only).
+  PpScheme(int e, int n);
+
+  std::string name() const override;
+  std::uint64_t numVariables() const override { return num_variables_; }
+  std::uint64_t numModules() const override { return graph_.numModules(); }
+  unsigned copiesPerVariable() const override {
+    return static_cast<unsigned>(graph_.q()) + 1;
+  }
+  unsigned readQuorum() const override {
+    return static_cast<unsigned>(graph_.q()) / 2 + 1;
+  }
+  unsigned writeQuorum() const override { return readQuorum(); }
+  std::uint64_t slotsPerModule() const override {
+    return graph_.moduleDegree();
+  }
+  void copies(std::uint64_t v, std::vector<PhysicalAddress>& out) const override;
+
+  /// True when the O(log N)/O(1) constructive indexing is active (q = 2,
+  /// odd n), false when the enumerated directory fallback is in use.
+  bool constructiveIndexing() const noexcept { return indexer_.has_value(); }
+
+  const graph::GraphG& graph() const noexcept { return graph_; }
+  const graph::AddressMap& addressMap() const noexcept { return amap_; }
+
+  /// Representative matrix of variable v (exposed for analysis/benchmarks).
+  pgl::Mat2 matrixOf(std::uint64_t v) const;
+  /// Index of the variable containing A (inverse; exposed for workloads).
+  std::uint64_t indexOf(const pgl::Mat2& A) const;
+
+ private:
+  graph::GraphG graph_;
+  graph::AddressMap amap_;
+  std::optional<graph::VarIndexer> indexer_;
+  std::optional<graph::Directory> directory_;
+  std::uint64_t num_variables_ = 0;
+};
+
+}  // namespace dsm::scheme

@@ -1,0 +1,47 @@
+// Runtime checking utilities (CppCoreGuidelines P.6/P.7: catch runtime errors
+// early, make the uncheckable-at-compile-time checkable at run time).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsm::util {
+
+/// Thrown when a DSM_CHECK precondition/invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "DSM_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace dsm::util
+
+/// Always-on invariant check; throws dsm::util::CheckError on failure.
+/// Used for preconditions on public APIs and internal invariants whose cost
+/// is negligible relative to the surrounding work.
+#define DSM_CHECK(expr)                                                   \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]]                                             \
+      ::dsm::util::detail::checkFail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+/// DSM_CHECK with a streamed message: DSM_CHECK_MSG(x > 0, "x=" << x).
+#define DSM_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      std::ostringstream dsm_check_os_;                                   \
+      dsm_check_os_ << stream_expr;                                       \
+      ::dsm::util::detail::checkFail(#expr, __FILE__, __LINE__,           \
+                                     dsm_check_os_.str());                \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,108 @@
+#include "dsm/util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> Cli::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::getString(const std::string& name,
+                           const std::string& dflt) const {
+  return find(name).value_or(dflt);
+}
+
+std::int64_t Cli::getInt(const std::string& name, std::int64_t dflt) const {
+  const auto v = find(name);
+  if (!v) return dflt;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    DSM_CHECK_MSG(false, "flag --" << name << " expects an integer, got '"
+                                   << *v << "'");
+  }
+  return dflt;  // unreachable
+}
+
+std::uint64_t Cli::getUint(const std::string& name, std::uint64_t dflt) const {
+  const auto v = find(name);
+  if (!v) return dflt;
+  try {
+    return std::stoull(*v);
+  } catch (const std::exception&) {
+    DSM_CHECK_MSG(false, "flag --" << name
+                                   << " expects an unsigned integer, got '"
+                                   << *v << "'");
+  }
+  return dflt;  // unreachable
+}
+
+double Cli::getDouble(const std::string& name, double dflt) const {
+  const auto v = find(name);
+  if (!v) return dflt;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    DSM_CHECK_MSG(false, "flag --" << name << " expects a number, got '" << *v
+                                   << "'");
+  }
+  return dflt;  // unreachable
+}
+
+bool Cli::getBool(const std::string& name, bool dflt) const {
+  const auto v = find(name);
+  if (!v) return dflt;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::uint64_t> Cli::getUintList(
+    const std::string& name, const std::vector<std::uint64_t>& dflt) const {
+  const auto v = find(name);
+  if (!v) return dflt;
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < v->size()) {
+    auto comma = v->find(',', pos);
+    if (comma == std::string::npos) comma = v->size();
+    const std::string tok = v->substr(pos, comma - pos);
+    if (!tok.empty()) {
+      try {
+        out.push_back(std::stoull(tok));
+      } catch (const std::exception&) {
+        DSM_CHECK_MSG(false, "flag --" << name << ": bad list element '" << tok
+                                       << "'");
+      }
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace dsm::util

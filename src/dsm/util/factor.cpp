@@ -1,0 +1,145 @@
+#include "dsm/util/factor.hpp"
+
+#include <algorithm>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::util {
+namespace {
+
+// Witness set proven sufficient for deterministic Miller-Rabin on all n < 2^64
+// (Sinclair / Jaeschke-style bases).
+constexpr std::uint64_t kWitnesses[] = {2,  3,  5,  7,  11, 13,
+                                        17, 19, 23, 29, 31, 37};
+
+bool millerRabinWitness(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                        unsigned r) noexcept {
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+// Brent's cycle-finding variant of Pollard rho; returns a non-trivial factor
+// of composite odd n. If the rho sequence closes its cycle without exposing
+// a factor (x == y exactly), the attempt is abandoned and the polynomial
+// offset c is advanced — the earlier version multiplied a masked 1 into the
+// batch product instead, which can loop forever on small composites.
+std::uint64_t pollardBrent(std::uint64_t n) noexcept {
+  if (n % 2 == 0) return 2;
+  // Deterministic restart sequence: constants only affect speed, not
+  // correctness, and keep the whole pipeline reproducible.
+  for (std::uint64_t c = 1; c <= 64; ++c) {
+    std::uint64_t x = 2, y = 2, d = 1;
+    std::uint64_t saved_y = y;  // start-of-window y for the retry pass
+    const std::uint64_t m = 128;
+    std::uint64_t q = 1;
+    std::uint64_t r = 1;
+    bool cycled = false;
+    auto f = [n, c](std::uint64_t v) {
+      return (mulmod(v, v, n) + c) % n;
+    };
+    while (d == 1 && !cycled) {
+      x = y;
+      for (std::uint64_t i = 0; i < r; ++i) y = f(y);
+      for (std::uint64_t k = 0; k < r && d == 1 && !cycled; k += m) {
+        saved_y = y;
+        const std::uint64_t lim = std::min(m, r - k);
+        for (std::uint64_t i = 0; i < lim; ++i) {
+          y = f(y);
+          if (y == x) {  // sequence fully cycled: this c is exhausted
+            cycled = true;
+            break;
+          }
+          q = mulmod(q, x > y ? x - y : y - x, n);
+        }
+        d = gcd64(q, n);
+      }
+      r <<= 1;
+    }
+    if (d == n) {
+      // Batch gcd overshot; redo the last window one step at a time.
+      d = 1;
+      std::uint64_t ys = saved_y;
+      while (d == 1) {
+        ys = f(ys);
+        if (ys == x) break;  // cycle without factor: retry with next c
+        d = gcd64(x > ys ? x - ys : ys - x, n);
+      }
+    }
+    if (d != 1 && d != n) return d;
+  }
+  // Guaranteed fallback (never reached in practice): deterministic trial
+  // division — composite n has a factor <= sqrt(n).
+  for (std::uint64_t p = 3;; p += 2) {
+    if (n % p == 0) return p;
+  }
+}
+
+void factorRec(std::uint64_t n, std::vector<std::uint64_t>& out) {
+  if (n == 1) return;
+  if (isPrime(n)) {
+    out.push_back(n);
+    return;
+  }
+  const std::uint64_t d = pollardBrent(n);
+  factorRec(d, out);
+  factorRec(n / d, out);
+}
+
+}  // namespace
+
+bool isPrime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  unsigned r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : kWitnesses) {
+    if (!millerRabinWitness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::vector<PrimePower> factorize(std::uint64_t n) {
+  std::vector<std::uint64_t> primes;
+  if (n > 1) {
+    // Strip small primes by trial division first: cheap and makes Pollard rho
+    // only ever see odd, 3/5/7-free composites.
+    for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+      while (n % p == 0) {
+        primes.push_back(p);
+        n /= p;
+      }
+    }
+    factorRec(n, primes);
+  }
+  std::sort(primes.begin(), primes.end());
+  std::vector<PrimePower> result;
+  for (std::size_t i = 0; i < primes.size();) {
+    std::size_t j = i;
+    while (j < primes.size() && primes[j] == primes[i]) ++j;
+    result.push_back({primes[i], static_cast<unsigned>(j - i)});
+    i = j;
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> distinctPrimeFactors(std::uint64_t n) {
+  std::vector<std::uint64_t> out;
+  for (const auto& pp : factorize(n)) out.push_back(pp.prime);
+  return out;
+}
+
+}  // namespace dsm::util

@@ -1,0 +1,30 @@
+// Integer factorisation of 64-bit values. Needed by the gf module to verify
+// multiplicative orders when searching for field generators and primitive
+// polynomials (an element g generates F* of order m iff g^{m/p} != 1 for
+// every prime p | m).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsm::util {
+
+/// Deterministic Miller–Rabin primality test, valid for all 64-bit inputs.
+bool isPrime(std::uint64_t n) noexcept;
+
+/// A prime factor with its multiplicity.
+struct PrimePower {
+  std::uint64_t prime = 0;
+  unsigned exponent = 0;
+
+  friend bool operator==(const PrimePower&, const PrimePower&) = default;
+};
+
+/// Full factorisation of n (trial division for small factors, Brent's
+/// variant of Pollard rho beyond), sorted by prime. factorize(1) == {}.
+std::vector<PrimePower> factorize(std::uint64_t n);
+
+/// The distinct prime divisors of n, sorted ascending.
+std::vector<std::uint64_t> distinctPrimeFactors(std::uint64_t n);
+
+}  // namespace dsm::util

@@ -1,0 +1,106 @@
+#include "dsm/util/numeric.hpp"
+
+#include "dsm/util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/factor.hpp"
+
+namespace dsm::util {
+
+int logStar(double x) noexcept {
+  int k = 0;
+  // The cap guards against non-finite inputs (log2(inf) == inf); any finite
+  // double reaches <= 1 in far fewer than 64 iterations.
+  while (x > 1.0 && k < 64) {
+    x = std::log2(x);
+    ++k;
+  }
+  return k;
+}
+
+int floorLog2(std::uint64_t x) noexcept {
+  if (x == 0) return -1;
+  return 63 - std::countl_zero(x);
+}
+
+int ceilLog2(std::uint64_t x) noexcept {
+  if (x <= 1) return 0;
+  return floorLog2(x - 1) + 1;
+}
+
+std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t result = 1;
+  std::uint64_t b = base;
+  while (exp != 0) {
+    if (exp & 1u) {
+      DSM_CHECK_MSG(b == 0 || result <= UINT64_MAX / b,
+                    "ipow overflow: base=" << base << " exp=" << exp);
+      result *= b;
+    }
+    exp >>= 1;
+    if (exp != 0) {
+      DSM_CHECK_MSG(b <= UINT32_MAX || b == 0, "ipow overflow (square)");
+      b *= b;
+    }
+  }
+  return result;
+}
+
+std::uint64_t isqrt(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  std::uint64_t r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  // Correct for floating point error in either direction.
+  while (r > 0 && r > x / r) --r;
+  while ((r + 1) <= x / (r + 1)) ++r;
+  return r;
+}
+
+std::uint64_t icbrt(std::uint64_t x) noexcept {
+  if (x == 0) return 0;
+  std::uint64_t r = static_cast<std::uint64_t>(std::cbrt(static_cast<double>(x)));
+  auto cube_le = [x](std::uint64_t v) {
+    if (v == 0) return true;
+    if (v > 2642245) return false;  // 2642245^3 > 2^64
+    return v * v * v <= x;
+  };
+  while (r > 0 && !cube_le(r)) --r;
+  while (cube_le(r + 1)) ++r;
+  return r;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<Uint128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) noexcept {
+  std::uint64_t r = 1 % m;
+  a %= m;
+  while (e != 0) {
+    if (e & 1u) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+std::uint64_t nextPrime(std::uint64_t x) {
+  if (x <= 2) return 2;
+  std::uint64_t p = x | 1u;  // first odd >= x
+  while (!isPrime(p)) p += 2;
+  return p;
+}
+
+}  // namespace dsm::util

@@ -1,0 +1,43 @@
+// Small numeric helpers shared across modules: iterated-logarithm, integer
+// powers/roots, and exact integer arithmetic used by the analytic formulas of
+// the paper (Fact 1 cardinalities, index bijections).
+#pragma once
+
+#include <cstdint>
+
+namespace dsm::util {
+
+/// log*₂(x): the number of times log₂ must be applied before the value drops
+/// to ≤ 1. log_star(1) == 0, log_star(2) == 1, log_star(16) == 3,
+/// log_star(65536) == 4. Appears in the paper's Φ ∈ O(N^{1/3} log* N) bound.
+int logStar(double x) noexcept;
+
+/// Integer base-2 logarithm (floor); returns -1 for x == 0.
+int floorLog2(std::uint64_t x) noexcept;
+
+/// Ceiling base-2 logarithm; returns 0 for x <= 1.
+int ceilLog2(std::uint64_t x) noexcept;
+
+/// Exact integer power base^exp; throws util::CheckError on u64 overflow.
+std::uint64_t ipow(std::uint64_t base, unsigned exp);
+
+/// Floor of the cube root of x (exact, by Newton + correction).
+std::uint64_t icbrt(std::uint64_t x) noexcept;
+
+/// Floor of the square root of x (exact).
+std::uint64_t isqrt(std::uint64_t x) noexcept;
+
+/// (a * b) mod m without overflow, for m < 2^63.
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t m) noexcept;
+
+/// (a ^ e) mod m without overflow.
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e, std::uint64_t m) noexcept;
+
+/// Greatest common divisor (non-recursive).
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Smallest prime >= x (deterministic Miller-Rabin test); used by the
+/// Mehlhorn–Vishkin baseline to pick a prime modulus.
+std::uint64_t nextPrime(std::uint64_t x);
+
+}  // namespace dsm::util

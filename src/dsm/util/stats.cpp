@@ -1,0 +1,100 @@
+#include "dsm/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double nt = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / nt;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / nt;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LinearFit fitLinear(const std::vector<double>& x, const std::vector<double>& y) {
+  DSM_CHECK(x.size() == y.size());
+  DSM_CHECK(x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (denom == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+    fit.r2 = 0.0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fitPowerLaw(const std::vector<double>& x, const std::vector<double>& y) {
+  DSM_CHECK(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DSM_CHECK_MSG(x[i] > 0 && y[i] > 0, "power-law fit requires positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fitLinear(lx, ly);
+}
+
+double quantile(std::vector<double> data, double q) {
+  DSM_CHECK(!data.empty());
+  DSM_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(data.begin(), data.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(data.size() - 1) + 0.5);
+  return data[std::min(idx, data.size() - 1)];
+}
+
+}  // namespace dsm::util

@@ -1,0 +1,53 @@
+// Online statistics accumulators and least-squares fits used by the
+// benchmark harness to report measured scaling exponents against the
+// paper's asymptotic bounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsm::util {
+
+/// Welford online accumulator: mean/variance/min/max in one pass.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Result of a least-squares fit y = a + b x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares on the given points (sizes must match, >= 2).
+LinearFit fitLinear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fit y = C * x^e by OLS in log-log space; returns {log C, e, r2}.
+/// All x and y must be positive. Used to check measured Φ(N) against the
+/// paper's N^{1/3} shape.
+LinearFit fitPowerLaw(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Exact quantile of a *copy* of the data (nearest-rank). q in [0,1].
+double quantile(std::vector<double> data, double q);
+
+}  // namespace dsm::util

@@ -1,0 +1,40 @@
+// Plain-text table rendering. The benchmark harness prints the rows the
+// paper's per-theorem experiments report; this keeps the output columnar and
+// greppable without any external dependency.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dsm::util {
+
+/// Column-aligned ASCII table builder.
+///
+///   TextTable t({"n", "N", "measured", "bound"});
+///   t.addRow({"5", "1023", "1.07", "0.794"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// Render with a rule under the header. Cells are right-aligned except the
+  /// first column.
+  void print(std::ostream& os) const;
+
+  std::size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Convenience numeric formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsm::util

@@ -1,0 +1,167 @@
+#include "dsm/workload/generators.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dsm/pgl/mat2.hpp"
+#include "dsm/util/numeric.hpp"
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::workload {
+
+std::vector<std::uint64_t> randomDistinct(std::uint64_t num_variables,
+                                          std::size_t count,
+                                          util::Xoshiro256& rng) {
+  DSM_CHECK_MSG(count <= num_variables,
+                "cannot draw " << count << " distinct of " << num_variables);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const std::uint64_t v = rng.below(num_variables);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> moduleFocused(const scheme::PpScheme& scheme,
+                                         std::uint64_t module,
+                                         std::size_t count,
+                                         util::Xoshiro256& rng) {
+  DSM_CHECK_MSG(module < scheme.numModules(), "module out of range");
+  DSM_CHECK_MSG(count <= scheme.numVariables(), "count exceeds M");
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> out;
+  const std::uint64_t degree = scheme.graph().moduleDegree();
+  for (std::uint64_t k = 0; k < degree && out.size() < count; ++k) {
+    const std::uint64_t v =
+        scheme.indexOf(scheme.addressMap().variableAt(module, k));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  while (out.size() < count) {
+    const std::uint64_t v = rng.below(scheme.numVariables());
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> greedyAdversarial(
+    const scheme::MemoryScheme& scheme, std::size_t count, std::size_t pool,
+    util::Xoshiro256& rng) {
+  DSM_CHECK_MSG(count <= scheme.numVariables(), "count exceeds M");
+  DSM_CHECK_MSG(pool >= 1, "candidate pool must be non-empty");
+  std::unordered_set<std::uint64_t> chosen;
+  std::unordered_set<std::uint64_t> gamma;  // Γ(S)
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::vector<scheme::PhysicalAddress> copies;
+  while (out.size() < count) {
+    std::uint64_t best_var = 0;
+    int best_new = -1;
+    for (std::size_t c = 0; c < pool; ++c) {
+      const std::uint64_t v = rng.below(scheme.numVariables());
+      if (chosen.count(v)) continue;
+      scheme.copies(v, copies);
+      int fresh = 0;
+      for (const auto& pa : copies) fresh += gamma.count(pa.module) == 0;
+      if (best_new < 0 || fresh < best_new) {
+        best_new = fresh;
+        best_var = v;
+        if (fresh == 0) break;  // cannot do better
+      }
+    }
+    if (best_new < 0) continue;  // whole pool already chosen; resample
+    chosen.insert(best_var);
+    out.push_back(best_var);
+    scheme.copies(best_var, copies);
+    for (const auto& pa : copies) gamma.insert(pa.module);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> subfieldAdversarial(const scheme::PpScheme& scheme,
+                                               int d) {
+  const gf::TowerCtx& k = scheme.graph().field();
+  const int n = k.n();
+  DSM_CHECK_MSG(d >= 1 && d < n && n % d == 0,
+                "subfield degree d must properly divide n; d=" << d);
+  // F_{q^d} inside F_{q^n}: zero plus the powers of gamma^{(q^n-1)/(q^d-1)}.
+  const std::uint64_t qd = util::ipow(k.q(), static_cast<unsigned>(d));
+  const std::uint64_t step = k.groupOrder() / (qd - 1);
+  std::vector<gf::Felem> sub;
+  sub.push_back(0);
+  for (std::uint64_t i = 0; i < qd - 1; ++i) sub.push_back(k.exp(i * step));
+  // Enumerate PGL_2(q^d) as matrices over the embedded subfield and collect
+  // the distinct variable cosets they generate.
+  std::unordered_set<std::uint64_t> vars;
+  for (const gf::Felem a : sub) {
+    for (const gf::Felem b : sub) {
+      for (const gf::Felem c : sub) {
+        for (const gf::Felem dd : sub) {
+          const pgl::Mat2 m{a, b, c, dd};
+          if (pgl::det(k, m) == 0) continue;
+          vars.insert(scheme.indexOf(m));
+        }
+      }
+    }
+  }
+  std::vector<std::uint64_t> out(vars.begin(), vars.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> singleModuleAttack(
+    const scheme::SingleCopyScheme& scheme, std::size_t count) {
+  // Scan variables grouped by target module; pick the first module that can
+  // supply `count` victims (expected count ~ M/N per module).
+  std::vector<std::uint64_t> out;
+  const std::uint64_t target = scheme.moduleOf(0);
+  for (std::uint64_t v = 0; v < scheme.numVariables(); ++v) {
+    if (scheme.moduleOf(v) == target) {
+      out.push_back(v);
+      if (out.size() == count) return out;
+    }
+  }
+  DSM_CHECK_MSG(false, "module " << target << " holds only " << out.size()
+                                 << " variables, needed " << count);
+  return out;  // unreachable
+}
+
+std::vector<protocol::AccessRequest> makeReads(
+    const std::vector<std::uint64_t>& vars) {
+  std::vector<protocol::AccessRequest> out;
+  out.reserve(vars.size());
+  for (const std::uint64_t v : vars) {
+    out.push_back(protocol::AccessRequest{v, mpc::Op::kRead, 0});
+  }
+  return out;
+}
+
+std::vector<protocol::AccessRequest> makeWrites(
+    const std::vector<std::uint64_t>& vars, std::uint64_t value_base) {
+  std::vector<protocol::AccessRequest> out;
+  out.reserve(vars.size());
+  for (const std::uint64_t v : vars) {
+    out.push_back(protocol::AccessRequest{v, mpc::Op::kWrite, value_base ^ v});
+  }
+  return out;
+}
+
+std::vector<protocol::AccessRequest> makeMixed(
+    const std::vector<std::uint64_t>& vars, double read_fraction,
+    util::Xoshiro256& rng) {
+  std::vector<protocol::AccessRequest> out;
+  out.reserve(vars.size());
+  for (const std::uint64_t v : vars) {
+    if (rng.uniform() < read_fraction) {
+      out.push_back(protocol::AccessRequest{v, mpc::Op::kRead, 0});
+    } else {
+      out.push_back(protocol::AccessRequest{v, mpc::Op::kWrite, v * 31 + 7});
+    }
+  }
+  return out;
+}
+
+}  // namespace dsm::workload

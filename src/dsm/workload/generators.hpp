@@ -1,0 +1,69 @@
+// Request-set generators: the workloads the experiments drive through the
+// schemes. Deterministic given the seed.
+//
+// The paper's worst case is adversarial *placement-aware* request sets, so
+// besides uniform random sets this module builds:
+//   * module-focused sets — all q^{n-1} variables stored in one module
+//     (Γ(u), computable because the scheme is explicit!), padded randomly;
+//   * greedy low-expansion sets — grow S picking, among sampled candidates,
+//     the variable whose copies add the fewest new modules to Γ(S);
+//   * single-module attacks on hash-based baselines (every requested
+//     variable hashes to one module — the N-cycle worst case).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::workload {
+
+/// count distinct uniform variable indices from [0, num_variables).
+std::vector<std::uint64_t> randomDistinct(std::uint64_t num_variables,
+                                          std::size_t count,
+                                          util::Xoshiro256& rng);
+
+/// The variables stored in `module` (all of Γ(u), at most moduleDegree()),
+/// then distinct random padding up to count.
+std::vector<std::uint64_t> moduleFocused(const scheme::PpScheme& scheme,
+                                         std::uint64_t module,
+                                         std::size_t count,
+                                         util::Xoshiro256& rng);
+
+/// Greedy low-expansion adversary: each step samples `pool` fresh candidate
+/// variables and keeps the one contributing the fewest new modules to
+/// Γ(S). Produces sets with near-minimal expansion — the stress case for
+/// Theorem 4.
+std::vector<std::uint64_t> greedyAdversarial(const scheme::MemoryScheme& scheme,
+                                             std::size_t count,
+                                             std::size_t pool,
+                                             util::Xoshiro256& rng);
+
+/// The subfield family: all variables whose coset has a representative with
+/// entries in the subfield F_{q^d} (d | n, d < n) — the image of
+/// PGL_2(q^d)/H_0 inside V. These sets have |Γ(S)| ≈ 6^{2/3} q/2 |S|^{2/3},
+/// the lowest-expansion *explicit* family known (the Theorem-4 remark's
+/// genuinely tight sets for composite n are existential). Size is
+/// (q^d+1)q^d(q^d-1)/|PGL_2(q)|.
+std::vector<std::uint64_t> subfieldAdversarial(const scheme::PpScheme& scheme,
+                                               int d);
+
+/// count distinct variables that all hash into one module of the
+/// single-copy baseline (the degenerate Θ(N') workload).
+std::vector<std::uint64_t> singleModuleAttack(
+    const scheme::SingleCopyScheme& scheme, std::size_t count);
+
+/// Builders lifting variable sets into protocol batches.
+std::vector<protocol::AccessRequest> makeReads(
+    const std::vector<std::uint64_t>& vars);
+std::vector<protocol::AccessRequest> makeWrites(
+    const std::vector<std::uint64_t>& vars, std::uint64_t value_base);
+/// Mixed batch: each request is a read with probability read_fraction.
+std::vector<protocol::AccessRequest> makeMixed(
+    const std::vector<std::uint64_t>& vars, double read_fraction,
+    util::Xoshiro256& rng);
+
+}  // namespace dsm::workload

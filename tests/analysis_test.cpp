@@ -1,0 +1,139 @@
+#include "dsm/analysis/concentrator.hpp"
+#include "dsm/analysis/expansion.hpp"
+#include "dsm/analysis/recurrence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace dsm::analysis {
+namespace {
+
+TEST(Expansion, Theorem4HoldsOnRandomSets) {
+  const scheme::PpScheme s(1, 5);
+  util::Xoshiro256 rng(1);
+  for (const std::size_t size : {8u, 64u, 256u, 1024u}) {
+    const auto vars = workload::randomDistinct(s.numVariables(), size, rng);
+    const auto e = measureExpansion(s, vars, s.graph().q());
+    EXPECT_EQ(e.setSize, size);
+    EXPECT_GE(e.ratio, theorem4Constant()) << "size " << size;
+  }
+}
+
+TEST(Expansion, Theorem4HoldsOnAdversarialSets) {
+  const scheme::PpScheme s(1, 5);
+  util::Xoshiro256 rng(2);
+  // Greedy adversary actively minimises expansion; the bound must survive.
+  const auto adv = workload::greedyAdversarial(s, 400, 32, rng);
+  const auto e = measureExpansion(s, adv, s.graph().q());
+  EXPECT_GE(e.ratio, theorem4Constant());
+  // Module-focused sets too.
+  const auto foc = workload::moduleFocused(s, 5, 200, rng);
+  const auto e2 = measureExpansion(s, foc, s.graph().q());
+  EXPECT_GE(e2.ratio, theorem4Constant());
+}
+
+TEST(Expansion, ExhaustiveGammaOfUSetsSmall) {
+  // For every module u at n=3: S = Γ(u) (all 4 variables of the module).
+  // |Γ(S)| >= bound; also by Corollary 1 |Γ(S)| = q·|S| + 1 exactly.
+  const scheme::PpScheme s(1, 3);
+  util::Xoshiro256 rng(3);
+  for (std::uint64_t u = 0; u < s.numModules(); ++u) {
+    const auto vars =
+        workload::moduleFocused(s, u, s.graph().moduleDegree(), rng);
+    const auto e = measureExpansion(s, vars, s.graph().q());
+    EXPECT_EQ(e.gammaSize, s.graph().q() * e.setSize + 1) << "module " << u;
+    EXPECT_GE(e.ratio, theorem4Constant());
+  }
+}
+
+TEST(Expansion, EmptyAndSingleton) {
+  const scheme::PpScheme s(1, 3);
+  const auto empty = measureExpansion(s, {}, 2);
+  EXPECT_EQ(empty.gammaSize, 0u);
+  const auto one = measureExpansion(s, {5}, 2);
+  EXPECT_EQ(one.gammaSize, 3u);  // q+1 copies
+}
+
+TEST(Recurrence, TrajectoryDecreasesToZero) {
+  const auto traj = predictedTrajectory(1023, 2);
+  ASSERT_FALSE(traj.empty());
+  EXPECT_EQ(traj.front(), 1023.0);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LT(traj[i], traj[i - 1]);
+  }
+  EXPECT_GE(traj.back(), 1.0);
+}
+
+TEST(Recurrence, PhiScalesAsCubeRoot) {
+  // predictedPhi(N) / N^{1/3} stays within a narrow band — Theorem 6 with
+  // the log* factor absorbed in the constant at these sizes.
+  const double r1 =
+      static_cast<double>(predictedPhi(1 << 10, 2)) / std::cbrt(1 << 10);
+  const double r2 =
+      static_cast<double>(predictedPhi(1 << 16, 2)) / std::cbrt(1 << 16);
+  const double r3 =
+      static_cast<double>(predictedPhi(1 << 22, 2)) / std::cbrt(1 << 22);
+  EXPECT_LT(r3 / r1, 3.0);
+  EXPECT_GT(r3 / r1, 0.5);
+  EXPECT_LT(r2 / r1, 3.0);
+}
+
+TEST(Recurrence, LargerQDrainsFaster) {
+  EXPECT_LT(predictedPhi(10000, 8), predictedPhi(10000, 2));
+}
+
+TEST(Recurrence, Theorem6ShapeAndTheorem7Bound) {
+  EXPECT_NEAR(theorem6Shape(4096.0), std::cbrt(4096.0) * 4, 1e-9);  // log*(4096)=4
+  EXPECT_NEAR(theorem7Bound(5456, 1023, 3), std::cbrt(5456.0 / 1023.0), 1e-12);
+}
+
+TEST(Concentrator, FindsConcentratedSetsSingleCopy) {
+  // r = 1: one module holds ~M/N variables entirely.
+  const scheme::SingleCopyScheme s(10000, 100, 3);
+  util::Xoshiro256 rng(4);
+  const auto c = concentrate(s, 10000, rng);
+  EXPECT_EQ(c.modules.size(), 1u);
+  EXPECT_GE(c.variables.size(), 80u);  // ~100 expected
+  // Every returned variable lives wholly inside the chosen module.
+  std::vector<scheme::PhysicalAddress> copies;
+  for (const auto v : c.variables) {
+    s.copies(v, copies);
+    EXPECT_EQ(copies[0].module, c.modules[0]);
+  }
+  EXPECT_EQ(c.impliedCycles(1), c.variables.size());
+}
+
+TEST(Concentrator, CoversAllCopiesPp) {
+  const scheme::PpScheme s(1, 5);
+  util::Xoshiro256 rng(5);
+  const auto c = concentrate(s, s.numVariables(), rng);
+  EXPECT_EQ(c.modules.size(), 3u);
+  std::vector<scheme::PhysicalAddress> copies;
+  std::set<std::uint64_t> chosen(c.modules.begin(), c.modules.end());
+  for (const auto v : c.variables) {
+    s.copies(v, copies);
+    for (const auto& pa : copies) {
+      EXPECT_TRUE(chosen.count(pa.module)) << "var " << v;
+    }
+  }
+}
+
+TEST(Concentrator, ImpliedBoundConsistentWithTheorem7) {
+  // For the MV baseline at r=2 the greedy concentrator must certify a
+  // congestion of the same order as (M/N)^{1/2}.
+  const scheme::MvScheme s(16384, 128, 2);
+  util::Xoshiro256 rng(6);
+  const auto c = concentrate(s, 16384, rng);
+  const double bound = theorem7Bound(16384, 128, 2);  // ~11.3
+  EXPECT_GE(static_cast<double>(c.impliedCycles(1)),
+            bound / 4.0);  // same order
+}
+
+}  // namespace
+}  // namespace dsm::analysis

@@ -1,0 +1,136 @@
+#include "dsm/core/shared_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(SharedMemory, PpDefaultsQuickRoundTrip) {
+  SharedMemoryConfig cfg;
+  cfg.n = 5;
+  SharedMemory mem(cfg);
+  EXPECT_EQ(mem.numVariables(), 5456u);
+  EXPECT_EQ(mem.numModules(), 1023u);
+  EXPECT_NE(mem.ppScheme(), nullptr);
+  mem.write({10, 20, 30}, {1, 2, 3});
+  const ReadResult r = mem.read({30, 10, 20});
+  EXPECT_EQ(r.values, (std::vector<std::uint64_t>{3, 1, 2}));
+  EXPECT_GT(r.cost.totalIterations, 0u);
+}
+
+TEST(SharedMemory, WriteSizeMismatchThrows) {
+  SharedMemoryConfig cfg;
+  cfg.n = 3;
+  SharedMemory mem(cfg);
+  EXPECT_THROW(mem.write({1, 2}, {1}), util::CheckError);
+}
+
+class SharedMemoryAllSchemes : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(SharedMemoryAllSchemes, ConsistencyUnderRandomTraffic) {
+  SharedMemoryConfig cfg;
+  cfg.kind = GetParam();
+  cfg.n = 5;  // baselines sized to match the PP instance
+  SharedMemory mem(cfg);
+  std::map<std::uint64_t, std::uint64_t> model;
+  util::Xoshiro256 rng(42);
+  for (int round = 0; round < 8; ++round) {
+    const auto vars =
+        workload::randomDistinct(mem.numVariables(), 40, rng);
+    std::vector<std::uint64_t> vals;
+    for (const auto v : vars) {
+      vals.push_back(v * 3 + round);
+      model[v] = v * 3 + round;
+    }
+    mem.write(vars, vals);
+    const auto probe =
+        workload::randomDistinct(mem.numVariables(), 60, rng);
+    const ReadResult r = mem.read(probe);
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      const auto it = model.find(probe[i]);
+      EXPECT_EQ(r.values[i], it == model.end() ? 0 : it->second)
+          << mem.schemeName() << " var " << probe[i];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SharedMemoryAllSchemes,
+                         ::testing::Values(SchemeKind::kPp, SchemeKind::kMv,
+                                           SchemeKind::kUwRandom,
+                                           SchemeKind::kSingleCopy),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SchemeKind::kPp: return std::string("pp");
+                             case SchemeKind::kMv: return std::string("mv");
+                             case SchemeKind::kUwRandom: return std::string("uw");
+                             case SchemeKind::kSingleCopy:
+                               return std::string("single");
+                           }
+                           return std::string("unknown");
+                         });
+
+TEST(SharedMemory, BaselinesMatchPpSizing) {
+  SharedMemoryConfig cfg;
+  cfg.kind = SchemeKind::kMv;
+  cfg.n = 5;
+  SharedMemory mv(cfg);
+  EXPECT_EQ(mv.numVariables(), 5456u);
+  EXPECT_EQ(mv.numModules(), 1023u);
+}
+
+TEST(SharedMemory, ExplicitSizingOverride) {
+  SharedMemoryConfig cfg;
+  cfg.kind = SchemeKind::kSingleCopy;
+  cfg.numVariables = 500;
+  cfg.numModules = 32;
+  SharedMemory mem(cfg);
+  EXPECT_EQ(mem.numVariables(), 500u);
+  EXPECT_EQ(mem.numModules(), 32u);
+}
+
+TEST(SharedMemory, PartialLoadNPrimeLessThanN) {
+  // Theorem 1 allows any N' <= N distinct requests; tiny batches must work
+  // and cost no more than full batches.
+  SharedMemoryConfig cfg;
+  cfg.n = 5;
+  SharedMemory mem(cfg);
+  util::Xoshiro256 rng(7);
+  const auto small = workload::randomDistinct(mem.numVariables(), 3, rng);
+  const auto big = workload::randomDistinct(mem.numVariables(), 1000, rng);
+  const auto c_small = mem.read(small).cost;
+  const auto c_big = mem.read(big).cost;
+  EXPECT_LE(c_small.totalIterations, c_big.totalIterations);
+}
+
+TEST(SharedMemory, ThreadedMachineGivesIdenticalCosts) {
+  util::Xoshiro256 rng(8);
+  std::vector<std::uint64_t> vars;
+  {
+    SharedMemoryConfig cfg;
+    cfg.n = 5;
+    SharedMemory probe(cfg);
+    vars = workload::randomDistinct(probe.numVariables(), 500, rng);
+  }
+  auto run = [&vars](unsigned threads) {
+    SharedMemoryConfig cfg;
+    cfg.n = 5;
+    cfg.threads = threads;
+    SharedMemory mem(cfg);
+    std::vector<std::uint64_t> vals(vars.size(), 9);
+    const auto w = mem.write(vars, vals);
+    const auto r = mem.read(vars);
+    return std::make_pair(w.totalIterations, r.cost.totalIterations);
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(4), base);
+}
+
+}  // namespace
+}  // namespace dsm

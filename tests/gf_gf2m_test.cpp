@@ -1,0 +1,140 @@
+#include "dsm/gf/gf2m.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/gf/gf2poly.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::gf {
+namespace {
+
+class Gf2mFieldAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gf2mFieldAxioms, RandomSample) {
+  const Gf2mCtx k(GetParam());
+  util::Xoshiro256 rng(1000 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Felem a = rng.below(k.size());
+    const Felem b = rng.below(k.size());
+    const Felem c = rng.below(k.size());
+    // Commutativity / associativity / distributivity.
+    EXPECT_EQ(k.mul(a, b), k.mul(b, a));
+    EXPECT_EQ(k.mul(a, k.mul(b, c)), k.mul(k.mul(a, b), c));
+    EXPECT_EQ(k.mul(a, k.add(b, c)), k.add(k.mul(a, b), k.mul(a, c)));
+    // Identities.
+    EXPECT_EQ(k.mul(a, 1), a);
+    EXPECT_EQ(k.add(a, 0), a);
+    EXPECT_EQ(k.add(a, a), 0u);  // char 2
+    // Inverse.
+    if (a != 0) {
+      EXPECT_EQ(k.mul(a, k.inv(a)), 1u);
+      EXPECT_EQ(k.div(k.mul(a, b), a), b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Gf2mFieldAxioms,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 11, 13, 16));
+
+class Gf2mLogExp : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gf2mLogExp, RoundTrip) {
+  const Gf2mCtx k(GetParam());
+  for (Felem a = 1; a < k.size(); ++a) {
+    EXPECT_EQ(k.exp(k.dlog(a)), a);
+  }
+  for (std::uint64_t e = 0; e < k.groupOrder(); ++e) {
+    EXPECT_EQ(k.dlog(k.exp(e)), e);
+  }
+}
+
+TEST_P(Gf2mLogExp, HomomorphicMultiplication) {
+  const Gf2mCtx k(GetParam());
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t e1 = rng.below(k.groupOrder());
+    const std::uint64_t e2 = rng.below(k.groupOrder());
+    EXPECT_EQ(k.mul(k.exp(e1), k.exp(e2)), k.exp(e1 + e2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Gf2mLogExp, ::testing::Values(2, 3, 5, 8, 10));
+
+TEST(Gf2m, GammaIsPrimitiveSmallField) {
+  const Gf2mCtx k(4);
+  // gamma must visit all 15 non-zero elements before returning to 1.
+  Felem v = 1;
+  std::set<Felem> seen;
+  for (int i = 0; i < 15; ++i) {
+    v = k.mul(v, k.gamma());
+    seen.insert(v);
+  }
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(Gf2m, InvThrowsOnZero) {
+  const Gf2mCtx k(5);
+  EXPECT_THROW(k.inv(0), util::CheckError);
+  EXPECT_THROW(k.dlog(0), util::CheckError);
+}
+
+TEST(Gf2m, LargeFieldUsesBsgs) {
+  const Gf2mCtx k(24);  // above kTableLimit
+  EXPECT_FALSE(k.hasTables());
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t e = rng.below(k.groupOrder());
+    const Felem a = k.exp(e);
+    EXPECT_EQ(k.dlog(a), e);
+  }
+}
+
+TEST(Gf2m, TableAndSchoolbookAgree) {
+  // Same field built with tables (m<=22) must agree with raw polynomial ops.
+  const Gf2mCtx k(9);
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Felem a = rng.below(k.size());
+    const Felem b = rng.below(k.size());
+    EXPECT_EQ(k.mul(a, b), polyMulMod(a, b, k.poly()));
+  }
+}
+
+TEST(Gf2m, FrobeniusIsAdditiveHomomorphism) {
+  // Squaring is additive in characteristic 2: (a+b)^2 = a^2 + b^2.
+  const Gf2mCtx k(11);
+  util::Xoshiro256 rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Felem a = rng.below(k.size());
+    const Felem b = rng.below(k.size());
+    EXPECT_EQ(k.mul(k.add(a, b), k.add(a, b)),
+              k.add(k.mul(a, a), k.mul(b, b)));
+  }
+}
+
+TEST(Gf2m, PowMatchesRepeatedMul) {
+  const Gf2mCtx k(7);
+  util::Xoshiro256 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const Felem a = rng.below(k.size() - 1) + 1;
+    const unsigned e = static_cast<unsigned>(rng.below(40));
+    Felem expect = 1;
+    for (unsigned j = 0; j < e; ++j) expect = k.mul(expect, a);
+    EXPECT_EQ(k.pow(a, e), expect);
+  }
+}
+
+TEST(Gf2m, RejectsBadPolynomial) {
+  EXPECT_THROW(Gf2mCtx(4, 0x1F), util::CheckError);  // irreducible, not primitive
+  EXPECT_THROW(Gf2mCtx(4, 0x15), util::CheckError);  // wrong: x^4+x^2+1 reducible
+  EXPECT_THROW(Gf2mCtx(3, 0x13), util::CheckError);  // degree mismatch
+  EXPECT_THROW(Gf2mCtx(0), util::CheckError);
+  EXPECT_THROW(Gf2mCtx(33), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::gf

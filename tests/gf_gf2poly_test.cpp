@@ -1,0 +1,113 @@
+#include "dsm/gf/gf2poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/util/rng.hpp"
+
+namespace dsm::gf {
+namespace {
+
+TEST(Clmul, KnownProducts) {
+  EXPECT_EQ(clmul(0, 0b1011), 0u);
+  EXPECT_EQ(clmul(1, 0b1011), 0b1011u);
+  EXPECT_EQ(clmul(0b10, 0b10), 0b100u);       // x * x = x^2
+  EXPECT_EQ(clmul(0b11, 0b11), 0b101u);       // (x+1)^2 = x^2+1
+  EXPECT_EQ(clmul(0b111, 0b11), 0b1001u);     // (x^2+x+1)(x+1) = x^3+1
+}
+
+TEST(Clmul, CommutativeAndDistributiveRandom) {
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.below(1u << 30);
+    const std::uint64_t b = rng.below(1u << 30);
+    const std::uint64_t c = rng.below(1u << 30);
+    EXPECT_EQ(clmul(a, b), clmul(b, a));
+    EXPECT_EQ(clmul(a, b ^ c), clmul(a, b) ^ clmul(a, c));
+  }
+}
+
+TEST(PolyDegree, Values) {
+  EXPECT_EQ(polyDegree(0), -1);
+  EXPECT_EQ(polyDegree(1), 0);
+  EXPECT_EQ(polyDegree(0b10), 1);
+  EXPECT_EQ(polyDegree(0x13), 4);
+}
+
+TEST(PolyMod, ReducesBelowModulusDegree) {
+  // x^4 mod (x^4 + x + 1) = x + 1
+  EXPECT_EQ(polyMod(0b10000, 0x13), 0b11u);
+  // degree < modulus: unchanged
+  EXPECT_EQ(polyMod(0b101, 0x13), 0b101u);
+}
+
+TEST(PolyMulMod, AgreesWithClmulPlusMod) {
+  util::Xoshiro256 rng(2);
+  const std::uint64_t m = 0x11D;  // degree 8
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng.below(1u << 8);
+    const std::uint64_t b = rng.below(1u << 8);
+    EXPECT_EQ(polyMulMod(a, b, m), polyMod(clmul(a, b), m));
+  }
+}
+
+TEST(PolyGcd, KnownValues) {
+  // gcd(x^2+1, x+1) = x+1 since x^2+1 = (x+1)^2 over GF(2)
+  EXPECT_EQ(polyGcd(0b101, 0b11), 0b11u);
+  EXPECT_EQ(polyGcd(0b1011, 0b111), 1u);  // coprime irreducibles
+  EXPECT_EQ(polyGcd(0, 0b101), 0b101u);
+}
+
+TEST(PolyPowMod, FermatInField) {
+  // In GF(2^4) = GF(2)[x]/(x^4+x+1): a^{15} == 1 for all a != 0.
+  const std::uint64_t m = 0x13;
+  for (std::uint64_t a = 1; a < 16; ++a) {
+    EXPECT_EQ(polyPowMod(a, 15, m), 1u) << "a=" << a;
+  }
+}
+
+TEST(IsIrreducible, SmallKnownCases) {
+  EXPECT_TRUE(isIrreducibleGf2(0b111));    // x^2+x+1
+  EXPECT_FALSE(isIrreducibleGf2(0b101));   // x^2+1 = (x+1)^2
+  EXPECT_TRUE(isIrreducibleGf2(0b1011));   // x^3+x+1
+  EXPECT_TRUE(isIrreducibleGf2(0b1101));   // x^3+x^2+1
+  EXPECT_FALSE(isIrreducibleGf2(0b1111));  // x^3+x^2+x+1 = (x+1)(x^2+1)
+  EXPECT_TRUE(isIrreducibleGf2(0x13));     // x^4+x+1
+  EXPECT_TRUE(isIrreducibleGf2(0x1F));     // x^4+x^3+x^2+x+1 (5th cyclotomic)
+}
+
+TEST(IsIrreducible, DegreeFourExhaustive) {
+  // The three irreducible quartics over GF(2) are x^4+x+1, x^4+x^3+1,
+  // x^4+x^3+x^2+x+1.
+  int count = 0;
+  for (std::uint64_t p = 0x10; p < 0x20; ++p) {
+    if (isIrreducibleGf2(p)) ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(IsPrimitive, CyclotomicQuarticIsIrreducibleButNotPrimitive) {
+  // x^4+x^3+x^2+x+1 divides x^5 - 1, so x has order 5 < 15: not primitive.
+  EXPECT_TRUE(isIrreducibleGf2(0x1F));
+  EXPECT_FALSE(isPrimitiveGf2(0x1F));
+  EXPECT_TRUE(isPrimitiveGf2(0x13));
+}
+
+TEST(FindPrimitivePoly, AllSupportedDegreesVerify) {
+  for (int m = 1; m <= 32; ++m) {
+    const std::uint64_t p = findPrimitivePolyGf2(m);
+    EXPECT_EQ(polyDegree(p), m);
+    EXPECT_TRUE(isPrimitiveGf2(p)) << "m=" << m;
+  }
+}
+
+TEST(FindPrimitivePoly, PrimitiveElementOrderSpotCheck) {
+  // For m = 10: x must have order exactly 2^10 - 1 = 1023 = 3 * 11 * 31.
+  const std::uint64_t p = findPrimitivePolyGf2(10);
+  EXPECT_NE(polyPowMod(0b10, 1023 / 3, p), 1u);
+  EXPECT_NE(polyPowMod(0b10, 1023 / 11, p), 1u);
+  EXPECT_NE(polyPowMod(0b10, 1023 / 31, p), 1u);
+  EXPECT_EQ(polyPowMod(0b10, 1023, p), 1u);
+}
+
+}  // namespace
+}  // namespace dsm::gf

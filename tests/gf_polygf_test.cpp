@@ -1,0 +1,146 @@
+#include "dsm/gf/polygf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::gf {
+namespace {
+
+PolyGF randomPoly(util::Xoshiro256& rng, const Gf2mCtx& k, int max_deg) {
+  std::vector<Felem> c(static_cast<std::size_t>(rng.below(
+                           static_cast<std::uint64_t>(max_deg) + 1)) + 1);
+  for (auto& x : c) x = rng.below(k.size());
+  return PolyGF(std::move(c));
+}
+
+TEST(PolyGF, NormalFormStripsLeadingZeros) {
+  const PolyGF p({1, 2, 0, 0});
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_EQ(PolyGF({0, 0}).degree(), -1);
+  EXPECT_TRUE(PolyGF({0}).isZero());
+}
+
+TEST(PolyGF, ConstantAndMonomial) {
+  EXPECT_EQ(PolyGF::constant(0).degree(), -1);
+  EXPECT_EQ(PolyGF::constant(3).degree(), 0);
+  EXPECT_EQ(PolyGF::monomial(4).degree(), 4);
+  EXPECT_EQ(PolyGF::monomial(4).coeff(4), 1u);
+  EXPECT_EQ(PolyGF::monomial(2, 0).degree(), -1);
+}
+
+TEST(PolyGF, RingAxiomsRandom) {
+  const Gf2mCtx k(2);  // GF(4)
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const PolyGF a = randomPoly(rng, k, 6);
+    const PolyGF b = randomPoly(rng, k, 6);
+    const PolyGF c = randomPoly(rng, k, 6);
+    EXPECT_EQ(PolyGF::mul(k, a, b), PolyGF::mul(k, b, a));
+    EXPECT_EQ(PolyGF::mul(k, a, PolyGF::mul(k, b, c)),
+              PolyGF::mul(k, PolyGF::mul(k, a, b), c));
+    EXPECT_EQ(PolyGF::mul(k, a, PolyGF::add(k, b, c)),
+              PolyGF::add(k, PolyGF::mul(k, a, b), PolyGF::mul(k, a, c)));
+  }
+}
+
+TEST(PolyGF, ModReducesDegree) {
+  const Gf2mCtx k(2);
+  util::Xoshiro256 rng(12);
+  const PolyGF m = PolyGF({2, 1, 1});  // degree 2 over GF(4)
+  for (int i = 0; i < 100; ++i) {
+    const PolyGF a = randomPoly(rng, k, 8);
+    const PolyGF r = PolyGF::mod(k, a, m);
+    EXPECT_LT(r.degree(), m.degree());
+  }
+}
+
+TEST(PolyGF, ModIsCongruent) {
+  // (a mod m) + q*m reconstruction is awkward without division; instead
+  // verify mod is a ring homomorphism on products.
+  const Gf2mCtx k(3);
+  util::Xoshiro256 rng(13);
+  const PolyGF m({1, 0, 3, 1});  // degree 3 over GF(8)
+  for (int i = 0; i < 100; ++i) {
+    const PolyGF a = randomPoly(rng, k, 5);
+    const PolyGF b = randomPoly(rng, k, 5);
+    const PolyGF lhs = PolyGF::mod(k, PolyGF::mul(k, a, b), m);
+    const PolyGF rhs = PolyGF::mulMod(k, PolyGF::mod(k, a, m),
+                                      PolyGF::mod(k, b, m), m);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(PolyGF, GcdOfMultiples) {
+  const Gf2mCtx k(2);
+  const PolyGF g({1, 1});            // x + 1
+  const PolyGF a = PolyGF::mul(k, g, PolyGF({3, 1}));
+  const PolyGF b = PolyGF::mul(k, g, PolyGF({2, 0, 1}));
+  const PolyGF d = PolyGF::gcd(k, a, b);
+  // gcd is monic and divisible relationship holds: here gcd should be g
+  // (x+1 is monic already) unless the cofactors share a factor.
+  EXPECT_GE(d.degree(), 1);
+  EXPECT_EQ(d.coeffs().back(), 1u);
+}
+
+TEST(PolyGF, PowModFermat) {
+  // In GF(q)[x]/(f) with f irreducible of degree n: a^{q^n} == a.
+  const Gf2mCtx k(2);  // q = 4
+  const PolyGF f = findPrimitivePoly(k, 3);
+  util::Xoshiro256 rng(14);
+  const std::uint64_t qn = util::ipow(4, 3);
+  for (int i = 0; i < 30; ++i) {
+    const PolyGF a = PolyGF::mod(k, randomPoly(rng, k, 5), f);
+    EXPECT_EQ(PolyGF::powMod(k, a, qn, f), a);
+  }
+}
+
+TEST(IsIrreducible, LinearAlwaysIrreducible) {
+  const Gf2mCtx k(2);
+  EXPECT_TRUE(isIrreducible(k, PolyGF({1, 1})));
+  EXPECT_TRUE(isIrreducible(k, PolyGF({3, 2})));
+}
+
+TEST(IsIrreducible, ProductIsReducible) {
+  const Gf2mCtx k(2);
+  const PolyGF p = PolyGF::mul(k, PolyGF({1, 1}), PolyGF({2, 1}));
+  EXPECT_FALSE(isIrreducible(k, p));
+}
+
+TEST(IsIrreducible, CountOverGf4Degree2) {
+  // Number of monic irreducible quadratics over GF(q): (q^2 - q)/2 = 6 for q=4.
+  const Gf2mCtx k(2);
+  int count = 0;
+  for (Felem c1 = 0; c1 < 4; ++c1) {
+    for (Felem c0 = 0; c0 < 4; ++c0) {
+      if (isIrreducible(k, PolyGF({c0, c1, 1}))) ++count;
+    }
+  }
+  EXPECT_EQ(count, 6);
+}
+
+TEST(FindPrimitivePoly, VerifiesOverGf4) {
+  const Gf2mCtx k(2);
+  for (int n : {2, 3, 4, 5}) {
+    const PolyGF f = findPrimitivePoly(k, n);
+    EXPECT_EQ(f.degree(), n);
+    EXPECT_EQ(f.coeffs().back(), 1u);  // monic
+    EXPECT_TRUE(isPrimitive(k, f));
+    // Order check: x^{(q^n-1)} == 1 but x^{(q^n-1)/p} != 1 handled inside
+    // isPrimitive; spot-check full order here.
+    const std::uint64_t order = util::ipow(4, static_cast<unsigned>(n)) - 1;
+    const PolyGF one = PolyGF::constant(1);
+    EXPECT_EQ(PolyGF::powMod(k, PolyGF::monomial(1), order, f), one);
+  }
+}
+
+TEST(FindPrimitivePoly, Gf2MatchesBitLevelSearch) {
+  // Over GF(2) the generic search must find a primitive polynomial too.
+  const Gf2mCtx k(1);
+  const PolyGF f = findPrimitivePoly(k, 5);
+  EXPECT_TRUE(isPrimitive(k, f));
+}
+
+}  // namespace
+}  // namespace dsm::gf

@@ -1,0 +1,179 @@
+// Deep algebraic property tests across the field stack: exhaustive axiom
+// checks on the small fields the graph construction leans on, Frobenius
+// structure, subfield embeddings, and cross-representation consistency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dsm/gf/gf2m.hpp"
+#include "dsm/gf/quadext.hpp"
+#include "dsm/gf/tower.hpp"
+#include "dsm/util/factor.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::gf {
+namespace {
+
+TEST(ExhaustiveAxioms, Gf4AllTriples) {
+  const Gf2mCtx k(2);
+  for (Felem a = 0; a < 4; ++a) {
+    for (Felem b = 0; b < 4; ++b) {
+      EXPECT_EQ(k.mul(a, b), k.mul(b, a));
+      for (Felem c = 0; c < 4; ++c) {
+        EXPECT_EQ(k.mul(a, k.mul(b, c)), k.mul(k.mul(a, b), c));
+        EXPECT_EQ(k.mul(a, k.add(b, c)), k.add(k.mul(a, b), k.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveAxioms, Gf8AllTriples) {
+  const Gf2mCtx k(3);
+  for (Felem a = 0; a < 8; ++a) {
+    for (Felem b = 0; b < 8; ++b) {
+      for (Felem c = 0; c < 8; ++c) {
+        EXPECT_EQ(k.mul(a, k.mul(b, c)), k.mul(k.mul(a, b), c));
+        EXPECT_EQ(k.mul(a, k.add(b, c)), k.add(k.mul(a, b), k.mul(a, c)));
+      }
+    }
+  }
+  for (Felem a = 1; a < 8; ++a) {
+    EXPECT_EQ(k.mul(a, k.inv(a)), 1u);
+    EXPECT_EQ(k.pow(a, 7), 1u);  // Lagrange
+  }
+}
+
+TEST(Frobenius, FixedFieldIsExactlyTheSubfield) {
+  // x -> x^q fixes exactly F_q inside F_{q^n}.
+  for (const auto [e, n] : {std::pair{1, 5}, std::pair{2, 3}}) {
+    const TowerCtx k(e, n);
+    std::uint64_t fixed = 0;
+    for (Felem a = 0; a < k.size(); ++a) {
+      if (k.pow(a, k.q()) == a) {
+        ++fixed;
+        EXPECT_TRUE(k.inBaseField(a)) << "a=" << a;
+      }
+    }
+    EXPECT_EQ(fixed, k.q());
+  }
+}
+
+TEST(Frobenius, IsFieldAutomorphism) {
+  const TowerCtx k(2, 3);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Felem a = rng.below(k.size());
+    const Felem b = rng.below(k.size());
+    EXPECT_EQ(k.pow(k.add(a, b), k.q()),
+              k.add(k.pow(a, k.q()), k.pow(b, k.q())));
+    EXPECT_EQ(k.pow(k.mul(a, b), k.q()),
+              k.mul(k.pow(a, k.q()), k.pow(b, k.q())));
+  }
+}
+
+TEST(Frobenius, OrderIsN) {
+  // Applying x -> x^q to a generator returns to it after exactly n steps.
+  const TowerCtx k(1, 7);
+  Felem v = k.gamma();
+  for (int i = 1; i < 7; ++i) {
+    v = k.pow(v, k.q());
+    EXPECT_NE(v, k.gamma()) << "Frobenius fixed gamma after " << i << " steps";
+  }
+  v = k.pow(v, k.q());
+  EXPECT_EQ(v, k.gamma());
+}
+
+TEST(Subfield, TowerContainsEveryIntermediateField) {
+  // F_{q^d} ⊂ F_{q^n} for every d | n: elements with x^{q^d} == x number
+  // exactly q^d.
+  const TowerCtx k(1, 6);
+  for (const int d : {1, 2, 3, 6}) {
+    std::uint64_t qd = 1;
+    for (int i = 0; i < d; ++i) qd *= k.q();
+    std::uint64_t fixed = 0;
+    for (Felem a = 0; a < k.size(); ++a) {
+      Felem v = a;
+      for (int i = 0; i < d; ++i) v = k.pow(v, k.q());
+      fixed += v == a;
+    }
+    EXPECT_EQ(fixed, qd) << "d=" << d;
+  }
+}
+
+TEST(Order, ElementOrdersDivideGroupOrder) {
+  const TowerCtx k(1, 5);
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Felem a = rng.below(k.size() - 1) + 1;
+    // order(a) = groupOrder / gcd(dlog(a), groupOrder)
+    const std::uint64_t d = util::gcd64(k.dlog(a), k.groupOrder());
+    const std::uint64_t ord = k.groupOrder() / d;
+    EXPECT_EQ(k.pow(a, ord), 1u);
+    for (const std::uint64_t p : util::distinctPrimeFactors(ord)) {
+      EXPECT_NE(k.pow(a, ord / p), 1u);
+    }
+  }
+}
+
+TEST(QuadExt, NormMapsOntoBaseField) {
+  // N(x) = x^{2^n + 1} maps F_{2^{2n}}* onto F_{2^n}* (surjective,
+  // (2^n+1)-to-one).
+  const TowerCtx base(1, 3);
+  const QuadExtCtx ext(base);
+  std::map<Felem, int> image;
+  for (std::uint64_t e = 0; e < ext.groupOrder(); ++e) {
+    const Felem x = ext.expLambda(e);
+    const Felem nx = ext.pow(x, ext.sigma());  // sigma = 2^n + 1
+    ASSERT_TRUE(QuadExtCtx::inBaseFieldStar(nx));
+    ++image[QuadExtCtx::lo(nx)];
+  }
+  EXPECT_EQ(image.size(), base.size() - 1);
+  for (const auto& [v, cnt] : image) {
+    EXPECT_EQ(cnt, static_cast<int>(ext.sigma()));
+  }
+}
+
+TEST(QuadExt, TraceBasisDecompositionConsistent) {
+  // Every element decomposes uniquely over the (w, 1) basis; cross-check
+  // with direct field arithmetic for all of GF(2^6).
+  const TowerCtx base(1, 3);
+  const QuadExtCtx ext(base);
+  std::set<Felem> seen;
+  for (Felem x = 0; x < base.size(); ++x) {
+    for (Felem y = 0; y < base.size(); ++y) {
+      const Felem alpha = ext.fromRow(x, y);
+      EXPECT_TRUE(seen.insert(alpha).second);  // injective
+      const auto [x2, y2] = ext.toRow(alpha);
+      EXPECT_EQ(x2, x);
+      EXPECT_EQ(y2, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), ext.size());  // surjective
+}
+
+TEST(CrossRepresentation, TowerQ2AgreesWithGf2mOnEverything) {
+  // Full cross-check at n = 5: mul, inv, exp, dlog identical bit-for-bit.
+  const TowerCtx t(1, 5);
+  const Gf2mCtx g(5);
+  for (Felem a = 1; a < t.size(); ++a) {
+    EXPECT_EQ(t.inv(a), g.inv(a));
+    EXPECT_EQ(t.dlog(a), g.dlog(a));
+    for (Felem b = 0; b < t.size(); ++b) {
+      EXPECT_EQ(t.mul(a, b), g.mul(a, b));
+    }
+  }
+}
+
+TEST(Reduction, TowerReductionPolyIsPrimitive) {
+  for (const auto [e, n] : {std::pair{1, 5}, std::pair{2, 3}, std::pair{3, 3}}) {
+    const TowerCtx k(e, n);
+    EXPECT_TRUE(isPrimitive(k.base(), k.reduction()));
+    EXPECT_EQ(k.reduction().degree(), n);
+    EXPECT_EQ(k.reduction().coeffs().back(), 1u);  // monic
+  }
+}
+
+}  // namespace
+}  // namespace dsm::gf

@@ -1,0 +1,149 @@
+#include "dsm/gf/quadext.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/factor.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::gf {
+namespace {
+
+class QuadExtFixture : public ::testing::TestWithParam<int> {
+ protected:
+  QuadExtFixture() : base_(1, GetParam()), ext_(base_) {}
+  TowerCtx base_;
+  QuadExtCtx ext_;
+};
+
+TEST_P(QuadExtFixture, PaperConstants) {
+  const int n = GetParam();
+  EXPECT_EQ(ext_.size(), 1ULL << (2 * n));
+  EXPECT_EQ(ext_.rho(), (ext_.size() - 1) / 3);
+  EXPECT_EQ(ext_.sigma(), (1ULL << n) + 1);
+  EXPECT_EQ(ext_.tau(), ext_.sigma() / 3);
+  EXPECT_EQ(ext_.rho() % ext_.tau(), 0u);  // rho = (2^n - 1) * tau
+}
+
+TEST_P(QuadExtFixture, FieldAxiomsRandomSample) {
+  util::Xoshiro256 rng(50 + GetParam());
+  const Felem one = QuadExtCtx::pack(0, 1);
+  for (int i = 0; i < 200; ++i) {
+    const Felem a = QuadExtCtx::pack(rng.below(base_.size()),
+                                     rng.below(base_.size()));
+    const Felem b = QuadExtCtx::pack(rng.below(base_.size()),
+                                     rng.below(base_.size()));
+    const Felem c = QuadExtCtx::pack(rng.below(base_.size()),
+                                     rng.below(base_.size()));
+    EXPECT_EQ(ext_.mul(a, b), ext_.mul(b, a));
+    EXPECT_EQ(ext_.mul(a, ext_.mul(b, c)), ext_.mul(ext_.mul(a, b), c));
+    EXPECT_EQ(ext_.mul(a, ext_.add(b, c)),
+              ext_.add(ext_.mul(a, b), ext_.mul(a, c)));
+    EXPECT_EQ(ext_.mul(a, one), a);
+    if (a != 0) { EXPECT_EQ(ext_.mul(a, ext_.inv(a)), one); }
+  }
+}
+
+TEST_P(QuadExtFixture, LambdaGeneratesFullGroup) {
+  const std::uint64_t order = ext_.groupOrder();
+  EXPECT_EQ(ext_.pow(ext_.lambda(), order), QuadExtCtx::pack(0, 1));
+  for (std::uint64_t p : util::distinctPrimeFactors(order)) {
+    EXPECT_NE(ext_.pow(ext_.lambda(), order / p), QuadExtCtx::pack(0, 1));
+  }
+}
+
+TEST_P(QuadExtFixture, WIsPrimitiveCubeRoot) {
+  const Felem w = ext_.w();
+  const Felem one = QuadExtCtx::pack(0, 1);
+  EXPECT_NE(w, one);
+  EXPECT_NE(ext_.mul(w, w), one);
+  EXPECT_EQ(ext_.mul(w, ext_.mul(w, w)), one);  // w^3 = 1
+  // w^2 + w + 1 = 0
+  EXPECT_EQ(ext_.add(ext_.add(ext_.mul(w, w), w), one), 0u);
+  // w is outside the base field (n odd => F_4 not a subfield of F_{2^n}).
+  EXPECT_FALSE(QuadExtCtx::inBaseField(w));
+}
+
+TEST_P(QuadExtFixture, SubfieldIsLambdaSigmaPowers) {
+  // F_{2^n}* = { λ^{iσ} } — the paper's identification, Section 4.
+  util::Xoshiro256 rng(60);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t e = rng.below((1ULL << GetParam()) - 1);
+    const Felem v = ext_.expLambda(e * ext_.sigma());
+    EXPECT_TRUE(QuadExtCtx::inBaseFieldStar(v));
+  }
+  // Conversely a random base-field element has dlog divisible by sigma.
+  for (int i = 0; i < 50; ++i) {
+    const Felem b = rng.below(base_.size() - 1) + 1;
+    EXPECT_EQ(ext_.dlogLambda(QuadExtCtx::embed(b)) % ext_.sigma(), 0u);
+  }
+}
+
+TEST_P(QuadExtFixture, DlogRoundTrip) {
+  util::Xoshiro256 rng(61);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t e = rng.below(ext_.groupOrder());
+    EXPECT_EQ(ext_.dlogLambda(ext_.expLambda(e)), e);
+  }
+}
+
+TEST_P(QuadExtFixture, RowConversionRoundTrip) {
+  util::Xoshiro256 rng(62);
+  for (int i = 0; i < 200; ++i) {
+    const Felem x = rng.below(base_.size());
+    const Felem y = rng.below(base_.size());
+    const auto [x2, y2] = ext_.toRow(ext_.fromRow(x, y));
+    EXPECT_EQ(x2, x);
+    EXPECT_EQ(y2, y);
+  }
+  // And the reverse direction.
+  for (int i = 0; i < 200; ++i) {
+    const Felem alpha = QuadExtCtx::pack(rng.below(base_.size()),
+                                         rng.below(base_.size()));
+    const auto [x, y] = ext_.toRow(alpha);
+    EXPECT_EQ(ext_.fromRow(x, y), alpha);
+  }
+}
+
+TEST_P(QuadExtFixture, FromRowIsWLinear) {
+  // fromRow(x, y) must equal x*w + y as field elements.
+  util::Xoshiro256 rng(63);
+  for (int i = 0; i < 100; ++i) {
+    const Felem x = rng.below(base_.size());
+    const Felem y = rng.below(base_.size());
+    const Felem expect =
+        ext_.add(ext_.mul(QuadExtCtx::embed(x), ext_.w()), QuadExtCtx::embed(y));
+    EXPECT_EQ(ext_.fromRow(x, y), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddN, QuadExtFixture, ::testing::Values(3, 5, 7, 9),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(QuadExt, RejectsEvenN) {
+  const TowerCtx even(1, 4);
+  EXPECT_THROW(QuadExtCtx{even}, util::CheckError);
+}
+
+TEST(QuadExt, RejectsNonBinaryBase) {
+  const TowerCtx q4(2, 3);
+  EXPECT_THROW(QuadExtCtx{q4}, util::CheckError);
+}
+
+TEST(QuadExt, BsgsPathForLargeN) {
+  const TowerCtx base(1, 13);  // 2^26 > table limit
+  const QuadExtCtx ext(base);
+  util::Xoshiro256 rng(64);
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t e = rng.below(ext.groupOrder());
+    EXPECT_EQ(ext.dlogLambda(ext.expLambda(e)), e);
+  }
+}
+
+}  // namespace
+}  // namespace dsm::gf

@@ -1,0 +1,180 @@
+#include "dsm/gf/tower.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/gf/gf2m.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/util/factor.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::gf {
+namespace {
+
+struct TowerParam {
+  int e;
+  int n;
+};
+
+class TowerAxioms : public ::testing::TestWithParam<TowerParam> {};
+
+TEST_P(TowerAxioms, FieldAxiomsRandomSample) {
+  const TowerCtx k(GetParam().e, GetParam().n);
+  util::Xoshiro256 rng(31 + GetParam().e * 100 + GetParam().n);
+  for (int i = 0; i < 300; ++i) {
+    const Felem a = rng.below(k.size());
+    const Felem b = rng.below(k.size());
+    const Felem c = rng.below(k.size());
+    EXPECT_EQ(k.mul(a, b), k.mul(b, a));
+    EXPECT_EQ(k.mul(a, k.mul(b, c)), k.mul(k.mul(a, b), c));
+    EXPECT_EQ(k.mul(a, k.add(b, c)), k.add(k.mul(a, b), k.mul(a, c)));
+    EXPECT_EQ(k.mul(a, 1), a);
+    EXPECT_EQ(k.mul(a, 0), 0u);
+    if (a != 0) { EXPECT_EQ(k.mul(a, k.inv(a)), 1u); }
+  }
+}
+
+TEST_P(TowerAxioms, GammaHasFullOrder) {
+  const TowerCtx k(GetParam().e, GetParam().n);
+  const std::uint64_t order = k.groupOrder();
+  EXPECT_EQ(k.pow(k.gamma(), order), 1u);
+  for (std::uint64_t p : util::distinctPrimeFactors(order)) {
+    EXPECT_NE(k.pow(k.gamma(), order / p), 1u) << "p=" << p;
+  }
+}
+
+TEST_P(TowerAxioms, DlogExpRoundTripSampled) {
+  const TowerCtx k(GetParam().e, GetParam().n);
+  util::Xoshiro256 rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t e = rng.below(k.groupOrder());
+    EXPECT_EQ(k.dlog(k.exp(e)), e);
+  }
+}
+
+TEST_P(TowerAxioms, BaseFieldIsClosedSubfield) {
+  const TowerCtx k(GetParam().e, GetParam().n);
+  // Constant polynomials multiply like the base field and stay constant.
+  for (Felem a = 0; a < k.q(); ++a) {
+    for (Felem b = 0; b < k.q(); ++b) {
+      const Felem p = k.mul(a, b);
+      EXPECT_TRUE(k.inBaseField(p));
+      EXPECT_EQ(p, k.base().mul(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, TowerAxioms,
+    ::testing::Values(TowerParam{1, 3}, TowerParam{1, 5}, TowerParam{1, 7},
+                      TowerParam{1, 9}, TowerParam{2, 3}, TowerParam{2, 5},
+                      TowerParam{3, 3}, TowerParam{1, 13}),
+    [](const ::testing::TestParamInfo<TowerParam>& info) {
+      return "q" + std::to_string(1 << info.param.e) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(Tower, BitCompatibleWithGf2m) {
+  // For e == 1 the tower must agree element-for-element with Gf2mCtx(n).
+  for (int n : {3, 5, 7}) {
+    const TowerCtx t(1, n);
+    const Gf2mCtx g(n);
+    util::Xoshiro256 rng(7);
+    for (int i = 0; i < 200; ++i) {
+      const Felem a = rng.below(t.size());
+      const Felem b = rng.below(t.size());
+      EXPECT_EQ(t.mul(a, b), g.mul(a, b)) << "n=" << n;
+    }
+    EXPECT_EQ(t.gamma(), g.gamma());
+    for (std::uint64_t e = 0; e < 50; ++e) {
+      EXPECT_EQ(t.exp(e), g.exp(e));
+    }
+  }
+}
+
+TEST(Tower, PGammaStructure) {
+  const TowerCtx k(2, 3);  // GF(4^3)
+  EXPECT_EQ(k.pGammaSize(), 16u);  // q^{n-1} = 4^2
+  std::set<Felem> members;
+  for (std::uint64_t i = 0; i < k.pGammaSize(); ++i) {
+    const Felem p = k.pGammaAt(i);
+    EXPECT_TRUE(k.inPGamma(p));
+    EXPECT_EQ(k.pGammaIndex(p), i);
+    members.insert(p);
+  }
+  EXPECT_EQ(members.size(), k.pGammaSize());
+  // Exhaustive: an element is in P_gamma iff enumerated.
+  std::uint64_t count = 0;
+  for (Felem a = 0; a < k.size(); ++a) {
+    if (k.inPGamma(a)) ++count;
+  }
+  EXPECT_EQ(count, k.pGammaSize());
+}
+
+TEST(Tower, PGammaClosedUnderAddition) {
+  const TowerCtx k(1, 5);
+  util::Xoshiro256 rng(21);
+  for (int i = 0; i < 100; ++i) {
+    const Felem p1 = k.pGammaAt(rng.below(k.pGammaSize()));
+    const Felem p2 = k.pGammaAt(rng.below(k.pGammaSize()));
+    EXPECT_TRUE(k.inPGamma(k.add(p1, p2)));
+  }
+}
+
+TEST(Tower, PGammaPlusBaseFieldCoversField) {
+  // {p + a : p in P_gamma, a in F_q} = F_{q^n}  (used in Lemma 3).
+  const TowerCtx k(2, 3);
+  std::set<Felem> all;
+  for (std::uint64_t i = 0; i < k.pGammaSize(); ++i) {
+    for (Felem a = 0; a < k.q(); ++a) {
+      all.insert(k.add(k.pGammaAt(i), a));
+    }
+  }
+  EXPECT_EQ(all.size(), k.size());
+}
+
+TEST(Tower, ScalarPredicates) {
+  const TowerCtx k(2, 3);
+  EXPECT_FALSE(k.isScalar(0));
+  EXPECT_TRUE(k.isScalar(1));
+  EXPECT_TRUE(k.isScalar(3));
+  EXPECT_FALSE(k.isScalar(4));  // gamma, not scalar
+  EXPECT_EQ(k.scalarIndex(), (k.size() - 1) / (k.q() - 1));
+}
+
+TEST(Tower, ScalarIndexPartitionsGroup) {
+  // gamma^scalarIndex generates F_q*: its powers are exactly the scalars.
+  const TowerCtx k(2, 3);
+  const Felem g = k.exp(k.scalarIndex());
+  std::set<Felem> scalars;
+  Felem v = 1;
+  for (std::uint64_t i = 0; i + 1 < k.q(); ++i) {
+    scalars.insert(v);
+    v = k.mul(v, g);
+  }
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(scalars.size(), k.q() - 1);
+  for (Felem s : scalars) EXPECT_TRUE(k.isScalar(s));
+}
+
+TEST(Tower, RejectsBadParameters) {
+  EXPECT_THROW(TowerCtx(1, 1), util::CheckError);
+  EXPECT_THROW(TowerCtx(0, 3), util::CheckError);
+  EXPECT_THROW(TowerCtx(9, 3), util::CheckError);
+  EXPECT_THROW(TowerCtx(8, 6), util::CheckError);  // 48 bits > 44
+}
+
+TEST(Tower, LargeFieldBsgsDlog) {
+  const TowerCtx k(1, 25);  // 2^25 > table limit
+  EXPECT_FALSE(k.hasTables());
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const std::uint64_t e = rng.below(k.groupOrder());
+    EXPECT_EQ(k.dlog(k.exp(e)), e);
+  }
+}
+
+}  // namespace
+}  // namespace dsm::gf

@@ -1,0 +1,76 @@
+#include "dsm/graph/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::graph {
+namespace {
+
+pgl::Mat2 randomInvertible(util::Xoshiro256& rng, const gf::TowerCtx& k) {
+  while (true) {
+    const pgl::Mat2 m{rng.below(k.size()), rng.below(k.size()),
+                      rng.below(k.size()), rng.below(k.size())};
+    if (pgl::det(k, m) != 0) return m;
+  }
+}
+
+class DirectoryFixture
+    : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  DirectoryFixture() : g_(GetParam().first, GetParam().second), dir_(g_) {}
+  GraphG g_;
+  Directory dir_;
+};
+
+TEST_P(DirectoryFixture, CountMatchesFact1) {
+  EXPECT_EQ(dir_.numVariables(), g_.numVariables());
+}
+
+TEST_P(DirectoryFixture, RoundTrip) {
+  for (std::uint64_t v = 0; v < dir_.numVariables(); ++v) {
+    EXPECT_EQ(dir_.indexOf(dir_.matrixOf(v)), v);
+  }
+}
+
+TEST_P(DirectoryFixture, RepsAreCanonicalAndDistinct) {
+  std::set<pgl::Mat2> seen;
+  for (std::uint64_t v = 0; v < dir_.numVariables(); ++v) {
+    const pgl::Mat2& rep = dir_.matrixOf(v);
+    EXPECT_EQ(g_.variableKey(rep), rep);  // already canonical
+    EXPECT_TRUE(seen.insert(rep).second);
+  }
+}
+
+TEST_P(DirectoryFixture, IndexInvariantUnderCosetMates) {
+  util::Xoshiro256 rng(95);
+  const gf::TowerCtx& k = g_.field();
+  for (int i = 0; i < 50; ++i) {
+    const pgl::Mat2 A = randomInvertible(rng, k);
+    const std::uint64_t v = dir_.indexOf(A);
+    for (const pgl::Mat2& h : g_.h0().elements()) {
+      EXPECT_EQ(dir_.indexOf(pgl::mul(k, A, h)), v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DirectoryFixture,
+                         ::testing::Values(std::make_pair(1, 3),
+                                           std::make_pair(1, 5),
+                                           std::make_pair(2, 3)),
+                         [](const auto& info) {
+                           return "q" + std::to_string(1 << info.param.first) +
+                                  "n" + std::to_string(info.param.second);
+                         });
+
+TEST(Directory, RefusesHugeFields) {
+  // q^n = 2^10 is beyond the enumeration guard (2^8): |PGL_2| would be ~2^30.
+  const GraphG big(1, 10);
+  EXPECT_THROW(Directory{big}, util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::graph

@@ -1,0 +1,171 @@
+#include "dsm/graph/graphg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::graph {
+namespace {
+
+pgl::Mat2 randomInvertible(util::Xoshiro256& rng, const gf::TowerCtx& k) {
+  while (true) {
+    const pgl::Mat2 m{rng.below(k.size()), rng.below(k.size()),
+                      rng.below(k.size()), rng.below(k.size())};
+    if (pgl::det(k, m) != 0) return m;
+  }
+}
+
+struct Cfg {
+  int e;
+  int n;
+  std::uint64_t M;
+  std::uint64_t N;
+};
+
+class GraphFact1 : public ::testing::TestWithParam<Cfg> {};
+
+TEST_P(GraphFact1, Cardinalities) {
+  const GraphG g(GetParam().e, GetParam().n);
+  EXPECT_EQ(g.numVariables(), GetParam().M);
+  EXPECT_EQ(g.numModules(), GetParam().N);
+  EXPECT_EQ(g.variableDegree(), g.q() + 1);
+  std::uint64_t qn_1 = 1;
+  for (int i = 0; i + 1 < GetParam().n; ++i) qn_1 *= g.q();
+  EXPECT_EQ(g.moduleDegree(), qn_1);
+  // Edge-count consistency: M * (q+1) == N * q^{n-1}.
+  EXPECT_EQ(g.numVariables() * g.variableDegree(),
+            g.numModules() * g.moduleDegree());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GraphFact1,
+    ::testing::Values(Cfg{1, 3, 84, 63},                 // q=2, n=3
+                      Cfg{1, 5, 5456, 1023},             // q=2, n=5
+                      Cfg{1, 7, 349504, 16383},          // q=2, n=7
+                      Cfg{1, 9, 22369536, 262143},       // q=2, n=9
+                      Cfg{2, 3, 4368, 1365},             // q=4, n=3
+                      Cfg{1, 4, 680, 255}),              // q=2, n=4 (even n)
+    [](const ::testing::TestParamInfo<Cfg>& info) {
+      return "q" + std::to_string(1 << info.param.e) + "n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(GraphG, ModuleNeighborsAreDistinct) {
+  // Lemma 1 gives q+1 *distinct* modules for every variable.
+  for (int n : {3, 5}) {
+    const GraphG g(1, n);
+    util::Xoshiro256 rng(40 + n);
+    for (int i = 0; i < 50; ++i) {
+      const pgl::Mat2 A = randomInvertible(rng, g.field());
+      const auto mods = g.moduleNeighbors(A);
+      ASSERT_EQ(mods.size(), g.q() + 1);
+      std::set<std::pair<std::uint64_t, std::int64_t>> distinct;
+      for (const auto& m : mods) distinct.insert({m.s, m.t});
+      EXPECT_EQ(distinct.size(), mods.size());
+    }
+  }
+}
+
+TEST(GraphG, ModuleNeighborsInvariantUnderCosetChoice) {
+  const GraphG g(1, 5);
+  util::Xoshiro256 rng(41);
+  for (int i = 0; i < 30; ++i) {
+    const pgl::Mat2 A = randomInvertible(rng, g.field());
+    std::set<std::pair<std::uint64_t, std::int64_t>> base;
+    for (const auto& m : g.moduleNeighbors(A)) base.insert({m.s, m.t});
+    for (const pgl::Mat2& h : g.h0().elements()) {
+      std::set<std::pair<std::uint64_t, std::int64_t>> other;
+      for (const auto& m : g.moduleNeighbors(pgl::mul(g.field(), A, h))) {
+        other.insert({m.s, m.t});
+      }
+      EXPECT_EQ(other, base);
+    }
+  }
+}
+
+TEST(GraphG, VariableNeighborsAreDistinctLemma2) {
+  // Lemma 2: a module stores q^{n-1} copies of *distinct* variables.
+  const GraphG g(1, 5);
+  util::Xoshiro256 rng(42);
+  for (int i = 0; i < 10; ++i) {
+    const pgl::Mat2 B = randomInvertible(rng, g.field());
+    const auto vars = g.variableNeighbors(B);
+    ASSERT_EQ(vars.size(), g.moduleDegree());
+    const std::set<pgl::Mat2> distinct(vars.begin(), vars.end());
+    EXPECT_EQ(distinct.size(), vars.size());
+  }
+}
+
+TEST(GraphG, AdjacencyIsSymmetric) {
+  // v in Gamma(u) iff u in Gamma(v), evaluated through both lemmas.
+  const GraphG g(1, 3);
+  util::Xoshiro256 rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    const pgl::Mat2 B = randomInvertible(rng, g.field());
+    const pgl::Hn1Coset bkey = pgl::canonicalHn1Coset(g.field(), B);
+    // Pick a slot; its variable must list B among its modules.
+    const std::uint64_t k = rng.below(g.moduleDegree());
+    const pgl::Mat2 v = g.slotVariableMatrix(bkey.rep, k);
+    bool found = false;
+    for (const auto& m : g.moduleNeighbors(v)) {
+      if (m.s == bkey.s && m.t == bkey.t) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(GraphG, Theorem2TwoVariablesShareAtMostOneModule) {
+  // Exhaustive over all variable pairs at q=2, n=3 (84 variables).
+  const GraphG g(1, 3);
+  const gf::TowerCtx& k = g.field();
+  // Collect one representative per variable coset.
+  std::map<pgl::Mat2, std::vector<std::pair<std::uint64_t, std::int64_t>>>
+      var_modules;
+  const std::uint64_t kk = k.size();
+  auto visit = [&](const pgl::Mat2& m) {
+    const pgl::Mat2 key = g.variableKey(m);
+    if (var_modules.count(key)) return;
+    std::vector<std::pair<std::uint64_t, std::int64_t>> mods;
+    for (const auto& u : g.moduleNeighbors(key)) mods.push_back({u.s, u.t});
+    var_modules.emplace(key, std::move(mods));
+  };
+  for (gf::Felem a = 0; a < kk; ++a) {
+    for (gf::Felem b = 0; b < kk; ++b) {
+      if (a != 0) visit(pgl::Mat2{a, b, 0, 1});
+      for (gf::Felem v = 0; v < kk; ++v) {
+        if (k.add(k.mul(a, v), b) != 0) visit(pgl::Mat2{a, b, 1, v});
+      }
+    }
+  }
+  ASSERT_EQ(var_modules.size(), g.numVariables());
+  std::vector<const std::vector<std::pair<std::uint64_t, std::int64_t>>*> all;
+  for (const auto& [key, mods] : var_modules) all.push_back(&mods);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      int shared = 0;
+      for (const auto& u : *all[i]) {
+        for (const auto& w : *all[j]) {
+          if (u == w) ++shared;
+        }
+      }
+      EXPECT_LE(shared, 1) << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(GraphG, RejectsTooSmallN) {
+  EXPECT_THROW(GraphG(1, 2), util::CheckError);
+}
+
+TEST(GraphG, SlotVariableMatrixRangeChecked) {
+  const GraphG g(1, 3);
+  EXPECT_THROW(g.slotVariableMatrix(pgl::kIdentity, g.moduleDegree()),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::graph

@@ -1,0 +1,140 @@
+// Direct verification of Lemma 4's explicit coset-intersection formulas:
+// for module B_{f(s,t)} and its k-th slot variable C_k = B (1 p_k; 0 1),
+//
+//   t == -1:  B·H_{n-1} ∩ C_k·H_0 =
+//             { (a γ^s, (p_k+b) γ^s; 0, 1) : a, b in F_q, a != 0 }
+//   t >= 0:   B·H_{n-1} ∩ C_k·H_0 =
+//             { (a α_t, (p_k+b) α_t + γ^s; a, p_k+b) : a, b in F_q, a != 0 }
+//
+// The intersection is a coset of H_0 ∩ H_{n-1} = {(a b; 0 1)} of size
+// q(q-1) projectively... for q = 2 that is exactly the 2 listed matrices.
+// We verify (a) every formula matrix is in BOTH cosets, (b) the matrices
+// are pairwise distinct projectively, and (c) their count is q(q-1).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dsm/graph/graphg.hpp"
+#include "dsm/graph/module_indexer.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::graph {
+namespace {
+
+class Lemma4Fixture : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  Lemma4Fixture()
+      : g_(GetParam().first, GetParam().second), mi_(g_.field()) {}
+  GraphG g_;
+  ModuleIndexer mi_;
+};
+
+TEST_P(Lemma4Fixture, IntersectionFormulaMatrices) {
+  const gf::TowerCtx& k = g_.field();
+  util::Xoshiro256 rng(12 + g_.n());
+  const std::uint64_t q = k.q();
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t j = rng.below(g_.numModules());
+    const pgl::Hn1Coset coset = mi_.coset(j);
+    const std::uint64_t slot = rng.below(g_.moduleDegree());
+    const gf::Felem pk = k.pGammaAt(slot);
+    const pgl::Mat2 C = g_.slotVariableMatrix(coset.rep, slot);
+    const gf::Felem gs = k.exp(coset.s);
+
+    std::set<pgl::Mat2> members;
+    for (gf::Felem a = 1; a < q; ++a) {
+      for (gf::Felem b = 0; b < q; ++b) {
+        pgl::Mat2 m;
+        if (coset.t == -1) {
+          // (a γ^s, (p_k + b) γ^s ; 0, 1)
+          m = pgl::Mat2{k.mul(a, gs), k.mul(k.add(pk, b), gs), 0, 1};
+        } else {
+          const gf::Felem at = static_cast<gf::Felem>(coset.t);
+          const gf::Felem pb = k.add(pk, b);
+          // (a α_t, (p_k+b) α_t + γ^s ; a, p_k+b)
+          m = pgl::Mat2{k.mul(a, at), k.add(k.mul(pb, at), gs), a, pb};
+        }
+        ASSERT_NE(pgl::det(k, m), 0u);
+        // (a) membership in the module coset: B^{-1} m in H_{n-1} ...
+        EXPECT_TRUE(pgl::inHn1(
+            k, pgl::mul(k, pgl::inverse(k, coset.rep), m)))
+            << "module " << j << " slot " << slot;
+        // ... and in the variable coset: same H_0-canonical key as C.
+        EXPECT_EQ(g_.variableKey(m), g_.variableKey(C));
+        members.insert(pgl::scalarCanonical(k, m));
+      }
+    }
+    // (b)+(c): distinct projectively, count q(q-1) = |H_0 ∩ H_{n-1}|.
+    EXPECT_EQ(members.size(), q * (q - 1));
+  }
+}
+
+TEST_P(Lemma4Fixture, IntersectionIsExactlyTheEdgeCoset) {
+  // H_0 ∩ H_{n-1} = {(a b; 0 1) : a in F_q*, b in F_q} — the subgroup whose
+  // cosets the paper identifies with the EDGES of G.
+  const gf::TowerCtx& k = g_.field();
+  const std::uint64_t q = k.q();
+  std::uint64_t count = 0;
+  for (gf::Felem a = 1; a < q; ++a) {
+    for (gf::Felem b = 0; b < q; ++b) {
+      const pgl::Mat2 m{a, b, 0, 1};
+      EXPECT_TRUE(g_.h0().contains(k, m));
+      EXPECT_TRUE(pgl::inHn1(k, m));
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, q * (q - 1));
+  // Edge count of G equals |PGL_2(q^n)| / |H_0 ∩ H_{n-1}| (the paper's
+  // one-to-one correspondence between edges and cosets).
+  const std::uint64_t group_order = pgl::pglOrder(k.size());
+  EXPECT_EQ(g_.numVariables() * g_.variableDegree(),
+            group_order / (q * (q - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, Lemma4Fixture,
+                         ::testing::Values(std::make_pair(1, 3),
+                                           std::make_pair(1, 5),
+                                           std::make_pair(1, 7),
+                                           std::make_pair(2, 3)),
+                         [](const auto& info) {
+                           return "q" + std::to_string(1 << info.param.first) +
+                                  "n" + std::to_string(info.param.second);
+                         });
+
+TEST(CosetPartition, VCosetsPartitionTheGroupExhaustive) {
+  // Every element of PGL_2(2^3) lies in exactly one variable coset and one
+  // module coset; coset sizes are |H_0| and |H_{n-1}|.
+  const GraphG g(1, 3);
+  const gf::TowerCtx& k = g.field();
+  const ModuleIndexer mi(k);
+  std::map<pgl::Mat2, std::uint64_t> vcount;
+  std::map<std::uint64_t, std::uint64_t> ucount;
+  const std::uint64_t kk = k.size();
+  std::uint64_t group_size = 0;
+  auto visit = [&](const pgl::Mat2& m) {
+    ++group_size;
+    ++vcount[g.variableKey(m)];
+    ++ucount[mi.index(pgl::canonicalHn1Coset(k, m))];
+  };
+  for (gf::Felem a = 0; a < kk; ++a) {
+    for (gf::Felem b = 0; b < kk; ++b) {
+      if (a != 0) visit(pgl::Mat2{a, b, 0, 1});
+      for (gf::Felem v = 0; v < kk; ++v) {
+        if (k.add(k.mul(a, v), b) != 0) visit(pgl::Mat2{a, b, 1, v});
+      }
+    }
+  }
+  EXPECT_EQ(group_size, pgl::pglOrder(kk));
+  ASSERT_EQ(vcount.size(), g.numVariables());
+  ASSERT_EQ(ucount.size(), g.numModules());
+  for (const auto& [key, c] : vcount) {
+    EXPECT_EQ(c, g.h0().order());  // |H_0| projective elements per coset
+  }
+  for (const auto& [key, c] : ucount) {
+    EXPECT_EQ(c, pgl::hn1Order(k));
+  }
+}
+
+}  // namespace
+}  // namespace dsm::graph

@@ -1,0 +1,93 @@
+#include "dsm/graph/module_indexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/graph/graphg.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::graph {
+namespace {
+
+pgl::Mat2 randomInvertible(util::Xoshiro256& rng, const gf::TowerCtx& k) {
+  while (true) {
+    const pgl::Mat2 m{rng.below(k.size()), rng.below(k.size()),
+                      rng.below(k.size()), rng.below(k.size())};
+    if (pgl::det(k, m) != 0) return m;
+  }
+}
+
+class ModuleIndexerFixture : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  ModuleIndexerFixture()
+      : g_(GetParam().first, GetParam().second), idx_(g_.field()) {}
+  GraphG g_;
+  ModuleIndexer idx_;
+};
+
+TEST_P(ModuleIndexerFixture, CountMatchesFact1) {
+  EXPECT_EQ(idx_.numModules(), g_.numModules());
+}
+
+TEST_P(ModuleIndexerFixture, RoundTripAllIndices) {
+  const std::uint64_t limit = std::min<std::uint64_t>(idx_.numModules(), 4096);
+  for (std::uint64_t j = 0; j < limit; ++j) {
+    const pgl::Hn1Coset c = idx_.coset(j);
+    EXPECT_EQ(idx_.index(c), j);
+    // The reconstructed representative canonicalises to itself.
+    const pgl::Hn1Coset again = pgl::canonicalHn1Coset(g_.field(), c.rep);
+    EXPECT_EQ(again.s, c.s);
+    EXPECT_EQ(again.t, c.t);
+  }
+}
+
+TEST_P(ModuleIndexerFixture, RandomMatricesIndexInRange) {
+  util::Xoshiro256 rng(70);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const pgl::Mat2 A = randomInvertible(rng, g_.field());
+    const std::uint64_t j =
+        idx_.index(pgl::canonicalHn1Coset(g_.field(), A));
+    EXPECT_LT(j, idx_.numModules());
+    seen.insert(j);
+  }
+  // Random group elements should hit many distinct modules.
+  EXPECT_GT(seen.size(), std::min<std::uint64_t>(idx_.numModules() / 2, 100));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ModuleIndexerFixture,
+                         ::testing::Values(std::make_pair(1, 3),
+                                           std::make_pair(1, 5),
+                                           std::make_pair(1, 7),
+                                           std::make_pair(2, 3)),
+                         [](const auto& info) {
+                           return "q" + std::to_string(1 << info.param.first) +
+                                  "n" + std::to_string(info.param.second);
+                         });
+
+TEST(ModuleIndexer, ExhaustiveBijectionSmall) {
+  // Every index in [0, N) maps to a distinct (s, t) and back.
+  const GraphG g(1, 3);
+  const ModuleIndexer idx(g.field());
+  std::set<std::pair<std::uint64_t, std::int64_t>> keys;
+  for (std::uint64_t j = 0; j < idx.numModules(); ++j) {
+    const pgl::Hn1Coset c = idx.coset(j);
+    keys.insert({c.s, c.t});
+    EXPECT_EQ(idx.index(c), j);
+  }
+  EXPECT_EQ(keys.size(), idx.numModules());
+}
+
+TEST(ModuleIndexer, OutOfRangeThrows) {
+  const GraphG g(1, 3);
+  const ModuleIndexer idx(g.field());
+  EXPECT_THROW(idx.coset(idx.numModules()), util::CheckError);
+  pgl::Hn1Coset bad;
+  bad.s = g.field().scalarIndex();  // out of range
+  EXPECT_THROW(idx.index(bad), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::graph

@@ -1,0 +1,133 @@
+#include "dsm/graph/var_indexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/graph/directory.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::graph {
+namespace {
+
+class VarIndexerFixture : public ::testing::TestWithParam<int> {
+ protected:
+  VarIndexerFixture() : g_(1, GetParam()), idx_(g_) {}
+  GraphG g_;
+  VarIndexer idx_;
+};
+
+TEST_P(VarIndexerFixture, FamilySizesMatchPaper) {
+  const std::uint64_t Q = 1ULL << GetParam();
+  const std::uint64_t S = (Q / 2 - 1) / 3;
+  EXPECT_EQ(idx_.sizeS1(), Q - 1);
+  EXPECT_EQ(idx_.sizeS2(), (Q - 1) * (Q / 2 - 1));  // = 3 S (Q-1)
+  EXPECT_EQ(idx_.sizeS3(), idx_.sizeS2());
+  // |S4| = S * (Q-1)(Q-3)  (paper's count after exclusions).
+  EXPECT_EQ(idx_.sizeS4(), S * (Q - 1) * (Q - 3));
+  EXPECT_EQ(idx_.sizeS1() + idx_.sizeS2() + idx_.sizeS3() + idx_.sizeS4(),
+            g_.numVariables());
+}
+
+TEST_P(VarIndexerFixture, UnrankProducesInvertibleMatrices) {
+  util::Xoshiro256 rng(80 + GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.below(idx_.numVariables());
+    const pgl::Mat2 A = idx_.matrixOf(v);
+    EXPECT_NE(pgl::det(g_.field(), A), 0u) << "v=" << v;
+  }
+}
+
+TEST_P(VarIndexerFixture, RankUnrankRoundTripSampled) {
+  util::Xoshiro256 rng(81 + GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = rng.below(idx_.numVariables());
+    EXPECT_EQ(idx_.indexOf(idx_.matrixOf(v)), v) << "v=" << v;
+  }
+}
+
+TEST_P(VarIndexerFixture, RankInvariantUnderCosetMates) {
+  // indexOf must give the same answer for A·h (any h in H_0) and scalar
+  // multiples — it identifies the *coset*, not the matrix.
+  util::Xoshiro256 rng(82 + GetParam());
+  const gf::TowerCtx& k = g_.field();
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t v = rng.below(idx_.numVariables());
+    const pgl::Mat2 A = idx_.matrixOf(v);
+    for (const pgl::Mat2& h : g_.h0().elements()) {
+      const pgl::Mat2 mate = pgl::mul(k, A, h);
+      EXPECT_EQ(idx_.indexOf(mate), v);
+      const gf::Felem s = rng.below(k.size() - 1) + 1;
+      const pgl::Mat2 scaled{k.mul(mate.a, s), k.mul(mate.b, s),
+                             k.mul(mate.c, s), k.mul(mate.d, s)};
+      EXPECT_EQ(idx_.indexOf(scaled), v);
+    }
+  }
+}
+
+TEST_P(VarIndexerFixture, BoundaryIndices) {
+  // First/last index of every family round-trips.
+  const std::uint64_t b1 = idx_.sizeS1();
+  const std::uint64_t b2 = b1 + idx_.sizeS2();
+  const std::uint64_t b3 = b2 + idx_.sizeS3();
+  for (std::uint64_t v : {std::uint64_t{0}, b1 - 1, b1, b2 - 1, b2, b3 - 1, b3,
+                          idx_.numVariables() - 1}) {
+    EXPECT_EQ(idx_.indexOf(idx_.matrixOf(v)), v) << "v=" << v;
+  }
+  EXPECT_THROW(idx_.matrixOf(idx_.numVariables()), util::CheckError);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddN, VarIndexerFixture, ::testing::Values(3, 5, 7, 9),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class VarIndexerExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarIndexerExhaustive, Theorem8CompleteDistinctRepresentatives) {
+  // The S1..S4 matrices lie in pairwise distinct cosets and cover all of V:
+  // exactly Theorem 8, verified against the enumerated Directory.
+  const GraphG g(1, GetParam());
+  const VarIndexer idx(g);
+  const Directory dir(g);
+  ASSERT_EQ(idx.numVariables(), dir.numVariables());
+  std::set<std::uint64_t> dir_indices;
+  for (std::uint64_t v = 0; v < idx.numVariables(); ++v) {
+    dir_indices.insert(dir.indexOf(idx.matrixOf(v)));
+  }
+  // All distinct (injective) and counting gives surjectivity.
+  EXPECT_EQ(dir_indices.size(), idx.numVariables());
+}
+
+TEST_P(VarIndexerExhaustive, RankUnrankFullRoundTrip) {
+  const GraphG g(1, GetParam());
+  const VarIndexer idx(g);
+  for (std::uint64_t v = 0; v < idx.numVariables(); ++v) {
+    ASSERT_EQ(idx.indexOf(idx.matrixOf(v)), v) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, VarIndexerExhaustive, ::testing::Values(3, 5),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(VarIndexer, RequiresQ2) {
+  const GraphG g4(2, 3);
+  EXPECT_THROW(VarIndexer{g4}, util::CheckError);
+}
+
+TEST(VarIndexer, RequiresOddN) {
+  const GraphG g(1, 4);
+  EXPECT_THROW(VarIndexer{g}, util::CheckError);
+}
+
+TEST(VarIndexer, SingularMatrixThrows) {
+  const GraphG g(1, 3);
+  const VarIndexer idx(g);
+  EXPECT_THROW(idx.indexOf(pgl::Mat2{1, 1, 1, 1}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::graph

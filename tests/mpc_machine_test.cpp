@@ -1,0 +1,168 @@
+#include "dsm/mpc/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::mpc {
+namespace {
+
+TEST(Machine, SingleRequestGranted) {
+  Machine m(4, 8);
+  std::vector<Request> reqs{{0, 2, 3, Op::kWrite, 42, 1}};
+  std::vector<Response> resp;
+  m.step(reqs, resp);
+  ASSERT_EQ(resp.size(), 1u);
+  EXPECT_TRUE(resp[0].granted);
+  EXPECT_EQ(m.peek(2, 3).value, 42u);
+  EXPECT_EQ(m.peek(2, 3).timestamp, 1u);
+  EXPECT_EQ(m.metrics().cycles, 1u);
+}
+
+TEST(Machine, OneGrantPerModulePerCycle) {
+  Machine m(2, 4);
+  // Three processors fight for module 0; processor 1 also hits module 1.
+  std::vector<Request> reqs{
+      {5, 0, 0, Op::kWrite, 50, 1},
+      {2, 0, 1, Op::kWrite, 20, 2},
+      {7, 0, 2, Op::kWrite, 70, 3},
+      {1, 1, 0, Op::kWrite, 10, 4},
+  };
+  std::vector<Response> resp;
+  m.step(reqs, resp);
+  // Module 0: processor 2 (lowest id) wins; module 1: processor 1 wins.
+  EXPECT_FALSE(resp[0].granted);
+  EXPECT_TRUE(resp[1].granted);
+  EXPECT_FALSE(resp[2].granted);
+  EXPECT_TRUE(resp[3].granted);
+  EXPECT_EQ(m.peek(0, 1).value, 20u);
+  EXPECT_EQ(m.peek(0, 0).value, 0u);  // loser did not write
+  EXPECT_EQ(m.metrics().requestsGranted, 2u);
+  EXPECT_EQ(m.metrics().maxModuleQueue, 3u);
+}
+
+TEST(Machine, ReadReturnsCellContents) {
+  Machine m(1, 2);
+  m.poke(0, 1, Cell{99, 7});
+  std::vector<Request> reqs{{0, 0, 1, Op::kRead, 0, 0}};
+  std::vector<Response> resp;
+  m.step(reqs, resp);
+  EXPECT_TRUE(resp[0].granted);
+  EXPECT_EQ(resp[0].value, 99u);
+  EXPECT_EQ(resp[0].timestamp, 7u);
+}
+
+TEST(Machine, SparseStorageUnboundedSlots) {
+  Machine m(4, 0);  // sparse
+  m.poke(3, 123456789ULL, Cell{5, 1});
+  EXPECT_EQ(m.peek(3, 123456789ULL).value, 5u);
+  EXPECT_EQ(m.peek(3, 42).value, 0u);  // untouched cells read zero
+}
+
+TEST(Machine, AddressRangeChecked) {
+  Machine m(4, 8);
+  EXPECT_THROW(m.peek(4, 0), util::CheckError);
+  EXPECT_THROW(m.peek(0, 8), util::CheckError);
+  std::vector<Request> reqs{{0, 9, 0, Op::kRead, 0, 0}};
+  std::vector<Response> resp;
+  EXPECT_THROW(m.step(reqs, resp), util::CheckError);
+}
+
+TEST(Machine, ArbitrationDeterministicAcrossThreadCounts) {
+  // Same request stream, different worker counts: identical grants, cells
+  // and metrics (the atomic-min winner is schedule-independent).
+  util::Xoshiro256 rng(11);
+  std::vector<std::vector<Request>> stream;
+  for (int cyc = 0; cyc < 30; ++cyc) {
+    std::vector<Request> reqs;
+    const int n = 1 + static_cast<int>(rng.below(64));
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back(Request{static_cast<std::uint32_t>(rng.below(1000)),
+                             rng.below(16), rng.below(4),
+                             rng.below(2) ? Op::kWrite : Op::kRead,
+                             rng.below(1000), rng.below(1000) + 1});
+    }
+    stream.push_back(std::move(reqs));
+  }
+  auto run = [&stream](unsigned threads) {
+    Machine m(16, 4, threads);
+    std::vector<std::vector<Response>> all;
+    std::vector<Response> resp;
+    for (const auto& reqs : stream) {
+      m.step(reqs, resp);
+      all.push_back(resp);
+    }
+    std::vector<Cell> cells;
+    for (std::uint64_t mod = 0; mod < 16; ++mod) {
+      for (std::uint64_t s = 0; s < 4; ++s) cells.push_back(m.peek(mod, s));
+    }
+    return std::make_tuple(all, cells, m.metrics());
+  };
+  const auto [r1, c1, m1] = run(1);
+  for (unsigned t : {2u, 4u, 8u}) {
+    const auto [rt, ct, mt] = run(t);
+    ASSERT_EQ(rt.size(), r1.size());
+    for (std::size_t i = 0; i < r1.size(); ++i) {
+      for (std::size_t j = 0; j < r1[i].size(); ++j) {
+        EXPECT_EQ(rt[i][j].granted, r1[i][j].granted) << i << "," << j;
+        EXPECT_EQ(rt[i][j].value, r1[i][j].value);
+      }
+    }
+    for (std::size_t i = 0; i < c1.size(); ++i) {
+      EXPECT_EQ(ct[i].value, c1[i].value);
+      EXPECT_EQ(ct[i].timestamp, c1[i].timestamp);
+    }
+    EXPECT_EQ(mt.requestsGranted, m1.requestsGranted);
+    EXPECT_EQ(mt.maxModuleQueue, m1.maxModuleQueue);
+  }
+}
+
+TEST(Machine, EmptyStepIsFree) {
+  Machine m(2, 2);
+  std::vector<Request> reqs;
+  std::vector<Response> resp{{true, 1, 1}};
+  m.step(reqs, resp);
+  EXPECT_TRUE(resp.empty());
+  EXPECT_EQ(m.metrics().cycles, 0u);
+}
+
+TEST(Machine, MetricsAccumulateAndReset) {
+  Machine m(2, 2);
+  std::vector<Request> reqs{{0, 0, 0, Op::kWrite, 1, 1},
+                            {1, 0, 0, Op::kWrite, 2, 2}};
+  std::vector<Response> resp;
+  m.step(reqs, resp);
+  m.step(reqs, resp);
+  EXPECT_EQ(m.metrics().cycles, 2u);
+  EXPECT_EQ(m.metrics().requestsIssued, 4u);
+  EXPECT_EQ(m.metrics().requestsGranted, 2u);
+  m.resetMetrics();
+  EXPECT_EQ(m.metrics().cycles, 0u);
+}
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallelFor(1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesSmallRanges) {
+  ThreadPool pool(8);
+  int count = 0;
+  pool.parallelFor(0, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  std::atomic<int> total{0};
+  pool.parallelFor(3, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+}  // namespace
+}  // namespace dsm::mpc

@@ -1,0 +1,108 @@
+#include "dsm/net/butterfly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::net {
+namespace {
+
+TEST(Butterfly, SinglePacketTakesExactlyDCycles) {
+  const Butterfly bf(4);
+  for (std::uint32_t s : {0u, 5u, 15u}) {
+    for (std::uint32_t t : {0u, 9u, 15u}) {
+      const auto st = bf.route({Packet{s, t}});
+      EXPECT_EQ(st.cycles, 4u) << s << "->" << t;
+      EXPECT_EQ(st.totalHops, 4u);
+      EXPECT_DOUBLE_EQ(st.stretch, 1.0);
+    }
+  }
+}
+
+TEST(Butterfly, EmptyBatch) {
+  const Butterfly bf(3);
+  const auto st = bf.route({});
+  EXPECT_EQ(st.cycles, 0u);
+  EXPECT_EQ(st.packets, 0u);
+}
+
+TEST(Butterfly, IdentityPermutationIsContentionFree) {
+  const Butterfly bf(6);
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < bf.rows(); ++i) pkts.push_back({i, i});
+  const auto st = bf.route(pkts);
+  EXPECT_EQ(st.cycles, 6u);  // straight-through, no queueing
+  EXPECT_EQ(st.maxQueue, 1u);
+}
+
+TEST(Butterfly, BitReversalCausesCongestion) {
+  // Bit reversal is the classic bad permutation for oblivious bit-fixing:
+  // stretch must exceed 1 noticeably.
+  const Butterfly bf(8);
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < bf.rows(); ++i) {
+    std::uint32_t rev = 0;
+    for (int b = 0; b < 8; ++b) rev |= ((i >> b) & 1u) << (7 - b);
+    pkts.push_back({i, rev});
+  }
+  const auto st = bf.route(pkts);
+  // With two output links per node the classic sqrt(N) middle congestion is
+  // halved; stretch must still clearly exceed the contention-free 1.0.
+  EXPECT_GT(st.stretch, 1.5);
+}
+
+TEST(Butterfly, RandomPermutationModestStretch) {
+  const Butterfly bf(8);
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint32_t> perm(bf.rows());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size() - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng.below(i + 1)]);
+  }
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < bf.rows(); ++i) pkts.push_back({i, perm[i]});
+  const auto st = bf.route(pkts);
+  // Random permutations route in O(d) w.h.p. on a butterfly of this size.
+  EXPECT_LT(st.stretch, 5.0);
+  EXPECT_EQ(st.totalHops, bf.rows() * 8);
+}
+
+TEST(Butterfly, HotSpotSerialises) {
+  // Everyone sends to row 0: the last hop is a single link, so delivery
+  // takes at least #packets cycles — tree saturation.
+  const Butterfly bf(6);
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < 32; ++i) pkts.push_back({i, 0});
+  const auto st = bf.route(pkts);
+  // The destination is fed by two links, so 32 packets need >= 16 cycles
+  // plus pipeline fill — tree saturation.
+  EXPECT_GE(st.cycles, 16u);
+  EXPECT_GT(st.stretch, 2.5);
+}
+
+TEST(Butterfly, DeterministicAcrossRuns) {
+  const Butterfly bf(7);
+  util::Xoshiro256 rng(3);
+  std::vector<Packet> pkts;
+  for (int i = 0; i < 200; ++i) {
+    pkts.push_back({static_cast<std::uint32_t>(rng.below(bf.rows())),
+                    static_cast<std::uint32_t>(rng.below(bf.rows()))});
+  }
+  const auto a = bf.route(pkts);
+  const auto b = bf.route(pkts);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.maxQueue, b.maxQueue);
+}
+
+TEST(Butterfly, RejectsBadInput) {
+  EXPECT_THROW(Butterfly(0), util::CheckError);
+  const Butterfly bf(3);
+  EXPECT_THROW(bf.route({Packet{8, 0}}), util::CheckError);
+  EXPECT_THROW(bf.route({Packet{0, 8}}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::net

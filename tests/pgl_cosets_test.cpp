@@ -1,0 +1,197 @@
+#include "dsm/pgl/cosets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::pgl {
+namespace {
+
+Mat2 randomInvertible(util::Xoshiro256& rng, const gf::TowerCtx& k) {
+  while (true) {
+    const Mat2 m{rng.below(k.size()), rng.below(k.size()),
+                 rng.below(k.size()), rng.below(k.size())};
+    if (det(k, m) != 0) return m;
+  }
+}
+
+// Enumerates all projective classes of PGL_2(q^n) in canonical scalar form:
+// bottom row (0,1) or (1,v), top row any that keeps the determinant nonzero.
+std::vector<Mat2> enumeratePgl(const gf::TowerCtx& k) {
+  std::vector<Mat2> out;
+  const std::uint64_t kk = k.size();
+  for (gf::Felem a = 0; a < kk; ++a) {
+    for (gf::Felem b = 0; b < kk; ++b) {
+      if (a != 0) out.push_back(Mat2{a, b, 0, 1});  // det = a
+      for (gf::Felem v = 0; v < kk; ++v) {
+        if (k.add(k.mul(a, v), b) != 0) out.push_back(Mat2{a, b, 1, v});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(H0Group, OrderAndClosureQ2) {
+  const gf::TowerCtx k(1, 3);
+  const H0Group h0(k);
+  EXPECT_EQ(h0.order(), 6u);  // |PGL_2(2)| = 6
+  // Closed under multiplication and inverse.
+  for (const Mat2& x : h0.elements()) {
+    EXPECT_TRUE(h0.contains(k, x));
+    EXPECT_TRUE(h0.contains(k, inverse(k, x)));
+    for (const Mat2& y : h0.elements()) {
+      EXPECT_TRUE(h0.contains(k, mul(k, x, y)));
+    }
+  }
+}
+
+TEST(H0Group, OrderQ4) {
+  const gf::TowerCtx k(2, 3);
+  const H0Group h0(k);
+  EXPECT_EQ(h0.order(), 60u);  // |PGL_2(4)| = 60
+}
+
+TEST(H0Group, ContainsRejectsOutsiders) {
+  const gf::TowerCtx k(1, 3);
+  const H0Group h0(k);
+  // gamma has a non-subfield entry: ((gamma, 0), (0, 1)) not in PGL_2(2).
+  EXPECT_FALSE(h0.contains(k, Mat2{k.gamma(), 0, 0, 1}));
+  // But scalar multiples of subfield matrices are members.
+  const gf::Felem g = k.gamma();
+  EXPECT_TRUE(h0.contains(k, Mat2{g, 0, 0, g}));
+  EXPECT_FALSE(h0.contains(k, Mat2{1, 1, 1, 1}));  // singular
+}
+
+TEST(CanonicalH0Coset, InvariantUnderRightMultiplication) {
+  const gf::TowerCtx k(1, 5);
+  const H0Group h0(k);
+  util::Xoshiro256 rng(30);
+  for (int i = 0; i < 50; ++i) {
+    const Mat2 A = randomInvertible(rng, k);
+    const Mat2 key = canonicalH0Coset(k, h0, A);
+    for (const Mat2& h : h0.elements()) {
+      EXPECT_EQ(canonicalH0Coset(k, h0, mul(k, A, h)), key);
+    }
+    // The key itself is a member of the coset: key = A*h for some h, so
+    // A^{-1}*key must be in H_0.
+    EXPECT_TRUE(h0.contains(k, mul(k, inverse(k, A), key)));
+  }
+}
+
+TEST(CanonicalH0Coset, CountsCosetsFactOneV) {
+  // |V| = (q^n+1) q^n (q^n-1) / ((q+1) q (q-1)) — Fact 1(1) for q=2, n=3.
+  const gf::TowerCtx k(1, 3);
+  const H0Group h0(k);
+  std::set<Mat2> keys;
+  for (const Mat2& g : enumeratePgl(k)) {
+    keys.insert(canonicalH0Coset(k, h0, g));
+  }
+  EXPECT_EQ(keys.size(), 84u);  // 9*8*7/6
+}
+
+TEST(CanonicalHn1Coset, InvariantUnderRightMultiplication) {
+  const gf::TowerCtx k(1, 5);
+  util::Xoshiro256 rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 A = randomInvertible(rng, k);
+    const Hn1Coset key = canonicalHn1Coset(k, A);
+    // Right-multiply by random H_{n-1} elements: ((a, alpha), (0, 1)).
+    for (int j = 0; j < 10; ++j) {
+      const gf::Felem a = rng.below(k.q() - 1) + 1;
+      const gf::Felem alpha = rng.below(k.size());
+      const Mat2 h{a, alpha, 0, 1};
+      const Hn1Coset key2 = canonicalHn1Coset(k, mul(k, A, h));
+      EXPECT_EQ(key2, key);
+    }
+    // And under scalar multiplication of A.
+    const gf::Felem s = rng.below(k.size() - 1) + 1;
+    const Mat2 scaled{k.mul(A.a, s), k.mul(A.b, s), k.mul(A.c, s),
+                      k.mul(A.d, s)};
+    EXPECT_EQ(canonicalHn1Coset(k, scaled), key);
+  }
+}
+
+TEST(CanonicalHn1Coset, RepIsInSameCoset) {
+  const gf::TowerCtx k(1, 5);
+  util::Xoshiro256 rng(32);
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 A = randomInvertible(rng, k);
+    const Hn1Coset key = canonicalHn1Coset(k, A);
+    // A^{-1} * rep must lie in H_{n-1}.
+    EXPECT_TRUE(inHn1(k, mul(k, inverse(k, A), key.rep)));
+  }
+}
+
+TEST(CanonicalHn1Coset, CountsCosetsFactOneU) {
+  // |U| = (q^n+1)(q^n-1)/(q-1) — Fact 1(2). Exhaustive for q=2, n=3: 63.
+  const gf::TowerCtx k(1, 3);
+  std::set<std::pair<std::uint64_t, std::int64_t>> keys;
+  for (const Mat2& g : enumeratePgl(k)) {
+    const Hn1Coset c = canonicalHn1Coset(k, g);
+    keys.insert({c.s, c.t});
+  }
+  EXPECT_EQ(keys.size(), 63u);
+}
+
+TEST(CanonicalHn1Coset, CountsCosetsQ4) {
+  // q=4, n=3: |U| = (64+1)(64-1)/3 = 1365.
+  const gf::TowerCtx k(2, 3);
+  std::set<std::pair<std::uint64_t, std::int64_t>> keys;
+  for (const Mat2& g : enumeratePgl(k)) {
+    const Hn1Coset c = canonicalHn1Coset(k, g);
+    keys.insert({c.s, c.t});
+  }
+  EXPECT_EQ(keys.size(), 1365u);
+}
+
+TEST(CanonicalHn1Coset, RangesAreWithinEqOne) {
+  const gf::TowerCtx k(1, 5);
+  util::Xoshiro256 rng(33);
+  for (int i = 0; i < 200; ++i) {
+    const Hn1Coset c = canonicalHn1Coset(k, randomInvertible(rng, k));
+    EXPECT_LT(c.s, k.scalarIndex());
+    EXPECT_GE(c.t, -1);
+    EXPECT_LT(c.t, static_cast<std::int64_t>(k.size()));
+  }
+}
+
+TEST(InHn1, MembershipCases) {
+  const gf::TowerCtx k(1, 3);
+  EXPECT_TRUE(inHn1(k, Mat2{1, 5, 0, 1}));            // (1 alpha; 0 1)
+  EXPECT_TRUE(inHn1(k, Mat2{k.gamma(), 3, 0, k.gamma()}));  // scalar*member
+  EXPECT_FALSE(inHn1(k, Mat2{k.gamma(), 0, 0, 1}));   // a/d = gamma not in F_q*
+  EXPECT_FALSE(inHn1(k, Mat2{1, 0, 1, 1}));           // c != 0
+  EXPECT_FALSE(inHn1(k, Mat2{0, 0, 0, 1}));           // singular
+}
+
+TEST(Hn1Order, MatchesGroupTheory) {
+  const gf::TowerCtx k2(1, 3);
+  EXPECT_EQ(hn1Order(k2), 8u);  // (2-1) * 2^3
+  // |U| * |H_{n-1}| == |PGL_2(q^n)|.
+  EXPECT_EQ(63u * hn1Order(k2), pglOrder(k2.size()));
+  const gf::TowerCtx k4(2, 3);
+  EXPECT_EQ(1365u * hn1Order(k4), pglOrder(k4.size()));
+}
+
+TEST(CanonicalHn1Coset, DistinctRepsForDistinctKeys) {
+  // The (s, t) pair and the rep matrix determine each other.
+  const gf::TowerCtx k(1, 3);
+  std::map<std::pair<std::uint64_t, std::int64_t>, Mat2> seen;
+  for (const Mat2& g : enumeratePgl(k)) {
+    const Hn1Coset c = canonicalHn1Coset(k, g);
+    const auto it = seen.find({c.s, c.t});
+    if (it == seen.end()) {
+      seen.emplace(std::make_pair(c.s, c.t), c.rep);
+    } else {
+      EXPECT_EQ(it->second, c.rep);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsm::pgl

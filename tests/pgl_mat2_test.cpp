@@ -1,0 +1,118 @@
+#include "dsm/pgl/mat2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::pgl {
+namespace {
+
+Mat2 randomInvertible(util::Xoshiro256& rng, const gf::TowerCtx& k) {
+  while (true) {
+    const Mat2 m{rng.below(k.size()), rng.below(k.size()),
+                 rng.below(k.size()), rng.below(k.size())};
+    if (det(k, m) != 0) return m;
+  }
+}
+
+class Mat2Fixture : public ::testing::TestWithParam<int> {
+ protected:
+  Mat2Fixture() : k_(1, GetParam()) {}
+  gf::TowerCtx k_;
+};
+
+TEST_P(Mat2Fixture, MulAssociativeAndIdentity) {
+  util::Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 x = randomInvertible(rng, k_);
+    const Mat2 y = randomInvertible(rng, k_);
+    const Mat2 z = randomInvertible(rng, k_);
+    EXPECT_EQ(mul(k_, x, mul(k_, y, z)), mul(k_, mul(k_, x, y), z));
+    EXPECT_EQ(mul(k_, x, kIdentity), x);
+    EXPECT_EQ(mul(k_, kIdentity, x), x);
+  }
+}
+
+TEST_P(Mat2Fixture, DetIsMultiplicative) {
+  util::Xoshiro256 rng(18);
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 x = randomInvertible(rng, k_);
+    const Mat2 y = randomInvertible(rng, k_);
+    EXPECT_EQ(det(k_, mul(k_, x, y)), k_.mul(det(k_, x), det(k_, y)));
+  }
+}
+
+TEST_P(Mat2Fixture, InverseGivesIdentityProjectively) {
+  util::Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 x = randomInvertible(rng, k_);
+    const Mat2 prod = mul(k_, x, inverse(k_, x));
+    // x * adj(x) = det(x) * I: projectively the identity.
+    EXPECT_TRUE(projEqual(k_, prod, kIdentity));
+    EXPECT_EQ(prod.b, 0u);
+    EXPECT_EQ(prod.c, 0u);
+    EXPECT_EQ(prod.a, prod.d);
+  }
+}
+
+TEST_P(Mat2Fixture, ScalarCanonicalIsIdempotentAndProjective) {
+  util::Xoshiro256 rng(20);
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 x = randomInvertible(rng, k_);
+    const Mat2 c = scalarCanonical(k_, x);
+    EXPECT_EQ(scalarCanonical(k_, c), c);
+    // Scaling by any non-zero field element yields the same canonical form.
+    const gf::Felem s = rng.below(k_.size() - 1) + 1;
+    const Mat2 scaled{k_.mul(x.a, s), k_.mul(x.b, s), k_.mul(x.c, s),
+                      k_.mul(x.d, s)};
+    EXPECT_EQ(scalarCanonical(k_, scaled), c);
+  }
+}
+
+TEST_P(Mat2Fixture, ProjEqualDistinguishes) {
+  util::Xoshiro256 rng(21);
+  int distinct_seen = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Mat2 x = randomInvertible(rng, k_);
+    const Mat2 y = randomInvertible(rng, k_);
+    if (!projEqual(k_, x, y)) ++distinct_seen;
+  }
+  EXPECT_GT(distinct_seen, 40);  // random pairs are almost surely distinct
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, Mat2Fixture, ::testing::Values(3, 5, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(Mat2, PglOrder) {
+  EXPECT_EQ(pglOrder(2), 6u);
+  EXPECT_EQ(pglOrder(4), 60u);
+  EXPECT_EQ(pglOrder(8), 504u);
+}
+
+TEST(Mat2, InverseOfSingularThrows) {
+  const gf::TowerCtx k(1, 3);
+  EXPECT_THROW(inverse(k, Mat2{1, 1, 1, 1}), util::CheckError);
+  EXPECT_THROW(scalarCanonical(k, Mat2{0, 0, 0, 0}), util::CheckError);
+}
+
+TEST(Mat2, HashConsistentWithEquality) {
+  const gf::TowerCtx k(1, 5);
+  util::Xoshiro256 rng(22);
+  Mat2Hash h;
+  for (int i = 0; i < 100; ++i) {
+    const Mat2 x = randomInvertible(rng, k);
+    const Mat2 c1 = scalarCanonical(k, x);
+    const gf::Felem s = rng.below(k.size() - 1) + 1;
+    const Mat2 scaled{k.mul(x.a, s), k.mul(x.b, s), k.mul(x.c, s),
+                      k.mul(x.d, s)};
+    const Mat2 c2 = scalarCanonical(k, scaled);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(h(c1), h(c2));
+  }
+}
+
+}  // namespace
+}  // namespace dsm::pgl

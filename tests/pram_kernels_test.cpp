@@ -1,0 +1,166 @@
+#include "dsm/pram/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::pram {
+namespace {
+
+SharedMemory makeMem(SchemeKind kind = SchemeKind::kPp) {
+  SharedMemoryConfig cfg;
+  cfg.kind = kind;
+  cfg.n = 5;
+  return SharedMemory(cfg);
+}
+
+TEST(ScatterGather, RoundTrip) {
+  auto mem = makeMem();
+  const ArrayRef a{100, 40};
+  std::vector<std::uint64_t> vals(40);
+  std::iota(vals.begin(), vals.end(), 7);
+  scatter(mem, a, vals);
+  KernelStats stats;
+  EXPECT_EQ(gather(mem, a, &stats), vals);
+  EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST(ScatterGather, BoundsChecked) {
+  auto mem = makeMem();
+  EXPECT_THROW(scatter(mem, ArrayRef{0, 0}, {}), util::CheckError);
+  EXPECT_THROW(gather(mem, ArrayRef{mem.numVariables() - 1, 2}),
+               util::CheckError);
+  EXPECT_THROW(scatter(mem, ArrayRef{0, 3}, {1, 2}), util::CheckError);
+}
+
+TEST(GatherIndexed, CombinesDuplicates) {
+  auto mem = makeMem();
+  const ArrayRef a{0, 8};
+  scatter(mem, a, {10, 11, 12, 13, 14, 15, 16, 17});
+  KernelStats stats;
+  const auto out = gatherIndexed(mem, a, {3, 3, 0, 7, 3}, &stats);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{13, 13, 10, 17, 13}));
+  EXPECT_THROW(gatherIndexed(mem, a, {8}), util::CheckError);
+}
+
+class PrefixSumSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixSumSizes, MatchesSequentialScan) {
+  auto mem = makeMem();
+  const std::uint64_t n = GetParam();
+  const ArrayRef a{50, n};
+  util::Xoshiro256 rng(n);
+  std::vector<std::uint64_t> vals(static_cast<std::size_t>(n));
+  for (auto& v : vals) v = rng.below(1000);
+  scatter(mem, a, vals);
+  const KernelStats stats = prefixSum(mem, a);
+  std::vector<std::uint64_t> expect = vals;
+  std::partial_sum(expect.begin(), expect.end(), expect.begin());
+  EXPECT_EQ(gather(mem, a), expect);
+  EXPECT_EQ(stats.rounds, static_cast<std::uint64_t>(
+                              n <= 1 ? 0 : 64 - __builtin_clzll(n - 1)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSumSizes,
+                         ::testing::Values(1, 2, 3, 8, 17, 64, 100));
+
+class SortSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SortSizes, OddEvenSortsCorrectly) {
+  auto mem = makeMem();
+  const std::uint64_t n = GetParam();
+  const ArrayRef a{200, n};
+  util::Xoshiro256 rng(n * 3 + 1);
+  std::vector<std::uint64_t> vals(static_cast<std::size_t>(n));
+  for (auto& v : vals) v = rng.below(10000);
+  scatter(mem, a, vals);
+  oddEvenSort(mem, a);
+  std::vector<std::uint64_t> expect = vals;
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(gather(mem, a), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes, ::testing::Values(1, 2, 5, 16, 33));
+
+TEST(ListRank, SimpleChain) {
+  auto mem = makeMem();
+  const std::uint64_t n = 10;
+  const ArrayRef next{0, n}, rank{300, n};
+  // Chain 0 -> 1 -> ... -> 9 (tail).
+  std::vector<std::uint64_t> nxt(n);
+  for (std::uint64_t i = 0; i < n; ++i) nxt[i] = std::min(i + 1, n - 1);
+  scatter(mem, next, nxt);
+  listRank(mem, next, rank);
+  const auto ranks = gather(mem, rank);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ranks[i], n - 1 - i) << "node " << i;
+  }
+}
+
+TEST(ListRank, RandomPermutationList) {
+  auto mem = makeMem();
+  const std::uint64_t n = 64;
+  const ArrayRef next{0, n}, rank{400, n};
+  // Build a random linked list over nodes 0..n-1.
+  util::Xoshiro256 rng(9);
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.below(i + 1)]);
+  }
+  std::vector<std::uint64_t> nxt(n), expect(n);
+  for (std::uint64_t pos = 0; pos < n; ++pos) {
+    const std::uint64_t node = order[pos];
+    nxt[node] = pos + 1 < n ? order[pos + 1] : node;
+    expect[node] = n - 1 - pos;
+  }
+  scatter(mem, next, nxt);
+  const KernelStats stats = listRank(mem, next, rank);
+  EXPECT_EQ(gather(mem, rank), expect);
+  // Pointer jumping: ~log2(n) + 1 rounds.
+  EXPECT_LE(stats.rounds, 8u);
+}
+
+TEST(ListRank, SelfLoopsOnly) {
+  auto mem = makeMem();
+  const std::uint64_t n = 5;
+  const ArrayRef next{0, n}, rank{100, n};
+  scatter(mem, next, {0, 1, 2, 3, 4});  // every node is its own tail
+  listRank(mem, next, rank);
+  EXPECT_EQ(gather(mem, rank), (std::vector<std::uint64_t>{0, 0, 0, 0, 0}));
+}
+
+TEST(Kernels, WorkOnEverySchemeBackend) {
+  for (const SchemeKind kind :
+       {SchemeKind::kPp, SchemeKind::kMv, SchemeKind::kUwRandom,
+        SchemeKind::kSingleCopy}) {
+    auto mem = makeMem(kind);
+    const ArrayRef a{10, 30};
+    util::Xoshiro256 rng(4);
+    std::vector<std::uint64_t> vals(30);
+    for (auto& v : vals) v = rng.below(100);
+    scatter(mem, a, vals);
+    prefixSum(mem, a);
+    std::vector<std::uint64_t> expect = vals;
+    std::partial_sum(expect.begin(), expect.end(), expect.begin());
+    EXPECT_EQ(gather(mem, a), expect) << mem.schemeName();
+  }
+}
+
+TEST(Kernels, CostAccountingAccumulates) {
+  auto mem = makeMem();
+  const ArrayRef a{0, 64};
+  std::vector<std::uint64_t> vals(64, 1);
+  scatter(mem, a, vals);
+  const KernelStats stats = prefixSum(mem, a);
+  EXPECT_EQ(stats.rounds, 6u);  // log2(64)
+  EXPECT_GT(stats.cycles, stats.rounds);  // >= 1 cycle per read + write
+  EXPECT_GT(stats.modeledSteps, stats.cycles);
+}
+
+}  // namespace
+}  // namespace dsm::pram

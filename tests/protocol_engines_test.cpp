@@ -1,0 +1,288 @@
+#include "dsm/protocol/engines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dsm/analysis/recurrence.hpp"
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace dsm::protocol {
+namespace {
+
+// Reference model: a plain map, for checking read-your-writes semantics.
+class ReferenceModel {
+ public:
+  void apply(const std::vector<AccessRequest>& batch,
+             const AccessResult& result) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].op == mpc::Op::kWrite) {
+        mem_[batch[i].variable] = batch[i].value;
+      } else {
+        const auto it = mem_.find(batch[i].variable);
+        const std::uint64_t expect = it == mem_.end() ? 0 : it->second;
+        EXPECT_EQ(result.values[i], expect)
+            << "variable " << batch[i].variable;
+      }
+    }
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> mem_;
+};
+
+TEST(MajorityEngine, WriteThenReadRoundTrip) {
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  std::vector<AccessRequest> writes{{5, mpc::Op::kWrite, 111},
+                                    {9, mpc::Op::kWrite, 222}};
+  eng.execute(writes);
+  std::vector<AccessRequest> reads{{9, mpc::Op::kRead, 0},
+                                   {5, mpc::Op::kRead, 0}};
+  const AccessResult r = eng.execute(reads);
+  EXPECT_EQ(r.values[0], 222u);
+  EXPECT_EQ(r.values[1], 111u);
+}
+
+TEST(MajorityEngine, UnwrittenVariablesReadZero) {
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const AccessResult r = eng.execute({{3, mpc::Op::kRead, 0}});
+  EXPECT_EQ(r.values[0], 0u);
+}
+
+TEST(MajorityEngine, StaleCopiesNeverWin) {
+  // Write twice to the same variable (different batches). The second write
+  // touches only a quorum (2 of 3) of copies; one copy keeps the old value.
+  // A subsequent read must return the NEW value no matter which quorum it
+  // reaches — the timestamp majority rule.
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  eng.execute({{7, mpc::Op::kWrite, 100}});
+  eng.execute({{7, mpc::Op::kWrite, 200}});
+  // Count how many copies physically hold the newest value: must be >= 2 but
+  // may be < 3 — i.e. a stale copy can exist.
+  const auto copies = s.copiesOf(7);
+  int holding_new = 0;
+  for (const auto& pa : copies) {
+    holding_new += m.peek(pa.module, pa.slot).value == 200;
+  }
+  EXPECT_GE(holding_new, 2);
+  for (int rep = 0; rep < 5; ++rep) {
+    const AccessResult r = eng.execute({{7, mpc::Op::kRead, 0}});
+    EXPECT_EQ(r.values[0], 200u);
+  }
+}
+
+class MajorityConsistency
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MajorityConsistency, RandomBatchesMatchReferenceModel) {
+  const int n = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  const scheme::PpScheme s(1, n);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  ReferenceModel ref;
+  util::Xoshiro256 rng(seed);
+  for (int batch_no = 0; batch_no < 20; ++batch_no) {
+    const std::size_t size = 1 + rng.below(60);
+    const auto vars = workload::randomDistinct(s.numVariables(), size, rng);
+    const auto batch = workload::makeMixed(vars, 0.5, rng);
+    const AccessResult result = eng.execute(batch);
+    ref.apply(batch, result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MajorityConsistency,
+    ::testing::Combine(::testing::Values(3, 5),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(MajorityEngine, PhaseCountEqualsClusterSize) {
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  util::Xoshiro256 rng(9);
+  const auto vars = workload::randomDistinct(s.numVariables(), 300, rng);
+  const AccessResult r = eng.execute(workload::makeReads(vars));
+  EXPECT_EQ(r.phaseIterations.size(), s.copiesPerVariable());
+  std::uint64_t sum = 0;
+  for (const auto phi : r.phaseIterations) sum += phi;
+  EXPECT_EQ(sum, r.totalIterations);
+  EXPECT_EQ(m.metrics().cycles, r.totalIterations);
+  EXPECT_GT(r.modeledSteps, r.totalIterations);  // includes log factors
+}
+
+TEST(MajorityEngine, LiveTrajectoryIsNonIncreasing) {
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  util::Xoshiro256 rng(10);
+  const auto vars = workload::randomDistinct(s.numVariables(), 900, rng);
+  const AccessResult r = eng.execute(workload::makeReads(vars));
+  for (const auto& phase : r.liveTrajectory) {
+    for (std::size_t k = 1; k < phase.size(); ++k) {
+      EXPECT_LE(phase[k], phase[k - 1]);
+    }
+    if (!phase.empty()) EXPECT_GE(phase.back(), 1u);
+  }
+}
+
+TEST(MajorityEngine, DuplicateVariablesRejected) {
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  std::vector<AccessRequest> batch{{1, mpc::Op::kRead, 0},
+                                   {1, mpc::Op::kWrite, 5}};
+  EXPECT_THROW(eng.execute(batch), util::CheckError);
+}
+
+TEST(MajorityEngine, EmptyBatchIsFree) {
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const AccessResult r = eng.execute({});
+  EXPECT_EQ(r.totalIterations, 0u);
+  EXPECT_TRUE(r.values.empty());
+}
+
+TEST(MajorityEngine, GeneralQFourEndToEnd) {
+  // The directory-backed q = 4 instance: 5 copies, majority 3. Exercises the
+  // whole general-q pipeline (tower field, 60-element H_0 cosets, Lemma 4
+  // slots) under protocol traffic.
+  const scheme::PpScheme s(2, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  ReferenceModel ref;
+  util::Xoshiro256 rng(77);
+  for (int b = 0; b < 8; ++b) {
+    const auto vars = workload::randomDistinct(s.numVariables(), 60, rng);
+    const auto batch = workload::makeMixed(vars, 0.5, rng);
+    ref.apply(batch, eng.execute(batch));
+  }
+}
+
+TEST(MajorityEngine, PhiStaysUnderEq2BoundSweep) {
+  // Property sweep: for several sizes and seeds, the measured per-phase
+  // iteration count never exceeds the eq.(2) prediction (the paper's upper
+  // bound, Theorem 6 machinery).
+  const scheme::PpScheme s(1, 5);
+  for (const std::uint64_t seed : {10u, 20u, 30u}) {
+    for (const std::size_t load : {64u, 256u, 1023u}) {
+      mpc::Machine m(s.numModules(), s.slotsPerModule());
+      MajorityEngine eng(s, m);
+      util::Xoshiro256 rng(seed);
+      const auto vars = workload::randomDistinct(s.numVariables(), load, rng);
+      const auto res = eng.execute(workload::makeReads(vars));
+      const std::uint64_t live0 =
+          (load + s.copiesPerVariable() - 1) / s.copiesPerVariable();
+      EXPECT_LE(res.maxPhaseIterations(),
+                analysis::predictedPhi(live0, s.graph().q()))
+          << "seed " << seed << " load " << load;
+    }
+  }
+}
+
+TEST(MajorityEngine, ModeledStepsFormulaExact) {
+  // modeledSteps = sum over phases of Phi_p * (1 + ceil(log2 r)) +
+  // ceil(log2 N) — check the arithmetic against the reported components.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  util::Xoshiro256 rng(3);
+  const auto vars = workload::randomDistinct(s.numVariables(), 300, rng);
+  const auto res = eng.execute(workload::makeReads(vars));
+  const std::uint64_t coord = 1 + util::ceilLog2(s.copiesPerVariable());
+  const std::uint64_t addr = util::ceilLog2(s.numModules());
+  std::uint64_t expect = 0;
+  for (const auto phi : res.phaseIterations) expect += phi * coord + addr;
+  EXPECT_EQ(res.modeledSteps, expect);
+}
+
+TEST(MajorityEngine, WorksWithUwScheme) {
+  const scheme::UwRandomScheme s(5000, 255, 2, 77);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  ReferenceModel ref;
+  util::Xoshiro256 rng(11);
+  for (int b = 0; b < 10; ++b) {
+    const auto vars = workload::randomDistinct(s.numVariables(), 50, rng);
+    const auto batch = workload::makeMixed(vars, 0.5, rng);
+    ref.apply(batch, eng.execute(batch));
+  }
+}
+
+TEST(SingleOwnerEngine, MvConsistencyReadOneWriteAll) {
+  const scheme::MvScheme s(5000, 255, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  SingleOwnerEngine eng(s, m);
+  ReferenceModel ref;
+  util::Xoshiro256 rng(12);
+  for (int b = 0; b < 10; ++b) {
+    const auto vars = workload::randomDistinct(s.numVariables(), 50, rng);
+    const auto batch = workload::makeMixed(vars, 0.5, rng);
+    ref.apply(batch, eng.execute(batch));
+  }
+}
+
+TEST(SingleOwnerEngine, SingleCopyWorstCaseIsLinear) {
+  // All requests hash to one module: exactly N' cycles — the degenerate
+  // behaviour that motivates the paper.
+  const scheme::SingleCopyScheme s(100000, 255, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  SingleOwnerEngine eng(s, m);
+  const auto victims = workload::singleModuleAttack(s, 64);
+  const AccessResult r = eng.execute(workload::makeReads(victims));
+  EXPECT_EQ(r.totalIterations, 64u);
+}
+
+TEST(SingleOwnerEngine, MvWritesCostMoreThanReads) {
+  // Adversarial concentration: writes must touch all c copies, reads only
+  // one — on the same congested set writes take at least as long.
+  const scheme::MvScheme s(5000, 63, 3);
+  util::Xoshiro256 rng(13);
+  const auto vars = workload::randomDistinct(s.numVariables(), 60, rng);
+  mpc::Machine m1(s.numModules(), s.slotsPerModule());
+  SingleOwnerEngine e1(s, m1);
+  const auto rr = e1.execute(workload::makeReads(vars));
+  mpc::Machine m2(s.numModules(), s.slotsPerModule());
+  SingleOwnerEngine e2(s, m2);
+  const auto wr = e2.execute(workload::makeWrites(vars, 1));
+  EXPECT_GE(wr.totalIterations, rr.totalIterations);
+  EXPECT_GE(wr.totalIterations, 3u);  // must move 3x the data of one read
+}
+
+TEST(Engines, MismatchedMachineRejected) {
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine wrong(7, 4);
+  EXPECT_THROW(MajorityEngine(s, wrong), util::CheckError);
+}
+
+TEST(Engines, CrossBatchTimestampMonotonicity) {
+  // Interleave writes to overlapping variable sets across many batches and
+  // confirm the newest value always wins.
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  for (std::uint64_t round = 1; round <= 10; ++round) {
+    eng.execute({{0, mpc::Op::kWrite, round}});
+    const AccessResult r = eng.execute({{0, mpc::Op::kRead, 0}});
+    EXPECT_EQ(r.values[0], round);
+  }
+}
+
+}  // namespace
+}  // namespace dsm::protocol

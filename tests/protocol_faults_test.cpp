@@ -1,0 +1,173 @@
+// Fault-injection tests: the timestamped majority rule [Tho79/UW87] that the
+// paper adopts makes the scheme tolerate module failures — any q/2 of the
+// q+1 copies may be unreachable and both reads and writes still succeed and
+// stay consistent.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dsm/protocol/engines.hpp"
+#include "dsm/util/assert.hpp"
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace dsm::protocol {
+namespace {
+
+TEST(Faults, FailedModuleGrantsNothing) {
+  mpc::Machine m(4, 8);
+  m.failModule(2);
+  EXPECT_TRUE(m.isFailed(2));
+  EXPECT_EQ(m.failedCount(), 1u);
+  std::vector<mpc::Request> reqs{{0, 2, 0, mpc::Op::kRead, 0, 0},
+                                 {1, 3, 0, mpc::Op::kRead, 0, 0}};
+  std::vector<mpc::Response> resp;
+  m.step(reqs, resp);
+  EXPECT_FALSE(resp[0].granted);
+  EXPECT_TRUE(resp[0].moduleFailed);
+  EXPECT_TRUE(resp[1].granted);
+  m.healModule(2);
+  EXPECT_FALSE(m.isFailed(2));
+  m.step(reqs, resp);
+  EXPECT_TRUE(resp[0].granted);
+}
+
+TEST(Faults, HealPreservesCells) {
+  mpc::Machine m(2, 4);
+  m.poke(0, 1, mpc::Cell{42, 3});
+  m.failModule(0);
+  m.healModule(0);
+  EXPECT_EQ(m.peek(0, 1).value, 42u);
+}
+
+TEST(Faults, SingleFailurePerVariableTolerated) {
+  // q = 2: 3 copies, quorum 2. Kill ONE module of a variable; reads and
+  // writes must still succeed with correct values.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  eng.execute({{42, mpc::Op::kWrite, 1000}});
+  const auto copies = s.copiesOf(42);
+  m.failModule(copies[0].module);
+  // Read through the two surviving copies.
+  auto r = eng.execute({{42, mpc::Op::kRead, 0}});
+  EXPECT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 1000u);
+  // Write through the two survivors, heal, read again — the healed stale
+  // copy must lose to the newer timestamps.
+  eng.execute({{42, mpc::Op::kWrite, 2000}});
+  m.healModule(copies[0].module);
+  r = eng.execute({{42, mpc::Op::kRead, 0}});
+  EXPECT_EQ(r.values[0], 2000u);
+}
+
+TEST(Faults, StaleHealedCopyNeverWins) {
+  // Adversarial schedule: write v=1 (all fine), fail module A, write v=2
+  // (quorum avoids A), heal A, fail one of the modules that GOT v=2. The
+  // remaining quorum must still produce v=2 via timestamps: the healed
+  // stale copy is outvoted.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(7);
+  eng.execute({{7, mpc::Op::kWrite, 1}});
+  m.failModule(copies[0].module);
+  eng.execute({{7, mpc::Op::kWrite, 2}});  // lands on copies 1, 2
+  m.healModule(copies[0].module);
+  m.failModule(copies[1].module);
+  const auto r = eng.execute({{7, mpc::Op::kRead, 0}});
+  ASSERT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 2u);  // copy 2 (ts new) outvotes copy 0 (stale)
+}
+
+TEST(Faults, TwoFailuresMakeVariableUnsatisfiable) {
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(9);
+  m.failModule(copies[0].module);
+  m.failModule(copies[1].module);
+  const auto r = eng.execute({{9, mpc::Op::kRead, 0}});
+  ASSERT_EQ(r.unsatisfiable.size(), 1u);
+  EXPECT_EQ(r.unsatisfiable[0], 0u);  // request index
+}
+
+TEST(Faults, MixedBatchPartialFailure) {
+  // A batch where some variables are unsatisfiable and others fine: the
+  // fine ones complete with correct values, the dead ones are reported.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  util::Xoshiro256 rng(5);
+  const auto vars = workload::randomDistinct(s.numVariables(), 50, rng);
+  std::vector<std::uint64_t> vals;
+  for (const auto v : vars) vals.push_back(v + 1);
+  {
+    std::vector<AccessRequest> w;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      w.push_back({vars[i], mpc::Op::kWrite, vals[i]});
+    }
+    eng.execute(w);
+  }
+  // Kill both "twist" modules of the first variable.
+  const auto c0 = s.copiesOf(vars[0]);
+  m.failModule(c0[1].module);
+  m.failModule(c0[2].module);
+  const auto r = eng.execute(workload::makeReads(vars));
+  std::set<std::size_t> dead(r.unsatisfiable.begin(), r.unsatisfiable.end());
+  EXPECT_TRUE(dead.count(0));
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    if (dead.count(i)) continue;
+    EXPECT_EQ(r.values[i], vals[i]) << "i=" << i;
+  }
+}
+
+TEST(Faults, SingleOwnerEngineHandlesFailures) {
+  // MV (write-all) cannot complete a write if ANY copy module failed, but a
+  // read still can through any surviving copy.
+  const scheme::MvScheme s(5000, 255, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  SingleOwnerEngine eng(s, m);
+  eng.execute({{11, mpc::Op::kWrite, 5}});
+  const auto copies = s.copiesOf(11);
+  m.failModule(copies[1].module);
+  auto r = eng.execute({{11, mpc::Op::kRead, 0}});
+  EXPECT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 5u);
+  r = eng.execute({{11, mpc::Op::kWrite, 6}});
+  ASSERT_EQ(r.unsatisfiable.size(), 1u);  // write-all blocked
+}
+
+TEST(Faults, RandomFailureSweepConsistency) {
+  // Property: under f random module failures, every request the engine does
+  // NOT report unsatisfiable returns the latest written value.
+  const scheme::PpScheme s(1, 5);
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    mpc::Machine m(s.numModules(), s.slotsPerModule());
+    MajorityEngine eng(s, m);
+    util::Xoshiro256 rng(seed);
+    const auto vars = workload::randomDistinct(s.numVariables(), 200, rng);
+    std::vector<AccessRequest> w;
+    for (const auto v : vars) w.push_back({v, mpc::Op::kWrite, v * 7});
+    eng.execute(w);
+    for (int i = 0; i < 40; ++i) m.failModule(rng.below(s.numModules()));
+    const auto r = eng.execute(workload::makeReads(vars));
+    std::set<std::size_t> dead(r.unsatisfiable.begin(),
+                               r.unsatisfiable.end());
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (dead.count(i)) continue;
+      EXPECT_EQ(r.values[i], vars[i] * 7);
+    }
+  }
+}
+
+TEST(Faults, OutOfRangeModuleChecked) {
+  mpc::Machine m(4, 4);
+  EXPECT_THROW(m.failModule(4), util::CheckError);
+  EXPECT_THROW(m.isFailed(99), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::protocol

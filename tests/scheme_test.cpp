@@ -1,0 +1,165 @@
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::scheme {
+namespace {
+
+TEST(PpScheme, ParametersMatchPaper) {
+  const PpScheme s(1, 5);
+  EXPECT_EQ(s.numVariables(), 5456u);
+  EXPECT_EQ(s.numModules(), 1023u);
+  EXPECT_EQ(s.copiesPerVariable(), 3u);  // q + 1
+  EXPECT_EQ(s.readQuorum(), 2u);         // q/2 + 1
+  EXPECT_EQ(s.writeQuorum(), 2u);
+  EXPECT_EQ(s.slotsPerModule(), 16u);    // q^{n-1}
+  EXPECT_TRUE(s.constructiveIndexing());
+  EXPECT_NE(s.name().find("pp93"), std::string::npos);
+}
+
+TEST(PpScheme, DirectoryFallbackForQ4) {
+  const PpScheme s(2, 3);
+  EXPECT_FALSE(s.constructiveIndexing());
+  EXPECT_EQ(s.numVariables(), 4368u);
+  EXPECT_EQ(s.copiesPerVariable(), 5u);
+  EXPECT_EQ(s.readQuorum(), 3u);
+}
+
+TEST(PpScheme, CopiesAreDistinctModules) {
+  const PpScheme s(1, 5);
+  util::Xoshiro256 rng(1);
+  std::vector<PhysicalAddress> copies;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.below(s.numVariables());
+    s.copies(v, copies);
+    ASSERT_EQ(copies.size(), 3u);
+    std::set<std::uint64_t> mods;
+    for (const auto& pa : copies) {
+      EXPECT_LT(pa.module, s.numModules());
+      EXPECT_LT(pa.slot, s.slotsPerModule());
+      mods.insert(pa.module);
+    }
+    EXPECT_EQ(mods.size(), copies.size());
+  }
+}
+
+TEST(PpScheme, IndexOfInvertsMatrixOf) {
+  const PpScheme s(1, 5);
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.below(s.numVariables());
+    EXPECT_EQ(s.indexOf(s.matrixOf(v)), v);
+  }
+}
+
+TEST(MvScheme, CopiesDeterministicDistinctBounded) {
+  const MvScheme s(100000, 1000, 3);
+  EXPECT_EQ(s.readQuorum(), 1u);
+  EXPECT_EQ(s.writeQuorum(), 3u);
+  util::Xoshiro256 rng(3);
+  std::vector<PhysicalAddress> c1, c2;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t v = rng.below(s.numVariables());
+    s.copies(v, c1);
+    s.copies(v, c2);
+    EXPECT_EQ(c1, c2);  // deterministic
+    ASSERT_EQ(c1.size(), 3u);
+    std::set<std::uint64_t> mods;
+    for (const auto& pa : c1) {
+      EXPECT_LT(pa.module, s.numModules());
+      mods.insert(pa.module);
+    }
+    EXPECT_EQ(mods.size(), c1.size());
+  }
+}
+
+TEST(MvScheme, DistinctVariablesMostlyDistinctPlacements) {
+  // Variables drawn across the whole digit space get distinct coefficient
+  // vectors, hence (mostly) distinct module placements. (Sequential indices
+  // below p share a1 = 0 and legitimately collide after collision probing.)
+  const MvScheme s(5000, 257, 2);
+  util::Xoshiro256 rng(99);
+  std::set<std::vector<std::uint64_t>> placements;
+  std::vector<PhysicalAddress> c;
+  for (int i = 0; i < 500; ++i) {
+    s.copies(rng.below(s.numVariables()), c);
+    std::vector<std::uint64_t> mods;
+    for (const auto& pa : c) mods.push_back(pa.module);
+    placements.insert(mods);
+  }
+  // Collisions are possible but must be rare.
+  EXPECT_GT(placements.size(), 420u);
+}
+
+TEST(MvScheme, RejectsTooManyVariables) {
+  EXPECT_THROW(MvScheme(1000, 7, 1), util::CheckError);  // M > p^1
+}
+
+TEST(UwRandomScheme, CopiesStableDistinctSeeded) {
+  const UwRandomScheme s(10000, 512, 3, 42);
+  EXPECT_EQ(s.copiesPerVariable(), 5u);  // 2c-1
+  EXPECT_EQ(s.readQuorum(), 3u);
+  std::vector<PhysicalAddress> c1, c2;
+  for (std::uint64_t v = 0; v < 200; ++v) {
+    s.copies(v, c1);
+    s.copies(v, c2);
+    EXPECT_EQ(c1, c2);
+    std::set<std::uint64_t> mods;
+    for (const auto& pa : c1) mods.insert(pa.module);
+    EXPECT_EQ(mods.size(), 5u);
+  }
+  // A different seed gives a different graph.
+  const UwRandomScheme s2(10000, 512, 3, 43);
+  int diffs = 0;
+  for (std::uint64_t v = 0; v < 100; ++v) {
+    s.copies(v, c1);
+    s2.copies(v, c2);
+    diffs += c1 != c2;
+  }
+  EXPECT_GT(diffs, 90);
+}
+
+TEST(UwRandomScheme, RejectsImpossibleParameters) {
+  EXPECT_THROW(UwRandomScheme(10, 3, 3, 1), util::CheckError);  // 2c-1 > N
+}
+
+TEST(SingleCopyScheme, OneCopyStableHash) {
+  const SingleCopyScheme s(1000, 64, 7);
+  std::vector<PhysicalAddress> c;
+  std::map<std::uint64_t, int> histogram;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    s.copies(v, c);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(c[0].module, s.moduleOf(v));
+    histogram[c[0].module]++;
+  }
+  // Hashing spreads variables across most modules.
+  EXPECT_GT(histogram.size(), 48u);
+}
+
+TEST(AllSchemes, QuorumIntersectionProperty) {
+  // For every scheme: readQuorum + writeQuorum > copies, the condition that
+  // makes the timestamp majority protocol correct (any read quorum meets
+  // any write quorum). MV satisfies it as 1 + c > c.
+  const PpScheme pp(1, 3);
+  const MvScheme mv(1000, 63, 3);
+  const UwRandomScheme uw(1000, 63, 2, 1);
+  const SingleCopyScheme sc(1000, 63, 1);
+  for (const MemoryScheme* s :
+       std::initializer_list<const MemoryScheme*>{&pp, &mv, &uw, &sc}) {
+    EXPECT_GT(s->readQuorum() + s->writeQuorum(), s->copiesPerVariable())
+        << s->name();
+    EXPECT_LE(s->readQuorum(), s->copiesPerVariable()) << s->name();
+    EXPECT_LE(s->writeQuorum(), s->copiesPerVariable()) << s->name();
+  }
+}
+
+}  // namespace
+}  // namespace dsm::scheme

@@ -1,0 +1,73 @@
+#include "dsm/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const auto cli = make({"--n=7", "--name=foo"});
+  EXPECT_EQ(cli.getInt("n", 0), 7);
+  EXPECT_EQ(cli.getString("name", ""), "foo");
+}
+
+TEST(Cli, SpaceForm) {
+  const auto cli = make({"--n", "7", "--seed", "99"});
+  EXPECT_EQ(cli.getInt("n", 0), 7);
+  EXPECT_EQ(cli.getUint("seed", 0), 99u);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto cli = make({"--verbose"});
+  EXPECT_TRUE(cli.getBool("verbose", false));
+  EXPECT_FALSE(cli.getBool("quiet", false));
+}
+
+TEST(Cli, Defaults) {
+  const auto cli = make({});
+  EXPECT_EQ(cli.getInt("missing", -3), -3);
+  EXPECT_EQ(cli.getDouble("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.getString("missing", "dflt"), "dflt");
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, UintList) {
+  const auto cli = make({"--n=3,5,7"});
+  const auto v = cli.getUintList("n", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3u);
+  EXPECT_EQ(v[2], 7u);
+  const auto d = cli.getUintList("other", {1, 2});
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Cli, Positional) {
+  const auto cli = make({"run", "--n=2", "fast"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "run");
+  EXPECT_EQ(cli.positional()[1], "fast");
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const auto cli = make({"--n=abc"});
+  EXPECT_THROW(cli.getInt("n", 0), CheckError);
+  EXPECT_THROW(cli.getUint("n", 0), CheckError);
+  EXPECT_THROW(cli.getDouble("n", 0), CheckError);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  // "-5" does not start with "--", so the space form must capture it.
+  const auto cli = make({"--delta", "-5"});
+  EXPECT_EQ(cli.getInt("delta", 0), -5);
+}
+
+}  // namespace
+}  // namespace dsm::util

@@ -1,0 +1,95 @@
+#include "dsm/util/factor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::util {
+namespace {
+
+TEST(IsPrime, SmallExhaustiveAgainstSieve) {
+  constexpr int kLimit = 10000;
+  std::vector<bool> sieve(kLimit, true);
+  sieve[0] = sieve[1] = false;
+  for (int i = 2; i * i < kLimit; ++i) {
+    if (sieve[static_cast<std::size_t>(i)]) {
+      for (int j = i * i; j < kLimit; j += i) {
+        sieve[static_cast<std::size_t>(j)] = false;
+      }
+    }
+  }
+  for (int i = 0; i < kLimit; ++i) {
+    EXPECT_EQ(isPrime(static_cast<std::uint64_t>(i)),
+              sieve[static_cast<std::size_t>(i)])
+        << "n=" << i;
+  }
+}
+
+TEST(IsPrime, LargeKnownValues) {
+  EXPECT_TRUE(isPrime(2147483647ULL));           // 2^31 - 1 (Mersenne)
+  EXPECT_TRUE(isPrime(18446744073709551557ULL)); // largest u64 prime
+  EXPECT_FALSE(isPrime(18446744073709551615ULL));
+  EXPECT_TRUE(isPrime(1000000007ULL));
+  EXPECT_FALSE(isPrime(3215031751ULL));  // strong pseudoprime to 2,3,5,7
+}
+
+TEST(Factorize, KnownValues) {
+  EXPECT_TRUE(factorize(1).empty());
+  const auto f12 = factorize(12);
+  ASSERT_EQ(f12.size(), 2u);
+  EXPECT_EQ(f12[0], (PrimePower{2, 2}));
+  EXPECT_EQ(f12[1], (PrimePower{3, 1}));
+  const auto fb = factorize((1ULL << 26) - 1);  // 2^26-1 = 3*2731*8191
+  ASSERT_EQ(fb.size(), 3u);
+  EXPECT_EQ(fb[0].prime, 3u);
+  EXPECT_EQ(fb[1].prime, 2731u);
+  EXPECT_EQ(fb[2].prime, 8191u);
+}
+
+TEST(Factorize, ProductRoundTripRandom) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t n = rng.below(1ULL << 40) + 2;
+    std::uint64_t prod = 1;
+    for (const auto& pp : factorize(n)) {
+      EXPECT_TRUE(isPrime(pp.prime)) << "n=" << n;
+      prod *= ipow(pp.prime, pp.exponent);
+    }
+    EXPECT_EQ(prod, n);
+  }
+}
+
+TEST(Factorize, MersenneCompositesUsedByFields) {
+  // These are exactly the group orders factored during field construction;
+  // they must round-trip for every supported field size.
+  for (int m = 2; m <= 32; ++m) {
+    const std::uint64_t order = (1ULL << m) - 1;
+    std::uint64_t prod = 1;
+    for (const auto& pp : factorize(order)) {
+      EXPECT_TRUE(isPrime(pp.prime));
+      prod *= ipow(pp.prime, pp.exponent);
+    }
+    EXPECT_EQ(prod, order) << "m=" << m;
+  }
+}
+
+TEST(DistinctPrimeFactors, DropsMultiplicity) {
+  const auto d = distinctPrimeFactors(360);  // 2^3 * 3^2 * 5
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[1], 3u);
+  EXPECT_EQ(d[2], 5u);
+}
+
+TEST(Factorize, SemiprimeOfLargePrimes) {
+  const std::uint64_t p = 2147483647ULL;  // 2^31-1
+  const std::uint64_t r = 2147483629ULL;  // prime near it
+  const auto f = factorize(p * r);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].prime, r);
+  EXPECT_EQ(f[1].prime, p);
+}
+
+}  // namespace
+}  // namespace dsm::util

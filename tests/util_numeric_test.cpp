@@ -1,0 +1,121 @@
+#include "dsm/util/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::util {
+namespace {
+
+TEST(LogStar, SmallValues) {
+  EXPECT_EQ(logStar(0.5), 0);
+  EXPECT_EQ(logStar(1.0), 0);
+  EXPECT_EQ(logStar(2.0), 1);
+  EXPECT_EQ(logStar(4.0), 2);
+  EXPECT_EQ(logStar(16.0), 3);
+  EXPECT_EQ(logStar(65536.0), 4);
+  EXPECT_EQ(logStar(std::pow(2.0, 1000.0)), 5);  // 1 + log*(1000)
+}
+
+TEST(LogStar, NonFiniteInputTerminates) {
+  EXPECT_EQ(logStar(std::numeric_limits<double>::infinity()), 64);
+  EXPECT_EQ(logStar(std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
+TEST(LogStar, Monotone) {
+  double prev = 0;
+  for (double x = 1; x < 1e18; x *= 3) {
+    const double cur = logStar(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(FloorLog2, Values) {
+  EXPECT_EQ(floorLog2(0), -1);
+  EXPECT_EQ(floorLog2(1), 0);
+  EXPECT_EQ(floorLog2(2), 1);
+  EXPECT_EQ(floorLog2(3), 1);
+  EXPECT_EQ(floorLog2(4), 2);
+  EXPECT_EQ(floorLog2(1ULL << 63), 63);
+}
+
+TEST(CeilLog2, Values) {
+  EXPECT_EQ(ceilLog2(0), 0);
+  EXPECT_EQ(ceilLog2(1), 0);
+  EXPECT_EQ(ceilLog2(2), 1);
+  EXPECT_EQ(ceilLog2(3), 2);
+  EXPECT_EQ(ceilLog2(4), 2);
+  EXPECT_EQ(ceilLog2(5), 3);
+}
+
+TEST(Ipow, ExactValues) {
+  EXPECT_EQ(ipow(2, 10), 1024u);
+  EXPECT_EQ(ipow(3, 0), 1u);
+  EXPECT_EQ(ipow(0, 5), 0u);
+  EXPECT_EQ(ipow(7, 7), 823543u);
+  EXPECT_EQ(ipow(2, 63), 1ULL << 63);
+}
+
+TEST(Ipow, OverflowThrows) {
+  EXPECT_THROW(ipow(2, 64), CheckError);
+  EXPECT_THROW(ipow(10, 20), CheckError);
+}
+
+TEST(Isqrt, ExhaustiveSmallAndBoundary) {
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    const std::uint64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+  EXPECT_EQ(isqrt(UINT64_MAX), 0xFFFFFFFFULL);
+  EXPECT_EQ(isqrt((1ULL << 62)), 1ULL << 31);
+}
+
+TEST(Icbrt, ExhaustiveSmallAndBoundary) {
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    const std::uint64_t r = icbrt(x);
+    EXPECT_LE(r * r * r, x);
+    EXPECT_GT((r + 1) * (r + 1) * (r + 1), x);
+  }
+  EXPECT_EQ(icbrt(27), 3u);
+  EXPECT_EQ(icbrt(1ULL << 60), 1ULL << 20);
+  EXPECT_EQ(icbrt(UINT64_MAX), 2642245u);
+}
+
+TEST(Mulmod, MatchesWideMultiplication) {
+  EXPECT_EQ(mulmod(UINT64_MAX / 2, 3, 1000000007ULL),
+            static_cast<std::uint64_t>(
+                (static_cast<Uint128>(UINT64_MAX / 2) * 3) %
+                1000000007ULL));
+  EXPECT_EQ(mulmod(0, 12345, 7), 0u);
+}
+
+TEST(Powmod, KnownValues) {
+  EXPECT_EQ(powmod(2, 10, 1000), 24u);
+  EXPECT_EQ(powmod(3, 0, 7), 1u);
+  EXPECT_EQ(powmod(5, 117, 19), powmod(5, 117 % 18, 19));  // Fermat
+}
+
+TEST(Gcd64, Values) {
+  EXPECT_EQ(gcd64(0, 5), 5u);
+  EXPECT_EQ(gcd64(5, 0), 5u);
+  EXPECT_EQ(gcd64(12, 18), 6u);
+  EXPECT_EQ(gcd64(17, 31), 1u);
+}
+
+TEST(NextPrime, Values) {
+  EXPECT_EQ(nextPrime(0), 2u);
+  EXPECT_EQ(nextPrime(2), 2u);
+  EXPECT_EQ(nextPrime(3), 3u);
+  EXPECT_EQ(nextPrime(4), 5u);
+  EXPECT_EQ(nextPrime(90), 97u);
+  EXPECT_EQ(nextPrime(1000000), 1000003u);
+}
+
+}  // namespace
+}  // namespace dsm::util

@@ -1,0 +1,95 @@
+#include "dsm/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256 rng(7);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100 - 50;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(FitLinear, ExactLine) {
+  const auto fit = fitLinear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, DegenerateXGivesZeroSlope) {
+  const auto fit = fitLinear({2, 2, 2}, {1, 2, 3});
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> x, y;
+  for (double v = 8; v <= 4096; v *= 2) {
+    x.push_back(v);
+    y.push_back(5.0 * std::pow(v, 1.0 / 3.0));
+  }
+  const auto fit = fitPowerLaw(x, y);
+  EXPECT_NEAR(fit.slope, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-6);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  EXPECT_THROW(fitPowerLaw({1, 0}, {1, 1}), CheckError);
+  EXPECT_THROW(fitPowerLaw({1, 2}, {1, -1}), CheckError);
+}
+
+TEST(Quantile, NearestRank) {
+  EXPECT_EQ(quantile({5, 1, 3}, 0.0), 1.0);
+  EXPECT_EQ(quantile({5, 1, 3}, 0.5), 3.0);
+  EXPECT_EQ(quantile({5, 1, 3}, 1.0), 5.0);
+  EXPECT_THROW(quantile({}, 0.5), CheckError);
+}
+
+}  // namespace
+}  // namespace dsm::util

@@ -1,0 +1,134 @@
+#include "dsm/workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "dsm/util/assert.hpp"
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::workload {
+namespace {
+
+TEST(RandomDistinct, DistinctInRangeSeeded) {
+  util::Xoshiro256 rng(1);
+  const auto v = randomDistinct(1000, 200, rng);
+  EXPECT_EQ(v.size(), 200u);
+  std::set<std::uint64_t> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 200u);
+  for (const auto x : v) EXPECT_LT(x, 1000u);
+  // Same seed reproduces.
+  util::Xoshiro256 rng2(1);
+  EXPECT_EQ(randomDistinct(1000, 200, rng2), v);
+}
+
+TEST(RandomDistinct, FullUniverse) {
+  util::Xoshiro256 rng(2);
+  const auto v = randomDistinct(50, 50, rng);
+  std::set<std::uint64_t> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_THROW(randomDistinct(50, 51, rng), util::CheckError);
+}
+
+TEST(ModuleFocused, AllModuleVariablesFirst) {
+  const scheme::PpScheme s(1, 5);
+  util::Xoshiro256 rng(3);
+  const std::uint64_t target = 17;
+  const std::size_t degree = s.graph().moduleDegree();  // 16
+  const auto vars = moduleFocused(s, target, degree + 10, rng);
+  EXPECT_EQ(vars.size(), degree + 10);
+  // The first `degree` variables all have a copy in the target module.
+  std::vector<scheme::PhysicalAddress> copies;
+  for (std::size_t i = 0; i < degree; ++i) {
+    s.copies(vars[i], copies);
+    bool touches = false;
+    for (const auto& pa : copies) touches = touches || pa.module == target;
+    EXPECT_TRUE(touches) << "var " << vars[i];
+  }
+  std::set<std::uint64_t> distinct(vars.begin(), vars.end());
+  EXPECT_EQ(distinct.size(), vars.size());
+}
+
+TEST(GreedyAdversarial, LowerExpansionThanRandom) {
+  const scheme::PpScheme s(1, 5);
+  util::Xoshiro256 rng(4);
+  const std::size_t size = 200;
+  const auto adv = greedyAdversarial(s, size, 24, rng);
+  const auto rnd = randomDistinct(s.numVariables(), size, rng);
+  auto gamma = [&s](const std::vector<std::uint64_t>& vars) {
+    std::unordered_set<std::uint64_t> g;
+    std::vector<scheme::PhysicalAddress> copies;
+    for (const auto v : vars) {
+      s.copies(v, copies);
+      for (const auto& pa : copies) g.insert(pa.module);
+    }
+    return g.size();
+  };
+  EXPECT_EQ(adv.size(), size);
+  std::set<std::uint64_t> distinct(adv.begin(), adv.end());
+  EXPECT_EQ(distinct.size(), size);
+  EXPECT_LT(gamma(adv), gamma(rnd));  // the adversary concentrates
+}
+
+TEST(SubfieldAdversarial, SizeAndExpansionMatchTheory) {
+  // n = 9, d = 3: the image of PGL_2(8)/PGL_2(2) has 504/6 = 84 variables
+  // whose copies live in exactly (8+1)(8-1) = 63 modules.
+  const scheme::PpScheme s(1, 9);
+  const auto vars = subfieldAdversarial(s, 3);
+  EXPECT_EQ(vars.size(), 84u);
+  std::unordered_set<std::uint64_t> gamma;
+  std::vector<scheme::PhysicalAddress> copies;
+  for (const auto v : vars) {
+    s.copies(v, copies);
+    for (const auto& pa : copies) gamma.insert(pa.module);
+  }
+  EXPECT_EQ(gamma.size(), 63u);
+}
+
+TEST(SubfieldAdversarial, WorksForEvenNViaDirectory) {
+  // n = 6, d = 3: |PGL_2(8)|/|PGL_2(2)| = 84 variables again (the subgroup
+  // image is d-determined), over 63 modules.
+  const scheme::PpScheme s(1, 6);
+  const auto vars = subfieldAdversarial(s, 3);
+  EXPECT_EQ(vars.size(), 84u);
+}
+
+TEST(SubfieldAdversarial, RejectsBadDegrees) {
+  const scheme::PpScheme s(1, 9);
+  EXPECT_THROW(subfieldAdversarial(s, 2), dsm::util::CheckError);  // 2 ∤ 9
+  EXPECT_THROW(subfieldAdversarial(s, 9), dsm::util::CheckError);  // d == n
+}
+
+TEST(SingleModuleAttack, AllVictimsOneModule) {
+  const scheme::SingleCopyScheme s(100000, 128, 5);
+  const auto victims = singleModuleAttack(s, 100);
+  EXPECT_EQ(victims.size(), 100u);
+  const std::uint64_t target = s.moduleOf(victims[0]);
+  for (const auto v : victims) EXPECT_EQ(s.moduleOf(v), target);
+}
+
+TEST(SingleModuleAttack, FailsWhenModuleTooSmall) {
+  const scheme::SingleCopyScheme s(64, 64, 5);  // ~1 variable per module
+  EXPECT_THROW(singleModuleAttack(s, 50), util::CheckError);
+}
+
+TEST(Builders, ReadsWritesMixed) {
+  const std::vector<std::uint64_t> vars{3, 1, 4};
+  const auto reads = makeReads(vars);
+  ASSERT_EQ(reads.size(), 3u);
+  EXPECT_EQ(reads[0].variable, 3u);
+  EXPECT_EQ(reads[0].op, mpc::Op::kRead);
+  const auto writes = makeWrites(vars, 100);
+  EXPECT_EQ(writes[1].op, mpc::Op::kWrite);
+  EXPECT_EQ(writes[1].value, 100u ^ 1u);
+  util::Xoshiro256 rng(5);
+  const auto mixed = makeMixed(vars, 1.0, rng);
+  for (const auto& r : mixed) EXPECT_EQ(r.op, mpc::Op::kRead);
+  const auto mixed0 = makeMixed(vars, 0.0, rng);
+  for (const auto& r : mixed0) EXPECT_EQ(r.op, mpc::Op::kWrite);
+}
+
+}  // namespace
+}  // namespace dsm::workload
