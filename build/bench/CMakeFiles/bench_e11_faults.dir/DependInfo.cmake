@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e11_faults.cpp" "bench/CMakeFiles/bench_e11_faults.dir/bench_e11_faults.cpp.o" "gcc" "bench/CMakeFiles/bench_e11_faults.dir/bench_e11_faults.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/core/CMakeFiles/dsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/workload/CMakeFiles/dsm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/protocol/CMakeFiles/dsm_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/scheme/CMakeFiles/dsm_scheme.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/graph/CMakeFiles/dsm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/pgl/CMakeFiles/dsm_pgl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/gf/CMakeFiles/dsm_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/mpc/CMakeFiles/dsm_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/util/CMakeFiles/dsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_cardinalities.dir/bench_e1_cardinalities.cpp.o"
+  "CMakeFiles/bench_e1_cardinalities.dir/bench_e1_cardinalities.cpp.o.d"
+  "bench_e1_cardinalities"
+  "bench_e1_cardinalities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_cardinalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_pairwise.dir/bench_e2_pairwise.cpp.o"
+  "CMakeFiles/bench_e2_pairwise.dir/bench_e2_pairwise.cpp.o.d"
+  "bench_e2_pairwise"
+  "bench_e2_pairwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_gamma2.dir/bench_e3_gamma2.cpp.o"
+  "CMakeFiles/bench_e3_gamma2.dir/bench_e3_gamma2.cpp.o.d"
+  "bench_e3_gamma2"
+  "bench_e3_gamma2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_gamma2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_iterations.dir/bench_e5_iterations.cpp.o"
+  "CMakeFiles/bench_e5_iterations.dir/bench_e5_iterations.cpp.o.d"
+  "bench_e5_iterations"
+  "bench_e5_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

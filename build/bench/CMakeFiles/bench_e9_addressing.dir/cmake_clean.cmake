@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_addressing.dir/bench_e9_addressing.cpp.o"
+  "CMakeFiles/bench_e9_addressing.dir/bench_e9_addressing.cpp.o.d"
+  "bench_e9_addressing"
+  "bench_e9_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_inspector.dir/address_inspector.cpp.o"
+  "CMakeFiles/address_inspector.dir/address_inspector.cpp.o.d"
+  "address_inspector"
+  "address_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

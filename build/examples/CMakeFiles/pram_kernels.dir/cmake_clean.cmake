@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_kernels.dir/pram_kernels.cpp.o"
+  "CMakeFiles/pram_kernels.dir/pram_kernels.cpp.o.d"
+  "pram_kernels"
+  "pram_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

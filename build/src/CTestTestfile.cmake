@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("dsm/util")
+subdirs("dsm/gf")
+subdirs("dsm/pgl")
+subdirs("dsm/graph")
+subdirs("dsm/mpc")
+subdirs("dsm/scheme")
+subdirs("dsm/protocol")
+subdirs("dsm/workload")
+subdirs("dsm/analysis")
+subdirs("dsm/core")
+subdirs("dsm/pram")
+subdirs("dsm/net")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_analysis.dir/concentrator.cpp.o"
+  "CMakeFiles/dsm_analysis.dir/concentrator.cpp.o.d"
+  "CMakeFiles/dsm_analysis.dir/expansion.cpp.o"
+  "CMakeFiles/dsm_analysis.dir/expansion.cpp.o.d"
+  "CMakeFiles/dsm_analysis.dir/recurrence.cpp.o"
+  "CMakeFiles/dsm_analysis.dir/recurrence.cpp.o.d"
+  "libdsm_analysis.a"
+  "libdsm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

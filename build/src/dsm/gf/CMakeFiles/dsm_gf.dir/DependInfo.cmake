@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/gf/gf2m.cpp" "src/dsm/gf/CMakeFiles/dsm_gf.dir/gf2m.cpp.o" "gcc" "src/dsm/gf/CMakeFiles/dsm_gf.dir/gf2m.cpp.o.d"
+  "/root/repo/src/dsm/gf/gf2poly.cpp" "src/dsm/gf/CMakeFiles/dsm_gf.dir/gf2poly.cpp.o" "gcc" "src/dsm/gf/CMakeFiles/dsm_gf.dir/gf2poly.cpp.o.d"
+  "/root/repo/src/dsm/gf/polygf.cpp" "src/dsm/gf/CMakeFiles/dsm_gf.dir/polygf.cpp.o" "gcc" "src/dsm/gf/CMakeFiles/dsm_gf.dir/polygf.cpp.o.d"
+  "/root/repo/src/dsm/gf/quadext.cpp" "src/dsm/gf/CMakeFiles/dsm_gf.dir/quadext.cpp.o" "gcc" "src/dsm/gf/CMakeFiles/dsm_gf.dir/quadext.cpp.o.d"
+  "/root/repo/src/dsm/gf/tower.cpp" "src/dsm/gf/CMakeFiles/dsm_gf.dir/tower.cpp.o" "gcc" "src/dsm/gf/CMakeFiles/dsm_gf.dir/tower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/util/CMakeFiles/dsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_gf.dir/gf2m.cpp.o"
+  "CMakeFiles/dsm_gf.dir/gf2m.cpp.o.d"
+  "CMakeFiles/dsm_gf.dir/gf2poly.cpp.o"
+  "CMakeFiles/dsm_gf.dir/gf2poly.cpp.o.d"
+  "CMakeFiles/dsm_gf.dir/polygf.cpp.o"
+  "CMakeFiles/dsm_gf.dir/polygf.cpp.o.d"
+  "CMakeFiles/dsm_gf.dir/quadext.cpp.o"
+  "CMakeFiles/dsm_gf.dir/quadext.cpp.o.d"
+  "CMakeFiles/dsm_gf.dir/tower.cpp.o"
+  "CMakeFiles/dsm_gf.dir/tower.cpp.o.d"
+  "libdsm_gf.a"
+  "libdsm_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

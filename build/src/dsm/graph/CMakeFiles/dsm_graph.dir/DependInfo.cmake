@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/graph/address_map.cpp" "src/dsm/graph/CMakeFiles/dsm_graph.dir/address_map.cpp.o" "gcc" "src/dsm/graph/CMakeFiles/dsm_graph.dir/address_map.cpp.o.d"
+  "/root/repo/src/dsm/graph/directory.cpp" "src/dsm/graph/CMakeFiles/dsm_graph.dir/directory.cpp.o" "gcc" "src/dsm/graph/CMakeFiles/dsm_graph.dir/directory.cpp.o.d"
+  "/root/repo/src/dsm/graph/graphg.cpp" "src/dsm/graph/CMakeFiles/dsm_graph.dir/graphg.cpp.o" "gcc" "src/dsm/graph/CMakeFiles/dsm_graph.dir/graphg.cpp.o.d"
+  "/root/repo/src/dsm/graph/module_indexer.cpp" "src/dsm/graph/CMakeFiles/dsm_graph.dir/module_indexer.cpp.o" "gcc" "src/dsm/graph/CMakeFiles/dsm_graph.dir/module_indexer.cpp.o.d"
+  "/root/repo/src/dsm/graph/var_indexer.cpp" "src/dsm/graph/CMakeFiles/dsm_graph.dir/var_indexer.cpp.o" "gcc" "src/dsm/graph/CMakeFiles/dsm_graph.dir/var_indexer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/pgl/CMakeFiles/dsm_pgl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/gf/CMakeFiles/dsm_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/util/CMakeFiles/dsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_graph.dir/address_map.cpp.o"
+  "CMakeFiles/dsm_graph.dir/address_map.cpp.o.d"
+  "CMakeFiles/dsm_graph.dir/directory.cpp.o"
+  "CMakeFiles/dsm_graph.dir/directory.cpp.o.d"
+  "CMakeFiles/dsm_graph.dir/graphg.cpp.o"
+  "CMakeFiles/dsm_graph.dir/graphg.cpp.o.d"
+  "CMakeFiles/dsm_graph.dir/module_indexer.cpp.o"
+  "CMakeFiles/dsm_graph.dir/module_indexer.cpp.o.d"
+  "CMakeFiles/dsm_graph.dir/var_indexer.cpp.o"
+  "CMakeFiles/dsm_graph.dir/var_indexer.cpp.o.d"
+  "libdsm_graph.a"
+  "libdsm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_mpc.dir/machine.cpp.o"
+  "CMakeFiles/dsm_mpc.dir/machine.cpp.o.d"
+  "CMakeFiles/dsm_mpc.dir/thread_pool.cpp.o"
+  "CMakeFiles/dsm_mpc.dir/thread_pool.cpp.o.d"
+  "libdsm_mpc.a"
+  "libdsm_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

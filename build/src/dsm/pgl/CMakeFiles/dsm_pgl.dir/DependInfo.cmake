@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/pgl/cosets.cpp" "src/dsm/pgl/CMakeFiles/dsm_pgl.dir/cosets.cpp.o" "gcc" "src/dsm/pgl/CMakeFiles/dsm_pgl.dir/cosets.cpp.o.d"
+  "/root/repo/src/dsm/pgl/mat2.cpp" "src/dsm/pgl/CMakeFiles/dsm_pgl.dir/mat2.cpp.o" "gcc" "src/dsm/pgl/CMakeFiles/dsm_pgl.dir/mat2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsm/gf/CMakeFiles/dsm_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/util/CMakeFiles/dsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

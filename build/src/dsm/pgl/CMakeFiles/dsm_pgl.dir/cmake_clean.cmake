@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_pgl.dir/cosets.cpp.o"
+  "CMakeFiles/dsm_pgl.dir/cosets.cpp.o.d"
+  "CMakeFiles/dsm_pgl.dir/mat2.cpp.o"
+  "CMakeFiles/dsm_pgl.dir/mat2.cpp.o.d"
+  "libdsm_pgl.a"
+  "libdsm_pgl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_pgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_pram.dir/kernels.cpp.o"
+  "CMakeFiles/dsm_pram.dir/kernels.cpp.o.d"
+  "libdsm_pram.a"
+  "libdsm_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

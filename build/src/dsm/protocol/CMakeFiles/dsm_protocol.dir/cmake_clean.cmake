@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_protocol.dir/engines.cpp.o"
+  "CMakeFiles/dsm_protocol.dir/engines.cpp.o.d"
+  "libdsm_protocol.a"
+  "libdsm_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

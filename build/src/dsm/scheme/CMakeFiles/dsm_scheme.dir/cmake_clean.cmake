@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_scheme.dir/baselines.cpp.o"
+  "CMakeFiles/dsm_scheme.dir/baselines.cpp.o.d"
+  "CMakeFiles/dsm_scheme.dir/pp_scheme.cpp.o"
+  "CMakeFiles/dsm_scheme.dir/pp_scheme.cpp.o.d"
+  "libdsm_scheme.a"
+  "libdsm_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

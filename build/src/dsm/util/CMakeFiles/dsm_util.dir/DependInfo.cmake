@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/util/cli.cpp" "src/dsm/util/CMakeFiles/dsm_util.dir/cli.cpp.o" "gcc" "src/dsm/util/CMakeFiles/dsm_util.dir/cli.cpp.o.d"
+  "/root/repo/src/dsm/util/factor.cpp" "src/dsm/util/CMakeFiles/dsm_util.dir/factor.cpp.o" "gcc" "src/dsm/util/CMakeFiles/dsm_util.dir/factor.cpp.o.d"
+  "/root/repo/src/dsm/util/numeric.cpp" "src/dsm/util/CMakeFiles/dsm_util.dir/numeric.cpp.o" "gcc" "src/dsm/util/CMakeFiles/dsm_util.dir/numeric.cpp.o.d"
+  "/root/repo/src/dsm/util/stats.cpp" "src/dsm/util/CMakeFiles/dsm_util.dir/stats.cpp.o" "gcc" "src/dsm/util/CMakeFiles/dsm_util.dir/stats.cpp.o.d"
+  "/root/repo/src/dsm/util/table.cpp" "src/dsm/util/CMakeFiles/dsm_util.dir/table.cpp.o" "gcc" "src/dsm/util/CMakeFiles/dsm_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

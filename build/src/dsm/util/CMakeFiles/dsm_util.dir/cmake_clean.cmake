@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_util.dir/cli.cpp.o"
+  "CMakeFiles/dsm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dsm_util.dir/factor.cpp.o"
+  "CMakeFiles/dsm_util.dir/factor.cpp.o.d"
+  "CMakeFiles/dsm_util.dir/numeric.cpp.o"
+  "CMakeFiles/dsm_util.dir/numeric.cpp.o.d"
+  "CMakeFiles/dsm_util.dir/stats.cpp.o"
+  "CMakeFiles/dsm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dsm_util.dir/table.cpp.o"
+  "CMakeFiles/dsm_util.dir/table.cpp.o.d"
+  "libdsm_util.a"
+  "libdsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_workload.dir/generators.cpp.o"
+  "CMakeFiles/dsm_workload.dir/generators.cpp.o.d"
+  "libdsm_workload.a"
+  "libdsm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsm_workload.
+# This may be replaced when dependencies are built.

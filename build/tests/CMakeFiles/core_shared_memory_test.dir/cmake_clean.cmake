@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_shared_memory_test.dir/core_shared_memory_test.cpp.o"
+  "CMakeFiles/core_shared_memory_test.dir/core_shared_memory_test.cpp.o.d"
+  "core_shared_memory_test"
+  "core_shared_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_shared_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

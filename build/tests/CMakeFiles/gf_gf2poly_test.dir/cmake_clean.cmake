@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_gf2poly_test.dir/gf_gf2poly_test.cpp.o"
+  "CMakeFiles/gf_gf2poly_test.dir/gf_gf2poly_test.cpp.o.d"
+  "gf_gf2poly_test"
+  "gf_gf2poly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_gf2poly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

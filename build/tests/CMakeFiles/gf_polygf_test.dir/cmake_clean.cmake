@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_polygf_test.dir/gf_polygf_test.cpp.o"
+  "CMakeFiles/gf_polygf_test.dir/gf_polygf_test.cpp.o.d"
+  "gf_polygf_test"
+  "gf_polygf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_polygf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

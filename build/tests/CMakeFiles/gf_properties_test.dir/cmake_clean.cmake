@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_properties_test.dir/gf_properties_test.cpp.o"
+  "CMakeFiles/gf_properties_test.dir/gf_properties_test.cpp.o.d"
+  "gf_properties_test"
+  "gf_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

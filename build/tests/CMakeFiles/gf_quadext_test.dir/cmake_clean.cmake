@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_quadext_test.dir/gf_quadext_test.cpp.o"
+  "CMakeFiles/gf_quadext_test.dir/gf_quadext_test.cpp.o.d"
+  "gf_quadext_test"
+  "gf_quadext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_quadext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

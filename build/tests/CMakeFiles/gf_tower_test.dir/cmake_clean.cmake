@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf_tower_test.dir/gf_tower_test.cpp.o"
+  "CMakeFiles/gf_tower_test.dir/gf_tower_test.cpp.o.d"
+  "gf_tower_test"
+  "gf_tower_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf_tower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

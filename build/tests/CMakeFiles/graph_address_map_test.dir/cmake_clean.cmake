@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_address_map_test.dir/graph_address_map_test.cpp.o"
+  "CMakeFiles/graph_address_map_test.dir/graph_address_map_test.cpp.o.d"
+  "graph_address_map_test"
+  "graph_address_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

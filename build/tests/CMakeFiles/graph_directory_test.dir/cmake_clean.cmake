@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_directory_test.dir/graph_directory_test.cpp.o"
+  "CMakeFiles/graph_directory_test.dir/graph_directory_test.cpp.o.d"
+  "graph_directory_test"
+  "graph_directory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_directory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_graphg_test.dir/graph_graphg_test.cpp.o"
+  "CMakeFiles/graph_graphg_test.dir/graph_graphg_test.cpp.o.d"
+  "graph_graphg_test"
+  "graph_graphg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_graphg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

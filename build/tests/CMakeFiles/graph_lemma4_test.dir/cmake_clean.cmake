@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_lemma4_test.dir/graph_lemma4_test.cpp.o"
+  "CMakeFiles/graph_lemma4_test.dir/graph_lemma4_test.cpp.o.d"
+  "graph_lemma4_test"
+  "graph_lemma4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_lemma4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

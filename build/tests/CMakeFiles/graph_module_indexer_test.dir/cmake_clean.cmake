@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_module_indexer_test.dir/graph_module_indexer_test.cpp.o"
+  "CMakeFiles/graph_module_indexer_test.dir/graph_module_indexer_test.cpp.o.d"
+  "graph_module_indexer_test"
+  "graph_module_indexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_module_indexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

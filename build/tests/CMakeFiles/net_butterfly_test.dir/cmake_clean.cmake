@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_butterfly_test.dir/net_butterfly_test.cpp.o"
+  "CMakeFiles/net_butterfly_test.dir/net_butterfly_test.cpp.o.d"
+  "net_butterfly_test"
+  "net_butterfly_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_butterfly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgl_cosets_test.dir/pgl_cosets_test.cpp.o"
+  "CMakeFiles/pgl_cosets_test.dir/pgl_cosets_test.cpp.o.d"
+  "pgl_cosets_test"
+  "pgl_cosets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgl_cosets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

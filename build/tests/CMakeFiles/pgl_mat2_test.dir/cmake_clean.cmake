@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgl_mat2_test.dir/pgl_mat2_test.cpp.o"
+  "CMakeFiles/pgl_mat2_test.dir/pgl_mat2_test.cpp.o.d"
+  "pgl_mat2_test"
+  "pgl_mat2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgl_mat2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

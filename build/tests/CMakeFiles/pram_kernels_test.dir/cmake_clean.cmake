@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_kernels_test.dir/pram_kernels_test.cpp.o"
+  "CMakeFiles/pram_kernels_test.dir/pram_kernels_test.cpp.o.d"
+  "pram_kernels_test"
+  "pram_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

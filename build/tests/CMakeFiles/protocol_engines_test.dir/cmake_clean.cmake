@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_engines_test.dir/protocol_engines_test.cpp.o"
+  "CMakeFiles/protocol_engines_test.dir/protocol_engines_test.cpp.o.d"
+  "protocol_engines_test"
+  "protocol_engines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_engines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_test.dir/scheme_test.cpp.o"
+  "CMakeFiles/scheme_test.dir/scheme_test.cpp.o.d"
+  "scheme_test"
+  "scheme_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_factor_test.dir/util_factor_test.cpp.o"
+  "CMakeFiles/util_factor_test.dir/util_factor_test.cpp.o.d"
+  "util_factor_test"
+  "util_factor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_factor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

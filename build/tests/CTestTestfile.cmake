@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_numeric_test[1]_include.cmake")
+include("/root/repo/build/tests/util_factor_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_cli_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_gf2poly_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_gf2m_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_polygf_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_tower_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_quadext_test[1]_include.cmake")
+include("/root/repo/build/tests/pgl_mat2_test[1]_include.cmake")
+include("/root/repo/build/tests/pgl_cosets_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_graphg_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_module_indexer_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_var_indexer_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_address_map_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_directory_test[1]_include.cmake")
+include("/root/repo/build/tests/mpc_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/scheme_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_engines_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/core_shared_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_faults_test[1]_include.cmake")
+include("/root/repo/build/tests/pram_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_lemma4_test[1]_include.cmake")
+include("/root/repo/build/tests/gf_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/net_butterfly_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
