@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "dsm/protocol/engines.hpp"
 #include "dsm/util/cli.hpp"
 #include "dsm/util/table.hpp"
 
@@ -18,6 +19,20 @@ inline void banner(const std::string& id, const std::string& title) {
 
 inline void footnote(const std::string& text) {
   std::cout << "  note: " << text << "\n";
+}
+
+/// One-line summary of an engine's pipeline counters (E14 and any bench
+/// that wants the cache/stage split next to its own table).
+inline void printEngineMetrics(const std::string& label,
+                               const protocol::EngineMetrics& m) {
+  std::cout << "  " << label << ": batches=" << m.batches
+            << " requests=" << m.requests << " wire=" << m.wireRequests
+            << " cache-hit=" << util::TextTable::num(m.cacheHitRate() * 100, 1)
+            << "% allocs-avoided=" << m.allocationsAvoided
+            << " | build=" << util::TextTable::num(m.wireBuildSeconds * 1e3, 1)
+            << "ms step=" << util::TextTable::num(m.stepSeconds * 1e3, 1)
+            << "ms scan=" << util::TextTable::num(m.scanSeconds * 1e3, 1)
+            << "ms\n";
 }
 
 }  // namespace dsm::bench

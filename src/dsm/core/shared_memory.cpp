@@ -79,4 +79,9 @@ protocol::AccessResult SharedMemory::execute(
   return engine_->execute(batch);
 }
 
+std::vector<protocol::AccessResult> SharedMemory::executeStream(
+    std::span<const std::vector<protocol::AccessRequest>> batches) {
+  return engine_->executeStream(batches);
+}
+
 }  // namespace dsm

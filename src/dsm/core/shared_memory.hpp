@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,16 @@ class SharedMemory {
   /// Executes a pre-built mixed batch.
   protocol::AccessResult execute(
       const std::vector<protocol::AccessRequest>& batch);
+
+  /// Pipelines a stream of batches through the engine's warmed copy cache
+  /// and scratch buffers (see EngineBase::executeStream).
+  std::vector<protocol::AccessResult> executeStream(
+      std::span<const std::vector<protocol::AccessRequest>> batches);
+
+  /// Engine-side pipeline counters (cache hit rate, stage time splits).
+  const protocol::EngineMetrics& engineMetrics() const noexcept {
+    return engine_->metrics();
+  }
 
   const scheme::MemoryScheme& scheme() const noexcept { return *scheme_; }
   /// The PP scheme object when kind == kPp (nullptr otherwise).

@@ -4,25 +4,70 @@
 
 namespace dsm::mpc {
 
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? defaultThreads() : threads) {
+  // The calling thread participates in every job, so a budget of T needs
+  // T - 1 persistent workers; a budget of 1 needs none and runs inline.
+  crew_.reserve(threads_ - 1);
+  for (unsigned w = 0; w + 1 < threads_; ++w) {
+    crew_.emplace_back([this, w] { workerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  // crew_ jthreads join on destruction (scoped-container discipline).
+}
+
+void ThreadPool::workerLoop(std::size_t index) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
+    if (stop_) return;
+    seen = gen_;
+    const auto* body = body_;
+    // Chunk 0 belongs to the dispatching thread; worker i takes chunk i+1.
+    const std::size_t begin = (index + 1) * chunk_;
+    const std::size_t end = std::min(n_, begin + chunk_);
+    lk.unlock();
+    if (begin < end) (*body)(begin, end);
+    lk.lock();
+    if (--pending_ == 0) cv_done_.notify_one();
+  }
+}
+
 void ThreadPool::parallelFor(
     std::size_t n,
-    const std::function<void(std::size_t, std::size_t)>& body) const {
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  const std::size_t workers = std::min<std::size_t>(threads_, n);
-  if (workers <= 1) {
+  // Cap the fork width so every participant gets a worthwhile slice.
+  const std::size_t by_grain =
+      std::max<std::size_t>(1, n / kMinItemsPerWorker);
+  const std::size_t workers =
+      std::min<std::size_t>({threads_, n, by_grain});
+  if (workers <= 1 || crew_.empty()) {
     body(0, n);
     return;
   }
   const std::size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::jthread> crew;
-  crew.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    crew.emplace_back([&body, begin, end] { body(begin, end); });
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    n_ = n;
+    chunk_ = chunk;
+    pending_ = crew_.size();
+    ++gen_;
   }
-  // jthread joins on destruction (scoped-container discipline).
+  cv_work_.notify_all();
+  body(0, std::min(n, chunk));  // the dispatching thread takes chunk 0
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  body_ = nullptr;
 }
 
 }  // namespace dsm::mpc

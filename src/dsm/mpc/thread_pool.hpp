@@ -1,13 +1,19 @@
-// Minimal fork-join helper for data-parallel loops over processors.
+// Persistent fork-join worker pool for data-parallel loops over processors.
 //
-// Design notes (CppCoreGuidelines CP.*): threads are joined scoped
-// containers (std::jthread), no detach, no shared mutable state beyond the
-// caller-provided ranges, and the MPC arbitration that runs under this pool
-// uses a commutative atomic-min so results are independent of the schedule.
+// Design notes (CppCoreGuidelines CP.*): workers are joined scoped containers
+// (std::jthread) living for the pool's lifetime — parallelFor dispatches work
+// to them through a generation counter instead of spawning threads per call,
+// so the per-call overhead is two condition-variable handshakes rather than
+// thread creation. No detach, no shared mutable state beyond the
+// caller-provided ranges; the MPC arbitration that runs under this pool uses
+// a commutative atomic-min so results are independent of the schedule.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -15,18 +21,29 @@ namespace dsm::mpc {
 
 /// Fork-join executor with a fixed thread budget. threads == 1 runs inline
 /// (the default on single-core hosts); the parallel path slices [0, n) into
-/// contiguous chunks, one per worker.
+/// contiguous chunks, one per participating worker, with the calling thread
+/// taking the first chunk. Small ranges run inline regardless of the budget
+/// so dispatch overhead never dominates tiny loops.
 class ThreadPool {
  public:
-  explicit ThreadPool(unsigned threads = 1)
-      : threads_(threads == 0 ? defaultThreads() : threads) {}
+  /// Below this many items per participating worker the loop runs inline.
+  /// Callers must therefore never rely on parallelFor actually forking —
+  /// only on body covering [0, n) exactly once via disjoint ranges.
+  static constexpr std::size_t kMinItemsPerWorker = 256;
+
+  explicit ThreadPool(unsigned threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned threads() const noexcept { return threads_; }
 
   /// Applies body(begin, end) over a partition of [0, n).
-  /// body must be safe to run concurrently on disjoint ranges.
+  /// body must be safe to run concurrently on disjoint ranges and must not
+  /// call back into this pool (no nesting) or throw.
   void parallelFor(std::size_t n,
-                   const std::function<void(std::size_t, std::size_t)>& body) const;
+                   const std::function<void(std::size_t, std::size_t)>& body);
 
   static unsigned defaultThreads() {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -34,7 +51,20 @@ class ThreadPool {
   }
 
  private:
+  void workerLoop(std::size_t index);
+
   unsigned threads_;
+  // Job slot, published under mu_ and consumed by the current generation.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 0;
+  std::uint64_t gen_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::vector<std::jthread> crew_;  // joins (and thus outlives jobs) last
 };
 
 }  // namespace dsm::mpc

@@ -1,10 +1,10 @@
 #include "dsm/protocol/engines.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "dsm/util/assert.hpp"
 #include "dsm/util/numeric.hpp"
+#include "dsm/util/timer.hpp"
 
 namespace dsm::protocol {
 
@@ -15,23 +15,50 @@ std::uint64_t AccessResult::maxPhaseIterations() const {
 }
 
 EngineBase::EngineBase(const scheme::MemoryScheme& scheme,
-                       mpc::Machine& machine)
-    : scheme_(scheme), machine_(machine) {
+                       mpc::Machine& machine,
+                       std::size_t copy_cache_capacity)
+    : scheme_(scheme), machine_(machine),
+      cache_(scheme, copy_cache_capacity) {
   DSM_CHECK_MSG(machine.moduleCount() == scheme.numModules(),
                 "machine/scheme module count mismatch");
 }
 
 void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
-  std::unordered_set<std::uint64_t> distinct;
-  distinct.reserve(batch.size() * 2);
-  copies_.resize(batch.size());
-  stamps_.assign(batch.size(), 0);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  const std::size_t b = batch.size();
+  // Wire processor ids are 32-bit: MajorityEngine derives them as
+  // cluster * r + j (< b + r) and SingleOwnerEngine as the request index.
+  // Larger batches would silently alias ids and break the lowest-id-wins
+  // arbitration determinism.
+  DSM_CHECK_MSG(b + scheme_.copiesPerVariable() <= (1ULL << 32),
+                "batch too large for 32-bit processor ids: " << b);
+  // Reuse accounting: scratch whose capacity survives from earlier batches
+  // needs no reallocation this batch.
+  const auto probe = [this](std::size_t have, std::size_t need) {
+    if (need > 0 && have >= need) ++metrics_.allocationsAvoided;
+  };
+  probe(copies_.capacity(), b);
+  probe(stamps_.capacity(), b);
+  probe(fresh_.capacity(), b);
+  probe(wire_.capacity(), b);
+  probe(replies_.capacity(), b);
+  probe(wire_copy_.capacity(), b);
+  probe(accessed_.capacity(), b);
+  probe(dead_.capacity(), b);
+  probe(done_.capacity(), b);
+  probe(dead_count_.capacity(), b);
+  probe(quorum_.capacity(), b);
+  probe(offsets_.capacity(), b + 1);
+
+  distinct_.clear();
+  distinct_.reserve(b * 2);
+  copies_.resize(b);
+  stamps_.assign(b, 0);
+  for (std::size_t i = 0; i < b; ++i) {
     DSM_CHECK_MSG(batch[i].variable < scheme_.numVariables(),
                   "variable out of range: " << batch[i].variable);
-    DSM_CHECK_MSG(distinct.insert(batch[i].variable).second,
+    DSM_CHECK_MSG(distinct_.insert(batch[i].variable).second,
                   "duplicate variable in batch: " << batch[i].variable);
-    scheme_.copies(batch[i].variable, copies_[i]);
+    cache_.copies(batch[i].variable, copies_[i]);
     DSM_CHECK(copies_[i].size() == scheme_.copiesPerVariable());
     if (batch[i].op == mpc::Op::kWrite) stamps_[i] = ++clock_;
   }
@@ -40,116 +67,143 @@ void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
   ++clock_;
 }
 
-namespace {
+void EngineBase::finishBatch(std::size_t batch_size) {
+  ++metrics_.batches;
+  metrics_.requests += batch_size;
+  metrics_.cacheHits += cache_.hits() - cache_hits_seen_;
+  metrics_.cacheMisses += cache_.misses() - cache_misses_seen_;
+  cache_hits_seen_ = cache_.hits();
+  cache_misses_seen_ = cache_.misses();
+}
 
-/// Collects the newest (timestamp, value) pair.
-struct Freshest {
-  std::uint64_t timestamp = 0;
-  std::uint64_t value = 0;
-  bool any = false;
-
-  void offer(std::uint64_t ts, std::uint64_t v) {
-    if (!any || ts > timestamp) {
-      timestamp = ts;
-      value = v;
-      any = true;
-    }
-  }
-};
-
-}  // namespace
+std::vector<AccessResult> EngineBase::executeStream(
+    std::span<const std::vector<AccessRequest>> batches) {
+  std::vector<AccessResult> results;
+  results.reserve(batches.size());
+  for (const auto& batch : batches) results.push_back(execute(batch));
+  return results;
+}
 
 AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
   AccessResult result;
   result.values.assign(batch.size(), 0);
   if (batch.empty()) return result;
   preprocess(batch);
+  mpc::ThreadPool& pool = machine_.pool();
 
   const std::size_t r = scheme_.copiesPerVariable();  // cluster size
   const std::size_t clusters = (batch.size() + r - 1) / r;
   const int coord_cost = 1 + util::ceilLog2(r);
   const int addr_cost = util::ceilLog2(scheme_.numModules());
 
-  std::vector<mpc::Request> wire;
-  std::vector<mpc::Response> replies;
-  std::vector<Freshest> fresh(batch.size());
+  fresh_.assign(batch.size(), Freshest{});
 
   // Phase k: cluster i serves batch request i*r + k. Processor (i, j) — the
   // global id i*r + j — owns copy j of that variable.
   for (std::size_t k = 0; k < r; ++k) {
-    std::vector<std::size_t> active;  // request indices served this phase
+    active_.clear();
     for (std::size_t i = 0; i < clusters; ++i) {
       const std::size_t req = i * r + k;
-      if (req < batch.size()) active.push_back(req);
+      if (req < batch.size()) active_.push_back(req);
     }
-    if (active.empty()) {
+    if (active_.empty()) {
       result.phaseIterations.push_back(0);
       result.liveTrajectory.emplace_back();
       continue;
     }
-    // accessed[a][j]: copy j of active variable a granted already.
-    // dead[a][j]: copy j's module is failed — never retried; a variable
+    const std::size_t na = active_.size();
+    // accessed_[a*r + j]: copy j of active variable a granted already.
+    // dead_[a*r + j]: copy j's module is failed — never retried; a variable
     // whose live copies cannot reach the quorum is unsatisfiable.
-    std::vector<std::vector<bool>> accessed(active.size());
-    std::vector<std::vector<bool>> dead(active.size());
-    std::vector<unsigned> done(active.size(), 0);
-    std::vector<unsigned> dead_count(active.size(), 0);
-    std::vector<unsigned> quorum(active.size());
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      accessed[a].assign(r, false);
-      dead[a].assign(r, false);
-      quorum[a] = batch[active[a]].op == mpc::Op::kRead
-                      ? scheme_.readQuorum()
-                      : scheme_.writeQuorum();
+    accessed_.assign(na * r, 0);
+    dead_.assign(na * r, 0);
+    done_.assign(na, 0);
+    dead_count_.assign(na, 0);
+    quorum_.resize(na);
+    for (std::size_t a = 0; a < na; ++a) {
+      quorum_[a] = batch[active_[a]].op == mpc::Op::kRead
+                       ? scheme_.readQuorum()
+                       : scheme_.writeQuorum();
     }
     std::uint64_t iters = 0;
     std::vector<std::uint64_t> trajectory;
-    std::vector<std::size_t> wire_owner;  // (active idx, copy) per wire entry
-    std::vector<std::size_t> wire_copy;
+    util::Timer timer;
     while (true) {
-      wire.clear();
-      wire_owner.clear();
-      wire_copy.clear();
+      // Offset pass (serial, O(na)): a live request a contributes exactly
+      // r - done - dead untried copies, so its wire range is known without
+      // scanning the flags — the parallel fill below writes each request's
+      // entries at fixed positions, making the wire (and every downstream
+      // result) bit-identical for any thread count.
+      timer.reset();
+      offsets_.resize(na + 1);
       std::uint64_t live = 0;
-      for (std::size_t a = 0; a < active.size(); ++a) {
-        if (done[a] >= quorum[a]) continue;
-        if (dead_count[a] > r - quorum[a]) continue;  // unsatisfiable
+      std::size_t total = 0;
+      for (std::size_t a = 0; a < na; ++a) {
+        offsets_[a] = total;
+        if (done_[a] >= quorum_[a]) continue;
+        if (dead_count_[a] > r - quorum_[a]) continue;  // unsatisfiable
         ++live;
-        const std::size_t req = active[a];
-        const std::size_t cluster = req / r;
-        for (std::size_t j = 0; j < r; ++j) {
-          if (accessed[a][j] || dead[a][j]) continue;
-          const auto& pa = copies_[req][j];
-          wire.push_back(mpc::Request{
-              static_cast<std::uint32_t>(cluster * r + j), pa.module, pa.slot,
-              batch[req].op, batch[req].value, stamps_[req]});
-          wire_owner.push_back(a);
-          wire_copy.push_back(j);
-        }
+        total += r - done_[a] - dead_count_[a];
       }
+      offsets_[na] = total;
       if (live == 0) break;
       trajectory.push_back(live);
-      machine_.step(wire, replies);
-      ++iters;
-      for (std::size_t w = 0; w < wire.size(); ++w) {
-        const std::size_t a = wire_owner[w];
-        if (replies[w].moduleFailed) {
-          if (!dead[a][wire_copy[w]]) {
-            dead[a][wire_copy[w]] = true;
-            ++dead_count[a];
+      wire_.resize(total);
+      wire_copy_.resize(total);
+      pool.parallelFor(na, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t a = lo; a < hi; ++a) {
+          std::size_t out = offsets_[a];
+          if (out == offsets_[a + 1]) continue;  // done or unsatisfiable
+          const std::size_t req = active_[a];
+          const std::size_t cluster = req / r;
+          const std::uint8_t* acc = &accessed_[a * r];
+          const std::uint8_t* dd = &dead_[a * r];
+          for (std::size_t j = 0; j < r; ++j) {
+            if (acc[j] || dd[j]) continue;
+            const auto& pa = copies_[req][j];
+            wire_[out] = mpc::Request{
+                static_cast<std::uint32_t>(cluster * r + j), pa.module,
+                pa.slot, batch[req].op, batch[req].value, stamps_[req]};
+            wire_copy_[out] = j;
+            ++out;
           }
-          continue;
         }
-        if (!replies[w].granted) continue;
-        accessed[a][wire_copy[w]] = true;
-        ++done[a];
-        if (batch[active[a]].op == mpc::Op::kRead) {
-          fresh[active[a]].offer(replies[w].timestamp, replies[w].value);
+      });
+      metrics_.wireBuildSeconds += timer.seconds();
+
+      timer.reset();
+      machine_.step(wire_, replies_);
+      metrics_.stepSeconds += timer.seconds();
+      metrics_.wireRequests += wire_.size();
+      ++iters;
+
+      // Reply scan: request a's replies occupy its own wire range, so each
+      // request is scanned independently — no cross-request state.
+      timer.reset();
+      pool.parallelFor(na, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t a = lo; a < hi; ++a) {
+          for (std::size_t w = offsets_[a]; w < offsets_[a + 1]; ++w) {
+            if (replies_[w].moduleFailed) {
+              if (!dead_[a * r + wire_copy_[w]]) {
+                dead_[a * r + wire_copy_[w]] = 1;
+                ++dead_count_[a];
+              }
+              continue;
+            }
+            if (!replies_[w].granted) continue;
+            accessed_[a * r + wire_copy_[w]] = 1;
+            ++done_[a];
+            if (batch[active_[a]].op == mpc::Op::kRead) {
+              fresh_[active_[a]].offer(replies_[w].timestamp,
+                                       replies_[w].value);
+            }
+          }
         }
-      }
+      });
+      metrics_.scanSeconds += timer.seconds();
     }
-    for (std::size_t a = 0; a < active.size(); ++a) {
-      if (done[a] < quorum[a]) result.unsatisfiable.push_back(active[a]);
+    for (std::size_t a = 0; a < na; ++a) {
+      if (done_[a] < quorum_[a]) result.unsatisfiable.push_back(active_[a]);
     }
     result.phaseIterations.push_back(iters);
     result.liveTrajectory.push_back(std::move(trajectory));
@@ -160,9 +214,13 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    result.values[i] = batch[i].op == mpc::Op::kRead ? fresh[i].value
+    result.values[i] = batch[i].op == mpc::Op::kRead ? fresh_[i].value
                                                      : batch[i].value;
   }
+  // Unsatisfiable requests must not leak partial data: a write that missed
+  // its quorum committed nothing, and a sub-quorum read may be stale.
+  for (const std::size_t i : result.unsatisfiable) result.values[i] = 0;
+  finishBatch(batch.size());
   return result;
 }
 
@@ -172,89 +230,113 @@ AccessResult SingleOwnerEngine::execute(
   result.values.assign(batch.size(), 0);
   if (batch.empty()) return result;
   preprocess(batch);
+  mpc::ThreadPool& pool = machine_.pool();
 
   const std::size_t r = scheme_.copiesPerVariable();
+  const std::size_t nb = batch.size();
   const int addr_cost = util::ceilLog2(scheme_.numModules());
 
-  std::vector<std::vector<bool>> accessed(batch.size());
-  std::vector<std::vector<bool>> dead(batch.size());
-  std::vector<unsigned> done(batch.size(), 0);
-  std::vector<unsigned> dead_count(batch.size(), 0);
-  std::vector<unsigned> quorum(batch.size());
-  std::vector<Freshest> fresh(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    accessed[i].assign(r, false);
-    dead[i].assign(r, false);
-    quorum[i] = batch[i].op == mpc::Op::kRead ? scheme_.readQuorum()
-                                              : scheme_.writeQuorum();
+  accessed_.assign(nb * r, 0);
+  dead_.assign(nb * r, 0);
+  done_.assign(nb, 0);
+  dead_count_.assign(nb, 0);
+  quorum_.resize(nb);
+  fresh_.assign(nb, Freshest{});
+  for (std::size_t i = 0; i < nb; ++i) {
+    quorum_[i] = batch[i].op == mpc::Op::kRead ? scheme_.readQuorum()
+                                               : scheme_.writeQuorum();
   }
 
-  std::vector<mpc::Request> wire;
-  std::vector<mpc::Response> replies;
-  std::vector<std::size_t> wire_req, wire_copy;
   std::uint64_t iters = 0;
   std::vector<std::uint64_t> trajectory;
+  util::Timer timer;
   while (true) {
-    wire.clear();
-    wire_req.clear();
-    wire_copy.clear();
+    // Offset pass: each live request issues exactly one wire entry, at a
+    // position fixed before the parallel fill (thread-count independent).
+    timer.reset();
+    offsets_.resize(nb + 1);
     std::uint64_t live = 0;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (done[i] >= quorum[i]) continue;
-      if (dead_count[i] > r - quorum[i]) continue;  // unsatisfiable
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < nb; ++i) {
+      offsets_[i] = total;
+      if (done_[i] >= quorum_[i]) continue;
+      if (dead_count_[i] > r - quorum_[i]) continue;  // unsatisfiable
       ++live;
-      // Round-robin over the remaining copies, staggered by request index so
-      // identical-copy-set requests spread their attempts.
-      const std::size_t start = (i + iters) % r;
-      std::size_t pick = r;
-      for (std::size_t off = 0; off < r; ++off) {
-        const std::size_t j = (start + off) % r;
-        if (!accessed[i][j] && !dead[i][j]) {
-          pick = j;
-          break;
-        }
-      }
-      DSM_CHECK(pick < r);
-      const auto& pa = copies_[i][pick];
-      wire.push_back(mpc::Request{static_cast<std::uint32_t>(i), pa.module,
-                                  pa.slot, batch[i].op, batch[i].value,
-                                  stamps_[i]});
-      wire_req.push_back(i);
-      wire_copy.push_back(pick);
+      ++total;
     }
+    offsets_[nb] = total;
     if (live == 0) break;
     trajectory.push_back(live);
-    machine_.step(wire, replies);
-    ++iters;
-    for (std::size_t w = 0; w < wire.size(); ++w) {
-      const std::size_t i = wire_req[w];
-      if (replies[w].moduleFailed) {
-        if (!dead[i][wire_copy[w]]) {
-          dead[i][wire_copy[w]] = true;
-          ++dead_count[i];
+    wire_.resize(total);
+    wire_copy_.resize(total);
+    pool.parallelFor(nb, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t out = offsets_[i];
+        if (out == offsets_[i + 1]) continue;  // done or unsatisfiable
+        // Round-robin over the remaining copies, staggered by request index
+        // so identical-copy-set requests spread their attempts. A live
+        // request always has an untried copy (done + dead < r).
+        const std::size_t start = (i + iters) % r;
+        std::size_t pick = r;
+        for (std::size_t off = 0; off < r; ++off) {
+          const std::size_t j = (start + off) % r;
+          if (!accessed_[i * r + j] && !dead_[i * r + j]) {
+            pick = j;
+            break;
+          }
         }
-        continue;
+        const auto& pa = copies_[i][pick];
+        wire_[out] = mpc::Request{static_cast<std::uint32_t>(i), pa.module,
+                                  pa.slot, batch[i].op, batch[i].value,
+                                  stamps_[i]};
+        wire_copy_[out] = pick;
       }
-      if (!replies[w].granted) continue;
-      accessed[i][wire_copy[w]] = true;
-      ++done[i];
-      if (batch[i].op == mpc::Op::kRead) {
-        fresh[i].offer(replies[w].timestamp, replies[w].value);
+    });
+    metrics_.wireBuildSeconds += timer.seconds();
+
+    timer.reset();
+    machine_.step(wire_, replies_);
+    metrics_.stepSeconds += timer.seconds();
+    metrics_.wireRequests += wire_.size();
+    ++iters;
+
+    timer.reset();
+    pool.parallelFor(nb, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::size_t w = offsets_[i];
+        if (w == offsets_[i + 1]) continue;
+        if (replies_[w].moduleFailed) {
+          if (!dead_[i * r + wire_copy_[w]]) {
+            dead_[i * r + wire_copy_[w]] = 1;
+            ++dead_count_[i];
+          }
+          continue;
+        }
+        if (!replies_[w].granted) continue;
+        accessed_[i * r + wire_copy_[w]] = 1;
+        ++done_[i];
+        if (batch[i].op == mpc::Op::kRead) {
+          fresh_[i].offer(replies_[w].timestamp, replies_[w].value);
+        }
       }
-    }
+    });
+    metrics_.scanSeconds += timer.seconds();
   }
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (done[i] < quorum[i]) result.unsatisfiable.push_back(i);
+  for (std::size_t i = 0; i < nb; ++i) {
+    if (done_[i] < quorum_[i]) result.unsatisfiable.push_back(i);
   }
 
   result.phaseIterations.push_back(iters);
   result.liveTrajectory.push_back(std::move(trajectory));
   result.totalIterations = iters;
   result.modeledSteps = iters + static_cast<std::uint64_t>(addr_cost);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    result.values[i] = batch[i].op == mpc::Op::kRead ? fresh[i].value
+  for (std::size_t i = 0; i < nb; ++i) {
+    result.values[i] = batch[i].op == mpc::Op::kRead ? fresh_[i].value
                                                      : batch[i].value;
   }
+  // Unsatisfiable requests must not leak partial data (see MajorityEngine).
+  for (const std::size_t i : result.unsatisfiable) result.values[i] = 0;
+  finishBatch(batch.size());
   return result;
 }
 

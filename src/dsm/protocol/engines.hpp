@@ -15,13 +15,24 @@
 // SingleOwnerEngine — the MV84 / single-copy discipline: each request is
 // owned by one processor which acquires `quorum` of its copies one grant at
 // a time (round-robin over the remaining copies).
+//
+// Batch pipeline: both engines share a copy cache (memoized Section-4
+// addressing), reusable scratch buffers that persist across execute() calls,
+// and a parallel inner loop — wire construction and reply scanning run under
+// the machine's ThreadPool, writing to precomputed per-request offsets so
+// the wire (and therefore every AccessResult) is bit-identical to the serial
+// path at any thread count. executeStream() runs a whole stream of batches
+// through the warmed scratch and cache; EngineMetrics reports the split.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "dsm/mpc/machine.hpp"
+#include "dsm/scheme/copy_cache.hpp"
 #include "dsm/scheme/memory_scheme.hpp"
 
 namespace dsm::protocol {
@@ -36,8 +47,12 @@ struct AccessRequest {
 
 /// Outcome and cost accounting of one executed batch.
 struct AccessResult {
-  /// For every request (writes get their written value echoed back): the
-  /// value observed with the newest timestamp among granted copies.
+  /// For every satisfiable request (writes get their written value echoed
+  /// back): the value observed with the newest timestamp among granted
+  /// copies. Entries listed in `unsatisfiable` are 0 — a failed write must
+  /// not echo a payload it could not commit, and a read that reached only a
+  /// sub-quorum set of copies must not return a possibly-stale value (the
+  /// majority rule forbids exactly that).
   std::vector<std::uint64_t> values;
   /// MPC cycles consumed (== sum of iterations over phases).
   std::uint64_t totalIterations = 0;
@@ -51,33 +66,112 @@ struct AccessResult {
   std::uint64_t modeledSteps = 0;
   /// Requests whose quorum became unreachable because too many of their
   /// copies live in failed modules (> r - quorum dead copies). Their values
-  /// entry is 0. Empty when no module faults are injected.
+  /// entry is zeroed. Empty when no module faults are injected.
   std::vector<std::size_t> unsatisfiable;
 
   std::uint64_t maxPhaseIterations() const;
 };
 
-/// Shared engine base: owns the copy cache and the global timestamp.
+/// Cumulative engine-side performance counters (across execute() calls;
+/// resetMetrics() zeroes them). Wall-clock splits cover the three stages of
+/// every protocol iteration: wire build, machine step, reply scan.
+struct EngineMetrics {
+  std::uint64_t batches = 0;        ///< execute() calls
+  std::uint64_t requests = 0;       ///< batch entries processed
+  std::uint64_t wireRequests = 0;   ///< MPC requests placed on the wire
+  std::uint64_t cacheHits = 0;      ///< copy-cache hits (addressing skipped)
+  std::uint64_t cacheMisses = 0;
+  /// Scratch buffers whose capacity already fit the batch at preprocess
+  /// time — reallocation avoided by reuse across batches/stream entries.
+  std::uint64_t allocationsAvoided = 0;
+  double wireBuildSeconds = 0.0;
+  double stepSeconds = 0.0;
+  double scanSeconds = 0.0;
+
+  double cacheHitRate() const {
+    const std::uint64_t total = cacheHits + cacheMisses;
+    return total == 0 ? 0.0 : static_cast<double>(cacheHits) / total;
+  }
+};
+
+/// Shared engine base: owns the copy cache, the reusable batch scratch and
+/// the global timestamp.
 class EngineBase {
  public:
-  EngineBase(const scheme::MemoryScheme& scheme, mpc::Machine& machine);
+  /// Default copy-cache capacity (slots; rounded to a power of two).
+  static constexpr std::size_t kDefaultCopyCacheCapacity = 1 << 12;
+
+  /// copy_cache_capacity == 0 disables copy caching (every batch recomputes
+  /// the Section-4 addressing — the seed engine's behaviour).
+  EngineBase(const scheme::MemoryScheme& scheme, mpc::Machine& machine,
+             std::size_t copy_cache_capacity = kDefaultCopyCacheCapacity);
   virtual ~EngineBase() = default;
 
   virtual AccessResult execute(const std::vector<AccessRequest>& batch) = 0;
 
+  /// Pipelines a stream of batches through one warmed engine: the copy
+  /// cache and all scratch vectors (wire, replies, accessed, dead, fresh,
+  /// ...) are reused across batches instead of being reallocated. Results
+  /// are identical to calling execute() per batch on a fresh engine over
+  /// the same machine.
+  std::vector<AccessResult> executeStream(
+      std::span<const std::vector<AccessRequest>> batches);
+
   const scheme::MemoryScheme& scheme() const noexcept { return scheme_; }
   mpc::Machine& machine() noexcept { return machine_; }
 
+  const EngineMetrics& metrics() const noexcept { return metrics_; }
+  void resetMetrics() noexcept { metrics_ = {}; }
+
+  const scheme::CopyCache& copyCache() const noexcept { return cache_; }
+
  protected:
-  /// Validates batch (range, distinct variables) and stamps write requests.
+  /// Collects the newest (timestamp, value) pair among granted copies.
+  struct Freshest {
+    std::uint64_t timestamp = 0;
+    std::uint64_t value = 0;
+    bool any = false;
+
+    void offer(std::uint64_t ts, std::uint64_t v) {
+      if (!any || ts > timestamp) {
+        timestamp = ts;
+        value = v;
+        any = true;
+      }
+    }
+  };
+
+  /// Validates batch (range, distinct variables, 32-bit processor-id head
+  /// room), resolves copies through the cache and stamps write requests.
   void preprocess(const std::vector<AccessRequest>& batch);
+
+  /// Folds the copy-cache counters into metrics_ and closes one batch.
+  void finishBatch(std::size_t batch_size);
 
   const scheme::MemoryScheme& scheme_;
   mpc::Machine& machine_;
+  scheme::CopyCache cache_;
   std::uint64_t clock_ = 0;  ///< global timestamp source (monotone)
-  // Per-batch scratch (sized in preprocess).
+  EngineMetrics metrics_;
+  std::uint64_t cache_hits_seen_ = 0;    ///< cache counters already folded
+  std::uint64_t cache_misses_seen_ = 0;
+
+  // Per-batch scratch, reused across execute() calls (sized in preprocess
+  // or by the engine loops; never shrunk).
+  std::unordered_set<std::uint64_t> distinct_;
   std::vector<std::vector<scheme::PhysicalAddress>> copies_;
   std::vector<std::uint64_t> stamps_;
+  std::vector<Freshest> fresh_;
+  std::vector<mpc::Request> wire_;
+  std::vector<mpc::Response> replies_;
+  std::vector<std::size_t> offsets_;    ///< wire range per live request
+  std::vector<std::size_t> wire_copy_;  ///< copy index per wire entry
+  std::vector<std::uint8_t> accessed_;  ///< flat [request][copy] granted flags
+  std::vector<std::uint8_t> dead_;      ///< flat [request][copy] failed flags
+  std::vector<unsigned> done_;
+  std::vector<unsigned> dead_count_;
+  std::vector<unsigned> quorum_;
+  std::vector<std::size_t> active_;     ///< per-phase request indices
 };
 
 /// Section-3 clustered majority protocol (used by PP and UW schemes).

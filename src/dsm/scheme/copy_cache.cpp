@@ -1,0 +1,45 @@
+#include "dsm/scheme/copy_cache.hpp"
+
+namespace dsm::scheme {
+
+namespace {
+std::size_t roundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+CopyCache::CopyCache(const MemoryScheme& scheme, std::size_t capacity)
+    : scheme_(scheme) {
+  if (capacity > 0) {
+    slots_.resize(roundUpPow2(capacity));
+    mask_ = slots_.size() - 1;
+  }
+}
+
+void CopyCache::copies(std::uint64_t v, std::vector<PhysicalAddress>& out) {
+  if (slots_.empty()) {
+    ++misses_;
+    scheme_.copies(v, out);
+    return;
+  }
+  Slot& slot = slots_[static_cast<std::size_t>(v & mask_)];
+  if (slot.valid && slot.variable == v) {
+    ++hits_;
+  } else {
+    ++misses_;
+    scheme_.copies(v, slot.addrs);
+    slot.variable = v;
+    slot.valid = true;
+  }
+  out.assign(slot.addrs.begin(), slot.addrs.end());
+}
+
+void CopyCache::clear() {
+  for (Slot& s : slots_) s.valid = false;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace dsm::scheme

@@ -1,0 +1,59 @@
+// CopyCache — direct-mapped memoization of MemoryScheme::copies().
+//
+// The Section-4 address computation costs O(log N) field operations per
+// variable; batch streams with a hot working set recompute the same q+1
+// (module, slot) tuples over and over. This cache keys variables into a
+// power-of-two slot array (slot = v & mask); a hit replaces the coset
+// algebra with a copy of q+1 PhysicalAddress entries. Collisions simply
+// evict (direct-mapped), so memory stays bounded at capacity * (q+1)
+// entries and lookups are O(1) with no probing.
+//
+// Not thread-safe: the protocol engines consult it from the (serial)
+// preprocess step only. The underlying scheme stays the source of truth —
+// entries are immutable once filled because schemes are immutable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsm/scheme/memory_scheme.hpp"
+
+namespace dsm::scheme {
+
+/// Direct-mapped cache of variable -> physical copy addresses.
+class CopyCache {
+ public:
+  /// capacity is rounded up to a power of two; 0 disables caching entirely
+  /// (every lookup recomputes through the scheme and counts as a miss).
+  CopyCache(const MemoryScheme& scheme, std::size_t capacity);
+
+  /// Fills out with the q+1 copies of v, from the cache when possible.
+  void copies(std::uint64_t v, std::vector<PhysicalAddress>& out);
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hitRate() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+  /// Drops all entries and zeroes the hit/miss counters.
+  void clear();
+
+ private:
+  struct Slot {
+    std::uint64_t variable = 0;
+    bool valid = false;
+    std::vector<PhysicalAddress> addrs;
+  };
+
+  const MemoryScheme& scheme_;
+  std::uint64_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dsm::scheme

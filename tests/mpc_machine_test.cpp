@@ -152,6 +152,34 @@ TEST(ThreadPool, CoversRangeExactlyOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, PersistentWorkersSurviveManyDispatches) {
+  // The pool keeps its workers across calls; hammer it with jobs of mixed
+  // sizes (including sub-grain ones that run inline) and check coverage.
+  ThreadPool pool(4);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{3000}, std::size_t{17},
+        std::size_t{4096}, std::size_t{257}, std::size_t{100000}}) {
+    std::atomic<std::size_t> total{0};
+    pool.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), n) << "n=" << n;
+  }
+}
+
+TEST(ThreadPool, SmallRangesRunInlineOnCallingThread) {
+  // Below the grain the body must run on the dispatching thread (no
+  // handshake cost); verify via thread identity.
+  ThreadPool pool(8);
+  const auto self = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallelFor(ThreadPool::kMinItemsPerWorker - 1,
+                   [&](std::size_t, std::size_t) {
+                     seen = std::this_thread::get_id();
+                   });
+  EXPECT_EQ(seen, self);
+}
+
 TEST(ThreadPool, HandlesSmallRanges) {
   ThreadPool pool(8);
   int count = 0;

@@ -271,6 +271,78 @@ TEST(Engines, MismatchedMachineRejected) {
   EXPECT_THROW(MajorityEngine(s, wrong), util::CheckError);
 }
 
+TEST(Engines, ExecuteStreamMatchesPerBatchExecute) {
+  // The pipelined stream (shared scratch + warm copy cache) must return
+  // exactly what a per-batch execute() loop returns on an identical
+  // machine.
+  const scheme::PpScheme s(1, 5);
+  std::vector<std::vector<AccessRequest>> stream;
+  util::Xoshiro256 rng(21);
+  // A hot working set: every batch draws from the same small pool, so the
+  // stream path sees copy-cache hits from the second batch on.
+  const auto pool = workload::randomDistinct(s.numVariables(), 200, rng);
+  for (int b = 0; b < 6; ++b) {
+    auto vars = pool;
+    for (std::size_t i = vars.size() - 1; i > 0; --i) {
+      std::swap(vars[i], vars[rng.below(i + 1)]);
+    }
+    vars.resize(120);
+    stream.push_back(workload::makeMixed(vars, 0.5, rng));
+  }
+
+  mpc::Machine m1(s.numModules(), s.slotsPerModule());
+  MajorityEngine loop_eng(s, m1);
+  std::vector<AccessResult> expect;
+  for (const auto& batch : stream) expect.push_back(loop_eng.execute(batch));
+
+  mpc::Machine m2(s.numModules(), s.slotsPerModule());
+  MajorityEngine stream_eng(s, m2);
+  const auto got = stream_eng.executeStream(stream);
+
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t b = 0; b < expect.size(); ++b) {
+    EXPECT_EQ(got[b].values, expect[b].values) << "batch " << b;
+    EXPECT_EQ(got[b].totalIterations, expect[b].totalIterations);
+    EXPECT_EQ(got[b].phaseIterations, expect[b].phaseIterations);
+    EXPECT_EQ(got[b].liveTrajectory, expect[b].liveTrajectory);
+  }
+
+  const EngineMetrics& met = stream_eng.metrics();
+  EXPECT_EQ(met.batches, stream.size());
+  EXPECT_EQ(met.requests, stream.size() * 120u);
+  EXPECT_GT(met.cacheHits, 0u);          // hot pool re-hit across batches
+  EXPECT_GT(met.allocationsAvoided, 0u); // scratch survived across batches
+  EXPECT_GT(met.wireRequests, 0u);
+}
+
+TEST(Engines, MetricsResetZeroesCounters) {
+  const scheme::PpScheme s(1, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  eng.execute({{5, mpc::Op::kWrite, 1}});
+  EXPECT_EQ(eng.metrics().batches, 1u);
+  eng.resetMetrics();
+  EXPECT_EQ(eng.metrics().batches, 0u);
+  EXPECT_EQ(eng.metrics().cacheMisses, 0u);
+  // Counters resume cleanly after a reset.
+  eng.execute({{5, mpc::Op::kRead, 0}});
+  EXPECT_EQ(eng.metrics().batches, 1u);
+  EXPECT_EQ(eng.metrics().cacheHits, 1u);  // 5 is still cached
+}
+
+TEST(Engines, CacheDisabledEngineStillCorrect) {
+  // copy_cache_capacity == 0 reproduces the seed engine's always-recompute
+  // addressing; results must not change.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m, /*copy_cache_capacity=*/0);
+  eng.execute({{42, mpc::Op::kWrite, 7}});
+  const auto r = eng.execute({{42, mpc::Op::kRead, 0}});
+  EXPECT_EQ(r.values[0], 7u);
+  EXPECT_EQ(eng.metrics().cacheHits, 0u);
+  EXPECT_EQ(eng.metrics().cacheMisses, 2u);
+}
+
 TEST(Engines, CrossBatchTimestampMonotonicity) {
   // Interleave writes to overlapping variable sets across many batches and
   // confirm the newest value always wins.

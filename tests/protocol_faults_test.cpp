@@ -163,6 +163,126 @@ TEST(Faults, RandomFailureSweepConsistency) {
   }
 }
 
+TEST(Faults, UnsatisfiableWriteValueIsZeroed) {
+  // Regression: the seed engine echoed the write payload into values[] even
+  // when the write missed its quorum — reporting a value that was never
+  // committed. An unsatisfiable write's values entry must be 0.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(13);
+  m.failModule(copies[0].module);
+  m.failModule(copies[1].module);
+  const auto r = eng.execute({{13, mpc::Op::kWrite, 9999}});
+  ASSERT_EQ(r.unsatisfiable.size(), 1u);
+  EXPECT_EQ(r.values[0], 0u);
+
+  // Same rule for the single-owner (write-all) discipline.
+  const scheme::MvScheme mv(5000, 255, 3);
+  mpc::Machine m2(mv.numModules(), mv.slotsPerModule());
+  SingleOwnerEngine eng2(mv, m2);
+  m2.failModule(mv.copiesOf(11)[1].module);
+  const auto r2 = eng2.execute({{11, mpc::Op::kWrite, 8888}});
+  ASSERT_EQ(r2.unsatisfiable.size(), 1u);
+  EXPECT_EQ(r2.values[0], 0u);
+}
+
+TEST(Faults, UnsatisfiableReadNeverReturnsStaleValue) {
+  // Regression: a read that collects some copies but misses the quorum has
+  // no majority certificate — the copies it saw may all be stale. The seed
+  // engine returned the freshest value it happened to reach; it must
+  // return 0. Construct the genuinely-stale case: commit 222 on copies
+  // 1 and 2, then leave only the stale copy 0 (holding 111) reachable.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(21);
+  eng.execute({{21, mpc::Op::kWrite, 111}});  // all three copies hold 111
+  m.failModule(copies[0].module);
+  const auto w = eng.execute({{21, mpc::Op::kWrite, 222}});  // quorum: 1, 2
+  ASSERT_TRUE(w.unsatisfiable.empty());
+  m.healModule(copies[0].module);  // stale 111 copy is back
+  m.failModule(copies[1].module);
+  m.failModule(copies[2].module);  // both 222 holders gone
+  const auto r = eng.execute({{21, mpc::Op::kRead, 0}});
+  ASSERT_EQ(r.unsatisfiable.size(), 1u);
+  EXPECT_EQ(r.values[0], 0u);  // not the stale 111 the sub-quorum read saw
+}
+
+TEST(Faults, ParallelPipelineBitIdenticalAcrossThreadCounts) {
+  // The parallel wire build / reply scan must produce byte-for-byte the
+  // same AccessResults as the inline (threads = 1) path. Batches are sized
+  // above the pool's inline grain so the fork actually happens, and module
+  // faults are injected so the dead-copy paths run too.
+  const scheme::PpScheme s(1, 7);
+  util::Xoshiro256 seed_rng(99);
+  std::vector<std::uint64_t> to_fail;
+  for (int i = 0; i < 25; ++i) to_fail.push_back(seed_rng.below(s.numModules()));
+
+  std::vector<std::vector<AccessRequest>> stream;
+  {
+    util::Xoshiro256 rng(4242);
+    for (int b = 0; b < 4; ++b) {
+      const auto vars = workload::randomDistinct(s.numVariables(), 2048, rng);
+      stream.push_back(b % 2 == 0 ? workload::makeWrites(vars, b * 1000)
+                                  : workload::makeReads(vars));
+    }
+  }
+
+  auto run = [&](unsigned threads) {
+    mpc::Machine m(s.numModules(), s.slotsPerModule(), threads);
+    for (const auto mod : to_fail) m.failModule(mod);
+    MajorityEngine eng(s, m);
+    return eng.executeStream(stream);
+  };
+
+  const auto base = run(1);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto got = run(t);
+    ASSERT_EQ(got.size(), base.size()) << "threads=" << t;
+    for (std::size_t b = 0; b < base.size(); ++b) {
+      EXPECT_EQ(got[b].values, base[b].values) << "threads=" << t;
+      EXPECT_EQ(got[b].totalIterations, base[b].totalIterations);
+      EXPECT_EQ(got[b].phaseIterations, base[b].phaseIterations);
+      EXPECT_EQ(got[b].liveTrajectory, base[b].liveTrajectory);
+      EXPECT_EQ(got[b].modeledSteps, base[b].modeledSteps);
+      EXPECT_EQ(got[b].unsatisfiable, base[b].unsatisfiable);
+    }
+  }
+}
+
+TEST(Faults, SingleOwnerParallelPipelineMatchesSerial) {
+  const scheme::MvScheme s(50000, 255, 3);
+  util::Xoshiro256 seed_rng(7);
+  std::vector<std::uint64_t> to_fail;
+  for (int i = 0; i < 6; ++i) to_fail.push_back(seed_rng.below(s.numModules()));
+
+  std::vector<std::vector<AccessRequest>> stream;
+  {
+    util::Xoshiro256 rng(31);
+    for (int b = 0; b < 4; ++b) {
+      const auto vars = workload::randomDistinct(s.numVariables(), 1536, rng);
+      stream.push_back(workload::makeMixed(vars, 0.5, rng));
+    }
+  }
+  auto run = [&](unsigned threads) {
+    mpc::Machine m(s.numModules(), s.slotsPerModule(), threads);
+    for (const auto mod : to_fail) m.failModule(mod);
+    SingleOwnerEngine eng(s, m);
+    return eng.executeStream(stream);
+  };
+  const auto base = run(1);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto got = run(t);
+    for (std::size_t b = 0; b < base.size(); ++b) {
+      EXPECT_EQ(got[b].values, base[b].values) << "threads=" << t;
+      EXPECT_EQ(got[b].totalIterations, base[b].totalIterations);
+      EXPECT_EQ(got[b].liveTrajectory, base[b].liveTrajectory);
+      EXPECT_EQ(got[b].unsatisfiable, base[b].unsatisfiable);
+    }
+  }
+}
+
 TEST(Faults, OutOfRangeModuleChecked) {
   mpc::Machine m(4, 4);
   EXPECT_THROW(m.failModule(4), util::CheckError);

@@ -1,4 +1,5 @@
 #include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/copy_cache.hpp"
 #include "dsm/scheme/pp_scheme.hpp"
 
 #include <gtest/gtest.h>
@@ -159,6 +160,60 @@ TEST(AllSchemes, QuorumIntersectionProperty) {
     EXPECT_LE(s->readQuorum(), s->copiesPerVariable()) << s->name();
     EXPECT_LE(s->writeQuorum(), s->copiesPerVariable()) << s->name();
   }
+}
+
+TEST(CopyCache, HitsReturnExactSchemeAddresses) {
+  const PpScheme s(1, 5);
+  CopyCache cache(s, 64);
+  util::Xoshiro256 rng(3);
+  std::vector<PhysicalAddress> expect, got;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.below(s.numVariables());
+    s.copies(v, expect);
+    cache.copies(v, got);
+    EXPECT_EQ(got, expect) << "v=" << v;
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), 500u);
+}
+
+TEST(CopyCache, RepeatedVariableHitsAfterFirstMiss) {
+  const PpScheme s(1, 3);
+  CopyCache cache(s, 16);
+  std::vector<PhysicalAddress> out;
+  cache.copies(7, out);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  for (int i = 0; i < 9; ++i) cache.copies(7, out);
+  EXPECT_EQ(cache.hits(), 9u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hitRate(), 0.9);
+  cache.clear();
+  cache.copies(7, out);
+  EXPECT_EQ(cache.misses(), 1u);  // entry was dropped
+}
+
+TEST(CopyCache, DirectMappedCollisionEvicts) {
+  const PpScheme s(1, 3);
+  CopyCache cache(s, 1);  // one slot: every distinct variable collides
+  std::vector<PhysicalAddress> out;
+  cache.copies(1, out);
+  cache.copies(2, out);  // evicts 1
+  cache.copies(1, out);  // miss again
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(out, s.copiesOf(1));
+}
+
+TEST(CopyCache, ZeroCapacityDisablesCaching) {
+  const PpScheme s(1, 3);
+  CopyCache cache(s, 0);
+  std::vector<PhysicalAddress> out;
+  cache.copies(5, out);
+  cache.copies(5, out);
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(out, s.copiesOf(5));
 }
 
 }  // namespace
