@@ -35,4 +35,19 @@ inline void printEngineMetrics(const std::string& label,
             << "ms\n";
 }
 
+/// One-line summary of the fault/recovery counters (E11, E15).
+inline void printFaultMetrics(const std::string& label,
+                              const protocol::FaultMetrics& f) {
+  std::cout << "  " << label << ": dead-copies=" << f.deadCopies
+            << " staged-aborted=" << f.stagedAborted
+            << " repairs=" << f.repairsPerformed
+            << " commits-lost=" << f.commitsLost
+            << " aborts-lost=" << f.abortsLost
+            << " unsatisfiable=" << f.unsatisfiable << " degraded=[";
+  for (std::size_t d = 0; d < f.degradedQuorum.size(); ++d) {
+    std::cout << (d ? " " : "") << f.degradedQuorum[d];
+  }
+  std::cout << "]\n";
+}
+
 }  // namespace dsm::bench

@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
                                std::to_string(n) + ")");
 
   util::TextTable t({"scheme", "failed %", "reads ok %", "writes ok %",
-                     "read cycles", "write cycles"});
+                     "read cycles", "write cycles", "aborted", "repairs",
+                     "dead copies"});
   for (const SchemeKind kind :
        {SchemeKind::kPp, SchemeKind::kMv, SchemeKind::kUwRandom,
         SchemeKind::kSingleCopy}) {
@@ -70,12 +71,18 @@ int main(int argc, char** argv) {
                         static_cast<double>(vars.size()),
                     1),
                 util::TextTable::num(rd.cost.totalIterations),
-                util::TextTable::num(wr.totalIterations)});
+                util::TextTable::num(wr.totalIterations),
+                util::TextTable::num(mem.engineMetrics().faults.stagedAborted),
+                util::TextTable::num(
+                    mem.engineMetrics().faults.repairsPerformed),
+                util::TextTable::num(mem.engineMetrics().faults.deadCopies)});
     }
   }
   t.print(std::cout);
   dsm::bench::footnote(
       "majority schemes lose only ~f^2 of variables at failure fraction f; "
-      "write-all loses ~3f; single-copy loses exactly f.");
+      "write-all loses ~3f; single-copy loses exactly f. aborted = writes "
+      "whose staged copies were invalidated (two-phase commit); repairs = "
+      "stale copies healed by read-repair.");
   return 0;
 }

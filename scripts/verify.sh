@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Pre-merge verify: tier-1 (full suite, release) + sanitized fault/recovery
+# suite (ASan + UBSan). Usage: scripts/verify.sh [--full-asan]
+#   default:     tier-1 everything, sanitized `faults`-labelled tests
+#   --full-asan: tier-1 everything, sanitized everything
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+asan_preset="asan-faults"
+if [[ "${1:-}" == "--full-asan" ]]; then
+  asan_preset="asan"
+fi
+
+echo "== tier-1: configure + build + ctest (preset: default) =="
+cmake --preset default
+cmake --build --preset default
+ctest --preset default
+
+echo "== sanitized: configure + build + ctest (preset: ${asan_preset}) =="
+cmake --preset asan
+cmake --build --preset asan
+ctest --preset "${asan_preset}"
+
+echo "verify: all green"

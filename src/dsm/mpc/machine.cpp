@@ -1,8 +1,10 @@
 #include "dsm/mpc/machine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dsm/util/assert.hpp"
+#include "dsm/util/rng.hpp"
 
 namespace dsm::mpc {
 
@@ -14,6 +16,12 @@ constexpr std::uint64_t kNoWinner = ~0ULL;
 std::uint64_t arbKey(std::uint32_t processor, std::size_t request_index) {
   return (static_cast<std::uint64_t>(processor) << 32) |
          static_cast<std::uint64_t>(request_index);
+}
+
+// Scales a probability in [0, 1) to a 64-bit comparison threshold.
+std::uint64_t dropThreshold(double p) {
+  return static_cast<std::uint64_t>(
+      std::ldexp(static_cast<long double>(p), 64));
 }
 }  // namespace
 
@@ -33,6 +41,7 @@ Machine::Machine(std::uint64_t module_count, std::uint64_t slots_per_module,
   } else {
     sparse_.resize(static_cast<std::size_t>(module_count));
   }
+  staged_.resize(static_cast<std::size_t>(module_count));
   for (auto& a : arb_) a.store(kNoWinner, std::memory_order_relaxed);
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   failed_.assign(static_cast<std::size_t>(module_count), 0);
@@ -52,6 +61,70 @@ void Machine::healModule(std::uint64_t module) {
     failed_[static_cast<std::size_t>(module)] = 0;
     --failed_count_;
   }
+}
+
+void Machine::setFaultPlan(FaultPlan plan) {
+  for (const FaultEvent& ev : plan.events) {
+    DSM_CHECK_MSG(ev.module < module_count_,
+                  "fault plan module out of range: " << ev.module);
+  }
+  DSM_CHECK_MSG(plan.grantDropProbability >= 0.0 &&
+                    plan.grantDropProbability < 1.0,
+                "grant-drop probability must be in [0, 1): "
+                    << plan.grantDropProbability);
+  for (const auto& [module, p] : plan.moduleDropOverrides) {
+    DSM_CHECK_MSG(module < module_count_,
+                  "drop override module out of range: " << module);
+    DSM_CHECK_MSG(p >= 0.0 && p < 1.0,
+                  "drop override probability must be in [0, 1): " << p);
+  }
+  plan_ = std::move(plan);
+  // Stable by cycle so same-cycle events keep their scripted order.
+  std::stable_sort(plan_.events.begin(), plan_.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  next_event_ = 0;
+  has_drops_ = plan_.grantDropProbability > 0.0;
+  for (const auto& [module, p] : plan_.moduleDropOverrides) {
+    (void)module;
+    has_drops_ = has_drops_ || p > 0.0;
+  }
+  drop_threshold_.clear();
+  if (has_drops_) {
+    drop_threshold_.assign(static_cast<std::size_t>(module_count_),
+                           dropThreshold(plan_.grantDropProbability));
+    for (const auto& [module, p] : plan_.moduleDropOverrides) {
+      drop_threshold_[static_cast<std::size_t>(module)] = dropThreshold(p);
+    }
+  }
+}
+
+void Machine::clearFaultPlan() {
+  plan_ = {};
+  next_event_ = 0;
+  has_drops_ = false;
+  drop_threshold_.clear();
+}
+
+void Machine::applyDueFaultEvents() {
+  while (next_event_ < plan_.events.size() &&
+         plan_.events[next_event_].cycle <= metrics_.cycles) {
+    const FaultEvent& ev = plan_.events[next_event_];
+    ev.fail ? failModule(ev.module) : healModule(ev.module);
+    ++next_event_;
+  }
+}
+
+bool Machine::dropsGrant(std::uint64_t module) const {
+  const std::uint64_t threshold =
+      drop_threshold_[static_cast<std::size_t>(module)];
+  if (threshold == 0) return false;
+  // Pure function of (seed, cycle, module): identical for every thread
+  // count and reproducible across runs.
+  util::SplitMix64 g(plan_.seed ^ (module * 0xA24BAED4963EE407ULL) ^
+                     (metrics_.cycles * 0x9E3779B97F4A7C15ULL));
+  return g.next() < threshold;
 }
 
 void Machine::enableLoadTracking() {
@@ -92,8 +165,15 @@ void Machine::poke(std::uint64_t module, std::uint64_t slot, Cell cell) {
   cellRef(module, slot) = cell;
 }
 
+bool Machine::hasStagedEntry(std::uint64_t module, std::uint64_t slot) const {
+  checkAddress(module, slot);
+  const auto& map = staged_[static_cast<std::size_t>(module)];
+  return map.find(slot) != map.end();
+}
+
 void Machine::step(const std::vector<Request>& requests,
                    std::vector<Response>& responses) {
+  applyDueFaultEvents();
   responses.assign(requests.size(), Response{});
   if (requests.empty()) return;
 
@@ -119,11 +199,13 @@ void Machine::step(const std::vector<Request>& requests,
   });
 
   // Phase B: winners perform their access. Distinct winners own distinct
-  // modules, so cell mutation is race-free; sparse-map insertion is confined
-  // to the winning thread of that module.
+  // modules, so cell and staged-table mutation is race-free; sparse-map
+  // insertion is confined to the winning thread of that module.
   std::atomic<std::uint64_t> granted{0};
+  std::atomic<std::uint64_t> dropped{0};
   pool_.parallelFor(requests.size(), [&](std::size_t lo, std::size_t hi) {
     std::uint64_t local_granted = 0;
+    std::uint64_t local_dropped = 0;
     for (std::size_t i = lo; i < hi; ++i) {
       const Request& r = requests[i];
       if (responses[i].moduleFailed) continue;
@@ -131,10 +213,44 @@ void Machine::step(const std::vector<Request>& requests,
           arbKey(r.processor, i)) {
         continue;
       }
+      // FaultPlan drop noise: the port is consumed but the grant is lost;
+      // the requester retries in a later cycle.
+      if (has_drops_ && dropsGrant(r.module)) {
+        ++local_dropped;
+        continue;
+      }
       Cell& cell = cellRef(r.module, r.slot);
-      if (r.op == Op::kWrite) {
-        cell.value = r.value;
-        cell.timestamp = r.timestamp;
+      switch (r.op) {
+        case Op::kRead:
+          break;
+        case Op::kWrite:
+          // Stage only: committed state is untouched until kCommit.
+          staged_[static_cast<std::size_t>(r.module)][r.slot] =
+              Cell{r.value, r.timestamp};
+          break;
+        case Op::kCommit: {
+          auto& map = staged_[static_cast<std::size_t>(r.module)];
+          const auto it = map.find(r.slot);
+          if (it != map.end() && it->second.timestamp == r.timestamp) {
+            cell = it->second;
+            map.erase(it);
+          }
+          break;
+        }
+        case Op::kAbort: {
+          auto& map = staged_[static_cast<std::size_t>(r.module)];
+          const auto it = map.find(r.slot);
+          if (it != map.end() && it->second.timestamp == r.timestamp) {
+            map.erase(it);
+          }
+          break;
+        }
+        case Op::kRepair:
+          // Monotone: a repair can only move a copy forward in time.
+          if (r.timestamp > cell.timestamp) {
+            cell = Cell{r.value, r.timestamp};
+          }
+          break;
       }
       // Winners own their module this cycle, so the counter bump is
       // race-free across workers.
@@ -147,6 +263,7 @@ void Machine::step(const std::vector<Request>& requests,
       ++local_granted;
     }
     granted.fetch_add(local_granted, std::memory_order_relaxed);
+    dropped.fetch_add(local_dropped, std::memory_order_relaxed);
   });
 
   // Phase C: read off the peak per-module contention of this cycle, then
@@ -174,6 +291,7 @@ void Machine::step(const std::vector<Request>& requests,
   metrics_.cycles += 1;
   metrics_.requestsIssued += requests.size();
   metrics_.requestsGranted += granted.load(std::memory_order_relaxed);
+  metrics_.grantsDropped += dropped.load(std::memory_order_relaxed);
   metrics_.maxModuleQueue = std::max<std::uint64_t>(
       metrics_.maxModuleQueue, peak.load(std::memory_order_relaxed));
 }

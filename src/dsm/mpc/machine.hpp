@@ -9,11 +9,28 @@
 // a cycle, the lowest processor id wins. This makes every simulation
 // reproducible and independent of the number of worker threads used to
 // execute a cycle (the winner is an associative/commutative min).
+//
+// Fault model: modules fail and heal under a scripted FaultPlan (per-cycle
+// events applied at step boundaries, so faults can strike mid-phase of a
+// protocol batch) or via the immediate failModule()/healModule() calls. A
+// failed module's cells are preserved — healing brings the stale contents
+// back, exactly the scenario the timestamped majority rule [Tho79] is
+// designed to survive. The plan can additionally drop individual grants
+// with a per-module probability, decided by a deterministic hash of
+// (seed, cycle, module) so results stay thread-count independent.
+//
+// Two-phase writes: Op::kWrite only STAGES a (value, timestamp) pair in a
+// side table; the cell's committed contents are untouched until a matching
+// Op::kCommit promotes the staged pair (or Op::kAbort discards it). Reads
+// observe committed state only, so a write that dies before reaching its
+// quorum can never leak a freshest-stamped value into a later read — the
+// torn-write hazard the access engines' two-phase protocol closes.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dsm/mpc/thread_pool.hpp"
@@ -26,7 +43,15 @@ struct Cell {
   std::uint64_t timestamp = 0;
 };
 
-enum class Op : std::uint8_t { kRead, kWrite };
+/// Module access operations.
+///   kRead   — return the committed (value, timestamp) of a cell.
+///   kWrite  — stage (value, timestamp); committed state is unchanged.
+///   kCommit — promote the staged pair whose timestamp matches the request.
+///   kAbort  — discard the staged pair whose timestamp matches the request.
+///   kRepair — overwrite the committed pair iff the request's timestamp is
+///             strictly newer (read-repair of lagging copies; monotone, so a
+///             late repair can never roll a cell back).
+enum class Op : std::uint8_t { kRead, kWrite, kCommit, kAbort, kRepair };
 
 /// A single-cycle access request issued by a processor.
 struct Request {
@@ -34,8 +59,8 @@ struct Request {
   std::uint64_t module = 0;
   std::uint64_t slot = 0;
   Op op = Op::kRead;
-  std::uint64_t value = 0;      ///< payload for writes
-  std::uint64_t timestamp = 0;  ///< write timestamp (majority protocol)
+  std::uint64_t value = 0;      ///< payload for writes/repairs
+  std::uint64_t timestamp = 0;  ///< write/commit/abort/repair timestamp
 };
 
 /// Outcome of one request after a cycle.
@@ -52,6 +77,55 @@ struct MachineMetrics {
   std::uint64_t requestsIssued = 0;  ///< total requests across cycles
   std::uint64_t requestsGranted = 0;
   std::uint64_t maxModuleQueue = 0;  ///< worst per-module contention seen
+  std::uint64_t grantsDropped = 0;   ///< grants lost to FaultPlan drop noise
+};
+
+/// One scripted fail/heal event. The event applies once the machine's cycle
+/// counter reaches `cycle`: it takes effect before the step with that index
+/// executes (cycle 0 = before the first step after the plan is installed).
+struct FaultEvent {
+  std::uint64_t cycle = 0;
+  std::uint64_t module = 0;
+  bool fail = true;  ///< false = heal
+};
+
+/// Scripted fault model for a Machine. Events are applied at step
+/// boundaries keyed on the machine's lifetime cycle counter, so a plan can
+/// strike in the middle of a protocol phase, not just between batches.
+/// Events at the same cycle apply in insertion order (fail-then-heal at one
+/// cycle is a zero-length outage).
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Probability that a module drops a grant it just arbitrated (the winner
+  /// is elected, the port is consumed, but the access does not happen and
+  /// the requester sees granted == false). Applies to every module unless
+  /// overridden. Must be in [0, 1): 1 would livelock every retry loop.
+  double grantDropProbability = 0.0;
+  /// Per-module overrides of grantDropProbability (same [0, 1) domain).
+  std::vector<std::pair<std::uint64_t, double>> moduleDropOverrides;
+  /// Seed for the deterministic drop decisions: a drop is a pure function
+  /// of (seed, cycle, module), independent of thread count.
+  std::uint64_t seed = 0x5EEDULL;
+
+  FaultPlan& failAt(std::uint64_t cycle, std::uint64_t module) {
+    events.push_back({cycle, module, true});
+    return *this;
+  }
+  FaultPlan& healAt(std::uint64_t cycle, std::uint64_t module) {
+    events.push_back({cycle, module, false});
+    return *this;
+  }
+  /// Transient outage: down for `duration` cycles starting at `cycle`.
+  FaultPlan& transientAt(std::uint64_t cycle, std::uint64_t module,
+                         std::uint64_t duration) {
+    failAt(cycle, module);
+    healAt(cycle + duration, module);
+    return *this;
+  }
+  bool empty() const {
+    return events.empty() && grantDropProbability == 0.0 &&
+           moduleDropOverrides.empty();
+  }
 };
 
 /// The synchronous MPC simulator. Storage is allocated eagerly as a flat
@@ -72,12 +146,18 @@ class Machine {
   /// Executes one synchronous cycle over the given requests. Responses are
   /// written 1:1 (responses.size() is resized to requests.size()).
   /// Deterministic: the winner per module is the lowest processor id.
+  /// Due FaultPlan events are applied before arbitration.
   void step(const std::vector<Request>& requests,
             std::vector<Response>& responses);
 
   /// Direct cell access (setup/verification; does not consume cycles).
+  /// peek observes committed state only — staged writes are invisible.
   Cell peek(std::uint64_t module, std::uint64_t slot) const;
   void poke(std::uint64_t module, std::uint64_t slot, Cell cell);
+
+  /// True while a staged (uncommitted, unaborted) write sits on the cell.
+  /// Test/diagnostic hook; staged entries are invisible to reads.
+  bool hasStagedEntry(std::uint64_t module, std::uint64_t slot) const;
 
   /// Optional per-module grant accounting (off by default; costs one counter
   /// bump per grant). Used by the load-balance experiments.
@@ -89,13 +169,22 @@ class Machine {
   }
 
   /// Fault injection: a failed module grants nothing (requests targeting it
-  /// come back with moduleFailed set). Its cells are preserved — healing
-  /// brings the stale contents back, exactly the scenario the timestamped
-  /// majority rule [Tho79] is designed to survive.
+  /// come back with moduleFailed set). failModule/healModule apply
+  /// immediately; setFaultPlan scripts events against the machine's cycle
+  /// counter so faults can land mid-batch.
   void failModule(std::uint64_t module);
   void healModule(std::uint64_t module);
   bool isFailed(std::uint64_t module) const;
   std::uint64_t failedCount() const noexcept { return failed_count_; }
+
+  /// Installs a scripted fault plan (replacing any previous one). Events
+  /// whose cycle is already in the past fire before the next step. The plan
+  /// is validated eagerly: module ids must be in range and drop
+  /// probabilities in [0, 1). Install plans before resetMetrics(): the event
+  /// schedule is keyed on the lifetime cycle counter.
+  void setFaultPlan(FaultPlan plan);
+  void clearFaultPlan();
+  const FaultPlan& faultPlan() const noexcept { return plan_; }
 
   const MachineMetrics& metrics() const noexcept { return metrics_; }
   void resetMetrics() noexcept { metrics_ = {}; }
@@ -107,19 +196,32 @@ class Machine {
 
   Cell& cellRef(std::uint64_t module, std::uint64_t slot);
   void checkAddress(std::uint64_t module, std::uint64_t slot) const;
+  void applyDueFaultEvents();
+  bool dropsGrant(std::uint64_t module) const;
 
   std::uint64_t module_count_;
   std::uint64_t slots_per_module_;
   bool eager_;
-  std::vector<Cell> flat_;  // eager storage
+  std::vector<Cell> flat_;  // eager storage (committed state)
   std::vector<std::unordered_map<std::uint64_t, Cell>> sparse_;
+  // Staged (uncommitted) writes, keyed per module by slot. Entries are
+  // transient: a write stages, then the engine promotes (kCommit) or
+  // discards (kAbort) it. Mutated only by the winning processor of the
+  // module in a cycle, so access is race-free like the cells themselves.
+  std::vector<std::unordered_map<std::uint64_t, Cell>> staged_;
   // Per-module arbitration scratch: current best (lowest) processor id + the
   // index of its request; reset lazily via the touched list.
   std::vector<std::atomic<std::uint64_t>> arb_;
   std::vector<std::atomic<std::uint32_t>> counts_;  // per-module load scratch
-  std::vector<std::uint8_t> failed_;  // fault-injection flags
+  std::vector<std::uint8_t> failed_;  // fault flags, driven by plan + calls
   std::uint64_t failed_count_ = 0;
   std::vector<std::uint64_t> module_load_;  // grants per module (optional)
+  FaultPlan plan_;
+  std::size_t next_event_ = 0;  // cursor into plan_.events
+  // Per-module drop thresholds scaled to 2^64 (empty when the plan has no
+  // drop noise — the common case pays a single bool test).
+  std::vector<std::uint64_t> drop_threshold_;
+  bool has_drops_ = false;
   MachineMetrics metrics_;
   ThreadPool pool_;
 };

@@ -48,6 +48,13 @@ void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
   probe(dead_count_.capacity(), b);
   probe(quorum_.capacity(), b);
   probe(offsets_.capacity(), b + 1);
+  probe(state_.capacity(), b);
+  probe(final_op_.capacity(), b);
+  probe(pending_.capacity(), b);
+  probe(pending_count_.capacity(), b);
+  probe(ts_seen_.capacity(), b);
+  probe(acked_.capacity(), b);
+  probe(lost_.capacity(), b);
 
   distinct_.clear();
   distinct_.reserve(b * 2);
@@ -65,6 +72,140 @@ void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
   // Reads must observe any write completed in an earlier batch; bump the
   // clock so later batches always stamp strictly newer.
   ++clock_;
+  // The dead-module memo is per batch: modules may heal between batches, so
+  // each batch rediscovers honestly.
+  module_dead_.resize(static_cast<std::size_t>(scheme_.numModules()), 0);
+  if (module_dead_any_) {
+    std::fill(module_dead_.begin(), module_dead_.end(), 0);
+    module_dead_any_ = false;
+  }
+}
+
+void EngineBase::resetPhaseState(std::size_t count, std::size_t r) {
+  accessed_.assign(count * r, 0);
+  dead_.assign(count * r, 0);
+  pending_.assign(count * r, 0);
+  ts_seen_.assign(count * r, 0);
+  done_.assign(count, 0);
+  dead_count_.assign(count, 0);
+  pending_count_.assign(count, 0);
+  acked_.assign(count, 0);
+  lost_.assign(count, 0);
+  state_.assign(count, kStateAcquire);
+  final_op_.assign(count, static_cast<std::uint8_t>(mpc::Op::kRead));
+  quorum_.resize(count);
+}
+
+void EngineBase::premarkKnownDeadCopies(std::size_t a, std::size_t req,
+                                        std::size_t r) {
+  if (!module_dead_any_) return;
+  for (std::size_t j = 0; j < r; ++j) {
+    if (module_dead_[static_cast<std::size_t>(copies_[req][j].module)]) {
+      dead_[a * r + j] = 1;
+      ++dead_count_[a];
+    }
+  }
+}
+
+void EngineBase::transitionAfterScan(std::size_t a, std::size_t req,
+                                     mpc::Op op, std::size_t r) {
+  if (state_[a] == kStateDone) return;
+  if (state_[a] == kStateAcquire) {
+    const bool is_write = op == mpc::Op::kWrite;
+    if (done_[a] >= quorum_[a]) {
+      // Quorum reached. A write promotes every staged copy (the commit
+      // round of the two-phase protocol); a read pushes the freshest value
+      // back onto any stale granted copies (read-repair). A read whose
+      // granted copies already agree skips the extra round entirely — the
+      // healthy fast path costs exactly what the one-phase protocol did.
+      unsigned pending = 0;
+      if (is_write) {
+        for (std::size_t j = 0; j < r; ++j) {
+          if (accessed_[a * r + j]) {
+            pending_[a * r + j] = 1;
+            ++pending;
+          }
+        }
+        final_op_[a] = static_cast<std::uint8_t>(mpc::Op::kCommit);
+      } else {
+        for (std::size_t j = 0; j < r; ++j) {
+          if (accessed_[a * r + j] &&
+              ts_seen_[a * r + j] < fresh_[req].timestamp) {
+            pending_[a * r + j] = 1;
+            ++pending;
+          }
+        }
+        final_op_[a] = static_cast<std::uint8_t>(mpc::Op::kRepair);
+      }
+      pending_count_[a] = pending;
+      state_[a] = pending == 0 ? kStateDone : kStateFinalize;
+      return;
+    }
+    if (dead_count_[a] > r - quorum_[a]) {
+      // Unsatisfiable: the quorum is unreachable. A write that already
+      // staged copies must invalidate them — left alone, their globally
+      // freshest stamps would win a later read quorum and leak a value the
+      // write never committed (the torn-write hazard).
+      if (is_write && done_[a] > 0) {
+        unsigned pending = 0;
+        for (std::size_t j = 0; j < r; ++j) {
+          if (accessed_[a * r + j]) {
+            pending_[a * r + j] = 1;
+            ++pending;
+          }
+        }
+        final_op_[a] = static_cast<std::uint8_t>(mpc::Op::kAbort);
+        pending_count_[a] = pending;
+        state_[a] = kStateFinalize;
+      } else {
+        state_[a] = kStateDone;
+      }
+    }
+    return;
+  }
+  // kStateFinalize: done once every pending message is delivered or its
+  // module has died (the lost_ counter keeps the book on the latter).
+  if (pending_count_[a] == 0) state_[a] = kStateDone;
+}
+
+void EngineBase::finishPhase(std::size_t count, const std::size_t* req_map,
+                             std::size_t r, AccessResult& result) {
+  FaultMetrics& fm = metrics_.faults;
+  if (fm.degradedQuorum.size() < r + 1) fm.degradedQuorum.resize(r + 1, 0);
+  for (std::size_t a = 0; a < count; ++a) {
+    const std::size_t req = req_map ? req_map[a] : a;
+    if (dead_count_[a] > 0) {
+      fm.deadCopies += dead_count_[a];
+      for (std::size_t j = 0; j < r; ++j) {
+        if (!dead_[a * r + j]) continue;
+        const auto m = static_cast<std::size_t>(copies_[req][j].module);
+        if (!module_dead_[m]) {
+          module_dead_[m] = 1;
+          module_dead_any_ = true;
+        }
+      }
+    }
+    switch (static_cast<mpc::Op>(final_op_[a])) {
+      case mpc::Op::kCommit:
+        fm.commitsLost += lost_[a];
+        break;
+      case mpc::Op::kAbort:
+        ++fm.stagedAborted;
+        fm.abortsLost += lost_[a];
+        break;
+      case mpc::Op::kRepair:
+        fm.repairsPerformed += acked_[a];
+        break;
+      default:
+        break;
+    }
+    if (done_[a] >= quorum_[a]) {
+      ++fm.degradedQuorum[std::min<std::size_t>(dead_count_[a], r)];
+    } else {
+      result.unsatisfiable.push_back(req);
+      ++fm.unsatisfiable;
+    }
+  }
 }
 
 void EngineBase::finishBatch(std::size_t batch_size) {
@@ -115,35 +256,41 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
     // accessed_[a*r + j]: copy j of active variable a granted already.
     // dead_[a*r + j]: copy j's module is failed — never retried; a variable
     // whose live copies cannot reach the quorum is unsatisfiable.
-    accessed_.assign(na * r, 0);
-    dead_.assign(na * r, 0);
-    done_.assign(na, 0);
-    dead_count_.assign(na, 0);
-    quorum_.resize(na);
+    resetPhaseState(na, r);
     for (std::size_t a = 0; a < na; ++a) {
       quorum_[a] = batch[active_[a]].op == mpc::Op::kRead
                        ? scheme_.readQuorum()
                        : scheme_.writeQuorum();
     }
+    // Modules seen dead in an earlier phase of this batch are not retried:
+    // a request all of whose surviving copies cannot reach the quorum is
+    // unsatisfiable before its first wire round (its phase may then run
+    // zero iterations).
+    for (std::size_t a = 0; a < na; ++a) {
+      premarkKnownDeadCopies(a, active_[a], r);
+      transitionAfterScan(a, active_[a], batch[active_[a]].op, r);
+    }
     std::uint64_t iters = 0;
     std::vector<std::uint64_t> trajectory;
     util::Timer timer;
     while (true) {
-      // Offset pass (serial, O(na)): a live request a contributes exactly
-      // r - done - dead untried copies, so its wire range is known without
-      // scanning the flags — the parallel fill below writes each request's
-      // entries at fixed positions, making the wire (and every downstream
-      // result) bit-identical for any thread count.
+      // Offset pass (serial, O(na)): an acquiring request a contributes
+      // exactly r - done - dead untried copies and a finalizing one its
+      // pending count, so every wire range is known without scanning the
+      // flags — the parallel fill below writes each request's entries at
+      // fixed positions, making the wire (and every downstream result)
+      // bit-identical for any thread count.
       timer.reset();
       offsets_.resize(na + 1);
       std::uint64_t live = 0;
       std::size_t total = 0;
       for (std::size_t a = 0; a < na; ++a) {
         offsets_[a] = total;
-        if (done_[a] >= quorum_[a]) continue;
-        if (dead_count_[a] > r - quorum_[a]) continue;  // unsatisfiable
+        if (state_[a] == kStateDone) continue;
         ++live;
-        total += r - done_[a] - dead_count_[a];
+        total += state_[a] == kStateAcquire
+                     ? r - done_[a] - dead_count_[a]
+                     : pending_count_[a];
       }
       offsets_[na] = total;
       if (live == 0) break;
@@ -153,19 +300,41 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
       pool.parallelFor(na, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t a = lo; a < hi; ++a) {
           std::size_t out = offsets_[a];
-          if (out == offsets_[a + 1]) continue;  // done or unsatisfiable
+          if (out == offsets_[a + 1]) continue;  // done
           const std::size_t req = active_[a];
           const std::size_t cluster = req / r;
-          const std::uint8_t* acc = &accessed_[a * r];
-          const std::uint8_t* dd = &dead_[a * r];
-          for (std::size_t j = 0; j < r; ++j) {
-            if (acc[j] || dd[j]) continue;
-            const auto& pa = copies_[req][j];
-            wire_[out] = mpc::Request{
-                static_cast<std::uint32_t>(cluster * r + j), pa.module,
-                pa.slot, batch[req].op, batch[req].value, stamps_[req]};
-            wire_copy_[out] = j;
-            ++out;
+          if (state_[a] == kStateFinalize) {
+            // Commit/abort/repair round over the granted copies. Repairs
+            // carry the freshest observed (value, timestamp); commits and
+            // aborts carry the write's own stamp so the module promotes or
+            // discards exactly the staged pair of this write.
+            const auto fop = static_cast<mpc::Op>(final_op_[a]);
+            const bool repair = fop == mpc::Op::kRepair;
+            const std::uint64_t val =
+                repair ? fresh_[req].value : batch[req].value;
+            const std::uint64_t ts =
+                repair ? fresh_[req].timestamp : stamps_[req];
+            for (std::size_t j = 0; j < r; ++j) {
+              if (!pending_[a * r + j]) continue;
+              const auto& pa = copies_[req][j];
+              wire_[out] = mpc::Request{
+                  static_cast<std::uint32_t>(cluster * r + j), pa.module,
+                  pa.slot, fop, val, ts};
+              wire_copy_[out] = j;
+              ++out;
+            }
+          } else {
+            const std::uint8_t* acc = &accessed_[a * r];
+            const std::uint8_t* dd = &dead_[a * r];
+            for (std::size_t j = 0; j < r; ++j) {
+              if (acc[j] || dd[j]) continue;
+              const auto& pa = copies_[req][j];
+              wire_[out] = mpc::Request{
+                  static_cast<std::uint32_t>(cluster * r + j), pa.module,
+                  pa.slot, batch[req].op, batch[req].value, stamps_[req]};
+              wire_copy_[out] = j;
+              ++out;
+            }
           }
         }
       });
@@ -178,39 +347,58 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
       ++iters;
 
       // Reply scan: request a's replies occupy its own wire range, so each
-      // request is scanned independently — no cross-request state.
+      // request is scanned (and its state machine advanced) independently —
+      // no cross-request state.
       timer.reset();
       pool.parallelFor(na, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t a = lo; a < hi; ++a) {
+          if (offsets_[a] == offsets_[a + 1]) continue;
+          const std::size_t req = active_[a];
+          const mpc::Op op = batch[req].op;
+          const bool finalizing = state_[a] == kStateFinalize;
           for (std::size_t w = offsets_[a]; w < offsets_[a + 1]; ++w) {
+            const std::size_t j = wire_copy_[w];
             if (replies_[w].moduleFailed) {
-              if (!dead_[a * r + wire_copy_[w]]) {
-                dead_[a * r + wire_copy_[w]] = 1;
+              if (!dead_[a * r + j]) {
+                dead_[a * r + j] = 1;
                 ++dead_count_[a];
+              }
+              if (finalizing && pending_[a * r + j]) {
+                pending_[a * r + j] = 0;
+                --pending_count_[a];
+                ++lost_[a];
               }
               continue;
             }
             if (!replies_[w].granted) continue;
-            accessed_[a * r + wire_copy_[w]] = 1;
+            if (finalizing) {
+              pending_[a * r + j] = 0;
+              --pending_count_[a];
+              ++acked_[a];
+              continue;
+            }
+            accessed_[a * r + j] = 1;
             ++done_[a];
-            if (batch[active_[a]].op == mpc::Op::kRead) {
-              fresh_[active_[a]].offer(replies_[w].timestamp,
-                                       replies_[w].value);
+            if (op == mpc::Op::kRead) {
+              ts_seen_[a * r + j] = replies_[w].timestamp;
+              fresh_[req].offer(replies_[w].timestamp, replies_[w].value);
             }
           }
+          transitionAfterScan(a, req, op, r);
         }
       });
       metrics_.scanSeconds += timer.seconds();
     }
-    for (std::size_t a = 0; a < na; ++a) {
-      if (done_[a] < quorum_[a]) result.unsatisfiable.push_back(active_[a]);
-    }
+    finishPhase(na, active_.data(), r, result);
     result.phaseIterations.push_back(iters);
     result.liveTrajectory.push_back(std::move(trajectory));
     result.totalIterations += iters;
-    result.modeledSteps +=
-        iters * static_cast<std::uint64_t>(coord_cost) +
-        static_cast<std::uint64_t>(addr_cost);
+    // Cost model: phases that ran zero iterations performed no address
+    // computation either — billing addr_cost for them would overcharge.
+    if (iters > 0) {
+      result.modeledSteps += iters * static_cast<std::uint64_t>(coord_cost) +
+                             static_cast<std::uint64_t>(addr_cost);
+    }
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -218,7 +406,8 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
                                                      : batch[i].value;
   }
   // Unsatisfiable requests must not leak partial data: a write that missed
-  // its quorum committed nothing, and a sub-quorum read may be stale.
+  // its quorum aborted its staged copies, and a sub-quorum read may be
+  // stale.
   for (const std::size_t i : result.unsatisfiable) result.values[i] = 0;
   finishBatch(batch.size());
   return result;
@@ -236,15 +425,15 @@ AccessResult SingleOwnerEngine::execute(
   const std::size_t nb = batch.size();
   const int addr_cost = util::ceilLog2(scheme_.numModules());
 
-  accessed_.assign(nb * r, 0);
-  dead_.assign(nb * r, 0);
-  done_.assign(nb, 0);
-  dead_count_.assign(nb, 0);
-  quorum_.resize(nb);
+  resetPhaseState(nb, r);
   fresh_.assign(nb, Freshest{});
   for (std::size_t i = 0; i < nb; ++i) {
     quorum_[i] = batch[i].op == mpc::Op::kRead ? scheme_.readQuorum()
                                                : scheme_.writeQuorum();
+  }
+  for (std::size_t i = 0; i < nb; ++i) {
+    premarkKnownDeadCopies(i, i, r);
+    transitionAfterScan(i, i, batch[i].op, r);
   }
 
   std::uint64_t iters = 0;
@@ -259,8 +448,7 @@ AccessResult SingleOwnerEngine::execute(
     std::size_t total = 0;
     for (std::size_t i = 0; i < nb; ++i) {
       offsets_[i] = total;
-      if (done_[i] >= quorum_[i]) continue;
-      if (dead_count_[i] > r - quorum_[i]) continue;  // unsatisfiable
+      if (state_[i] == kStateDone) continue;
       ++live;
       ++total;
     }
@@ -272,24 +460,44 @@ AccessResult SingleOwnerEngine::execute(
     pool.parallelFor(nb, [&](std::size_t lo, std::size_t hi) {
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t out = offsets_[i];
-        if (out == offsets_[i + 1]) continue;  // done or unsatisfiable
-        // Round-robin over the remaining copies, staggered by request index
-        // so identical-copy-set requests spread their attempts. A live
-        // request always has an untried copy (done + dead < r).
+        if (out == offsets_[i + 1]) continue;  // done
+        // Round-robin, staggered by request index so identical-copy-set
+        // requests spread their attempts: acquiring requests walk their
+        // untried copies (done + dead < r, so one always exists);
+        // finalizing requests walk their pending copies the same way, one
+        // commit/abort/repair message per cycle.
         const std::size_t start = (i + iters) % r;
         std::size_t pick = r;
-        for (std::size_t off = 0; off < r; ++off) {
-          const std::size_t j = (start + off) % r;
-          if (!accessed_[i * r + j] && !dead_[i * r + j]) {
-            pick = j;
-            break;
+        if (state_[i] == kStateFinalize) {
+          for (std::size_t off = 0; off < r; ++off) {
+            const std::size_t j = (start + off) % r;
+            if (pending_[i * r + j]) {
+              pick = j;
+              break;
+            }
           }
+          const auto fop = static_cast<mpc::Op>(final_op_[i]);
+          const bool repair = fop == mpc::Op::kRepair;
+          const auto& pa = copies_[i][pick];
+          wire_[out] = mpc::Request{
+              static_cast<std::uint32_t>(i), pa.module, pa.slot, fop,
+              repair ? fresh_[i].value : batch[i].value,
+              repair ? fresh_[i].timestamp : stamps_[i]};
+          wire_copy_[out] = pick;
+        } else {
+          for (std::size_t off = 0; off < r; ++off) {
+            const std::size_t j = (start + off) % r;
+            if (!accessed_[i * r + j] && !dead_[i * r + j]) {
+              pick = j;
+              break;
+            }
+          }
+          const auto& pa = copies_[i][pick];
+          wire_[out] = mpc::Request{static_cast<std::uint32_t>(i), pa.module,
+                                    pa.slot, batch[i].op, batch[i].value,
+                                    stamps_[i]};
+          wire_copy_[out] = pick;
         }
-        const auto& pa = copies_[i][pick];
-        wire_[out] = mpc::Request{static_cast<std::uint32_t>(i), pa.module,
-                                  pa.slot, batch[i].op, batch[i].value,
-                                  stamps_[i]};
-        wire_copy_[out] = pick;
       }
     });
     metrics_.wireBuildSeconds += timer.seconds();
@@ -305,31 +513,44 @@ AccessResult SingleOwnerEngine::execute(
       for (std::size_t i = lo; i < hi; ++i) {
         const std::size_t w = offsets_[i];
         if (w == offsets_[i + 1]) continue;
+        const std::size_t j = wire_copy_[w];
+        const bool finalizing = state_[i] == kStateFinalize;
         if (replies_[w].moduleFailed) {
-          if (!dead_[i * r + wire_copy_[w]]) {
-            dead_[i * r + wire_copy_[w]] = 1;
+          if (!dead_[i * r + j]) {
+            dead_[i * r + j] = 1;
             ++dead_count_[i];
           }
-          continue;
+          if (finalizing && pending_[i * r + j]) {
+            pending_[i * r + j] = 0;
+            --pending_count_[i];
+            ++lost_[i];
+          }
+        } else if (replies_[w].granted) {
+          if (finalizing) {
+            pending_[i * r + j] = 0;
+            --pending_count_[i];
+            ++acked_[i];
+          } else {
+            accessed_[i * r + j] = 1;
+            ++done_[i];
+            if (batch[i].op == mpc::Op::kRead) {
+              ts_seen_[i * r + j] = replies_[w].timestamp;
+              fresh_[i].offer(replies_[w].timestamp, replies_[w].value);
+            }
+          }
         }
-        if (!replies_[w].granted) continue;
-        accessed_[i * r + wire_copy_[w]] = 1;
-        ++done_[i];
-        if (batch[i].op == mpc::Op::kRead) {
-          fresh_[i].offer(replies_[w].timestamp, replies_[w].value);
-        }
+        transitionAfterScan(i, i, batch[i].op, r);
       }
     });
     metrics_.scanSeconds += timer.seconds();
   }
-  for (std::size_t i = 0; i < nb; ++i) {
-    if (done_[i] < quorum_[i]) result.unsatisfiable.push_back(i);
-  }
+  finishPhase(nb, nullptr, r, result);
 
   result.phaseIterations.push_back(iters);
   result.liveTrajectory.push_back(std::move(trajectory));
   result.totalIterations = iters;
-  result.modeledSteps = iters + static_cast<std::uint64_t>(addr_cost);
+  result.modeledSteps =
+      iters > 0 ? iters + static_cast<std::uint64_t>(addr_cost) : 0;
   for (std::size_t i = 0; i < nb; ++i) {
     result.values[i] = batch[i].op == mpc::Op::kRead ? fresh_[i].value
                                                      : batch[i].value;

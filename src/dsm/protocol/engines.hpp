@@ -12,17 +12,36 @@
 // read-quorum and keeps the value with the newest stamp. Because any two
 // quorums intersect, reads always observe the latest completed write.
 //
+// Two-phase write commit: a write first STAGES its (value, timestamp) on
+// the copies it reaches (mpc::Op::kWrite leaves committed state untouched).
+// Only once a write-quorum of copies is staged does the owning cluster spend
+// one extra wire round promoting them (mpc::Op::kCommit); a write whose
+// quorum becomes unreachable instead invalidates its staged copies
+// (mpc::Op::kAbort). Staged values are invisible to reads, so a sub-quorum
+// (torn) write can never poison a later read with a freshest-stamped value
+// it failed to commit — the hazard a mid-batch module failure opens under
+// the naive one-phase protocol.
+//
+// Read-repair: when the copies of a satisfied read disagree (some granted
+// copies carry an older timestamp — lag from transient faults), the engine
+// pushes the freshest (value, timestamp) back onto the stale granted copies
+// (mpc::Op::kRepair, monotone at the module). This heals degraded
+// redundancy without violating the majority invariant: repairs only
+// replicate an already-committed value forward in time.
+//
 // SingleOwnerEngine — the MV84 / single-copy discipline: each request is
 // owned by one processor which acquires `quorum` of its copies one grant at
-// a time (round-robin over the remaining copies).
+// a time (round-robin over the remaining copies), then commits/aborts/
+// repairs them the same way, one message per cycle.
 //
 // Batch pipeline: both engines share a copy cache (memoized Section-4
 // addressing), reusable scratch buffers that persist across execute() calls,
 // and a parallel inner loop — wire construction and reply scanning run under
 // the machine's ThreadPool, writing to precomputed per-request offsets so
 // the wire (and therefore every AccessResult) is bit-identical to the serial
-// path at any thread count. executeStream() runs a whole stream of batches
-// through the warmed scratch and cache; EngineMetrics reports the split.
+// path at any thread count, with or without an active FaultPlan.
+// executeStream() runs a whole stream of batches through the warmed scratch
+// and cache; EngineMetrics reports the split and the fault-path counters.
 #pragma once
 
 #include <cstdint>
@@ -54,15 +73,18 @@ struct AccessResult {
   /// sub-quorum set of copies must not return a possibly-stale value (the
   /// majority rule forbids exactly that).
   std::vector<std::uint64_t> values;
-  /// MPC cycles consumed (== sum of iterations over phases).
+  /// MPC cycles consumed (== sum of iterations over phases, including the
+  /// commit/abort/repair rounds of the two-phase protocol).
   std::uint64_t totalIterations = 0;
   /// Φ_p per phase (MajorityEngine) or a single entry (SingleOwnerEngine).
   std::vector<std::uint64_t> phaseIterations;
-  /// R_k — live variables at the start of iteration k, per phase.
+  /// R_k — requests with outstanding work at the start of iteration k, per
+  /// phase (acquiring a quorum or finalizing a commit/abort/repair).
   std::vector<std::vector<std::uint64_t>> liveTrajectory;
   /// The paper's cost model O(q(Φ log q + log N)): per phase
   /// Φ_p * (1 + ceil(log2 r)) intra-cluster coordination plus ceil(log2 N)
-  /// address-computation steps.
+  /// address-computation steps. Phases that run zero iterations perform no
+  /// address computation and are not billed.
   std::uint64_t modeledSteps = 0;
   /// Requests whose quorum became unreachable because too many of their
   /// copies live in failed modules (> r - quorum dead copies). Their values
@@ -70,6 +92,33 @@ struct AccessResult {
   std::vector<std::size_t> unsatisfiable;
 
   std::uint64_t maxPhaseIterations() const;
+};
+
+/// Fault-path counters layered onto EngineMetrics. All counts are exact and
+/// deterministic (independent of thread count) for a given machine history.
+struct FaultMetrics {
+  /// Request-copies found unreachable because their module was failed when
+  /// the engine tried to touch them (stage, read, commit, abort or repair).
+  std::uint64_t deadCopies = 0;
+  /// Writes that staged at least one copy and then had to abort because
+  /// their quorum became unreachable. Without the two-phase protocol each
+  /// of these would have leaked a freshest-stamped torn value.
+  std::uint64_t stagedAborted = 0;
+  /// Stale granted copies healed by read-repair (freshest value pushed).
+  std::uint64_t repairsPerformed = 0;
+  /// Commit messages abandoned because the copy's module died inside the
+  /// commit window. The write is still decided; the copy simply lags like
+  /// any stale copy and read-repair can heal it later.
+  std::uint64_t commitsLost = 0;
+  /// Abort messages abandoned the same way. The staged entry lingers on the
+  /// dead module but stays invisible to reads forever.
+  std::uint64_t abortsLost = 0;
+  /// Requests whose quorum was unreachable (matches AccessResult entries).
+  std::uint64_t unsatisfiable = 0;
+  /// degradedQuorum[d] = satisfied requests that had d of their r copies
+  /// unreachable (d == 0 is the healthy fast path). Size r+1 once any batch
+  /// has run.
+  std::vector<std::uint64_t> degradedQuorum;
 };
 
 /// Cumulative engine-side performance counters (across execute() calls;
@@ -87,6 +136,7 @@ struct EngineMetrics {
   double wireBuildSeconds = 0.0;
   double stepSeconds = 0.0;
   double scanSeconds = 0.0;
+  FaultMetrics faults;  ///< fault-tolerance and recovery counters
 
   double cacheHitRate() const {
     const std::uint64_t total = cacheHits + cacheMisses;
@@ -126,6 +176,15 @@ class EngineBase {
   const scheme::CopyCache& copyCache() const noexcept { return cache_; }
 
  protected:
+  /// Per-request protocol state within a phase. A request moves forward
+  /// only (acquire -> finalize -> done), so the live set shrinks
+  /// monotonically.
+  enum State : std::uint8_t {
+    kStateAcquire = 0,  ///< collecting a quorum of grants
+    kStateFinalize = 1, ///< delivering commit/abort/repair messages
+    kStateDone = 2,
+  };
+
   /// Collects the newest (timestamp, value) pair among granted copies.
   struct Freshest {
     std::uint64_t timestamp = 0;
@@ -142,8 +201,27 @@ class EngineBase {
   };
 
   /// Validates batch (range, distinct variables, 32-bit processor-id head
-  /// room), resolves copies through the cache and stamps write requests.
+  /// room), resolves copies through the cache, stamps write requests and
+  /// clears the per-batch dead-module memo.
   void preprocess(const std::vector<AccessRequest>& batch);
+
+  /// Resets the per-phase state arrays for `count` requests of `r` copies.
+  void resetPhaseState(std::size_t count, std::size_t r);
+
+  /// Seeds dead flags from the batch-level dead-module memo (modules
+  /// observed failed in an earlier phase of this batch are not retried).
+  void premarkKnownDeadCopies(std::size_t a, std::size_t req, std::size_t r);
+
+  /// Advances the state machine of request `a` (batch index `req`) after
+  /// its replies for one round have been scanned (or before the first round
+  /// for pre-dead requests). Safe to call concurrently for distinct `a`.
+  void transitionAfterScan(std::size_t a, std::size_t req, mpc::Op op,
+                           std::size_t r);
+
+  /// Phase epilogue (serial): folds dead copies into the module memo and
+  /// the fault metrics, and records unsatisfiable requests into `result`.
+  void finishPhase(std::size_t count, const std::size_t* req_map,
+                   std::size_t r, AccessResult& result);
 
   /// Folds the copy-cache counters into metrics_ and closes one batch.
   void finishBatch(std::size_t batch_size);
@@ -172,6 +250,18 @@ class EngineBase {
   std::vector<unsigned> dead_count_;
   std::vector<unsigned> quorum_;
   std::vector<std::size_t> active_;     ///< per-phase request indices
+  // Two-phase/repair state (per phase, same indexing as accessed_/done_).
+  std::vector<std::uint8_t> state_;        ///< State per request
+  std::vector<std::uint8_t> final_op_;     ///< mpc::Op of the finalize round
+  std::vector<std::uint8_t> pending_;      ///< flat [request][copy] to finalize
+  std::vector<unsigned> pending_count_;
+  std::vector<std::uint64_t> ts_seen_;     ///< flat [request][copy] read stamps
+  std::vector<unsigned> acked_;            ///< finalize messages delivered
+  std::vector<unsigned> lost_;             ///< finalize messages lost (dead)
+  // Batch-level memo of modules observed failed (reset per batch: modules
+  // may heal between batches, and the engine re-discovers honestly).
+  std::vector<std::uint8_t> module_dead_;
+  bool module_dead_any_ = false;
 };
 
 /// Section-3 clustered majority protocol (used by PP and UW schemes).

@@ -1,0 +1,207 @@
+// FaultPlan tests at the machine level: scripted fail/heal events keyed on
+// the lifetime cycle counter (so faults land mid-protocol, not only between
+// batches), deterministic grant-drop noise, and the staged-write (two-phase)
+// cell semantics the access engines build on.
+#include "dsm/mpc/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::mpc {
+namespace {
+
+std::vector<Response> stepOne(Machine& m, Request r) {
+  std::vector<Request> reqs{r};
+  std::vector<Response> resp;
+  m.step(reqs, resp);
+  return resp;
+}
+
+TEST(FaultPlan, EventsApplyAtScriptedCycle) {
+  Machine m(2, 4);
+  FaultPlan plan;
+  plan.failAt(1, 0).healAt(3, 0);
+  m.setFaultPlan(plan);
+  const Request probe{0, 0, 0, Op::kRead, 0, 0};
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);        // cycle 0: alive
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);   // cycle 1: down
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);   // cycle 2: still down
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);        // cycle 3: healed
+}
+
+TEST(FaultPlan, TransientOutageHelper) {
+  Machine m(2, 4);
+  FaultPlan plan;
+  plan.transientAt(2, 1, 2);  // down for cycles 2 and 3
+  m.setFaultPlan(plan);
+  const Request probe{0, 1, 0, Op::kRead, 0, 0};
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);
+}
+
+TEST(FaultPlan, SameCycleFailHealIsZeroLengthOutage) {
+  Machine m(1, 1);
+  FaultPlan plan;
+  plan.failAt(1, 0).healAt(1, 0);  // insertion order preserved at same cycle
+  m.setFaultPlan(plan);
+  const Request probe{0, 0, 0, Op::kRead, 0, 0};
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);  // fail+heal both applied
+  EXPECT_EQ(m.failedCount(), 0u);
+}
+
+TEST(FaultPlan, PastEventsFireBeforeNextStep) {
+  Machine m(2, 4);
+  const Request probe{0, 0, 0, Op::kRead, 0, 0};
+  stepOne(m, probe);
+  stepOne(m, probe);  // cycle counter now 2
+  FaultPlan plan;
+  plan.failAt(0, 0);  // already in the past
+  m.setFaultPlan(plan);
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);
+}
+
+TEST(FaultPlan, ValidationRejectsBadInput) {
+  Machine m(2, 4);
+  FaultPlan bad_module;
+  bad_module.failAt(0, 7);
+  EXPECT_THROW(m.setFaultPlan(bad_module), util::CheckError);
+  FaultPlan bad_prob;
+  bad_prob.grantDropProbability = 1.0;  // would livelock retry loops
+  EXPECT_THROW(m.setFaultPlan(bad_prob), util::CheckError);
+  FaultPlan bad_override;
+  bad_override.moduleDropOverrides.push_back({0, -0.5});
+  EXPECT_THROW(m.setFaultPlan(bad_override), util::CheckError);
+  FaultPlan bad_override_module;
+  bad_override_module.moduleDropOverrides.push_back({9, 0.1});
+  EXPECT_THROW(m.setFaultPlan(bad_override_module), util::CheckError);
+}
+
+TEST(FaultPlan, GrantDropsAreDeterministicPerSeed) {
+  // Same plan + seed => identical drop pattern on two machines; the drop
+  // decision is a pure function of (seed, cycle, module).
+  const auto run = [](std::uint64_t seed) {
+    Machine m(4, 4);
+    FaultPlan plan;
+    plan.grantDropProbability = 0.4;
+    plan.seed = seed;
+    m.setFaultPlan(plan);
+    std::vector<bool> granted;
+    std::vector<Request> reqs;
+    for (std::uint64_t mod = 0; mod < 4; ++mod) {
+      reqs.push_back({0, mod, 0, Op::kRead, 0, 0});
+    }
+    std::vector<Response> resp;
+    for (int cyc = 0; cyc < 64; ++cyc) {
+      m.step(reqs, resp);
+      for (const auto& r : resp) granted.push_back(r.granted);
+    }
+    return std::make_pair(granted, m.metrics().grantsDropped);
+  };
+  const auto [g1, d1] = run(123);
+  const auto [g2, d2] = run(123);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(d1, d2);
+  EXPECT_GT(d1, 0u);        // p=0.4 over 256 grants: drops must appear
+  EXPECT_LT(d1, 64u * 4u);  // ...but not eat everything
+}
+
+TEST(FaultPlan, PerModuleDropOverride) {
+  Machine m(2, 4);
+  FaultPlan plan;
+  plan.grantDropProbability = 0.9;
+  plan.moduleDropOverrides.push_back({0, 0.0});  // module 0 never drops
+  m.setFaultPlan(plan);
+  std::vector<Request> reqs{{0, 0, 0, Op::kRead, 0, 0},
+                            {0, 1, 0, Op::kRead, 0, 0}};
+  std::vector<Response> resp;
+  int m0_granted = 0;
+  int m1_granted = 0;
+  for (int cyc = 0; cyc < 64; ++cyc) {
+    m.step(reqs, resp);
+    m0_granted += resp[0].granted;
+    m1_granted += resp[1].granted;
+  }
+  EXPECT_EQ(m0_granted, 64);  // override wins over the global probability
+  EXPECT_LT(m1_granted, 40);  // p=0.9: most grants dropped
+}
+
+TEST(FaultPlan, ClearRestoresHealthyMachine) {
+  Machine m(2, 4);
+  FaultPlan plan;
+  plan.failAt(0, 1);
+  plan.grantDropProbability = 0.5;
+  m.setFaultPlan(plan);
+  const Request probe{0, 1, 0, Op::kRead, 0, 0};
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);
+  m.clearFaultPlan();
+  m.healModule(1);  // clearing the plan does not undo applied events
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(stepOne(m, probe)[0].granted);
+  EXPECT_TRUE(m.faultPlan().empty());
+}
+
+TEST(StagedWrite, CommitRequiresMatchingTimestamp) {
+  Machine m(1, 4);
+  stepOne(m, {0, 0, 2, Op::kWrite, 77, 5});
+  // A commit carrying the wrong stamp must not promote the staged pair
+  // (it belongs to a different write).
+  stepOne(m, {0, 0, 2, Op::kCommit, 77, 4});
+  EXPECT_EQ(m.peek(0, 2).value, 0u);
+  EXPECT_TRUE(m.hasStagedEntry(0, 2));
+  stepOne(m, {0, 0, 2, Op::kCommit, 77, 5});
+  EXPECT_EQ(m.peek(0, 2).value, 77u);
+  EXPECT_EQ(m.peek(0, 2).timestamp, 5u);
+  EXPECT_FALSE(m.hasStagedEntry(0, 2));
+}
+
+TEST(StagedWrite, AbortDiscardsWithoutTouchingCell) {
+  Machine m(1, 4);
+  m.poke(0, 1, Cell{11, 2});
+  stepOne(m, {0, 0, 1, Op::kWrite, 99, 8});
+  EXPECT_TRUE(m.hasStagedEntry(0, 1));
+  EXPECT_EQ(m.peek(0, 1).value, 11u);  // staged value invisible
+  stepOne(m, {0, 0, 1, Op::kAbort, 0, 8});
+  EXPECT_FALSE(m.hasStagedEntry(0, 1));
+  EXPECT_EQ(m.peek(0, 1).value, 11u);
+  EXPECT_EQ(m.peek(0, 1).timestamp, 2u);
+}
+
+TEST(StagedWrite, ReadsNeverObserveStagedValues) {
+  Machine m(1, 4);
+  m.poke(0, 3, Cell{5, 1});
+  stepOne(m, {0, 0, 3, Op::kWrite, 500, 9});
+  const auto r = stepOne(m, {0, 0, 3, Op::kRead, 0, 0});
+  EXPECT_TRUE(r[0].granted);
+  EXPECT_EQ(r[0].value, 5u);      // committed state, not the staged 500
+  EXPECT_EQ(r[0].timestamp, 1u);
+}
+
+TEST(StagedWrite, RepairIsMonotone) {
+  Machine m(1, 4);
+  m.poke(0, 0, Cell{50, 6});
+  stepOne(m, {0, 0, 0, Op::kRepair, 40, 5});  // older: must be ignored
+  EXPECT_EQ(m.peek(0, 0).value, 50u);
+  EXPECT_EQ(m.peek(0, 0).timestamp, 6u);
+  stepOne(m, {0, 0, 0, Op::kRepair, 60, 7});  // newer: applied
+  EXPECT_EQ(m.peek(0, 0).value, 60u);
+  EXPECT_EQ(m.peek(0, 0).timestamp, 7u);
+}
+
+TEST(StagedWrite, StagedEntrySurvivesFailHeal) {
+  // A module that dies with a staged entry and later heals still holds it
+  // (invisible to reads); the write's own stamp can still promote it.
+  Machine m(2, 4);
+  stepOne(m, {0, 0, 1, Op::kWrite, 123, 4});
+  m.failModule(0);
+  m.healModule(0);
+  EXPECT_TRUE(m.hasStagedEntry(0, 1));
+  stepOne(m, {0, 0, 1, Op::kCommit, 123, 4});
+  EXPECT_EQ(m.peek(0, 1).value, 123u);
+}
+
+}  // namespace
+}  // namespace dsm::mpc

@@ -15,9 +15,17 @@ TEST(Machine, SingleRequestGranted) {
   m.step(reqs, resp);
   ASSERT_EQ(resp.size(), 1u);
   EXPECT_TRUE(resp[0].granted);
+  // kWrite only stages: committed state is untouched until the commit.
+  EXPECT_TRUE(m.hasStagedEntry(2, 3));
+  EXPECT_EQ(m.peek(2, 3).value, 0u);
+  EXPECT_EQ(m.peek(2, 3).timestamp, 0u);
+  std::vector<Request> commit{{0, 2, 3, Op::kCommit, 42, 1}};
+  m.step(commit, resp);
+  EXPECT_TRUE(resp[0].granted);
+  EXPECT_FALSE(m.hasStagedEntry(2, 3));
   EXPECT_EQ(m.peek(2, 3).value, 42u);
   EXPECT_EQ(m.peek(2, 3).timestamp, 1u);
-  EXPECT_EQ(m.metrics().cycles, 1u);
+  EXPECT_EQ(m.metrics().cycles, 2u);
 }
 
 TEST(Machine, OneGrantPerModulePerCycle) {
@@ -36,8 +44,9 @@ TEST(Machine, OneGrantPerModulePerCycle) {
   EXPECT_TRUE(resp[1].granted);
   EXPECT_FALSE(resp[2].granted);
   EXPECT_TRUE(resp[3].granted);
-  EXPECT_EQ(m.peek(0, 1).value, 20u);
-  EXPECT_EQ(m.peek(0, 0).value, 0u);  // loser did not write
+  EXPECT_TRUE(m.hasStagedEntry(0, 1));   // winner staged its write
+  EXPECT_FALSE(m.hasStagedEntry(0, 0));  // loser did not even stage
+  EXPECT_FALSE(m.hasStagedEntry(0, 2));
   EXPECT_EQ(m.metrics().requestsGranted, 2u);
   EXPECT_EQ(m.metrics().maxModuleQueue, 3u);
 }

@@ -1,0 +1,509 @@
+// Recovery-layer tests: the torn-write regressions the two-phase commit
+// closes, read-repair, FaultMetrics accounting, the zero-iteration-phase
+// cost-model fix, copy-cache behaviour under an active FaultPlan, and
+// thread-count bit-identity with faults striking mid-batch.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/numeric.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace dsm::protocol {
+namespace {
+
+void expectSameFaultMetrics(const FaultMetrics& a, const FaultMetrics& b) {
+  EXPECT_EQ(a.deadCopies, b.deadCopies);
+  EXPECT_EQ(a.stagedAborted, b.stagedAborted);
+  EXPECT_EQ(a.repairsPerformed, b.repairsPerformed);
+  EXPECT_EQ(a.commitsLost, b.commitsLost);
+  EXPECT_EQ(a.abortsLost, b.abortsLost);
+  EXPECT_EQ(a.unsatisfiable, b.unsatisfiable);
+  EXPECT_EQ(a.degradedQuorum, b.degradedQuorum);
+}
+
+// ---------------------------------------------------------------------------
+// Torn-write regressions (the headline bugfix). Before the two-phase commit
+// an unsatisfiable write stamped its payload directly onto the sub-quorum of
+// copies it reached; those copies carried the globally freshest timestamp,
+// so a later read quorum returned the aborted value. These tests fail
+// against the one-phase engines.
+// ---------------------------------------------------------------------------
+
+TEST(TornWrite, MajorityAbortedWriteValueNeverRead) {
+  const scheme::PpScheme s(1, 5);  // r = 3, quorum 2
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(13);
+
+  eng.execute({{13, mpc::Op::kWrite, 111}});  // committed on all 3 copies
+  m.failModule(copies[1].module);
+  m.failModule(copies[2].module);
+  // The write reaches copy 0 only (stages it), then sees 2 dead copies:
+  // quorum unreachable => abort. One-phase engines stamped 666 onto copy 0
+  // here with the freshest timestamp.
+  const auto w = eng.execute({{13, mpc::Op::kWrite, 666}});
+  ASSERT_EQ(w.unsatisfiable.size(), 1u);
+  EXPECT_EQ(w.values[0], 0u);
+  // The abort must have invalidated the staged copy (its module is alive).
+  EXPECT_FALSE(m.hasStagedEntry(copies[0].module, copies[0].slot));
+  EXPECT_EQ(eng.metrics().faults.stagedAborted, 1u);
+
+  m.healModule(copies[1].module);
+  m.healModule(copies[2].module);
+  const auto r = eng.execute({{13, mpc::Op::kRead, 0}});
+  ASSERT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 111u);  // the aborted 666 must never win
+}
+
+TEST(TornWrite, MajorityFaultPlanStrikesDuringBatch) {
+  // Same hazard, but the modules die via a FaultPlan DURING execute(): the
+  // plan is keyed on the machine's cycle counter, so the failure lands
+  // between the engine's wire rounds rather than before the batch.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(21);
+  eng.execute({{21, mpc::Op::kWrite, 111}});
+
+  const std::uint64_t c = m.metrics().cycles;
+  mpc::FaultPlan plan;
+  plan.failAt(c, copies[1].module).failAt(c, copies[2].module);
+  plan.healAt(c + 4, copies[1].module).healAt(c + 4, copies[2].module);
+  m.setFaultPlan(plan);
+
+  const auto w = eng.execute({{21, mpc::Op::kWrite, 666}});
+  ASSERT_EQ(w.unsatisfiable.size(), 1u);
+  EXPECT_EQ(eng.metrics().faults.stagedAborted, 1u);
+  EXPECT_EQ(eng.metrics().faults.deadCopies, 2u);
+
+  // Burn cycles until the heal event has fired, then read.
+  while (m.metrics().cycles < c + 4) {
+    std::vector<mpc::Request> noop{{0, copies[0].module, copies[0].slot,
+                                    mpc::Op::kRead, 0, 0}};
+    std::vector<mpc::Response> resp;
+    m.step(noop, resp);
+  }
+  const auto r = eng.execute({{21, mpc::Op::kRead, 0}});
+  ASSERT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 111u);
+}
+
+TEST(TornWrite, SingleOwnerAbortedWriteValueNeverRead) {
+  // MV (write-all, read-one) is maximally exposed: ONE dead copy aborts the
+  // write, and a read needs only one copy — which can be exactly the copy
+  // the one-phase engine had already stamped.
+  const scheme::MvScheme s(5000, 255, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  SingleOwnerEngine eng(s, m);
+  const auto copies = s.copiesOf(11);
+
+  eng.execute({{11, mpc::Op::kWrite, 111}});
+  m.failModule(copies[1].module);
+  const auto w = eng.execute({{11, mpc::Op::kWrite, 666}});
+  ASSERT_EQ(w.unsatisfiable.size(), 1u);
+  EXPECT_EQ(w.values[0], 0u);
+  EXPECT_EQ(eng.metrics().faults.stagedAborted, 1u);
+
+  m.healModule(copies[1].module);
+  const auto r = eng.execute({{11, mpc::Op::kRead, 0}});
+  ASSERT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 111u);
+}
+
+TEST(TornWrite, SingleOwnerFaultPlanStrikesMidWrite) {
+  // The single-owner engine acquires copies one grant per cycle, so a
+  // FaultPlan can kill a later copy after the first is already staged —
+  // a genuinely mid-request fault.
+  const scheme::MvScheme s(5000, 255, 3);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  SingleOwnerEngine eng(s, m);
+  const auto copies = s.copiesOf(42);
+  eng.execute({{42, mpc::Op::kWrite, 111}});
+
+  const std::uint64_t c = m.metrics().cycles;
+  mpc::FaultPlan plan;
+  // Round-robin starts at copy 0 (request index 0, iteration 0): copy 0 is
+  // staged at cycle c; copy 1's module dies at c + 1, mid-write.
+  plan.transientAt(c + 1, copies[1].module, 8);
+  m.setFaultPlan(plan);
+
+  const auto w = eng.execute({{42, mpc::Op::kWrite, 666}});
+  ASSERT_EQ(w.unsatisfiable.size(), 1u);
+  EXPECT_EQ(eng.metrics().faults.stagedAborted, 1u);
+  EXPECT_FALSE(m.hasStagedEntry(copies[0].module, copies[0].slot));
+
+  m.clearFaultPlan();
+  m.healModule(copies[1].module);
+  const auto r = eng.execute({{42, mpc::Op::kRead, 0}});
+  ASSERT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 111u);
+}
+
+// ---------------------------------------------------------------------------
+// Read-repair and commit-window accounting.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, ReadRepairHealsStaleCopy) {
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(7);
+
+  eng.execute({{7, mpc::Op::kWrite, 1}});
+  m.failModule(copies[0].module);
+  eng.execute({{7, mpc::Op::kWrite, 2}});  // copies 1, 2 carry ts2
+  m.healModule(copies[0].module);          // copy 0 lags at ts1
+
+  const auto r = eng.execute({{7, mpc::Op::kRead, 0}});
+  ASSERT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 2u);
+  EXPECT_EQ(eng.metrics().faults.repairsPerformed, 1u);
+  // The repair physically rewrote the lagging copy: full redundancy is back.
+  const auto healed = m.peek(copies[0].module, copies[0].slot);
+  EXPECT_EQ(healed.value, 2u);
+
+  // A second read finds agreeing copies — no further repair round.
+  eng.execute({{7, mpc::Op::kRead, 0}});
+  EXPECT_EQ(eng.metrics().faults.repairsPerformed, 1u);
+}
+
+TEST(Recovery, AgreeingCopiesSkipRepairRound) {
+  // Healthy fast path: a read whose granted copies agree must cost exactly
+  // what the one-phase protocol did (no extra wire round).
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  eng.execute({{3, mpc::Op::kWrite, 10}});
+  m.resetMetrics();
+  const auto r = eng.execute({{3, mpc::Op::kRead, 0}});
+  EXPECT_EQ(r.totalIterations, 1u);  // one cycle: all copies granted, agree
+  EXPECT_EQ(m.metrics().cycles, 1u);
+  EXPECT_EQ(eng.metrics().faults.repairsPerformed, 0u);
+}
+
+TEST(Recovery, CommitWindowLossIsCountedAndRepairable) {
+  // A module that dies between the stage round and the commit round loses
+  // its commit message: the write is still decided (quorum staged), the
+  // copy just lags — and read-repair heals it after the module returns.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(9);
+  eng.execute({{9, mpc::Op::kWrite, 5}});
+
+  const std::uint64_t c = m.metrics().cycles;
+  mpc::FaultPlan plan;
+  // Stage round runs at cycle c (all three copies granted); the commit
+  // round at c + 1 finds copy 2's module dead.
+  plan.transientAt(c + 1, copies[2].module, 4);
+  m.setFaultPlan(plan);
+  const auto w = eng.execute({{9, mpc::Op::kWrite, 6}});
+  ASSERT_TRUE(w.unsatisfiable.empty());  // the write is decided
+  EXPECT_EQ(eng.metrics().faults.commitsLost, 1u);
+  EXPECT_EQ(eng.metrics().faults.stagedAborted, 0u);
+  // Copy 2 still holds the old committed value (the staged 6 is invisible).
+  EXPECT_EQ(m.peek(copies[2].module, copies[2].slot).value, 5u);
+
+  while (m.metrics().cycles < c + 5) {
+    std::vector<mpc::Request> noop{{0, copies[0].module, copies[0].slot,
+                                    mpc::Op::kRead, 0, 0}};
+    std::vector<mpc::Response> resp;
+    m.step(noop, resp);
+  }
+  const auto r = eng.execute({{9, mpc::Op::kRead, 0}});
+  ASSERT_TRUE(r.unsatisfiable.empty());
+  EXPECT_EQ(r.values[0], 6u);  // quorum intersection still finds ts(6)
+  EXPECT_EQ(eng.metrics().faults.repairsPerformed, 1u);
+  EXPECT_EQ(m.peek(copies[2].module, copies[2].slot).value, 6u);
+}
+
+TEST(Recovery, DegradedQuorumHistogram) {
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  const auto copies = s.copiesOf(4);
+  eng.execute({{4, mpc::Op::kWrite, 1}});  // healthy: degraded[0]
+  m.failModule(copies[0].module);
+  eng.execute({{4, mpc::Op::kRead, 0}});   // 1 dead copy: degraded[1]
+  const auto& hist = eng.metrics().faults.degradedQuorum;
+  ASSERT_EQ(hist.size(), 4u);  // r + 1 buckets
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 0u);
+  EXPECT_EQ(eng.metrics().faults.deadCopies, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model fix: phases that run zero iterations are not billed addr_cost.
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, ZeroIterationPhaseNotBilledAddressCost) {
+  // Construct a batch whose third phase runs zero iterations: requests 0
+  // and 1 each share one module with variable v (Theorem 2 allows at most
+  // one), and those shared modules are dead. Phases 0 and 1 discover the
+  // dead modules; the batch-level memo then pre-marks both of v's copies
+  // dead, so phase 2 starts with v unsatisfiable and issues no wire round.
+  // Address computation that never happened must not be billed.
+  const scheme::PpScheme s(1, 5);
+  const std::uint64_t v = 13;
+  const auto vc = s.copiesOf(v);
+
+  // Find helper variables sharing module vc[1] resp. vc[2] with v.
+  auto find_sharing = [&](std::uint64_t module,
+                          std::uint64_t avoid) -> std::uint64_t {
+    for (std::uint64_t x = 0; x < s.numVariables(); ++x) {
+      if (x == v || x == avoid) continue;
+      for (const auto& pa : s.copiesOf(x)) {
+        if (pa.module == module) return x;
+      }
+    }
+    ADD_FAILURE() << "no variable shares module " << module;
+    return 0;
+  };
+  const std::uint64_t a = find_sharing(vc[1].module, ~0ULL);
+  const std::uint64_t b = find_sharing(vc[2].module, a);
+
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  m.failModule(vc[1].module);
+  m.failModule(vc[2].module);
+
+  // Batch of 3 => one cluster; phase k serves request k.
+  const auto r = eng.execute({{a, mpc::Op::kRead, 0},
+                              {b, mpc::Op::kRead, 0},
+                              {v, mpc::Op::kRead, 0}});
+  ASSERT_EQ(r.phaseIterations.size(), 3u);
+  EXPECT_EQ(r.phaseIterations[0], 1u);
+  EXPECT_EQ(r.phaseIterations[1], 1u);
+  EXPECT_EQ(r.phaseIterations[2], 0u);  // memo pre-marked v unsatisfiable
+  ASSERT_EQ(r.unsatisfiable.size(), 1u);
+  EXPECT_EQ(r.unsatisfiable[0], 2u);
+
+  // Exactly two phases did work: 2 * (Φ * coord + addr). A zero-iteration
+  // phase billing addr_cost would add one addr term and fail this.
+  const std::uint64_t coord = 1 + util::ceilLog2(3);
+  const std::uint64_t addr = util::ceilLog2(s.numModules());
+  EXPECT_EQ(r.modeledSteps, 2 * (1 * coord + addr));
+}
+
+// ---------------------------------------------------------------------------
+// CopyCache under faults: addresses are static — only grants change.
+// ---------------------------------------------------------------------------
+
+TEST(CopyCacheFaults, AddressesStableAcrossFailHeal) {
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  const auto before = s.copiesOf(17);
+  m.failModule(before[0].module);
+  const auto during = s.copiesOf(17);
+  m.healModule(before[0].module);
+  const auto after = s.copiesOf(17);
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    EXPECT_EQ(before[j].module, during[j].module);
+    EXPECT_EQ(before[j].slot, during[j].slot);
+    EXPECT_EQ(before[j].module, after[j].module);
+    EXPECT_EQ(before[j].slot, after[j].slot);
+  }
+}
+
+TEST(CopyCacheFaults, HitAndMissPathsIdenticalUnderFaultPlan) {
+  // The same stream through a cache-enabled engine and a cache-disabled one
+  // (fresh machines with identical FaultPlans) must produce byte-identical
+  // results: cached (module, slot) tuples stay valid across fail/heal
+  // events, and the hit path changes no protocol decision.
+  const scheme::PpScheme s(1, 6);
+  util::Xoshiro256 rng(77);
+  std::vector<std::vector<AccessRequest>> stream;
+  for (int bi = 0; bi < 6; ++bi) {
+    const auto vars = workload::randomDistinct(s.numVariables(), 64, rng);
+    stream.push_back(bi % 2 == 0 ? workload::makeWrites(vars, bi * 100)
+                                 : workload::makeReads(vars));
+  }
+  mpc::FaultPlan plan;
+  plan.grantDropProbability = 0.05;
+  plan.seed = 99;
+  for (int i = 0; i < 8; ++i) {
+    plan.transientAt(i * 7, rng.below(s.numModules()), 5);
+  }
+
+  const auto run = [&](std::size_t cache_capacity) {
+    mpc::Machine m(s.numModules(), s.slotsPerModule());
+    m.setFaultPlan(plan);
+    MajorityEngine eng(s, m, cache_capacity);
+    auto results = eng.executeStream(stream);
+    return std::make_pair(std::move(results), eng.metrics());
+  };
+  const auto [cached, cached_metrics] = run(1 << 12);
+  const auto [uncached, uncached_metrics] = run(0);
+
+  EXPECT_GT(cached_metrics.cacheHits, 0u);        // hit path exercised
+  EXPECT_EQ(uncached_metrics.cacheHits, 0u);      // miss path exercised
+  ASSERT_EQ(cached.size(), uncached.size());
+  for (std::size_t bi = 0; bi < cached.size(); ++bi) {
+    EXPECT_EQ(cached[bi].values, uncached[bi].values) << "batch " << bi;
+    EXPECT_EQ(cached[bi].unsatisfiable, uncached[bi].unsatisfiable);
+    EXPECT_EQ(cached[bi].totalIterations, uncached[bi].totalIterations);
+  }
+  expectSameFaultMetrics(cached_metrics.faults, uncached_metrics.faults);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: bit-identical results across thread counts with an active
+// FaultPlan (events land mid-batch, drops on the hot path).
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, MajorityBitIdenticalAcrossThreadsUnderFaultPlan) {
+  const scheme::PpScheme s(1, 7);
+  util::Xoshiro256 rng(2025);
+  std::vector<std::vector<AccessRequest>> stream;
+  for (int bi = 0; bi < 4; ++bi) {
+    const auto vars = workload::randomDistinct(s.numVariables(), 2048, rng);
+    stream.push_back(bi % 2 == 0 ? workload::makeWrites(vars, bi * 4096)
+                                 : workload::makeReads(vars));
+  }
+  mpc::FaultPlan plan;
+  plan.grantDropProbability = 0.02;
+  plan.seed = 31337;
+  for (int i = 0; i < 12; ++i) {
+    plan.transientAt(1 + i * 3, rng.below(s.numModules()), 4);
+  }
+  for (int i = 0; i < 4; ++i) plan.failAt(5 + i, rng.below(s.numModules()));
+
+  const auto run = [&](unsigned threads) {
+    mpc::Machine m(s.numModules(), s.slotsPerModule(), threads);
+    m.setFaultPlan(plan);
+    MajorityEngine eng(s, m);
+    auto results = eng.executeStream(stream);
+    return std::make_pair(std::move(results), eng.metrics());
+  };
+  const auto [base, base_metrics] = run(1);
+  // The plan must actually bite mid-batch and drive the recovery paths.
+  EXPECT_GT(base_metrics.faults.deadCopies, 0u);
+  EXPECT_GT(base_metrics.faults.repairsPerformed +
+                base_metrics.faults.stagedAborted,
+            0u);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto [got, got_metrics] = run(t);
+    ASSERT_EQ(got.size(), base.size()) << "threads=" << t;
+    for (std::size_t bi = 0; bi < base.size(); ++bi) {
+      EXPECT_EQ(got[bi].values, base[bi].values) << "threads=" << t;
+      EXPECT_EQ(got[bi].totalIterations, base[bi].totalIterations);
+      EXPECT_EQ(got[bi].phaseIterations, base[bi].phaseIterations);
+      EXPECT_EQ(got[bi].liveTrajectory, base[bi].liveTrajectory);
+      EXPECT_EQ(got[bi].modeledSteps, base[bi].modeledSteps);
+      EXPECT_EQ(got[bi].unsatisfiable, base[bi].unsatisfiable);
+    }
+    expectSameFaultMetrics(got_metrics.faults, base_metrics.faults);
+  }
+}
+
+TEST(Recovery, SingleOwnerBitIdenticalAcrossThreadsUnderFaultPlan) {
+  const scheme::MvScheme s(50000, 255, 3);
+  util::Xoshiro256 rng(606);
+  std::vector<std::vector<AccessRequest>> stream;
+  for (int bi = 0; bi < 3; ++bi) {
+    const auto vars = workload::randomDistinct(s.numVariables(), 1536, rng);
+    stream.push_back(workload::makeMixed(vars, 0.5, rng));
+  }
+  mpc::FaultPlan plan;
+  plan.grantDropProbability = 0.02;
+  plan.seed = 11;
+  for (int i = 0; i < 8; ++i) {
+    plan.transientAt(i * 2, rng.below(s.numModules()), 3);
+  }
+  const auto run = [&](unsigned threads) {
+    mpc::Machine m(s.numModules(), s.slotsPerModule(), threads);
+    m.setFaultPlan(plan);
+    SingleOwnerEngine eng(s, m);
+    auto results = eng.executeStream(stream);
+    return std::make_pair(std::move(results), eng.metrics());
+  };
+  const auto [base, base_metrics] = run(1);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto [got, got_metrics] = run(t);
+    for (std::size_t bi = 0; bi < base.size(); ++bi) {
+      EXPECT_EQ(got[bi].values, base[bi].values) << "threads=" << t;
+      EXPECT_EQ(got[bi].totalIterations, base[bi].totalIterations);
+      EXPECT_EQ(got[bi].liveTrajectory, base[bi].liveTrajectory);
+      EXPECT_EQ(got[bi].unsatisfiable, base[bi].unsatisfiable);
+    }
+    expectSameFaultMetrics(got_metrics.faults, base_metrics.faults);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: under ANY FaultPlan, a read never returns a value that
+// was not committed by a satisfied write — in particular never an aborted
+// (sub-quorum) write's value. Write payloads are globally unique so any
+// leak (cross-variable or torn) is caught exactly.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, SweepNoAbortedValueEverObserved) {
+  const scheme::PpScheme s(1, 5);
+  std::uint64_t total_dead_copies = 0;
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    mpc::Machine m(s.numModules(), s.slotsPerModule());
+    util::Xoshiro256 rng(seed);
+    mpc::FaultPlan plan;
+    plan.grantDropProbability = 0.03;
+    plan.seed = seed * 1000 + 7;
+    for (int i = 0; i < 30; ++i) {
+      plan.transientAt(rng.below(100), rng.below(s.numModules()),
+                       1 + rng.below(10));
+    }
+    m.setFaultPlan(plan);
+    MajorityEngine eng(s, m);
+
+    std::uint64_t next_value = 1;  // globally unique, nonzero payloads
+    std::map<std::uint64_t, std::set<std::uint64_t>> committed;  // per var
+    std::map<std::uint64_t, std::set<std::uint64_t>> aborted;
+
+    for (int bi = 0; bi < 10; ++bi) {
+      const auto vars = workload::randomDistinct(s.numVariables(), 100, rng);
+      if (bi % 2 == 0) {
+        std::vector<AccessRequest> w;
+        for (const auto v : vars) {
+          w.push_back({v, mpc::Op::kWrite, next_value++});
+        }
+        const auto res = eng.execute(w);
+        std::set<std::size_t> unsat(res.unsatisfiable.begin(),
+                                    res.unsatisfiable.end());
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          (unsat.count(i) ? aborted : committed)[w[i].variable].insert(
+              w[i].value);
+        }
+      } else {
+        const auto res = eng.execute(workload::makeReads(vars));
+        std::set<std::size_t> unsat(res.unsatisfiable.begin(),
+                                    res.unsatisfiable.end());
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          if (unsat.count(i)) {
+            EXPECT_EQ(res.values[i], 0u);  // no partial data
+            continue;
+          }
+          const std::uint64_t got = res.values[i];
+          // 0 = variable never (visibly) written; anything else must be a
+          // value some SATISFIED write committed to exactly this variable.
+          if (got != 0) {
+            EXPECT_TRUE(committed[vars[i]].count(got))
+                << "seed " << seed << " var " << vars[i] << " value " << got;
+          }
+          EXPECT_FALSE(aborted[vars[i]].count(got))
+              << "aborted value leaked: seed " << seed << " var " << vars[i];
+        }
+      }
+    }
+    total_dead_copies += eng.metrics().faults.deadCopies;
+  }
+  // The sweep must actually exercise the recovery machinery.
+  EXPECT_GT(total_dead_copies, 0u);
+}
+
+}  // namespace
+}  // namespace dsm::protocol
