@@ -3,8 +3,13 @@
 // run without recompiling.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dsm/protocol/engines.hpp"
@@ -12,6 +17,127 @@
 #include "dsm/util/table.hpp"
 
 namespace dsm::bench {
+
+/// Tiny ordered JSON builder for the BENCH_*.json artifacts the benches
+/// emit next to their human-readable tables. Insertion order is preserved
+/// so diffs between runs stay readable. Covers exactly what the benches
+/// need: objects, arrays, strings, integers, doubles, bools.
+class Json {
+ public:
+  static Json obj() { return Json(Kind::kObject); }
+  static Json arr() { return Json(Kind::kArray); }
+  static Json str(std::string s) {
+    Json j(Kind::kScalar);
+    j.scalar_ = quote(s);
+    return j;
+  }
+  static Json num(std::uint64_t v) {
+    Json j(Kind::kScalar);
+    j.scalar_ = std::to_string(v);
+    return j;
+  }
+  static Json num(double v) {
+    Json j(Kind::kScalar);
+    if (!std::isfinite(v)) {
+      j.scalar_ = "null";
+    } else {
+      std::ostringstream os;
+      os.precision(12);
+      os << v;
+      j.scalar_ = os.str();
+    }
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j(Kind::kScalar);
+    j.scalar_ = v ? "true" : "false";
+    return j;
+  }
+
+  Json& set(const std::string& key, Json value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  Json& set(const std::string& key, const std::string& v) {
+    return set(key, str(v));
+  }
+  Json& set(const std::string& key, const char* v) {
+    return set(key, str(v));
+  }
+  Json& set(const std::string& key, std::uint64_t v) {
+    return set(key, num(v));
+  }
+  Json& set(const std::string& key, int v) {
+    return set(key, num(static_cast<std::uint64_t>(v)));
+  }
+  Json& set(const std::string& key, double v) { return set(key, num(v)); }
+  Json& set(const std::string& key, bool v) { return set(key, boolean(v)); }
+
+  Json& push(Json value) {
+    members_.emplace_back(std::string(), std::move(value));
+    return *this;
+  }
+
+  void dump(std::ostream& os, int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent), ' ');
+    switch (kind_) {
+      case Kind::kScalar:
+        os << scalar_;
+        break;
+      case Kind::kObject:
+      case Kind::kArray: {
+        const bool object = kind_ == Kind::kObject;
+        os << (object ? '{' : '[');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          os << (i ? ",\n" : "\n") << pad;
+          if (object) os << quote(members_[i].first) << ": ";
+          members_[i].second.dump(os, indent + 2);
+        }
+        if (!members_.empty()) os << "\n" << close_pad;
+        os << (object ? '}' : ']');
+        break;
+      }
+    }
+  }
+
+ private:
+  enum class Kind { kScalar, kObject, kArray };
+  explicit Json(Kind kind) : kind_(kind) {}
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  Kind kind_;
+  std::string scalar_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Writes `root` to `path` (pretty-printed, trailing newline) and prints a
+/// one-line note so the artifact is discoverable from the bench output.
+inline void writeJson(const std::string& path, const Json& root) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cout << "  json: could not open " << path << " for writing\n";
+    return;
+  }
+  root.dump(out);
+  out << "\n";
+  std::cout << "  json: wrote " << path << "\n";
+}
 
 inline void banner(const std::string& id, const std::string& title) {
   std::cout << "\n=== " << id << ": " << title << " ===\n";

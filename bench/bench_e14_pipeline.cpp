@@ -94,6 +94,19 @@ int main(int argc, char** argv) {
                 util::TextTable::num(total_requests / baseline_secs, 0),
                 "1.000", "off", "baseline"});
 
+  bench::Json json = bench::Json::obj();
+  json.set("experiment", "E14").set("title", "batch pipeline throughput");
+  bench::Json config = bench::Json::obj();
+  config.set("n", n)
+      .set("batches", static_cast<std::uint64_t>(batches))
+      .set("batch_size", static_cast<std::uint64_t>(batch_size))
+      .set("pool_size", static_cast<std::uint64_t>(pool_size))
+      .set("cache_slots", static_cast<std::uint64_t>(cache_slots))
+      .set("seed", seed);
+  json.set("config", std::move(config));
+  json.set("baseline_req_per_sec", total_requests / baseline_secs);
+  bench::Json rows = bench::Json::arr();
+
   bool all_identical = true;
   double best_speedup = 0.0;
   for (const std::uint64_t threads : thread_counts) {
@@ -116,8 +129,19 @@ int main(int argc, char** argv) {
                   identical ? "yes" : "NO"});
     bench::printEngineMetrics("pipeline t=" + std::to_string(threads),
                               eng.metrics());
+    bench::Json row = bench::Json::obj();
+    row.set("threads", threads)
+        .set("req_per_sec", total_requests / secs)
+        .set("speedup", speedup)
+        .set("cache_hit_rate", eng.metrics().cacheHitRate())
+        .set("identical", identical);
+    rows.push(std::move(row));
   }
   table.print(std::cout);
+  json.set("pipeline", std::move(rows));
+  json.set("best_speedup", best_speedup);
+  json.set("all_identical", all_identical);
+  bench::writeJson(cli.getString("json", "BENCH_e14.json"), json);
 
   std::cout << "  best pipeline speedup vs seed serial engine: "
             << util::TextTable::num(best_speedup, 2) << "x ("

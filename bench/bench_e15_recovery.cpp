@@ -126,6 +126,17 @@ int main(int argc, char** argv) {
   util::TextTable table({"outages", "drop %", "avail %", "req/s", "repairs",
                          "aborted", "commits lost", "dead copies",
                          "identical"});
+  bench::Json json = bench::Json::obj();
+  json.set("experiment", "E15").set("title", "recovery under transient faults");
+  bench::Json config = bench::Json::obj();
+  config.set("n", n)
+      .set("batches", static_cast<std::uint64_t>(batches))
+      .set("batch_size", static_cast<std::uint64_t>(batch_size))
+      .set("seed", seed)
+      .set("horizon", horizon)
+      .set("hw_threads", static_cast<std::uint64_t>(hw));
+  json.set("config", std::move(config));
+  bench::Json rows = bench::Json::arr();
   bool all_identical = true;
   for (const Level& lv : levels) {
     const RunOutcome serial = run(lv, 1);
@@ -152,8 +163,23 @@ int main(int argc, char** argv) {
     if (lv.outages == 32 && lv.drop == 0.0) {
       bench::printFaultMetrics("level outages=32", fm);
     }
+    bench::Json row = bench::Json::obj();
+    row.set("outages", lv.outages)
+        .set("drop_probability", lv.drop)
+        .set("availability_pct", avail)
+        .set("req_per_sec",
+             static_cast<double>(total_requests) / serial.seconds)
+        .set("repairs", fm.repairsPerformed)
+        .set("staged_aborted", fm.stagedAborted)
+        .set("commits_lost", fm.commitsLost)
+        .set("dead_copies", fm.deadCopies)
+        .set("identical", identical);
+    rows.push(std::move(row));
   }
   table.print(std::cout);
+  json.set("levels", std::move(rows));
+  json.set("all_identical", all_identical);
+  bench::writeJson(cli.getString("json", "BENCH_e15.json"), json);
 
   std::cout << "  results bit-identical at 1 vs " << hw
             << " threads across all fault levels: "

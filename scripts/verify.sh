@@ -16,6 +16,9 @@ cmake --preset default
 cmake --build --preset default
 ctest --preset default
 
+echo "== perf smoke: hot-path bit-identity gates (ctest -L perf) =="
+ctest --test-dir build -L perf --output-on-failure
+
 echo "== sanitized: configure + build + ctest (preset: ${asan_preset}) =="
 cmake --preset asan
 cmake --build --preset asan

@@ -5,11 +5,13 @@
 
 #include "dsm/util/assert.hpp"
 #include "dsm/util/rng.hpp"
+#include "dsm/util/timer.hpp"
 
 namespace dsm::mpc {
 
 namespace {
 constexpr std::uint64_t kNoWinner = ~0ULL;
+constexpr std::uint64_t kNoBadIndex = ~0ULL;
 
 // Arbitration key: lowest processor wins; ties (which a well-formed protocol
 // never produces) break towards the lowest request index.
@@ -22,6 +24,13 @@ std::uint64_t arbKey(std::uint32_t processor, std::size_t request_index) {
 std::uint64_t dropThreshold(double p) {
   return static_cast<std::uint64_t>(
       std::ldexp(static_cast<long double>(p), 64));
+}
+
+void atomicMin(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
 }
 }  // namespace
 
@@ -40,8 +49,10 @@ Machine::Machine(std::uint64_t module_count, std::uint64_t slots_per_module,
                  Cell{});
   } else {
     sparse_.resize(static_cast<std::size_t>(module_count));
+    sparse_ref_.resize(static_cast<std::size_t>(module_count));
   }
   staged_.resize(static_cast<std::size_t>(module_count));
+  staged_ref_.resize(static_cast<std::size_t>(module_count));
   for (auto& a : arb_) a.store(kNoWinner, std::memory_order_relaxed);
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   failed_.assign(static_cast<std::size_t>(module_count), 0);
@@ -109,7 +120,7 @@ void Machine::clearFaultPlan() {
 
 void Machine::applyDueFaultEvents() {
   while (next_event_ < plan_.events.size() &&
-         plan_.events[next_event_].cycle <= metrics_.cycles) {
+         plan_.events[next_event_].cycle <= lifetime_cycles_) {
     const FaultEvent& ev = plan_.events[next_event_];
     ev.fail ? failModule(ev.module) : healModule(ev.module);
     ++next_event_;
@@ -123,7 +134,7 @@ bool Machine::dropsGrant(std::uint64_t module) const {
   // Pure function of (seed, cycle, module): identical for every thread
   // count and reproducible across runs.
   util::SplitMix64 g(plan_.seed ^ (module * 0xA24BAED4963EE407ULL) ^
-                     (metrics_.cycles * 0x9E3779B97F4A7C15ULL));
+                     (lifetime_cycles_ * 0x9E3779B97F4A7C15ULL));
   return g.next() < threshold;
 }
 
@@ -147,7 +158,16 @@ Cell& Machine::cellRef(std::uint64_t module, std::uint64_t slot) {
   if (eager_) {
     return flat_[static_cast<std::size_t>(module * slots_per_module_ + slot)];
   }
-  return sparse_[static_cast<std::size_t>(module)][slot];
+  return sparse_[static_cast<std::size_t>(module)].ref(slot);
+}
+
+// The seed's committed-cell access: flat array when eager, per-module
+// std::unordered_map (default-inserting operator[]) when sparse.
+Cell& Machine::cellRefReference(std::uint64_t module, std::uint64_t slot) {
+  if (eager_) {
+    return flat_[static_cast<std::size_t>(module * slots_per_module_ + slot)];
+  }
+  return sparse_ref_[static_cast<std::size_t>(module)][slot];
 }
 
 Cell Machine::peek(std::uint64_t module, std::uint64_t slot) const {
@@ -155,27 +175,273 @@ Cell Machine::peek(std::uint64_t module, std::uint64_t slot) const {
   if (eager_) {
     return flat_[static_cast<std::size_t>(module * slots_per_module_ + slot)];
   }
-  const auto& map = sparse_[static_cast<std::size_t>(module)];
-  const auto it = map.find(slot);
-  return it == map.end() ? Cell{} : it->second;
+  if (used_reference_) {
+    const auto& map = sparse_ref_[static_cast<std::size_t>(module)];
+    const auto it = map.find(slot);
+    return it == map.end() ? Cell{} : it->second;
+  }
+  const Cell* cell = sparse_[static_cast<std::size_t>(module)].find(slot);
+  return cell == nullptr ? Cell{} : *cell;
 }
 
 void Machine::poke(std::uint64_t module, std::uint64_t slot, Cell cell) {
   checkAddress(module, slot);
+  // Written to both storage generations so the machine may afterwards be
+  // driven by either step() or stepReference().
   cellRef(module, slot) = cell;
+  if (!eager_) {
+    sparse_ref_[static_cast<std::size_t>(module)][slot] = cell;
+  }
 }
 
 bool Machine::hasStagedEntry(std::uint64_t module, std::uint64_t slot) const {
   checkAddress(module, slot);
-  const auto& map = staged_[static_cast<std::size_t>(module)];
-  return map.find(slot) != map.end();
+  if (used_reference_) {
+    const auto& map = staged_ref_[static_cast<std::size_t>(module)];
+    return map.find(slot) != map.end();
+  }
+  return staged_[static_cast<std::size_t>(module)].contains(slot);
+}
+
+void Machine::reserveSparse(std::uint64_t cells_per_module) {
+  if (eager_) return;
+  for (StagedTable& table : sparse_) {
+    table.reserve(static_cast<std::size_t>(cells_per_module));
+  }
+}
+
+// Error-path cleanup: after a wire is rejected mid-arbitration, restore
+// every scratch slot a valid-module request could have touched so the
+// machine stays usable. Unconditional stores are fine — resetting an
+// untouched slot is a no-op.
+void Machine::resetTouchedScratch(const std::vector<Request>& requests) {
+  for (const Request& r : requests) {
+    if (r.module >= module_count_) continue;
+    arb_[static_cast<std::size_t>(r.module)].store(kNoWinner,
+                                                   std::memory_order_relaxed);
+    counts_[static_cast<std::size_t>(r.module)].store(
+        0, std::memory_order_relaxed);
+  }
 }
 
 void Machine::step(const std::vector<Request>& requests,
                    std::vector<Response>& responses) {
   applyDueFaultEvents();
+  responses.resize(requests.size());
+  if (requests.empty()) return;
+  DSM_CHECK_MSG(!used_reference_,
+                "step() and stepReference() must not be mixed on one machine "
+                "(they stage into different tables)");
+  used_fast_ = true;
+  const std::size_t n = requests.size();
+
+  util::Timer arb_timer;
+  // Sweep 1: validate + arbitrate + count, fused. Address validation is
+  // folded into the arbitration loop; the serial first-offender semantics
+  // of the old pre-scan are reproduced by taking the atomic MIN of the
+  // offending request indices (pool bodies must not throw, so the throw is
+  // issued after the sweep). Invalid requests take no part in arbitration.
+  // Failed modules take no part either; their requests are classified in
+  // sweep 2. The winner per module is a commutative atomic min, so the
+  // result is identical for any thread count.
+  //
+  // When the pool would run the sweep inline anyway (one worker, or a wire
+  // below the fork grain) the same reduction runs with plain relaxed
+  // loads/stores: no lock-prefixed RMWs, bit-identical winners (min is min
+  // however it is computed). This is the common shape late in a protocol
+  // phase, when the persistent wire has shrunk to a handful of stragglers.
+  std::uint64_t bad = kNoBadIndex;
+  if (pool_.threads() == 1 || n <= ThreadPool::kMinItemsPerWorker) {
+    // Member loads hoisted into locals so the stores below can't force the
+    // compiler to refetch them each iteration.
+    const Request* req = requests.data();
+    const std::uint8_t* failed = failed_.data();
+    std::atomic<std::uint64_t>* arb = arb_.data();
+    std::atomic<std::uint32_t>* cnt = counts_.data();
+    Cell* flat = eager_ ? flat_.data() : nullptr;
+    const std::uint64_t mc = module_count_;
+    const std::uint64_t spm = slots_per_module_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Request& r = req[i];
+      if (r.module >= mc || (spm != 0 && r.slot >= spm)) {
+        if (bad == kNoBadIndex) bad = i;
+        continue;
+      }
+      const std::size_t m = static_cast<std::size_t>(r.module);
+      if (failed[m]) continue;
+      const std::uint64_t key = arbKey(r.processor, i);
+      if (key < arb[m].load(std::memory_order_relaxed)) {
+        arb[m].store(key, std::memory_order_relaxed);
+        // The current minimum is the candidate winner; pull its committed
+        // cell toward the cache so sweep 2's access doesn't stall on the
+        // (much larger than L2) flat store. Purely a hint — no effect on
+        // results.
+        if (flat != nullptr) {
+          __builtin_prefetch(&flat[m * spm + r.slot], 1, 1);
+        }
+      }
+      cnt[m].store(cnt[m].load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
+    }
+  } else {
+    std::atomic<std::uint64_t> first_bad{kNoBadIndex};
+    pool_.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Request& r = requests[i];
+        if (r.module >= module_count_ ||
+            (slots_per_module_ != 0 && r.slot >= slots_per_module_)) {
+          atomicMin(first_bad, static_cast<std::uint64_t>(i));
+          continue;
+        }
+        if (failed_[static_cast<std::size_t>(r.module)]) continue;
+        if (eager_) {
+          // Warm the committed cell this entry would touch if it wins; the
+          // hint is redundant for losers but costs one instruction.
+          __builtin_prefetch(
+              &flat_[static_cast<std::size_t>(r.module) * slots_per_module_ +
+                     static_cast<std::size_t>(r.slot)],
+              1, 1);
+        }
+        atomicMin(arb_[static_cast<std::size_t>(r.module)],
+                  arbKey(r.processor, i));
+        counts_[static_cast<std::size_t>(r.module)].fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    });
+    bad = first_bad.load(std::memory_order_relaxed);
+  }
+  if (bad != kNoBadIndex) {
+    resetTouchedScratch(requests);
+    checkAddress(requests[static_cast<std::size_t>(bad)].module,
+                 requests[static_cast<std::size_t>(bad)].slot);  // throws
+  }
+  metrics_.arbSeconds += arb_timer.seconds();
+
+  util::Timer access_timer;
+  // Sweep 2: classify every request, perform the winning accesses, and
+  // write every Response field (no pre-clearing pass). The winner folds the
+  // module's contention count into the cycle peak and resets the arb/count
+  // slots it owns; losers racing that reset still classify correctly,
+  // because their key matches neither the winner's key nor the kNoWinner
+  // sentinel. Distinct winners own distinct modules, so cell and
+  // staged-table mutation is race-free; sparse-table insertion is confined
+  // to the winning thread of that module.
+  std::atomic<std::uint64_t> granted{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint32_t> peak{0};
+  // Drop-noise inputs hoisted out of the sweep: the per-cycle salt is the
+  // same for every module, so each winner only mixes in its module id (the
+  // resulting hash is exactly dropsGrant()'s).
+  const std::uint64_t* drop_thresholds =
+      has_drops_ ? drop_threshold_.data() : nullptr;
+  const std::uint64_t drop_salt =
+      plan_.seed ^ (lifetime_cycles_ * 0x9E3779B97F4A7C15ULL);
+  pool_.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t local_granted = 0;
+    std::uint64_t local_dropped = 0;
+    std::uint32_t local_peak = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Request& r = requests[i];
+      Response& resp = responses[i];
+      const std::size_t m = static_cast<std::size_t>(r.module);
+      if (failed_[m]) {
+        resp = Response{false, true, 0, 0};
+        continue;
+      }
+      if (arb_[m].load(std::memory_order_relaxed) != arbKey(r.processor, i)) {
+        resp = Response{false, false, 0, 0};
+        continue;
+      }
+      // Winner-owned bookkeeping: read the (final) contention count before
+      // clearing it. Only this request can observe its own key, so the
+      // reset executes exactly once per contested module.
+      local_peak =
+          std::max(local_peak, counts_[m].load(std::memory_order_relaxed));
+      arb_[m].store(kNoWinner, std::memory_order_relaxed);
+      counts_[m].store(0, std::memory_order_relaxed);
+      // FaultPlan drop noise: the port is consumed but the grant is lost;
+      // the requester retries in a later cycle.
+      if (drop_thresholds != nullptr) {
+        const std::uint64_t threshold = drop_thresholds[m];
+        if (threshold != 0) {
+          util::SplitMix64 g(drop_salt ^
+                             (r.module * 0xA24BAED4963EE407ULL));
+          if (g.next() < threshold) {
+            ++local_dropped;
+            resp = Response{false, false, 0, 0};
+            continue;
+          }
+        }
+      }
+      Cell& cell = cellRef(r.module, r.slot);
+      switch (r.op) {
+        case Op::kRead:
+          break;
+        case Op::kWrite:
+          // Stage only: committed state is untouched until kCommit.
+          staged_[m].put(r.slot, Cell{r.value, r.timestamp});
+          break;
+        case Op::kCommit: {
+          Cell* entry = staged_[m].find(r.slot);
+          if (entry != nullptr && entry->timestamp == r.timestamp) {
+            cell = *entry;
+            staged_[m].erase(r.slot);
+          }
+          break;
+        }
+        case Op::kAbort: {
+          Cell* entry = staged_[m].find(r.slot);
+          if (entry != nullptr && entry->timestamp == r.timestamp) {
+            staged_[m].erase(r.slot);
+          }
+          break;
+        }
+        case Op::kRepair:
+          // Monotone: a repair can only move a copy forward in time.
+          if (r.timestamp > cell.timestamp) {
+            cell = Cell{r.value, r.timestamp};
+          }
+          break;
+      }
+      // Winners own their module this cycle, so the counter bump is
+      // race-free across workers.
+      if (!module_load_.empty()) {
+        ++module_load_[m];
+      }
+      resp.granted = true;
+      resp.moduleFailed = false;
+      resp.value = cell.value;
+      resp.timestamp = cell.timestamp;
+      ++local_granted;
+    }
+    granted.fetch_add(local_granted, std::memory_order_relaxed);
+    dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+    std::uint32_t cur = peak.load(std::memory_order_relaxed);
+    while (local_peak > cur &&
+           !peak.compare_exchange_weak(cur, local_peak,
+                                       std::memory_order_relaxed)) {
+    }
+  });
+  metrics_.accessSeconds += access_timer.seconds();
+
+  metrics_.cycles += 1;
+  lifetime_cycles_ += 1;
+  metrics_.requestsIssued += requests.size();
+  metrics_.requestsGranted += granted.load(std::memory_order_relaxed);
+  metrics_.grantsDropped += dropped.load(std::memory_order_relaxed);
+  metrics_.maxModuleQueue = std::max<std::uint64_t>(
+      metrics_.maxModuleQueue, peak.load(std::memory_order_relaxed));
+}
+
+void Machine::stepReference(const std::vector<Request>& requests,
+                            std::vector<Response>& responses) {
+  applyDueFaultEvents();
   responses.assign(requests.size(), Response{});
   if (requests.empty()) return;
+  DSM_CHECK_MSG(!used_fast_,
+                "step() and stepReference() must not be mixed on one machine "
+                "(they stage into different tables)");
+  used_reference_ = true;
 
   for (const Request& r : requests) checkAddress(r.module, r.slot);
 
@@ -188,18 +454,14 @@ void Machine::step(const std::vector<Request>& requests,
         responses[i].moduleFailed = true;
         continue;
       }
-      const std::uint64_t key = arbKey(requests[i].processor, i);
-      std::uint64_t cur =
-          arb_[requests[i].module].load(std::memory_order_relaxed);
-      while (key < cur && !arb_[requests[i].module].compare_exchange_weak(
-                              cur, key, std::memory_order_relaxed)) {
-      }
+      atomicMin(arb_[static_cast<std::size_t>(requests[i].module)],
+                arbKey(requests[i].processor, i));
       counts_[requests[i].module].fetch_add(1, std::memory_order_relaxed);
     }
   });
 
   // Phase B: winners perform their access. Distinct winners own distinct
-  // modules, so cell and staged-table mutation is race-free; sparse-map
+  // modules, so cell and staged-table mutation is race-free; sparse-table
   // insertion is confined to the winning thread of that module.
   std::atomic<std::uint64_t> granted{0};
   std::atomic<std::uint64_t> dropped{0};
@@ -208,9 +470,9 @@ void Machine::step(const std::vector<Request>& requests,
     std::uint64_t local_dropped = 0;
     for (std::size_t i = lo; i < hi; ++i) {
       const Request& r = requests[i];
+      const std::size_t m = static_cast<std::size_t>(r.module);
       if (responses[i].moduleFailed) continue;
-      if (arb_[r.module].load(std::memory_order_relaxed) !=
-          arbKey(r.processor, i)) {
+      if (arb_[m].load(std::memory_order_relaxed) != arbKey(r.processor, i)) {
         continue;
       }
       // FaultPlan drop noise: the port is consumed but the grant is lost;
@@ -219,17 +481,16 @@ void Machine::step(const std::vector<Request>& requests,
         ++local_dropped;
         continue;
       }
-      Cell& cell = cellRef(r.module, r.slot);
+      Cell& cell = cellRefReference(r.module, r.slot);
       switch (r.op) {
         case Op::kRead:
           break;
         case Op::kWrite:
           // Stage only: committed state is untouched until kCommit.
-          staged_[static_cast<std::size_t>(r.module)][r.slot] =
-              Cell{r.value, r.timestamp};
+          staged_ref_[m][r.slot] = Cell{r.value, r.timestamp};
           break;
         case Op::kCommit: {
-          auto& map = staged_[static_cast<std::size_t>(r.module)];
+          auto& map = staged_ref_[m];
           const auto it = map.find(r.slot);
           if (it != map.end() && it->second.timestamp == r.timestamp) {
             cell = it->second;
@@ -238,7 +499,7 @@ void Machine::step(const std::vector<Request>& requests,
           break;
         }
         case Op::kAbort: {
-          auto& map = staged_[static_cast<std::size_t>(r.module)];
+          auto& map = staged_ref_[m];
           const auto it = map.find(r.slot);
           if (it != map.end() && it->second.timestamp == r.timestamp) {
             map.erase(it);
@@ -255,7 +516,7 @@ void Machine::step(const std::vector<Request>& requests,
       // Winners own their module this cycle, so the counter bump is
       // race-free across workers.
       if (!module_load_.empty()) {
-        ++module_load_[static_cast<std::size_t>(r.module)];
+        ++module_load_[m];
       }
       responses[i].granted = true;
       responses[i].value = cell.value;
@@ -273,7 +534,8 @@ void Machine::step(const std::vector<Request>& requests,
     std::uint32_t local_peak = 0;
     for (std::size_t i = lo; i < hi; ++i) {
       local_peak = std::max(
-          local_peak, counts_[requests[i].module].load(std::memory_order_relaxed));
+          local_peak,
+          counts_[requests[i].module].load(std::memory_order_relaxed));
     }
     std::uint32_t cur = peak.load(std::memory_order_relaxed);
     while (local_peak > cur &&
@@ -289,6 +551,7 @@ void Machine::step(const std::vector<Request>& requests,
   });
 
   metrics_.cycles += 1;
+  lifetime_cycles_ += 1;
   metrics_.requestsIssued += requests.size();
   metrics_.requestsGranted += granted.load(std::memory_order_relaxed);
   metrics_.grantsDropped += dropped.load(std::memory_order_relaxed);

@@ -10,6 +10,16 @@
 // reproducible and independent of the number of worker threads used to
 // execute a cycle (the winner is an associative/commutative min).
 //
+// Hot path: a cycle is TWO parallel sweeps over the wire. Sweep 1 fuses
+// address validation, arbitration, and per-module load counting; sweep 2
+// performs the winning access, writes every Response field, folds the
+// cycle's peak contention into the metrics, and resets the arbitration
+// scratch it touched (winner-owned reset: only the unique winner of a
+// module can observe its own key, so it alone clears the slot while losers
+// still classify correctly against either the winner's key or the cleared
+// sentinel). stepReference() preserves the original five-sweep cycle as a
+// differential oracle and benchmark baseline.
+//
 // Fault model: modules fail and heal under a scripted FaultPlan (per-cycle
 // events applied at step boundaries, so faults can strike mid-phase of a
 // protocol batch) or via the immediate failModule()/healModule() calls. A
@@ -33,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "dsm/mpc/staged_table.hpp"
 #include "dsm/mpc/thread_pool.hpp"
 
 namespace dsm::mpc {
@@ -78,11 +89,16 @@ struct MachineMetrics {
   std::uint64_t requestsGranted = 0;
   std::uint64_t maxModuleQueue = 0;  ///< worst per-module contention seen
   std::uint64_t grantsDropped = 0;   ///< grants lost to FaultPlan drop noise
+  // Per-stage wall time of step() (stepReference is timed externally by the
+  // benchmarks). Wall-clock, so excluded from bit-identity comparisons.
+  double arbSeconds = 0.0;     ///< fused validate + arbitrate + count sweep
+  double accessSeconds = 0.0;  ///< fused access + peak + reset sweep
 };
 
-/// One scripted fail/heal event. The event applies once the machine's cycle
-/// counter reaches `cycle`: it takes effect before the step with that index
-/// executes (cycle 0 = before the first step after the plan is installed).
+/// One scripted fail/heal event. The event applies once the machine's
+/// lifetime cycle counter reaches `cycle`: it takes effect before the step
+/// with that index executes (cycle 0 = before the first step a fresh
+/// machine ever runs).
 struct FaultEvent {
   std::uint64_t cycle = 0;
   std::uint64_t module = 0;
@@ -90,10 +106,11 @@ struct FaultEvent {
 };
 
 /// Scripted fault model for a Machine. Events are applied at step
-/// boundaries keyed on the machine's lifetime cycle counter, so a plan can
-/// strike in the middle of a protocol phase, not just between batches.
-/// Events at the same cycle apply in insertion order (fail-then-heal at one
-/// cycle is a zero-length outage).
+/// boundaries keyed on the machine's lifetime cycle counter (see
+/// Machine::lifetimeCycles()), so a plan can strike in the middle of a
+/// protocol phase, not just between batches — and resetMetrics() cannot
+/// shift an installed schedule. Events at the same cycle apply in insertion
+/// order (fail-then-heal at one cycle is a zero-length outage).
 struct FaultPlan {
   std::vector<FaultEvent> events;
   /// Probability that a module drops a grant it just arbitrated (the winner
@@ -130,8 +147,8 @@ struct FaultPlan {
 
 /// The synchronous MPC simulator. Storage is allocated eagerly as a flat
 /// slot array when module_count * slots_per_module is small enough, and as
-/// per-module hash maps beyond that (large-n configurations address far
-/// fewer cells than exist).
+/// per-module open-addressed tables beyond that (large-n configurations
+/// address far fewer cells than exist).
 class Machine {
  public:
   /// slots_per_module == 0 selects sparse storage with unbounded slot ids
@@ -150,6 +167,18 @@ class Machine {
   void step(const std::vector<Request>& requests,
             std::vector<Response>& responses);
 
+  /// The original five-sweep implementation of step() (serial validate,
+  /// arbitrate, access, peak-read, reset; pre-cleared responses), staging
+  /// into the seed's std::unordered_map tables — allocator traffic
+  /// included, so benchmarks compare against the true pre-PR cycle.
+  /// Identical observable semantics to step() — responses, metrics (minus
+  /// the per-stage timers, which only step() populates), fault handling —
+  /// kept as a differential oracle and as the benchmark baseline. Because
+  /// the two paths stage into different tables, step() and stepReference()
+  /// must not be mixed on one machine (checked).
+  void stepReference(const std::vector<Request>& requests,
+                     std::vector<Response>& responses);
+
   /// Direct cell access (setup/verification; does not consume cycles).
   /// peek observes committed state only — staged writes are invisible.
   Cell peek(std::uint64_t module, std::uint64_t slot) const;
@@ -158,6 +187,12 @@ class Machine {
   /// True while a staged (uncommitted, unaborted) write sits on the cell.
   /// Test/diagnostic hook; staged entries are invisible to reads.
   bool hasStagedEntry(std::uint64_t module, std::uint64_t slot) const;
+
+  /// Pre-sizes every module's sparse committed table for `cells_per_module`
+  /// entries (no-op for eager flat storage). Callers that know the
+  /// addressed footprint (e.g. an engine that keys slots by variable index)
+  /// use this to keep the access path rehash-free.
+  void reserveSparse(std::uint64_t cells_per_module);
 
   /// Optional per-module grant accounting (off by default; costs one counter
   /// bump per grant). Used by the load-balance experiments.
@@ -170,8 +205,8 @@ class Machine {
 
   /// Fault injection: a failed module grants nothing (requests targeting it
   /// come back with moduleFailed set). failModule/healModule apply
-  /// immediately; setFaultPlan scripts events against the machine's cycle
-  /// counter so faults can land mid-batch.
+  /// immediately; setFaultPlan scripts events against the machine's
+  /// lifetime cycle counter so faults can land mid-batch.
   void failModule(std::uint64_t module);
   void healModule(std::uint64_t module);
   bool isFailed(std::uint64_t module) const;
@@ -180,8 +215,9 @@ class Machine {
   /// Installs a scripted fault plan (replacing any previous one). Events
   /// whose cycle is already in the past fire before the next step. The plan
   /// is validated eagerly: module ids must be in range and drop
-  /// probabilities in [0, 1). Install plans before resetMetrics(): the event
-  /// schedule is keyed on the lifetime cycle counter.
+  /// probabilities in [0, 1). The event schedule is keyed on the lifetime
+  /// cycle counter, which resetMetrics() never touches — plans and metrics
+  /// resets compose in any order.
   void setFaultPlan(FaultPlan plan);
   void clearFaultPlan();
   const FaultPlan& faultPlan() const noexcept { return plan_; }
@@ -189,26 +225,44 @@ class Machine {
   const MachineMetrics& metrics() const noexcept { return metrics_; }
   void resetMetrics() noexcept { metrics_ = {}; }
 
+  /// Total cycles executed over the machine's lifetime. Unlike
+  /// MachineMetrics::cycles this is never reset; FaultPlan schedules and
+  /// grant-drop noise are keyed on it.
+  std::uint64_t lifetimeCycles() const noexcept { return lifetime_cycles_; }
+
   ThreadPool& pool() noexcept { return pool_; }
 
  private:
   static constexpr std::uint64_t kEagerLimit = 1ULL << 24;
 
   Cell& cellRef(std::uint64_t module, std::uint64_t slot);
+  Cell& cellRefReference(std::uint64_t module, std::uint64_t slot);
   void checkAddress(std::uint64_t module, std::uint64_t slot) const;
   void applyDueFaultEvents();
   bool dropsGrant(std::uint64_t module) const;
+  void resetTouchedScratch(const std::vector<Request>& requests);
 
   std::uint64_t module_count_;
   std::uint64_t slots_per_module_;
   bool eager_;
   std::vector<Cell> flat_;  // eager storage (committed state)
-  std::vector<std::unordered_map<std::uint64_t, Cell>> sparse_;
+  std::vector<StagedTable> sparse_;  // committed state when !eager_
   // Staged (uncommitted) writes, keyed per module by slot. Entries are
   // transient: a write stages, then the engine promotes (kCommit) or
   // discards (kAbort) it. Mutated only by the winning processor of the
   // module in a cycle, so access is race-free like the cells themselves.
-  std::vector<std::unordered_map<std::uint64_t, Cell>> staged_;
+  // Open-addressed with backward-shift erase: the stage/commit/abort churn
+  // never allocates once the table is warm.
+  std::vector<StagedTable> staged_;
+  // Pre-PR (seed) storage, used only by stepReference(): the seed staged
+  // writes and sparse committed cells in per-module std::unordered_map
+  // tables, and that allocator traffic is part of what the benchmarks
+  // measure. Dense committed cells live in flat_ for both paths. peek /
+  // hasStagedEntry read whichever side the machine has been stepped with.
+  std::vector<std::unordered_map<std::uint64_t, Cell>> staged_ref_;
+  std::vector<std::unordered_map<std::uint64_t, Cell>> sparse_ref_;
+  bool used_fast_ = false;       // step() has run
+  bool used_reference_ = false;  // stepReference() has run
   // Per-module arbitration scratch: current best (lowest) processor id + the
   // index of its request; reset lazily via the touched list.
   std::vector<std::atomic<std::uint64_t>> arb_;
@@ -223,6 +277,7 @@ class Machine {
   std::vector<std::uint64_t> drop_threshold_;
   bool has_drops_ = false;
   MachineMetrics metrics_;
+  std::uint64_t lifetime_cycles_ = 0;  // never reset; keys fault schedules
   ThreadPool pool_;
 };
 

@@ -1,0 +1,161 @@
+// StagedTable — flat open-addressed (slot -> Cell) map for the MPC module
+// hot path. Replaces the per-module std::unordered_map tables: linear
+// probing over a power-of-two bucket array, backward-shift (tombstone-free)
+// erase, and no per-entry heap allocation — insert/find/erase never allocate
+// except when the table doubles, so the stage/commit/abort path of a warmed
+// machine is allocation-free.
+//
+// Two users inside mpc::Machine:
+//   * staged writes — transient (value, timestamp) pairs parked by Op::kWrite
+//     until a matching Op::kCommit promotes or Op::kAbort discards them;
+//     entries churn (insert + erase), which is why erase is tombstone-free:
+//     probe chains never accumulate dead markers, so lookup cost tracks the
+//     *live* entry count, not the historical insert count.
+//   * sparse committed cells — slots_per_module == 0 machines address far
+//     fewer cells than exist, so committed state is this map instead of a
+//     flat array. Insert-only there; reserve() pre-sizes known footprints.
+//
+// Load factor is capped at 1/2 (the table doubles beyond it), keeping probe
+// chains short. Not thread-safe; the Machine guarantees one writer per
+// module per cycle (the arbitration winner), the same discipline the cells
+// themselves rely on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsm::mpc {
+
+struct Cell;
+
+/// Open-addressed slot -> Cell map (linear probing, backward-shift erase).
+template <typename CellT>
+class FlatSlotMap {
+ public:
+  FlatSlotMap() = default;
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// Current bucket count (0 until the first insert or reserve()).
+  std::size_t buckets() const noexcept { return slots_.size(); }
+
+  /// Pre-sizes the table so `n` entries fit without rehashing (load <= 1/2).
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want < 2 * n) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  /// Pointer to the cell stored under `key`, or nullptr. Valid until the
+  /// next insert (rehash) or erase (backward shift) on this table.
+  CellT* find(std::uint64_t key) noexcept {
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = bucketOf(key); used_[i]; i = next(i)) {
+      if (slots_[i].key == key) return &slots_[i].cell;
+    }
+    return nullptr;
+  }
+  const CellT* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatSlotMap*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Inserts or overwrites the cell under `key`.
+  void put(std::uint64_t key, CellT cell) { ref(key) = cell; }
+
+  /// Reference to the cell under `key`, default-constructing it if absent
+  /// (the committed-storage access pattern). Invalidated like find().
+  CellT& ref(std::uint64_t key) {
+    if (CellT* hit = find(key)) return *hit;
+    if (2 * (size_ + 1) > slots_.size()) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    std::size_t i = bucketOf(key);
+    while (used_[i]) i = next(i);
+    used_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].cell = CellT{};
+    ++size_;
+    return slots_[i].cell;
+  }
+
+  /// Removes `key` if present. Tombstone-free: the probe chain behind the
+  /// hole is shifted back (Knuth 6.4 Algorithm R), so chains only ever
+  /// reflect live entries.
+  bool erase(std::uint64_t key) noexcept {
+    if (size_ == 0) return false;
+    std::size_t i = bucketOf(key);
+    while (true) {
+      if (!used_[i]) return false;
+      if (slots_[i].key == key) break;
+      i = next(i);
+    }
+    std::size_t hole = i;
+    std::size_t j = i;
+    while (true) {
+      j = next(j);
+      if (!used_[j]) break;
+      // slots_[j] may move into the hole iff its home bucket lies at or
+      // before the hole along the probe path ending at j.
+      const std::size_t home = bucketOf(slots_[j].key);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+    }
+    used_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  void clear() noexcept {
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    CellT cell{};
+  };
+
+  // splitmix64 finalizer: slot ids are often sequential; this spreads them
+  // uniformly over the buckets.
+  static std::uint64_t mixKey(std::uint64_t x) noexcept {
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t bucketOf(std::uint64_t key) const noexcept {
+    return static_cast<std::size_t>(mixKey(key)) & mask_;
+  }
+  std::size_t next(std::size_t i) const noexcept { return (i + 1) & mask_; }
+
+  void rehash(std::size_t new_buckets) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(new_buckets, Slot{});
+    used_.assign(new_buckets, 0);
+    mask_ = new_buckets - 1;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i]) ref(old_slots[i].key) = old_slots[i].cell;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+/// The staged-write / sparse-cell table used by mpc::Machine.
+using StagedTable = FlatSlotMap<Cell>;
+
+}  // namespace dsm::mpc

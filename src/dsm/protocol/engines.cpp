@@ -21,6 +21,16 @@ EngineBase::EngineBase(const scheme::MemoryScheme& scheme,
       cache_(scheme, copy_cache_capacity) {
   DSM_CHECK_MSG(machine.moduleCount() == scheme.numModules(),
                 "machine/scheme module count mismatch");
+  if (machine.slotsPerModule() == 0) {
+    // Sparse committed storage: pre-size each module's table for the
+    // scheme's full copy footprint (capped — beyond the cap the tables
+    // grow on demand) so steady-state accesses never rehash mid-batch.
+    const std::uint64_t per_module =
+        scheme.numVariables() * scheme.copiesPerVariable() /
+            std::max<std::uint64_t>(1, scheme.numModules()) +
+        1;
+    machine.reserveSparse(std::min<std::uint64_t>(per_module, 1ULL << 18));
+  }
 }
 
 void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
@@ -55,16 +65,26 @@ void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
   probe(ts_seen_.capacity(), b);
   probe(acked_.capacity(), b);
   probe(lost_.capacity(), b);
+  probe(distinct_scratch_.capacity(), b);
 
-  distinct_.clear();
-  distinct_.reserve(b * 2);
-  copies_.resize(b);
-  stamps_.assign(b, 0);
+  // Distinct-variable check via a reused sorted scratch vector: no
+  // per-batch hashing or node allocation (the scratch's capacity survives
+  // across batches like the rest of the scratch set).
+  distinct_scratch_.resize(b);
   for (std::size_t i = 0; i < b; ++i) {
     DSM_CHECK_MSG(batch[i].variable < scheme_.numVariables(),
                   "variable out of range: " << batch[i].variable);
-    DSM_CHECK_MSG(distinct_.insert(batch[i].variable).second,
-                  "duplicate variable in batch: " << batch[i].variable);
+    distinct_scratch_[i] = batch[i].variable;
+  }
+  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
+  const auto dup =
+      std::adjacent_find(distinct_scratch_.begin(), distinct_scratch_.end());
+  DSM_CHECK_MSG(dup == distinct_scratch_.end(),
+                "duplicate variable in batch: "
+                    << (dup == distinct_scratch_.end() ? 0 : *dup));
+  copies_.resize(b);
+  stamps_.assign(b, 0);
+  for (std::size_t i = 0; i < b; ++i) {
     cache_.copies(batch[i].variable, copies_[i]);
     DSM_CHECK(copies_[i].size() == scheme_.copiesPerVariable());
     if (batch[i].op == mpc::Op::kWrite) stamps_[i] = ++clock_;
@@ -270,38 +290,69 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
       premarkKnownDeadCopies(a, active_[a], r);
       transitionAfterScan(a, active_[a], batch[active_[a]].op, r);
     }
+    // Persistent wire: live_ tracks the requests with outstanding work, in
+    // ascending order; its order (and the ascending copy order inside each
+    // segment) reproduces the from-scratch wire exactly, so the machine
+    // sees bit-identical request streams. need_refill_ marks segments whose
+    // protocol state changed (first round, or acquire -> finalize flipped
+    // the op/payload) — only those re-derive addressing; every other live
+    // segment is copied forward from the previous round's wire minus the
+    // entries that retired (granted, or module died).
+    live_.resize(na);
+    for (std::size_t a = 0; a < na; ++a) live_[a] = a;
+    need_refill_.assign(na, 1);
     std::uint64_t iters = 0;
     std::vector<std::uint64_t> trajectory;
     util::Timer timer;
     while (true) {
-      // Offset pass (serial, O(na)): an acquiring request a contributes
-      // exactly r - done - dead untried copies and a finalizing one its
-      // pending count, so every wire range is known without scanning the
-      // flags — the parallel fill below writes each request's entries at
-      // fixed positions, making the wire (and every downstream result)
-      // bit-identical for any thread count.
+      // Incremental compaction (serial, O(live) — not O(na)): an acquiring
+      // request contributes exactly r - done - dead untried copies and a
+      // finalizing one its pending count, so every wire range is known
+      // without scanning the flags — the parallel fill below writes each
+      // request's entries at fixed positions, making the wire (and every
+      // downstream result) bit-identical for any thread count.
+      // Double-buffered: a segment may GROW at the acquire -> finalize
+      // transition, so in-place left-compaction can't work.
       timer.reset();
-      offsets_.resize(na + 1);
-      std::uint64_t live = 0;
+      live_next_.clear();
+      offsets_next_.clear();
+      fill_from_.clear();
       std::size_t total = 0;
-      for (std::size_t a = 0; a < na; ++a) {
-        offsets_[a] = total;
+      for (std::size_t p = 0; p < live_.size(); ++p) {
+        const std::size_t a = live_[p];
         if (state_[a] == kStateDone) continue;
-        ++live;
+        live_next_.push_back(a);
+        fill_from_.push_back(p);
+        offsets_next_.push_back(total);
         total += state_[a] == kStateAcquire
                      ? r - done_[a] - dead_count_[a]
                      : pending_count_[a];
       }
-      offsets_[na] = total;
-      if (live == 0) break;
-      trajectory.push_back(live);
-      wire_.resize(total);
-      wire_copy_.resize(total);
-      pool.parallelFor(na, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t a = lo; a < hi; ++a) {
-          std::size_t out = offsets_[a];
-          if (out == offsets_[a + 1]) continue;  // done
+      offsets_next_.push_back(total);
+      if (live_next_.empty()) break;
+      trajectory.push_back(live_next_.size());
+      const std::size_t nl = live_next_.size();
+      wire_next_.resize(total);
+      wire_copy_next_.resize(total);
+      pool.parallelFor(nl, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::size_t a = live_next_[p];
+          std::size_t out = offsets_next_[p];
           const std::size_t req = active_[a];
+          if (!need_refill_[a]) {
+            // Unchanged state: the surviving entries of last round's
+            // segment (reply neither granted nor moduleFailed) ARE this
+            // round's segment, verbatim and in the same copy order.
+            const std::size_t src = fill_from_[p];
+            for (std::size_t w = offsets_[src]; w < offsets_[src + 1]; ++w) {
+              if (replies_[w].granted || replies_[w].moduleFailed) continue;
+              wire_next_[out] = wire_[w];
+              wire_copy_next_[out] = wire_copy_[w];
+              ++out;
+            }
+            continue;
+          }
+          need_refill_[a] = 0;
           const std::size_t cluster = req / r;
           if (state_[a] == kStateFinalize) {
             // Commit/abort/repair round over the granted copies. Repairs
@@ -317,10 +368,10 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
             for (std::size_t j = 0; j < r; ++j) {
               if (!pending_[a * r + j]) continue;
               const auto& pa = copies_[req][j];
-              wire_[out] = mpc::Request{
+              wire_next_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, fop, val, ts};
-              wire_copy_[out] = j;
+              wire_copy_next_[out] = j;
               ++out;
             }
           } else {
@@ -329,15 +380,19 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
             for (std::size_t j = 0; j < r; ++j) {
               if (acc[j] || dd[j]) continue;
               const auto& pa = copies_[req][j];
-              wire_[out] = mpc::Request{
+              wire_next_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, batch[req].op, batch[req].value, stamps_[req]};
-              wire_copy_[out] = j;
+              wire_copy_next_[out] = j;
               ++out;
             }
           }
         }
       });
+      live_.swap(live_next_);
+      offsets_.swap(offsets_next_);
+      wire_.swap(wire_next_);
+      wire_copy_.swap(wire_copy_next_);
       metrics_.wireBuildSeconds += timer.seconds();
 
       timer.reset();
@@ -348,15 +403,17 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
 
       // Reply scan: request a's replies occupy its own wire range, so each
       // request is scanned (and its state machine advanced) independently —
-      // no cross-request state.
+      // no cross-request state. Live segments are never empty: a live
+      // acquirer always has an untried copy, a live finalizer a pending
+      // message.
       timer.reset();
-      pool.parallelFor(na, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t a = lo; a < hi; ++a) {
-          if (offsets_[a] == offsets_[a + 1]) continue;
+      pool.parallelFor(live_.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::size_t a = live_[p];
           const std::size_t req = active_[a];
           const mpc::Op op = batch[req].op;
           const bool finalizing = state_[a] == kStateFinalize;
-          for (std::size_t w = offsets_[a]; w < offsets_[a + 1]; ++w) {
+          for (std::size_t w = offsets_[p]; w < offsets_[p + 1]; ++w) {
             const std::size_t j = wire_copy_[w];
             if (replies_[w].moduleFailed) {
               if (!dead_[a * r + j]) {
@@ -384,7 +441,14 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
               fresh_[req].offer(replies_[w].timestamp, replies_[w].value);
             }
           }
+          const std::uint8_t before = state_[a];
           transitionAfterScan(a, req, op, r);
+          // Only the acquire -> finalize flip changes a live segment's
+          // contents (op, payload, entry set); retirement to done is
+          // handled by the compaction dropping the request.
+          if (state_[a] != before && state_[a] == kStateFinalize) {
+            need_refill_[a] = 1;
+          }
         }
       });
       metrics_.scanSeconds += timer.seconds();
@@ -436,31 +500,34 @@ AccessResult SingleOwnerEngine::execute(
     transitionAfterScan(i, i, batch[i].op, r);
   }
 
+  // Live-list compaction: the round-robin pick below depends on the
+  // iteration number, so segments can't be copied forward verbatim like the
+  // MajorityEngine's — but the serial pass and the parallel fill/scan still
+  // shrink with the live set instead of rescanning all nb requests every
+  // round. live_ stays in ascending request order (stable filtering), and a
+  // live request emits exactly one entry, so wire position == live position
+  // and the wire is bit-identical to the from-scratch build.
+  live_.resize(nb);
+  for (std::size_t i = 0; i < nb; ++i) live_[i] = i;
   std::uint64_t iters = 0;
   std::vector<std::uint64_t> trajectory;
   util::Timer timer;
   while (true) {
-    // Offset pass: each live request issues exactly one wire entry, at a
-    // position fixed before the parallel fill (thread-count independent).
     timer.reset();
-    offsets_.resize(nb + 1);
-    std::uint64_t live = 0;
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < nb; ++i) {
-      offsets_[i] = total;
-      if (state_[i] == kStateDone) continue;
-      ++live;
-      ++total;
+    live_next_.clear();
+    for (const std::size_t i : live_) {
+      if (state_[i] != kStateDone) live_next_.push_back(i);
     }
-    offsets_[nb] = total;
-    if (live == 0) break;
-    trajectory.push_back(live);
-    wire_.resize(total);
-    wire_copy_.resize(total);
-    pool.parallelFor(nb, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t out = offsets_[i];
-        if (out == offsets_[i + 1]) continue;  // done
+    live_.swap(live_next_);
+    if (live_.empty()) break;
+    const std::size_t nl = live_.size();
+    trajectory.push_back(nl);
+    wire_.resize(nl);
+    wire_copy_.resize(nl);
+    pool.parallelFor(nl, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t p = lo; p < hi; ++p) {
+        const std::size_t i = live_[p];
+        const std::size_t out = p;
         // Round-robin, staggered by request index so identical-copy-set
         // requests spread their attempts: acquiring requests walk their
         // untried copies (done + dead < r, so one always exists);
@@ -509,10 +576,10 @@ AccessResult SingleOwnerEngine::execute(
     ++iters;
 
     timer.reset();
-    pool.parallelFor(nb, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        const std::size_t w = offsets_[i];
-        if (w == offsets_[i + 1]) continue;
+    pool.parallelFor(nl, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t p = lo; p < hi; ++p) {
+        const std::size_t i = live_[p];
+        const std::size_t w = p;
         const std::size_t j = wire_copy_[w];
         const bool finalizing = state_[i] == kStateFinalize;
         if (replies_[w].moduleFailed) {

@@ -42,12 +42,23 @@
 // path at any thread count, with or without an active FaultPlan.
 // executeStream() runs a whole stream of batches through the warmed scratch
 // and cache; EngineMetrics reports the split and the fault-path counters.
+//
+// Persistent wire: within a phase the wire is maintained incrementally. A
+// live list of requests survives from one iteration to the next; the serial
+// offset pass walks only that list (O(live), not O(phase size)), and the
+// parallel fill COPIES each unchanged request's surviving wire entries from
+// the previous round's wire instead of re-deriving module/slot addressing —
+// only requests whose protocol state changed (acquire -> finalize) rebuild
+// their segment. Compaction preserves the request order and per-request
+// copy order of the from-scratch build, so the wire contents are
+// bit-identical to the pre-overhaul engine's and every downstream result is
+// unchanged. reference_engine.hpp keeps the from-scratch loops as the
+// differential oracle / benchmark baseline.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "dsm/mpc/machine.hpp"
@@ -236,7 +247,7 @@ class EngineBase {
 
   // Per-batch scratch, reused across execute() calls (sized in preprocess
   // or by the engine loops; never shrunk).
-  std::unordered_set<std::uint64_t> distinct_;
+  std::vector<std::uint64_t> distinct_scratch_;  ///< sorted dup check
   std::vector<std::vector<scheme::PhysicalAddress>> copies_;
   std::vector<std::uint64_t> stamps_;
   std::vector<Freshest> fresh_;
@@ -258,6 +269,18 @@ class EngineBase {
   std::vector<std::uint64_t> ts_seen_;     ///< flat [request][copy] read stamps
   std::vector<unsigned> acked_;            ///< finalize messages delivered
   std::vector<unsigned> lost_;             ///< finalize messages lost (dead)
+  // Persistent-wire state (see file comment): the live list pairs with
+  // offsets_/wire_/wire_copy_ as the current round's layout; the _next_
+  // buffers are the double-buffered target of the incremental compaction
+  // (a request's segment may GROW on the acquire -> finalize transition, so
+  // in-place left-compaction is not possible).
+  std::vector<std::size_t> live_;       ///< live request indices, ascending
+  std::vector<std::size_t> live_next_;
+  std::vector<std::size_t> offsets_next_;
+  std::vector<std::size_t> fill_from_;  ///< old live position per new one
+  std::vector<mpc::Request> wire_next_;
+  std::vector<std::size_t> wire_copy_next_;
+  std::vector<std::uint8_t> need_refill_;  ///< segment must be rebuilt
   // Batch-level memo of modules observed failed (reset per batch: modules
   // may heal between batches, and the engine re-discovers honestly).
   std::vector<std::uint8_t> module_dead_;

@@ -1,0 +1,33 @@
+// Pre-overhaul reference engines: per-iteration from-scratch wire builds
+// (serial O(phase-size) offset pass + full parallel refill) driving the
+// five-sweep mpc::Machine::stepReference. Observable behaviour — values,
+// iteration counts, trajectories, fault counters — is specified to be
+// bit-identical to the optimized MajorityEngine / SingleOwnerEngine at any
+// thread count; these classes exist so that
+//   * tests can differentially check the optimized hot path against the
+//     original algorithm on the same workload, and
+//   * bench_e16_hotpath can measure the overhaul's speedup against a live
+//     baseline instead of a number from a previous checkout.
+// Not for production use: every iteration pays the pass count and allocator
+// traffic the overhaul removed.
+#pragma once
+
+#include "dsm/protocol/engines.hpp"
+
+namespace dsm::protocol {
+
+/// Section-3 clustered majority protocol, pre-overhaul implementation.
+class ReferenceMajorityEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+};
+
+/// One-processor-per-request engine, pre-overhaul implementation.
+class ReferenceSingleOwnerEngine : public EngineBase {
+ public:
+  using EngineBase::EngineBase;
+  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+};
+
+}  // namespace dsm::protocol

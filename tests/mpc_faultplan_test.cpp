@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include "dsm/util/assert.hpp"
 
 namespace dsm::mpc {
@@ -142,6 +147,120 @@ TEST(FaultPlan, ClearRestoresHealthyMachine) {
   m.healModule(1);  // clearing the plan does not undo applied events
   for (int i = 0; i < 32; ++i) EXPECT_TRUE(stepOne(m, probe)[0].granted);
   EXPECT_TRUE(m.faultPlan().empty());
+}
+
+TEST(FaultPlan, ScheduleSurvivesMetricsReset) {
+  // The event schedule is keyed on the lifetime cycle counter, so wiping
+  // the metrics between installing a plan and running it must not shift
+  // when events fire (the old footgun: schedules keyed on the resettable
+  // MachineMetrics::cycles silently re-based after resetMetrics()).
+  Machine m(2, 4);
+  const Request probe{0, 0, 0, Op::kRead, 0, 0};
+  stepOne(m, probe);
+  stepOne(m, probe);  // lifetime counter now 2
+  FaultPlan plan;
+  plan.failAt(3, 0).healAt(5, 0);
+  m.setFaultPlan(plan);
+  m.resetMetrics();  // must NOT re-base the schedule to cycle 0
+  EXPECT_EQ(m.metrics().cycles, 0u);
+  EXPECT_EQ(m.lifetimeCycles(), 2u);
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);       // lifetime cycle 2: alive
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);  // lifetime cycle 3: down
+  EXPECT_TRUE(stepOne(m, probe)[0].moduleFailed);  // lifetime cycle 4: down
+  EXPECT_TRUE(stepOne(m, probe)[0].granted);       // lifetime cycle 5: healed
+  EXPECT_EQ(m.metrics().cycles, 4u);   // metrics restarted at the reset
+  EXPECT_EQ(m.lifetimeCycles(), 6u);   // lifetime never did
+}
+
+TEST(FaultPlan, DropNoiseSurvivesMetricsReset) {
+  // Grant-drop noise is a pure function of (seed, lifetime cycle, module);
+  // resetting metrics mid-run must not replay the same drop pattern.
+  const auto run = [](bool reset_midway) {
+    Machine m(4, 4);
+    FaultPlan plan;
+    plan.grantDropProbability = 0.4;
+    plan.seed = 99;
+    m.setFaultPlan(plan);
+    std::vector<Request> reqs;
+    for (std::uint64_t mod = 0; mod < 4; ++mod) {
+      reqs.push_back({0, mod, 0, Op::kRead, 0, 0});
+    }
+    std::vector<Response> resp;
+    std::vector<bool> granted;
+    for (int cyc = 0; cyc < 32; ++cyc) {
+      if (reset_midway && cyc == 16) m.resetMetrics();
+      m.step(reqs, resp);
+      for (const auto& r : resp) granted.push_back(r.granted);
+    }
+    return granted;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// One cycle carrying all five Ops with module contention, executed under a
+// grant-drop plan at 1 thread and at hardware threads: responses, machine
+// state and (non-timing) metrics must be identical. Pins the fused two-pass
+// step to the five-pass semantics.
+TEST(FaultPlan, MixedOpCycleDeterministicAcrossThreadCounts) {
+  struct Outcome {
+    std::vector<std::tuple<bool, bool, std::uint64_t, std::uint64_t>> resp;
+    std::uint64_t cycles, issued, granted, queue, dropped;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cells;
+    std::vector<bool> staged;
+
+    bool operator==(const Outcome&) const = default;
+  };
+  const auto run = [](unsigned threads) {
+    Machine m(4, 8, threads);
+    m.poke(0, 4, Cell{10, 1});  // read target
+    m.poke(3, 3, Cell{50, 2});  // repair target (older stamp)
+    // Stage three writes (fault-free cycle) for the commit/abort ops below.
+    std::vector<Request> setup{{0, 0, 0, Op::kWrite, 100, 5},
+                               {1, 1, 1, Op::kWrite, 200, 6},
+                               {2, 2, 2, Op::kWrite, 300, 7}};
+    std::vector<Response> resp;
+    m.step(setup, resp);
+    FaultPlan plan;
+    plan.grantDropProbability = 0.35;
+    plan.seed = 0xD15EA5E;
+    m.setFaultPlan(plan);
+    // The mixed cycle: every op, with contention on modules 0, 1 and 3.
+    std::vector<Request> mixed{
+        {0, 0, 4, Op::kRead, 0, 0},      // wins module 0
+        {1, 0, 0, Op::kCommit, 0, 5},    // loses to processor 0
+        {0, 1, 1, Op::kCommit, 0, 6},    // wins module 1
+        {1, 1, 1, Op::kRead, 0, 0},      // loses
+        {0, 2, 2, Op::kAbort, 0, 7},     // uncontested
+        {0, 3, 3, Op::kRepair, 60, 9},   // wins module 3
+        {2, 3, 3, Op::kRead, 0, 0},      // loses
+        {3, 3, 3, Op::kRead, 0, 0},      // loses
+    };
+    m.step(mixed, resp);
+    Outcome o;
+    for (const auto& r : resp) {
+      o.resp.emplace_back(r.granted, r.moduleFailed, r.value, r.timestamp);
+    }
+    const MachineMetrics& mm = m.metrics();
+    o.cycles = mm.cycles;
+    o.issued = mm.requestsIssued;
+    o.granted = mm.requestsGranted;
+    o.queue = mm.maxModuleQueue;
+    o.dropped = mm.grantsDropped;
+    const std::pair<std::uint64_t, std::uint64_t> probes[] = {
+        {0, 0}, {0, 4}, {1, 1}, {2, 2}, {3, 3}};
+    for (const auto& [mod, slot] : probes) {
+      const Cell c = m.peek(mod, slot);
+      o.cells.emplace_back(c.value, c.timestamp);
+      o.staged.push_back(m.hasStagedEntry(mod, slot));
+    }
+    return o;
+  };
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  const Outcome serial = run(1);
+  EXPECT_EQ(serial, run(hw));
+  EXPECT_EQ(serial, run(4));
+  // Sanity on the scenario itself: every module saw contention recorded.
+  EXPECT_EQ(serial.queue, 3u);  // three readers fought over module 3
 }
 
 TEST(StagedWrite, CommitRequiresMatchingTimestamp) {

@@ -1,0 +1,176 @@
+// StagedTable (flat open-addressed slot -> Cell map): semantics against a
+// std::unordered_map oracle under randomized churn, plus the edge cases the
+// backward-shift erase has to get right (wrap-around probe chains, extreme
+// keys, full drain and reuse).
+#include "dsm/mpc/staged_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::mpc {
+namespace {
+
+TEST(StagedTable, EmptyTableBehaviour) {
+  StagedTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.buckets(), 0u);  // no allocation before first use
+  EXPECT_EQ(t.find(0), nullptr);
+  EXPECT_FALSE(t.contains(42));
+  EXPECT_FALSE(t.erase(42));
+}
+
+TEST(StagedTable, PutFindOverwriteErase) {
+  StagedTable t;
+  t.put(7, Cell{10, 1});
+  ASSERT_NE(t.find(7), nullptr);
+  EXPECT_EQ(t.find(7)->value, 10u);
+  t.put(7, Cell{20, 2});  // overwrite, size unchanged
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(7)->value, 20u);
+  EXPECT_TRUE(t.erase(7));
+  EXPECT_FALSE(t.contains(7));
+  EXPECT_FALSE(t.erase(7));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(StagedTable, ExtremeKeys) {
+  // Slot ids 0 and ~0 are legal (sparse machines accept unbounded slots).
+  StagedTable t;
+  t.put(0, Cell{1, 1});
+  t.put(~0ULL, Cell{2, 2});
+  EXPECT_EQ(t.find(0)->value, 1u);
+  EXPECT_EQ(t.find(~0ULL)->value, 2u);
+  EXPECT_TRUE(t.erase(0));
+  EXPECT_EQ(t.find(~0ULL)->value, 2u);
+}
+
+TEST(StagedTable, RefDefaultConstructsLikeCommittedStorage) {
+  StagedTable t;
+  Cell& c = t.ref(13);
+  EXPECT_EQ(c.value, 0u);
+  EXPECT_EQ(c.timestamp, 0u);
+  c = Cell{5, 9};
+  EXPECT_EQ(t.find(13)->value, 5u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(StagedTable, GrowthPreservesEntries) {
+  StagedTable t;
+  for (std::uint64_t k = 0; k < 1000; ++k) t.put(k * 3, Cell{k, k + 1});
+  EXPECT_EQ(t.size(), 1000u);
+  // Load factor policy: at most half the buckets are occupied.
+  EXPECT_GE(t.buckets(), 2 * t.size());
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(t.find(k * 3), nullptr) << k;
+    EXPECT_EQ(t.find(k * 3)->value, k);
+    EXPECT_EQ(t.find(k * 3)->timestamp, k + 1);
+  }
+}
+
+TEST(StagedTable, ReservePreventsRehash) {
+  StagedTable t;
+  t.reserve(500);
+  const std::size_t buckets = t.buckets();
+  EXPECT_GE(buckets, 1000u);  // load <= 1/2
+  for (std::uint64_t k = 0; k < 500; ++k) t.put(k, Cell{k, 0});
+  EXPECT_EQ(t.buckets(), buckets);  // no growth happened
+}
+
+TEST(StagedTable, DrainAndReuse) {
+  // The staged-write pattern: fill, erase everything, fill again. The
+  // tombstone-free erase must leave the table as good as new.
+  StagedTable t;
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t k = 0; k < 64; ++k) t.put(k * 17, Cell{k, 1});
+    EXPECT_EQ(t.size(), 64u);
+    for (std::uint64_t k = 0; k < 64; ++k) EXPECT_TRUE(t.erase(k * 17));
+    EXPECT_TRUE(t.empty());
+  }
+  t.put(9, Cell{1, 1});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(9)->value, 1u);
+}
+
+TEST(StagedTable, BackwardShiftKeepsChainsReachable) {
+  // Force colliding keys, erase from the middle of the probe chain, and
+  // check every survivor stays findable — the failure mode a naive
+  // "mark empty" erase would hit.
+  StagedTable t;
+  t.reserve(8);  // small table: sequential keys collide after mixing
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t k = 0; k < 8; ++k) keys.push_back(k);
+  for (const auto k : keys) t.put(k, Cell{k + 100, 1});
+  for (std::size_t victim = 0; victim < keys.size(); ++victim) {
+    StagedTable u;
+    u.reserve(8);
+    for (const auto k : keys) u.put(k, Cell{k + 100, 1});
+    ASSERT_TRUE(u.erase(keys[victim]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (i == victim) {
+        EXPECT_FALSE(u.contains(keys[i]));
+      } else {
+        ASSERT_NE(u.find(keys[i]), nullptr) << "victim=" << victim
+                                            << " lost key=" << keys[i];
+        EXPECT_EQ(u.find(keys[i])->value, keys[i] + 100);
+      }
+    }
+  }
+}
+
+TEST(StagedTable, RandomizedOracleChurn) {
+  // Mixed put/ref/erase/find stream checked against std::unordered_map.
+  util::Xoshiro256 rng(0xC0FFEE);
+  StagedTable t;
+  std::unordered_map<std::uint64_t, Cell> oracle;
+  const std::uint64_t key_space = 512;  // dense enough to force churn
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = rng.below(key_space);
+    switch (rng.below(4)) {
+      case 0: {  // put
+        const Cell c{rng(), rng()};
+        t.put(key, c);
+        oracle[key] = c;
+        break;
+      }
+      case 1: {  // erase
+        EXPECT_EQ(t.erase(key), oracle.erase(key) > 0) << "i=" << i;
+        break;
+      }
+      case 2: {  // ref (default-inserting read-modify-write)
+        Cell& c = t.ref(key);
+        Cell& o = oracle[key];
+        EXPECT_EQ(c.value, o.value) << "i=" << i;
+        EXPECT_EQ(c.timestamp, o.timestamp) << "i=" << i;
+        c.value += 1;
+        o.value += 1;
+        break;
+      }
+      default: {  // find
+        const Cell* c = t.find(key);
+        const auto it = oracle.find(key);
+        ASSERT_EQ(c != nullptr, it != oracle.end()) << "i=" << i;
+        if (c != nullptr) {
+          EXPECT_EQ(c->value, it->second.value) << "i=" << i;
+          EXPECT_EQ(c->timestamp, it->second.timestamp) << "i=" << i;
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(t.size(), oracle.size()) << "i=" << i;
+  }
+  // Full final sweep: every oracle entry present, nothing extra.
+  for (const auto& [key, cell] : oracle) {
+    ASSERT_NE(t.find(key), nullptr) << key;
+    EXPECT_EQ(t.find(key)->value, cell.value);
+  }
+}
+
+}  // namespace
+}  // namespace dsm::mpc

@@ -1,0 +1,175 @@
+// Hot-path equivalence: the persistent-wire engines (incremental wire
+// compaction + fused two-sweep Machine::step) must be bit-identical to the
+// reference engines (from-scratch wire build + five-pass stepReference) on
+// multi-batch streams — values, iteration counts, live trajectories and
+// fault counters — fault-free and under a FaultPlan, at 1 and many threads.
+#include <gtest/gtest.h>
+
+#include "dsm/protocol/engines.hpp"
+#include "dsm/protocol/reference_engine.hpp"
+#include "dsm/scheme/baselines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace dsm::protocol {
+namespace {
+
+struct MachineTally {
+  std::uint64_t cycles, issued, granted, queue, dropped;
+
+  bool operator==(const MachineTally&) const = default;
+};
+
+MachineTally tally(const mpc::Machine& m) {
+  const mpc::MachineMetrics& mm = m.metrics();
+  return {mm.cycles, mm.requestsIssued, mm.requestsGranted,
+          mm.maxModuleQueue, mm.grantsDropped};
+}
+
+void expectSameResults(const std::vector<AccessResult>& got,
+                       const std::vector<AccessResult>& want,
+                       const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t b = 0; b < want.size(); ++b) {
+    EXPECT_EQ(got[b].values, want[b].values) << what << " batch=" << b;
+    EXPECT_EQ(got[b].totalIterations, want[b].totalIterations)
+        << what << " batch=" << b;
+    EXPECT_EQ(got[b].phaseIterations, want[b].phaseIterations)
+        << what << " batch=" << b;
+    EXPECT_EQ(got[b].liveTrajectory, want[b].liveTrajectory)
+        << what << " batch=" << b;
+    EXPECT_EQ(got[b].modeledSteps, want[b].modeledSteps)
+        << what << " batch=" << b;
+    EXPECT_EQ(got[b].unsatisfiable, want[b].unsatisfiable)
+        << what << " batch=" << b;
+  }
+}
+
+std::vector<std::vector<AccessRequest>> makeStream(std::uint64_t vars_total,
+                                                   std::size_t batch_size,
+                                                   std::uint64_t seed) {
+  // Write batches re-visit hot variables so later reads see committed state
+  // and the staged tables churn across batches.
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<AccessRequest>> stream;
+  for (int b = 0; b < 6; ++b) {
+    const auto vars = workload::randomDistinct(vars_total, batch_size, rng);
+    switch (b % 3) {
+      case 0:
+        stream.push_back(workload::makeWrites(vars, b * 500));
+        break;
+      case 1:
+        stream.push_back(workload::makeReads(vars));
+        break;
+      default:
+        stream.push_back(workload::makeMixed(vars, 0.5, rng));
+        break;
+    }
+  }
+  return stream;
+}
+
+mpc::FaultPlan dropsAndOutages(std::uint64_t modules) {
+  mpc::FaultPlan plan;
+  plan.grantDropProbability = 0.15;
+  plan.seed = 12345;
+  // Outages keyed on lifetime cycles: they land mid-protocol, while both
+  // engines are iterating, and heal before the quorum is unreachable long
+  // enough to flip results (majority tolerates one dead copy).
+  plan.transientAt(3, 1 % modules, 4);
+  plan.transientAt(10, 5 % modules, 3);
+  return plan;
+}
+
+TEST(HotPath, MajorityEngineMatchesReference) {
+  const scheme::PpScheme s(1, 7);
+  const auto stream = makeStream(s.numVariables(), 1024, 0xABCD);
+  for (const bool faulty : {false, true}) {
+    for (const unsigned threads : {1u, 4u}) {
+      mpc::Machine fast_m(s.numModules(), s.slotsPerModule(), threads);
+      mpc::Machine ref_m(s.numModules(), s.slotsPerModule(), threads);
+      if (faulty) {
+        fast_m.setFaultPlan(dropsAndOutages(s.numModules()));
+        ref_m.setFaultPlan(dropsAndOutages(s.numModules()));
+      }
+      MajorityEngine fast(s, fast_m);
+      ReferenceMajorityEngine ref(s, ref_m);
+      const auto got = fast.executeStream(stream);
+      const auto want = ref.executeStream(stream);
+      expectSameResults(got, want,
+                        faulty ? "majority/faulty" : "majority/clean");
+      // The two machines must have run the exact same wire cycle for cycle:
+      // same grants, same contention peaks, same dropped grants.
+      EXPECT_EQ(tally(fast_m), tally(ref_m)) << "faulty=" << faulty;
+    }
+  }
+}
+
+TEST(HotPath, SingleOwnerEngineMatchesReference) {
+  const scheme::MvScheme s(40000, 255, 3);
+  const auto stream = makeStream(s.numVariables(), 1024, 0xBEEF);
+  for (const bool faulty : {false, true}) {
+    for (const unsigned threads : {1u, 4u}) {
+      mpc::Machine fast_m(s.numModules(), s.slotsPerModule(), threads);
+      mpc::Machine ref_m(s.numModules(), s.slotsPerModule(), threads);
+      if (faulty) {
+        fast_m.setFaultPlan(dropsAndOutages(s.numModules()));
+        ref_m.setFaultPlan(dropsAndOutages(s.numModules()));
+      }
+      SingleOwnerEngine fast(s, fast_m);
+      ReferenceSingleOwnerEngine ref(s, ref_m);
+      const auto got = fast.executeStream(stream);
+      const auto want = ref.executeStream(stream);
+      expectSameResults(got, want,
+                        faulty ? "owner/faulty" : "owner/clean");
+      EXPECT_EQ(tally(fast_m), tally(ref_m)) << "faulty=" << faulty;
+    }
+  }
+}
+
+TEST(HotPath, MajorityMatchesReferenceUnderScriptedFailures) {
+  // Hard failures (not just drops) mid-stream: the persistent wire must
+  // retire moduleFailed entries exactly like the from-scratch rebuild, and
+  // the healed module's stale copies must lose in both engines alike.
+  const scheme::PpScheme s(1, 7);
+  const auto stream = makeStream(s.numVariables(), 512, 0x5EED);
+  auto scripted = [&] {
+    mpc::FaultPlan plan;
+    plan.failAt(2, 3).healAt(40, 3);
+    plan.failAt(15, 11 % s.numModules()).healAt(60, 11 % s.numModules());
+    return plan;
+  };
+  for (const unsigned threads : {1u, 4u}) {
+    mpc::Machine fast_m(s.numModules(), s.slotsPerModule(), threads);
+    mpc::Machine ref_m(s.numModules(), s.slotsPerModule(), threads);
+    fast_m.setFaultPlan(scripted());
+    ref_m.setFaultPlan(scripted());
+    MajorityEngine fast(s, fast_m);
+    ReferenceMajorityEngine ref(s, ref_m);
+    expectSameResults(fast.executeStream(stream), ref.executeStream(stream),
+                      "majority/scripted");
+    EXPECT_EQ(tally(fast_m), tally(ref_m)) << "threads=" << threads;
+  }
+}
+
+TEST(HotPath, PersistentWireSurvivesEngineReuse) {
+  // The wire scratch persists across batches and streams on one engine
+  // instance; results must not depend on what a previous batch left behind.
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  MajorityEngine eng(s, m);
+  util::Xoshiro256 rng(77);
+  const auto vars = workload::randomDistinct(s.numVariables(), 300, rng);
+  eng.execute(workload::makeWrites(vars, 10));
+  const auto first = eng.execute(workload::makeReads(vars));
+  // A differently-shaped batch in between (forces the wire scratch through
+  // a much smaller live set without mutating any cells).
+  const auto small = workload::randomDistinct(s.numVariables(), 17, rng);
+  eng.execute(workload::makeReads(small));
+  const auto second = eng.execute(workload::makeReads(vars));
+  EXPECT_EQ(first.values, second.values);
+}
+
+}  // namespace
+}  // namespace dsm::protocol
