@@ -298,6 +298,13 @@ int main(int argc, char** argv) {
   const auto stream = hotPoolStream(s, batches, batch_size, pool_size, seed);
   const std::size_t total_requests = batches * batch_size;
   double best_stream_speedup = 0.0;
+  // Thread-scaling floor (smoke and full runs alike): on a host that can
+  // actually run the pool in parallel, a forked stream must keep at least
+  // 0.95x of the serial throughput — parallelism must never cost 5%.
+  double serial_stream_secs[2] = {0.0, 0.0};
+  bool stream_scaling_pass = true;
+  std::uint64_t stream_scaling_rows = 0;
+  double worst_stream_scaling = 1e18;
   util::TextTable stream_table({"threads", "faults", "ref req/s",
                                 "persistent req/s", "speedup", "identical"});
   bench::Json stream_rows = bench::Json::arr();
@@ -308,6 +315,14 @@ int main(int argc, char** argv) {
       const double speedup = r.ref_secs / r.fast_secs;
       all_identical = all_identical && r.identical;
       best_stream_speedup = std::max(best_stream_speedup, speedup);
+      if (threads == 1) {
+        serial_stream_secs[faults] = r.fast_secs;
+      } else if (threads <= hw && serial_stream_secs[faults] > 0.0) {
+        const double scaling = serial_stream_secs[faults] / r.fast_secs;
+        ++stream_scaling_rows;
+        worst_stream_scaling = std::min(worst_stream_scaling, scaling);
+        stream_scaling_pass = stream_scaling_pass && scaling >= 0.95;
+      }
       stream_table.addRow(
           {util::TextTable::num(threads), faults ? "drops" : "none",
            util::TextTable::num(total_requests / r.ref_secs, 0),
@@ -340,11 +355,25 @@ int main(int argc, char** argv) {
             << util::TextTable::num(best_stream_speedup, 2)
             << "x; outputs bit-identical to reference everywhere: "
             << (all_identical ? "yes" : "NO") << "\n";
+  if (stream_scaling_rows == 0) {
+    std::cout << "  stream thread-scaling gate: n/a (host has " << hw
+              << " CPU)\n";
+  } else {
+    std::cout << "  stream thread-scaling gate: worst "
+              << util::TextTable::num(worst_stream_scaling, 2)
+              << "x vs serial ("
+              << (stream_scaling_pass ? "PASS" : "FAIL") << " >= 0.95x)\n";
+  }
   bench::Json gates = bench::Json::obj();
   gates.set("step_speedup_worst", worst_step_speedup)
       .set("step_speedup_gate_2x", worst_step_speedup >= 2.0)
       .set("stream_speedup_best", best_stream_speedup)
+      .set("stream_scaling_rows", stream_scaling_rows)
+      .set("stream_scaling_pass", stream_scaling_pass)
       .set("all_identical", all_identical);
+  if (stream_scaling_rows > 0) {
+    gates.set("stream_scaling_worst", worst_stream_scaling);
+  }
   json.set("gates", std::move(gates));
 
   if (!smoke) bench::writeJson(json_path, json);
@@ -354,5 +383,5 @@ int main(int argc, char** argv) {
       "allocations; the persistent wire retires requests incrementally "
       "instead of rebuilding the wire every iteration. --smoke checks the "
       "bit-identity gates only (speed gates need a full run).");
-  return (all_identical && speed_gate) ? 0 : 1;
+  return (all_identical && speed_gate && stream_scaling_pass) ? 0 : 1;
 }

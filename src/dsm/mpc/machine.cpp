@@ -235,6 +235,16 @@ void Machine::step(const std::vector<Request>& requests,
   used_fast_ = true;
   const std::size_t n = requests.size();
 
+  // Cycle-path choice (all three produce bit-identical responses/metrics):
+  // when the pool will fork and the wire is dense over the modules, the
+  // counting-sort partition amortizes and each module runs on exactly one
+  // thread; when modules outnumber the wire, per-module contention is
+  // sparse and the atomic-min sweeps below win (no O(modules) scratch).
+  if (module_count_ < n && pool_.partitionWidth(n) > 1) {
+    stepSharded(requests, responses);
+    return;
+  }
+
   util::Timer arb_timer;
   // Sweep 1: validate + arbitrate + count, fused. Address validation is
   // folded into the arbitration loop; the serial first-offender semantics
@@ -405,6 +415,203 @@ void Machine::step(const std::vector<Request>& requests,
       }
       // Winners own their module this cycle, so the counter bump is
       // race-free across workers.
+      if (!module_load_.empty()) {
+        ++module_load_[m];
+      }
+      resp.granted = true;
+      resp.moduleFailed = false;
+      resp.value = cell.value;
+      resp.timestamp = cell.timestamp;
+      ++local_granted;
+    }
+    granted.fetch_add(local_granted, std::memory_order_relaxed);
+    dropped.fetch_add(local_dropped, std::memory_order_relaxed);
+    std::uint32_t cur = peak.load(std::memory_order_relaxed);
+    while (local_peak > cur &&
+           !peak.compare_exchange_weak(cur, local_peak,
+                                       std::memory_order_relaxed)) {
+    }
+  });
+  metrics_.accessSeconds += access_timer.seconds();
+
+  metrics_.cycles += 1;
+  lifetime_cycles_ += 1;
+  metrics_.requestsIssued += requests.size();
+  metrics_.requestsGranted += granted.load(std::memory_order_relaxed);
+  metrics_.grantsDropped += dropped.load(std::memory_order_relaxed);
+  metrics_.maxModuleQueue = std::max<std::uint64_t>(
+      metrics_.maxModuleQueue, peak.load(std::memory_order_relaxed));
+}
+
+void Machine::stepSharded(const std::vector<Request>& requests,
+                          std::vector<Response>& responses) {
+  const std::size_t n = requests.size();
+  const std::size_t mc = static_cast<std::size_t>(module_count_);
+  const std::size_t buckets = mc + 1;  // bucket mc collects invalid requests
+  const Request* req = requests.data();
+  const std::uint64_t spm = slots_per_module_;
+
+  util::Timer arb_timer;
+  // Partition pass 1: per-participant bucket counts. Participants cover the
+  // pool's fixed chunk partition of [0, n) (participant index = lo / chunk,
+  // a documented parallelFor guarantee), so pass 2 can scatter through
+  // per-(participant, bucket) offsets and the sort is STABLE: bucket order
+  // is ascending wire order.
+  const std::size_t width = pool_.partitionWidth(n);
+  const std::size_t chunk = (n + width - 1) / width;
+  // A participant whose fixed range is empty never runs (and so never
+  // zeroes its slice): walk only the ceil(n / chunk) populated slices.
+  const std::size_t active_width = (n + chunk - 1) / chunk;
+  part_counts_.resize(active_width * buckets);
+  bucket_bounds_.resize(buckets + 1);
+  bucket_entries_.resize(n);
+  pool_.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
+    std::size_t* cnt = &part_counts_[(lo / chunk) * buckets];
+    std::fill(cnt, cnt + buckets, 0);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Request& r = req[i];
+      const std::size_t b =
+          (r.module >= mc || (spm != 0 && r.slot >= spm))
+              ? mc
+              : static_cast<std::size_t>(r.module);
+      ++cnt[b];
+    }
+  });
+  // Serial exclusive scan over (bucket, participant): bucket bounds for the
+  // shard cuts, scatter offsets for pass 2.
+  std::size_t pos = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    bucket_bounds_[b] = pos;
+    for (std::size_t w = 0; w < active_width; ++w) {
+      std::size_t& c = part_counts_[w * buckets + b];
+      const std::size_t count = c;
+      c = pos;
+      pos += count;
+    }
+  }
+  bucket_bounds_[buckets] = pos;  // == n
+  // Partition pass 2: stable scatter of the wire indices.
+  pool_.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
+    std::size_t* offset = &part_counts_[(lo / chunk) * buckets];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Request& r = req[i];
+      const std::size_t b =
+          (r.module >= mc || (spm != 0 && r.slot >= spm))
+              ? mc
+              : static_cast<std::size_t>(r.module);
+      bucket_entries_[offset[b]++] = static_cast<std::uint32_t>(i);
+    }
+  });
+  // Invalid requests never touched the per-module scratch (there is none to
+  // touch on this path), so the error unwind is just the serial
+  // first-offender throw: stability makes the overflow bucket's first entry
+  // the lowest offending wire index.
+  if (bucket_bounds_[mc + 1] != bucket_bounds_[mc]) {
+    const Request& r =
+        requests[bucket_entries_[bucket_bounds_[mc]]];
+    checkAddress(r.module, r.slot);  // throws
+  }
+  metrics_.arbSeconds += arb_timer.seconds();
+
+  util::Timer access_timer;
+  std::atomic<std::uint64_t> granted{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint32_t> peak{0};
+  const std::uint64_t* drop_thresholds =
+      has_drops_ ? drop_threshold_.data() : nullptr;
+  const std::uint64_t drop_salt =
+      plan_.seed ^ (lifetime_cycles_ * 0x9E3779B97F4A7C15ULL);
+  const std::uint32_t* entries = bucket_entries_.data();
+  const std::size_t* bounds = bucket_bounds_.data();
+  Cell* flat = eager_ ? flat_.data() : nullptr;
+  // Execution: each shard is a contiguous module range, cut at bucket
+  // boundaries with near-equal wire-entry counts, so one worker owns a
+  // module's arbitration, access, staging and peak bookkeeping outright —
+  // plain loads and stores throughout, merged into the cycle totals once
+  // per shard.
+  pool_.parallelForShards(bounds, mc, [&](std::size_t mlo, std::size_t mhi) {
+    std::uint64_t local_granted = 0;
+    std::uint64_t local_dropped = 0;
+    std::uint32_t local_peak = 0;
+    for (std::size_t m = mlo; m < mhi; ++m) {
+      const std::size_t b0 = bounds[m];
+      const std::size_t b1 = bounds[m + 1];
+      if (b0 == b1) continue;
+      if (failed_[m]) {
+        for (std::size_t e = b0; e < b1; ++e) {
+          responses[entries[e]] = Response{false, true, 0, 0};
+        }
+        continue;
+      }
+      // Arbitration: a plain min over the bucket (same key, same winner as
+      // the atomic path). The running minimum is the candidate winner —
+      // prefetch its committed cell like the serial sweep does.
+      std::size_t win = entries[b0];
+      std::uint64_t best = arbKey(req[win].processor, win);
+      if (flat != nullptr) {
+        __builtin_prefetch(&flat[m * spm + req[win].slot], 1, 1);
+      }
+      for (std::size_t e = b0 + 1; e < b1; ++e) {
+        const std::size_t i = entries[e];
+        const std::uint64_t key = arbKey(req[i].processor, i);
+        if (key < best) {
+          best = key;
+          win = i;
+          if (flat != nullptr) {
+            __builtin_prefetch(&flat[m * spm + req[i].slot], 1, 1);
+          }
+        }
+      }
+      local_peak = std::max(local_peak, static_cast<std::uint32_t>(b1 - b0));
+      for (std::size_t e = b0; e < b1; ++e) {
+        const std::size_t i = entries[e];
+        if (i != win) responses[i] = Response{false, false, 0, 0};
+      }
+      const Request& r = req[win];
+      Response& resp = responses[win];
+      // FaultPlan drop noise: the port is consumed but the grant is lost;
+      // the requester retries in a later cycle.
+      if (drop_thresholds != nullptr) {
+        const std::uint64_t threshold = drop_thresholds[m];
+        if (threshold != 0) {
+          util::SplitMix64 g(drop_salt ^ (r.module * 0xA24BAED4963EE407ULL));
+          if (g.next() < threshold) {
+            ++local_dropped;
+            resp = Response{false, false, 0, 0};
+            continue;
+          }
+        }
+      }
+      Cell& cell = cellRef(r.module, r.slot);
+      switch (r.op) {
+        case Op::kRead:
+          break;
+        case Op::kWrite:
+          // Stage only: committed state is untouched until kCommit.
+          staged_[m].put(r.slot, Cell{r.value, r.timestamp});
+          break;
+        case Op::kCommit: {
+          Cell* entry = staged_[m].find(r.slot);
+          if (entry != nullptr && entry->timestamp == r.timestamp) {
+            cell = *entry;
+            staged_[m].erase(r.slot);
+          }
+          break;
+        }
+        case Op::kAbort: {
+          Cell* entry = staged_[m].find(r.slot);
+          if (entry != nullptr && entry->timestamp == r.timestamp) {
+            staged_[m].erase(r.slot);
+          }
+          break;
+        }
+        case Op::kRepair:
+          // Monotone: a repair can only move a copy forward in time.
+          if (r.timestamp > cell.timestamp) {
+            cell = Cell{r.value, r.timestamp};
+          }
+          break;
+      }
       if (!module_load_.empty()) {
         ++module_load_[m];
       }

@@ -10,14 +10,30 @@
 // reproducible and independent of the number of worker threads used to
 // execute a cycle (the winner is an associative/commutative min).
 //
-// Hot path: a cycle is TWO parallel sweeps over the wire. Sweep 1 fuses
-// address validation, arbitration, and per-module load counting; sweep 2
-// performs the winning access, writes every Response field, folds the
-// cycle's peak contention into the metrics, and resets the arbitration
-// scratch it touched (winner-owned reset: only the unique winner of a
-// module can observe its own key, so it alone clears the slot while losers
-// still classify correctly against either the winner's key or the cleared
-// sentinel). stepReference() preserves the original five-sweep cycle as a
+// Hot path: three cycle implementations behind step(), chosen per cycle by
+// wire size and module count, all bit-identical (lowest-processor-id-wins
+// is a pure min, however it is computed):
+//   * serial    — wire below the fork grain (or a 1-thread pool): one fused
+//     validate+arbitrate+count sweep with plain relaxed ops and a
+//     candidate-winner cell prefetch, then the winner-owned access sweep.
+//   * sharded   — module_count < wire size: a stable counting sort
+//     partitions the wire into per-module buckets (persistent scratch, two
+//     parallel passes paired through the pool's fixed chunk partition),
+//     then parallelForShards hands each worker a contiguous MODULE range
+//     cut at bucket boundaries, so arbitration, access, staging and peak
+//     accounting for a module run on exactly one thread — no atomic-min, no
+//     lock-prefixed RMWs, no false sharing on the arbitration scratch.
+//     Responses are still written at the original wire positions.
+//   * atomic    — modules outnumber the wire (contention is sparse, so a
+//     counting pass would cost more than it saves): sweep 1 fuses
+//     validation + arbitration + counting via commutative atomic-min;
+//     sweep 2 performs the winning access, writes every Response field,
+//     folds the cycle's peak contention into the metrics, and resets the
+//     arbitration scratch it touched (winner-owned reset: only the unique
+//     winner of a module can observe its own key, so it alone clears the
+//     slot while losers still classify correctly against either the
+//     winner's key or the cleared sentinel).
+// stepReference() preserves the original five-sweep cycle as a
 // differential oracle and benchmark baseline.
 //
 // Fault model: modules fail and heal under a scripted FaultPlan (per-cycle
@@ -241,6 +257,10 @@ class Machine {
   void applyDueFaultEvents();
   bool dropsGrant(std::uint64_t module) const;
   void resetTouchedScratch(const std::vector<Request>& requests);
+  /// The module-sharded cycle (see file comment). Preconditions: requests
+  /// nonempty, module_count_ < requests.size(), pool would fork.
+  void stepSharded(const std::vector<Request>& requests,
+                   std::vector<Response>& responses);
 
   std::uint64_t module_count_;
   std::uint64_t slots_per_module_;
@@ -264,9 +284,20 @@ class Machine {
   bool used_fast_ = false;       // step() has run
   bool used_reference_ = false;  // stepReference() has run
   // Per-module arbitration scratch: current best (lowest) processor id + the
-  // index of its request; reset lazily via the touched list.
+  // index of its request; reset lazily via the touched list. Used by the
+  // serial and atomic cycle paths only — the sharded path arbitrates inside
+  // each worker's private module range and needs no cross-thread scratch.
   std::vector<std::atomic<std::uint64_t>> arb_;
   std::vector<std::atomic<std::uint32_t>> counts_;  // per-module load scratch
+  // Sharded-cycle scratch, persistent across cycles: the counting sort
+  // scatters each wire index into its module's bucket (bucket module_count_
+  // collects invalid requests; stable, so the first entry there is the
+  // serial first offender). part_counts_ holds the per-participant count /
+  // scatter-offset arrays; the two passes pair up through the pool's fixed
+  // chunk partition (see ThreadPool::parallelFor's partition guarantee).
+  std::vector<std::uint32_t> bucket_entries_;  // wire indices, bucket order
+  std::vector<std::size_t> bucket_bounds_;     // module_count_ + 2 bounds
+  std::vector<std::size_t> part_counts_;
   std::vector<std::uint8_t> failed_;  // fault flags, driven by plan + calls
   std::uint64_t failed_count_ = 0;
   std::vector<std::uint64_t> module_load_;  // grants per module (optional)

@@ -30,34 +30,22 @@ void ThreadPool::workerLoop(std::size_t index) {
     cv_work_.wait(lk, [&] { return stop_ || gen_ != seen; });
     if (stop_) return;
     seen = gen_;
-    const auto* body = body_;
+    const ParallelBody body = body_;  // two pointers, copied under the lock
     // Chunk 0 belongs to the dispatching thread; worker i takes chunk i+1.
     const std::size_t begin = (index + 1) * chunk_;
     const std::size_t end = std::min(n_, begin + chunk_);
     lk.unlock();
-    if (begin < end) (*body)(begin, end);
+    if (begin < end) body(begin, end);
     lk.lock();
     if (--pending_ == 0) cv_done_.notify_one();
   }
 }
 
-void ThreadPool::parallelFor(
-    std::size_t n,
-    const std::function<void(std::size_t, std::size_t)>& body) {
-  if (n == 0) return;
-  // Cap the fork width so every participant gets a worthwhile slice.
-  const std::size_t by_grain =
-      std::max<std::size_t>(1, n / kMinItemsPerWorker);
-  const std::size_t workers =
-      std::min<std::size_t>({threads_, n, by_grain});
-  if (workers <= 1 || crew_.empty()) {
-    body(0, n);
-    return;
-  }
-  const std::size_t chunk = (n + workers - 1) / workers;
+void ThreadPool::dispatch(std::size_t n, std::size_t chunk,
+                          ParallelBody body) {
   {
     const std::lock_guard<std::mutex> lk(mu_);
-    body_ = &body;
+    body_ = body;
     n_ = n;
     chunk_ = chunk;
     pending_ = crew_.size();
@@ -67,7 +55,58 @@ void ThreadPool::parallelFor(
   body(0, std::min(n, chunk));  // the dispatching thread takes chunk 0
   std::unique_lock<std::mutex> lk(mu_);
   cv_done_.wait(lk, [&] { return pending_ == 0; });
-  body_ = nullptr;
+  body_ = ParallelBody{};
+}
+
+std::size_t ThreadPool::partitionWidth(std::size_t n) const noexcept {
+  if (n == 0 || crew_.empty()) return 1;
+  // Cap the fork width so every participant gets a worthwhile slice.
+  const std::size_t by_grain =
+      std::max<std::size_t>(1, n / kMinItemsPerWorker);
+  return std::min<std::size_t>({threads_, n, by_grain});
+}
+
+void ThreadPool::parallelFor(std::size_t n, ParallelBody body) {
+  if (n == 0) return;
+  const std::size_t workers = partitionWidth(n);
+  if (workers <= 1) {
+    body(0, n);
+    return;
+  }
+  dispatch(n, (n + workers - 1) / workers, body);
+}
+
+void ThreadPool::parallelForShards(const std::size_t* bounds,
+                                   std::size_t buckets, ParallelBody body) {
+  if (buckets == 0) return;
+  const std::size_t total = bounds[buckets];
+  // Shard count follows the ITEM total (the actual work), not the bucket
+  // count: a thousand near-empty buckets are one shard's worth of work.
+  const std::size_t by_grain =
+      std::max<std::size_t>(1, total / kMinItemsPerWorker);
+  const std::size_t shards =
+      std::min<std::size_t>({threads_, buckets, by_grain});
+  if (shards <= 1 || crew_.empty()) {
+    body(0, buckets);
+    return;
+  }
+  // Cut shard w where the item prefix first reaches total * w / shards: a
+  // binary search per cut over the nondecreasing bounds array. Cuts are
+  // nondecreasing because the targets are, so shard ranges partition
+  // [0, buckets) exactly (some possibly empty when a bucket dominates).
+  shard_cuts_.resize(shards + 1);
+  shard_cuts_[0] = 0;
+  shard_cuts_[shards] = buckets;
+  for (std::size_t w = 1; w < shards; ++w) {
+    const std::size_t target = total * w / shards;
+    shard_cuts_[w] = static_cast<std::size_t>(
+        std::lower_bound(bounds, bounds + buckets + 1, target) - bounds);
+  }
+  const std::size_t* cuts = shard_cuts_.data();
+  const auto run_shards = [cuts, body](std::size_t lo, std::size_t hi) {
+    for (std::size_t w = lo; w < hi; ++w) body(cuts[w], cuts[w + 1]);
+  };
+  dispatch(shards, 1, run_shards);
 }
 
 }  // namespace dsm::mpc

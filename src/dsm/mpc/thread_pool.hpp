@@ -7,17 +7,49 @@
 // thread creation. No detach, no shared mutable state beyond the
 // caller-provided ranges; the MPC arbitration that runs under this pool uses
 // a commutative atomic-min so results are independent of the schedule.
+//
+// Dispatch takes a ParallelBody — a non-owning function_ref (one data pointer
+// plus one code pointer) — instead of const std::function&: the per-round
+// indirection on the hot path is a single indirect call, with no type-erased
+// allocation and no vtable.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace dsm::mpc {
+
+/// Non-owning reference to a `void(std::size_t, std::size_t)` callable (a
+/// function_ref): one object pointer and one call thunk, nothing allocated,
+/// nothing owned. The referenced callable must outlive every invocation —
+/// the pool only calls it inside parallelFor/parallelForShards, so passing a
+/// temporary lambda at the call site is safe.
+class ParallelBody {
+ public:
+  ParallelBody() = default;
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::remove_cvref_t<F>, ParallelBody>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit like function_ref.
+  ParallelBody(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_(+[](void* obj, std::size_t lo, std::size_t hi) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(lo, hi);
+        }) {}
+
+  void operator()(std::size_t lo, std::size_t hi) const { call_(obj_, lo, hi); }
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  void (*call_)(void*, std::size_t, std::size_t) = nullptr;
+};
 
 /// Fork-join executor with a fixed thread budget. threads == 1 runs inline
 /// (the default on single-core hosts); the parallel path slices [0, n) into
@@ -42,8 +74,30 @@ class ThreadPool {
   /// Applies body(begin, end) over a partition of [0, n).
   /// body must be safe to run concurrently on disjoint ranges and must not
   /// call back into this pool (no nesting) or throw.
-  void parallelFor(std::size_t n,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+  ///
+  /// Partition guarantee: with W = partitionWidth(n) participants and
+  /// chunk = ceil(n / W), participant w covers
+  /// [w * chunk, min(n, (w + 1) * chunk)). Bodies may recover their
+  /// participant index as lo / chunk — the module-sharded step's counting
+  /// sort relies on this to pair the count and scatter passes.
+  void parallelFor(std::size_t n, ParallelBody body);
+
+  /// Number of participants parallelFor(n, body) partitions [0, n) into
+  /// (1 = the loop runs inline on the caller). Deterministic in n: capped by
+  /// the thread budget and by the fork grain (kMinItemsPerWorker).
+  std::size_t partitionWidth(std::size_t n) const noexcept;
+
+  /// Applies body(first_bucket, last_bucket) over a partition of `buckets`
+  /// contiguous buckets whose item boundaries are bounds[0 .. buckets]
+  /// (bucket b spans items [bounds[b], bounds[b+1]); bounds is
+  /// nondecreasing with bounds[0] == 0, so bounds[buckets] is the item
+  /// total). Shards are cut at bucket boundaries with near-equal ITEM
+  /// counts — a bucket is never split across participants, which is what
+  /// lets the module-sharded step run each module's arbitration and access
+  /// on exactly one thread with no atomics. Shard ranges handed to body may
+  /// be empty when one bucket dominates the item mass.
+  void parallelForShards(const std::size_t* bounds, std::size_t buckets,
+                         ParallelBody body);
 
   static unsigned defaultThreads() {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -52,18 +106,23 @@ class ThreadPool {
 
  private:
   void workerLoop(std::size_t index);
+  /// Publishes (n, chunk, body) to the crew and runs chunk 0 inline.
+  /// Precondition: chunk * (crew size + 1) >= n, so the fixed per-worker
+  /// ranges cover [0, n).
+  void dispatch(std::size_t n, std::size_t chunk, ParallelBody body);
 
   unsigned threads_;
   // Job slot, published under mu_ and consumed by the current generation.
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  ParallelBody body_;
   std::size_t n_ = 0;
   std::size_t chunk_ = 0;
   std::uint64_t gen_ = 0;
   std::size_t pending_ = 0;
   bool stop_ = false;
+  std::vector<std::size_t> shard_cuts_;  // parallelForShards scratch
   std::vector<std::jthread> crew_;  // joins (and thus outlives jobs) last
 };
 

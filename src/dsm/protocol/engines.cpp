@@ -1,6 +1,10 @@
 #include "dsm/protocol/engines.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "dsm/util/assert.hpp"
 #include "dsm/util/numeric.hpp"
@@ -13,6 +17,89 @@ std::uint64_t AccessResult::maxPhaseIterations() const {
   for (const std::uint64_t phi : phaseIterations) m = std::max(m, phi);
   return m;
 }
+
+// One-slot prepare worker for pipelined executeStream: the main thread
+// submits (batch, prep) before starting a batch's wire rounds and waits
+// after them, so exactly one prepare is ever in flight and the engine state
+// prepare touches (cache_, clock_, the submitted PreparedBatch) is never
+// shared with the rounds. Exceptions from prepare (validation failures)
+// are captured and rethrown on wait() — the same point in the stream where
+// the serial loop would have thrown them.
+class EngineBase::Prefetcher {
+ public:
+  explicit Prefetcher(EngineBase& owner)
+      : owner_(owner), worker_([this] { loop(); }) {}
+
+  ~Prefetcher() {
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    // worker_ (jthread) joins on destruction; a prepare in flight finishes
+    // first — it only touches engine state that outlives this object.
+  }
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  void submit(const std::vector<AccessRequest>* batch, PreparedBatch* prep) {
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      batch_ = batch;
+      prep_ = prep;
+      error_ = nullptr;
+      busy_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the submitted prepare finished; rethrows its exception.
+  void wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !busy_; });
+    if (error_ != nullptr) {
+      const std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      cv_.wait(lk, [&] { return stop_ || busy_; });
+      if (stop_) return;
+      const std::vector<AccessRequest>* batch = batch_;
+      PreparedBatch* prep = prep_;
+      lk.unlock();
+      std::exception_ptr error;
+      try {
+        // Null pool: the machine pool is running batch k's wire rounds.
+        owner_.prepare(*batch, *prep, nullptr);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lk.lock();
+      error_ = error;
+      busy_ = false;
+      cv_.notify_all();
+    }
+  }
+
+  EngineBase& owner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::vector<AccessRequest>* batch_ = nullptr;
+  PreparedBatch* prep_ = nullptr;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::jthread worker_;  // last member: joins before the slot state dies
+};
+
+EngineBase::~EngineBase() = default;
 
 EngineBase::EngineBase(const scheme::MemoryScheme& scheme,
                        mpc::Machine& machine,
@@ -33,7 +120,8 @@ EngineBase::EngineBase(const scheme::MemoryScheme& scheme,
   }
 }
 
-void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
+void EngineBase::prepare(const std::vector<AccessRequest>& batch,
+                         PreparedBatch& prep, mpc::ThreadPool* pool) {
   const std::size_t b = batch.size();
   // Wire processor ids are 32-bit: MajorityEngine derives them as
   // cluster * r + j (< b + r) and SingleOwnerEngine as the request index.
@@ -41,13 +129,63 @@ void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
   // arbitration determinism.
   DSM_CHECK_MSG(b + scheme_.copiesPerVariable() <= (1ULL << 32),
                 "batch too large for 32-bit processor ids: " << b);
-  // Reuse accounting: scratch whose capacity survives from earlier batches
-  // needs no reallocation this batch.
+  // Reuse accounting for prep's own buffers: recorded locally and folded
+  // into metrics_ by beginBatch, because prepare may run on the prefetch
+  // thread while the main thread reads metrics_.
+  prep.allocationsAvoided = 0;
+  const auto probe = [&prep](std::size_t have, std::size_t need) {
+    if (need > 0 && have >= need) ++prep.allocationsAvoided;
+  };
+  probe(prep.copies.capacity(), b);
+  probe(prep.stamps.capacity(), b);
+  probe(prep.vars.capacity(), b);
+  probe(prep.distinct.capacity(), b);
+
+  // Distinct-variable check via a reused sorted scratch vector: no
+  // per-batch hashing or node allocation (the scratch's capacity survives
+  // across batches like the rest of the scratch set).
+  prep.vars.resize(b);
+  prep.distinct.resize(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    DSM_CHECK_MSG(batch[i].variable < scheme_.numVariables(),
+                  "variable out of range: " << batch[i].variable);
+    prep.vars[i] = batch[i].variable;
+    prep.distinct[i] = batch[i].variable;
+  }
+  std::sort(prep.distinct.begin(), prep.distinct.end());
+  const auto dup =
+      std::adjacent_find(prep.distinct.begin(), prep.distinct.end());
+  DSM_CHECK_MSG(dup == prep.distinct.end(),
+                "duplicate variable in batch: "
+                    << (dup == prep.distinct.end() ? 0 : *dup));
+  // Section-4 addressing through the cache; misses resolve in parallel on
+  // `pool` when one is available (the scheme is immutable + thread-safe).
+  prep.copies.resize(b);
+  cache_.copiesBatch(prep.vars.data(), b, prep.copies, pool);
+  for (std::size_t i = 0; i < b; ++i) {
+    DSM_CHECK(prep.copies[i].size() == scheme_.copiesPerVariable());
+  }
+  // Write stamping in batch order — prepare is the only writer of clock_,
+  // and prepares run in batch order even when pipelined, so the stamps are
+  // identical to the serial loop's.
+  prep.stamps.assign(b, 0);
+  for (std::size_t i = 0; i < b; ++i) {
+    if (batch[i].op == mpc::Op::kWrite) prep.stamps[i] = ++clock_;
+  }
+  // Reads must observe any write completed in an earlier batch; bump the
+  // clock so later batches always stamp strictly newer.
+  ++clock_;
+}
+
+void EngineBase::beginBatch(const PreparedBatch& prep,
+                            std::size_t batch_size) {
+  const std::size_t b = batch_size;
+  // Reuse accounting for the engine-owned scratch. Probed here, not in
+  // prepare: these vectors belong to the wire rounds, which may still be
+  // running (for the previous batch) when a pipelined prepare executes.
   const auto probe = [this](std::size_t have, std::size_t need) {
     if (need > 0 && have >= need) ++metrics_.allocationsAvoided;
   };
-  probe(copies_.capacity(), b);
-  probe(stamps_.capacity(), b);
   probe(fresh_.capacity(), b);
   probe(wire_.capacity(), b);
   probe(replies_.capacity(), b);
@@ -65,33 +203,7 @@ void EngineBase::preprocess(const std::vector<AccessRequest>& batch) {
   probe(ts_seen_.capacity(), b);
   probe(acked_.capacity(), b);
   probe(lost_.capacity(), b);
-  probe(distinct_scratch_.capacity(), b);
-
-  // Distinct-variable check via a reused sorted scratch vector: no
-  // per-batch hashing or node allocation (the scratch's capacity survives
-  // across batches like the rest of the scratch set).
-  distinct_scratch_.resize(b);
-  for (std::size_t i = 0; i < b; ++i) {
-    DSM_CHECK_MSG(batch[i].variable < scheme_.numVariables(),
-                  "variable out of range: " << batch[i].variable);
-    distinct_scratch_[i] = batch[i].variable;
-  }
-  std::sort(distinct_scratch_.begin(), distinct_scratch_.end());
-  const auto dup =
-      std::adjacent_find(distinct_scratch_.begin(), distinct_scratch_.end());
-  DSM_CHECK_MSG(dup == distinct_scratch_.end(),
-                "duplicate variable in batch: "
-                    << (dup == distinct_scratch_.end() ? 0 : *dup));
-  copies_.resize(b);
-  stamps_.assign(b, 0);
-  for (std::size_t i = 0; i < b; ++i) {
-    cache_.copies(batch[i].variable, copies_[i]);
-    DSM_CHECK(copies_[i].size() == scheme_.copiesPerVariable());
-    if (batch[i].op == mpc::Op::kWrite) stamps_[i] = ++clock_;
-  }
-  // Reads must observe any write completed in an earlier batch; bump the
-  // clock so later batches always stamp strictly newer.
-  ++clock_;
+  metrics_.allocationsAvoided += prep.allocationsAvoided;
   // The dead-module memo is per batch: modules may heal between batches, so
   // each batch rediscovers honestly.
   module_dead_.resize(static_cast<std::size_t>(scheme_.numModules()), 0);
@@ -116,11 +228,12 @@ void EngineBase::resetPhaseState(std::size_t count, std::size_t r) {
   quorum_.resize(count);
 }
 
-void EngineBase::premarkKnownDeadCopies(std::size_t a, std::size_t req,
+void EngineBase::premarkKnownDeadCopies(const PreparedBatch& prep,
+                                        std::size_t a, std::size_t req,
                                         std::size_t r) {
   if (!module_dead_any_) return;
   for (std::size_t j = 0; j < r; ++j) {
-    if (module_dead_[static_cast<std::size_t>(copies_[req][j].module)]) {
+    if (module_dead_[static_cast<std::size_t>(prep.copies[req][j].module)]) {
       dead_[a * r + j] = 1;
       ++dead_count_[a];
     }
@@ -188,8 +301,9 @@ void EngineBase::transitionAfterScan(std::size_t a, std::size_t req,
   if (pending_count_[a] == 0) state_[a] = kStateDone;
 }
 
-void EngineBase::finishPhase(std::size_t count, const std::size_t* req_map,
-                             std::size_t r, AccessResult& result) {
+void EngineBase::finishPhase(const PreparedBatch& prep, std::size_t count,
+                             const std::size_t* req_map, std::size_t r,
+                             AccessResult& result) {
   FaultMetrics& fm = metrics_.faults;
   if (fm.degradedQuorum.size() < r + 1) fm.degradedQuorum.resize(r + 1, 0);
   for (std::size_t a = 0; a < count; ++a) {
@@ -198,7 +312,7 @@ void EngineBase::finishPhase(std::size_t count, const std::size_t* req_map,
       fm.deadCopies += dead_count_[a];
       for (std::size_t j = 0; j < r; ++j) {
         if (!dead_[a * r + j]) continue;
-        const auto m = static_cast<std::size_t>(copies_[req][j].module);
+        const auto m = static_cast<std::size_t>(prep.copies[req][j].module);
         if (!module_dead_[m]) {
           module_dead_[m] = 1;
           module_dead_any_ = true;
@@ -237,19 +351,68 @@ void EngineBase::finishBatch(std::size_t batch_size) {
   cache_misses_seen_ = cache_.misses();
 }
 
+AccessResult EngineBase::execute(const std::vector<AccessRequest>& batch) {
+  if (batch.empty()) return AccessResult{};
+  prepare(batch, prep_a_, &machine_.pool());
+  beginBatch(prep_a_, batch.size());
+  AccessResult result = executePrepared(batch, prep_a_);
+  finishBatch(batch.size());
+  return result;
+}
+
 std::vector<AccessResult> EngineBase::executeStream(
     std::span<const std::vector<AccessRequest>> batches) {
   std::vector<AccessResult> results;
   results.reserve(batches.size());
-  for (const auto& batch : batches) results.push_back(execute(batch));
+  // Pipelining pays only when the wire rounds themselves run multi-threaded
+  // (a 1-thread machine stays strictly serial, including its prepares).
+  const bool pipelined = batches.size() > 1 && machine_.pool().threads() > 1 &&
+                         streamPipelineEnabled();
+  if (pipelined && prefetcher_ == nullptr) {
+    prefetcher_ = std::make_unique<Prefetcher>(*this);
+  }
+  PreparedBatch* cur = &prep_a_;
+  PreparedBatch* next = &prep_b_;
+  bool cur_ready = false;      // *cur holds batches[k]'s prepare
+  for (std::size_t k = 0; k < batches.size(); ++k) {
+    const std::vector<AccessRequest>& batch = batches[k];
+    if (batch.empty()) {
+      // Same as execute(): an empty batch touches no engine state (and the
+      // loop never prepares one, so cur_ready is untouched here).
+      results.emplace_back();
+      continue;
+    }
+    if (!cur_ready) prepare(batch, *cur, &machine_.pool());
+    // Overlap: hand batch k+1's prepare to the prefetch thread, run batch
+    // k's wire rounds, then collect (rethrowing any validation failure at
+    // the same stream position where the serial loop would raise it).
+    const bool prefetch_next =
+        k + 1 < batches.size() && !batches[k + 1].empty();
+    if (prefetch_next && pipelined) {
+      prefetcher_->submit(&batches[k + 1], next);
+    }
+    beginBatch(*cur, batch.size());
+    results.push_back(executePrepared(batch, *cur));
+    bool next_ready = false;
+    if (prefetch_next) {
+      if (pipelined) {
+        prefetcher_->wait();
+      } else {
+        prepare(batches[k + 1], *next, &machine_.pool());
+      }
+      next_ready = true;
+    }
+    finishBatch(batch.size());
+    std::swap(cur, next);
+    cur_ready = next_ready;
+  }
   return results;
 }
 
-AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
+AccessResult MajorityEngine::executePrepared(
+    const std::vector<AccessRequest>& batch, const PreparedBatch& prep) {
   AccessResult result;
   result.values.assign(batch.size(), 0);
-  if (batch.empty()) return result;
-  preprocess(batch);
   mpc::ThreadPool& pool = machine_.pool();
 
   const std::size_t r = scheme_.copiesPerVariable();  // cluster size
@@ -287,7 +450,7 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
     // unsatisfiable before its first wire round (its phase may then run
     // zero iterations).
     for (std::size_t a = 0; a < na; ++a) {
-      premarkKnownDeadCopies(a, active_[a], r);
+      premarkKnownDeadCopies(prep, a, active_[a], r);
       transitionAfterScan(a, active_[a], batch[active_[a]].op, r);
     }
     // Persistent wire: live_ tracks the requests with outstanding work, in
@@ -364,10 +527,10 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
             const std::uint64_t val =
                 repair ? fresh_[req].value : batch[req].value;
             const std::uint64_t ts =
-                repair ? fresh_[req].timestamp : stamps_[req];
+                repair ? fresh_[req].timestamp : prep.stamps[req];
             for (std::size_t j = 0; j < r; ++j) {
               if (!pending_[a * r + j]) continue;
-              const auto& pa = copies_[req][j];
+              const auto& pa = prep.copies[req][j];
               wire_next_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, fop, val, ts};
@@ -379,10 +542,10 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
             const std::uint8_t* dd = &dead_[a * r];
             for (std::size_t j = 0; j < r; ++j) {
               if (acc[j] || dd[j]) continue;
-              const auto& pa = copies_[req][j];
+              const auto& pa = prep.copies[req][j];
               wire_next_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
-                  pa.slot, batch[req].op, batch[req].value, stamps_[req]};
+                  pa.slot, batch[req].op, batch[req].value, prep.stamps[req]};
               wire_copy_next_[out] = j;
               ++out;
             }
@@ -453,7 +616,7 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
       });
       metrics_.scanSeconds += timer.seconds();
     }
-    finishPhase(na, active_.data(), r, result);
+    finishPhase(prep, na, active_.data(), r, result);
     result.phaseIterations.push_back(iters);
     result.liveTrajectory.push_back(std::move(trajectory));
     result.totalIterations += iters;
@@ -473,16 +636,13 @@ AccessResult MajorityEngine::execute(const std::vector<AccessRequest>& batch) {
   // its quorum aborted its staged copies, and a sub-quorum read may be
   // stale.
   for (const std::size_t i : result.unsatisfiable) result.values[i] = 0;
-  finishBatch(batch.size());
   return result;
 }
 
-AccessResult SingleOwnerEngine::execute(
-    const std::vector<AccessRequest>& batch) {
+AccessResult SingleOwnerEngine::executePrepared(
+    const std::vector<AccessRequest>& batch, const PreparedBatch& prep) {
   AccessResult result;
   result.values.assign(batch.size(), 0);
-  if (batch.empty()) return result;
-  preprocess(batch);
   mpc::ThreadPool& pool = machine_.pool();
 
   const std::size_t r = scheme_.copiesPerVariable();
@@ -496,7 +656,7 @@ AccessResult SingleOwnerEngine::execute(
                                                : scheme_.writeQuorum();
   }
   for (std::size_t i = 0; i < nb; ++i) {
-    premarkKnownDeadCopies(i, i, r);
+    premarkKnownDeadCopies(prep, i, i, r);
     transitionAfterScan(i, i, batch[i].op, r);
   }
 
@@ -545,11 +705,11 @@ AccessResult SingleOwnerEngine::execute(
           }
           const auto fop = static_cast<mpc::Op>(final_op_[i]);
           const bool repair = fop == mpc::Op::kRepair;
-          const auto& pa = copies_[i][pick];
+          const auto& pa = prep.copies[i][pick];
           wire_[out] = mpc::Request{
               static_cast<std::uint32_t>(i), pa.module, pa.slot, fop,
               repair ? fresh_[i].value : batch[i].value,
-              repair ? fresh_[i].timestamp : stamps_[i]};
+              repair ? fresh_[i].timestamp : prep.stamps[i]};
           wire_copy_[out] = pick;
         } else {
           for (std::size_t off = 0; off < r; ++off) {
@@ -559,10 +719,10 @@ AccessResult SingleOwnerEngine::execute(
               break;
             }
           }
-          const auto& pa = copies_[i][pick];
+          const auto& pa = prep.copies[i][pick];
           wire_[out] = mpc::Request{static_cast<std::uint32_t>(i), pa.module,
                                     pa.slot, batch[i].op, batch[i].value,
-                                    stamps_[i]};
+                                    prep.stamps[i]};
           wire_copy_[out] = pick;
         }
       }
@@ -611,7 +771,7 @@ AccessResult SingleOwnerEngine::execute(
     });
     metrics_.scanSeconds += timer.seconds();
   }
-  finishPhase(nb, nullptr, r, result);
+  finishPhase(prep, nb, nullptr, r, result);
 
   result.phaseIterations.push_back(iters);
   result.liveTrajectory.push_back(std::move(trajectory));
@@ -624,7 +784,6 @@ AccessResult SingleOwnerEngine::execute(
   }
   // Unsatisfiable requests must not leak partial data (see MajorityEngine).
   for (const std::size_t i : result.unsatisfiable) result.values[i] = 0;
-  finishBatch(batch.size());
   return result;
 }
 

@@ -43,6 +43,21 @@
 // executeStream() runs a whole stream of batches through the warmed scratch
 // and cache; EngineMetrics reports the split and the fault-path counters.
 //
+// Stream pipelining: a batch splits into a machine-independent PREPARE step
+// (validation, duplicate check, Section-4 copy resolution, write-timestamp
+// stamping — everything the old preprocess did) and the wire rounds that
+// actually drive the machine. prepare touches only the copy cache, the
+// global clock and its own PreparedBatch buffer, so executeStream overlaps
+// batch k+1's prepare (on a dedicated prefetch thread) with batch k's wire
+// rounds whenever the machine pool is multi-threaded, double-buffering two
+// PreparedBatch slots. Timestamps are identical to the serial order because
+// only prepare advances the clock and prepares run in batch order; results
+// are therefore bit-identical to per-batch execute(). A 1-thread machine
+// keeps the strictly serial loop. Copy-cache misses inside prepare resolve
+// in parallel through the machine pool when prepare runs on the main thread
+// between batches (schemes are immutable and thread-safe), and serially on
+// the prefetch thread (the pool is busy with wire rounds then).
+//
 // Persistent wire: within a phase the wire is maintained incrementally. A
 // live list of requests survives from one iteration to the next; the serial
 // offset pass walks only that list (O(live), not O(phase size)), and the
@@ -166,15 +181,19 @@ class EngineBase {
   /// the Section-4 addressing — the seed engine's behaviour).
   EngineBase(const scheme::MemoryScheme& scheme, mpc::Machine& machine,
              std::size_t copy_cache_capacity = kDefaultCopyCacheCapacity);
-  virtual ~EngineBase() = default;
+  virtual ~EngineBase();
 
-  virtual AccessResult execute(const std::vector<AccessRequest>& batch) = 0;
+  /// Executes one batch: prepare (validation, addressing, stamping) then
+  /// the engine's wire rounds. Dispatches to executePrepared().
+  AccessResult execute(const std::vector<AccessRequest>& batch);
 
   /// Pipelines a stream of batches through one warmed engine: the copy
   /// cache and all scratch vectors (wire, replies, accessed, dead, fresh,
-  /// ...) are reused across batches instead of being reallocated. Results
-  /// are identical to calling execute() per batch on a fresh engine over
-  /// the same machine.
+  /// ...) are reused across batches instead of being reallocated, and —
+  /// when the machine pool is multi-threaded — batch k+1's prepare runs on
+  /// a prefetch thread while batch k's wire rounds execute (see the file
+  /// comment). Results are identical to calling execute() per batch on a
+  /// fresh engine over the same machine, at any thread count.
   std::vector<AccessResult> executeStream(
       std::span<const std::vector<AccessRequest>> batches);
 
@@ -211,17 +230,51 @@ class EngineBase {
     }
   };
 
+  /// Machine-independent product of preparing one batch: the Section-4 copy
+  /// addresses, the write timestamps, and the validation scratch. Owns no
+  /// engine state, so one PreparedBatch can be filled by the prefetch
+  /// thread while another drives the current batch's wire rounds.
+  struct PreparedBatch {
+    std::vector<std::vector<scheme::PhysicalAddress>> copies;
+    std::vector<std::uint64_t> stamps;
+    std::vector<std::uint64_t> vars;      ///< batch variables, batch order
+    std::vector<std::uint64_t> distinct;  ///< sorted duplicate-check scratch
+    /// Reuse accounting for this struct's own buffers, folded into
+    /// metrics_ by beginBatch (prepare must not touch metrics_ — it may be
+    /// running on the prefetch thread).
+    std::uint64_t allocationsAvoided = 0;
+  };
+
+  /// Runs the engine's wire rounds for one prepared batch. Called between
+  /// beginBatch() and finishBatch(); `batch` is never empty.
+  virtual AccessResult executePrepared(const std::vector<AccessRequest>& batch,
+                                       const PreparedBatch& prep) = 0;
+
+  /// Whether executeStream may overlap prepare with wire rounds. The
+  /// reference engines return false: they are the pre-overhaul baseline and
+  /// must keep its strictly serial batch loop.
+  virtual bool streamPipelineEnabled() const { return true; }
+
   /// Validates batch (range, distinct variables, 32-bit processor-id head
-  /// room), resolves copies through the cache, stamps write requests and
-  /// clears the per-batch dead-module memo.
-  void preprocess(const std::vector<AccessRequest>& batch);
+  /// room), resolves copies through the cache (misses in parallel on
+  /// `pool` when non-null) and stamps write requests. Touches ONLY cache_,
+  /// clock_ and prep — safe to run on the prefetch thread (with a null
+  /// pool) while wire rounds execute.
+  void prepare(const std::vector<AccessRequest>& batch, PreparedBatch& prep,
+               mpc::ThreadPool* pool);
+
+  /// Main-thread batch prologue: folds prepare's reuse accounting plus the
+  /// engine-scratch capacity probes into metrics_ and clears the per-batch
+  /// dead-module memo.
+  void beginBatch(const PreparedBatch& prep, std::size_t batch_size);
 
   /// Resets the per-phase state arrays for `count` requests of `r` copies.
   void resetPhaseState(std::size_t count, std::size_t r);
 
   /// Seeds dead flags from the batch-level dead-module memo (modules
   /// observed failed in an earlier phase of this batch are not retried).
-  void premarkKnownDeadCopies(std::size_t a, std::size_t req, std::size_t r);
+  void premarkKnownDeadCopies(const PreparedBatch& prep, std::size_t a,
+                              std::size_t req, std::size_t r);
 
   /// Advances the state machine of request `a` (batch index `req`) after
   /// its replies for one round have been scanned (or before the first round
@@ -231,8 +284,9 @@ class EngineBase {
 
   /// Phase epilogue (serial): folds dead copies into the module memo and
   /// the fault metrics, and records unsatisfiable requests into `result`.
-  void finishPhase(std::size_t count, const std::size_t* req_map,
-                   std::size_t r, AccessResult& result);
+  void finishPhase(const PreparedBatch& prep, std::size_t count,
+                   const std::size_t* req_map, std::size_t r,
+                   AccessResult& result);
 
   /// Folds the copy-cache counters into metrics_ and closes one batch.
   void finishBatch(std::size_t batch_size);
@@ -245,11 +299,20 @@ class EngineBase {
   std::uint64_t cache_hits_seen_ = 0;    ///< cache counters already folded
   std::uint64_t cache_misses_seen_ = 0;
 
-  // Per-batch scratch, reused across execute() calls (sized in preprocess
-  // or by the engine loops; never shrunk).
-  std::vector<std::uint64_t> distinct_scratch_;  ///< sorted dup check
-  std::vector<std::vector<scheme::PhysicalAddress>> copies_;
-  std::vector<std::uint64_t> stamps_;
+  // Double-buffered prepare slots: one drives the current batch's wire
+  // rounds while the other is filled (possibly on the prefetch thread) for
+  // the next batch. Their buffers persist across batches like the rest of
+  // the scratch set.
+  PreparedBatch prep_a_;
+  PreparedBatch prep_b_;
+  // Dedicated prepare thread for pipelined executeStream, created lazily on
+  // the first pipelined stream and reused for the engine's lifetime.
+  class Prefetcher;
+  std::unique_ptr<Prefetcher> prefetcher_;
+
+  // Per-batch scratch, reused across execute() calls (sized by beginBatch
+  // or the engine loops; never shrunk). Main-thread only — prepare must not
+  // touch these, the current batch's wire rounds are using them.
   std::vector<Freshest> fresh_;
   std::vector<mpc::Request> wire_;
   std::vector<mpc::Response> replies_;
@@ -291,14 +354,20 @@ class EngineBase {
 class MajorityEngine : public EngineBase {
  public:
   using EngineBase::EngineBase;
-  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+
+ protected:
+  AccessResult executePrepared(const std::vector<AccessRequest>& batch,
+                               const PreparedBatch& prep) override;
 };
 
 /// One-processor-per-request engine (used by MV84 and single-copy schemes).
 class SingleOwnerEngine : public EngineBase {
  public:
   using EngineBase::EngineBase;
-  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+
+ protected:
+  AccessResult executePrepared(const std::vector<AccessRequest>& batch,
+                               const PreparedBatch& prep) override;
 };
 
 }  // namespace dsm::protocol

@@ -8,12 +8,10 @@
 
 namespace dsm::protocol {
 
-AccessResult ReferenceMajorityEngine::execute(
-    const std::vector<AccessRequest>& batch) {
+AccessResult ReferenceMajorityEngine::executePrepared(
+    const std::vector<AccessRequest>& batch, const PreparedBatch& prep) {
   AccessResult result;
   result.values.assign(batch.size(), 0);
-  if (batch.empty()) return result;
-  preprocess(batch);
   mpc::ThreadPool& pool = machine_.pool();
 
   const std::size_t r = scheme_.copiesPerVariable();  // cluster size
@@ -44,7 +42,7 @@ AccessResult ReferenceMajorityEngine::execute(
                        : scheme_.writeQuorum();
     }
     for (std::size_t a = 0; a < na; ++a) {
-      premarkKnownDeadCopies(a, active_[a], r);
+      premarkKnownDeadCopies(prep, a, active_[a], r);
       transitionAfterScan(a, active_[a], batch[active_[a]].op, r);
     }
     std::uint64_t iters = 0;
@@ -82,10 +80,10 @@ AccessResult ReferenceMajorityEngine::execute(
             const std::uint64_t val =
                 repair ? fresh_[req].value : batch[req].value;
             const std::uint64_t ts =
-                repair ? fresh_[req].timestamp : stamps_[req];
+                repair ? fresh_[req].timestamp : prep.stamps[req];
             for (std::size_t j = 0; j < r; ++j) {
               if (!pending_[a * r + j]) continue;
-              const auto& pa = copies_[req][j];
+              const auto& pa = prep.copies[req][j];
               wire_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, fop, val, ts};
@@ -97,10 +95,10 @@ AccessResult ReferenceMajorityEngine::execute(
             const std::uint8_t* dd = &dead_[a * r];
             for (std::size_t j = 0; j < r; ++j) {
               if (acc[j] || dd[j]) continue;
-              const auto& pa = copies_[req][j];
+              const auto& pa = prep.copies[req][j];
               wire_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
-                  pa.slot, batch[req].op, batch[req].value, stamps_[req]};
+                  pa.slot, batch[req].op, batch[req].value, prep.stamps[req]};
               wire_copy_[out] = j;
               ++out;
             }
@@ -155,7 +153,7 @@ AccessResult ReferenceMajorityEngine::execute(
       });
       metrics_.scanSeconds += timer.seconds();
     }
-    finishPhase(na, active_.data(), r, result);
+    finishPhase(prep, na, active_.data(), r, result);
     result.phaseIterations.push_back(iters);
     result.liveTrajectory.push_back(std::move(trajectory));
     result.totalIterations += iters;
@@ -170,16 +168,13 @@ AccessResult ReferenceMajorityEngine::execute(
                                                      : batch[i].value;
   }
   for (const std::size_t i : result.unsatisfiable) result.values[i] = 0;
-  finishBatch(batch.size());
   return result;
 }
 
-AccessResult ReferenceSingleOwnerEngine::execute(
-    const std::vector<AccessRequest>& batch) {
+AccessResult ReferenceSingleOwnerEngine::executePrepared(
+    const std::vector<AccessRequest>& batch, const PreparedBatch& prep) {
   AccessResult result;
   result.values.assign(batch.size(), 0);
-  if (batch.empty()) return result;
-  preprocess(batch);
   mpc::ThreadPool& pool = machine_.pool();
 
   const std::size_t r = scheme_.copiesPerVariable();
@@ -193,7 +188,7 @@ AccessResult ReferenceSingleOwnerEngine::execute(
                                                : scheme_.writeQuorum();
   }
   for (std::size_t i = 0; i < nb; ++i) {
-    premarkKnownDeadCopies(i, i, r);
+    premarkKnownDeadCopies(prep, i, i, r);
     transitionAfterScan(i, i, batch[i].op, r);
   }
 
@@ -232,11 +227,11 @@ AccessResult ReferenceSingleOwnerEngine::execute(
           }
           const auto fop = static_cast<mpc::Op>(final_op_[i]);
           const bool repair = fop == mpc::Op::kRepair;
-          const auto& pa = copies_[i][pick];
+          const auto& pa = prep.copies[i][pick];
           wire_[out] = mpc::Request{
               static_cast<std::uint32_t>(i), pa.module, pa.slot, fop,
               repair ? fresh_[i].value : batch[i].value,
-              repair ? fresh_[i].timestamp : stamps_[i]};
+              repair ? fresh_[i].timestamp : prep.stamps[i]};
           wire_copy_[out] = pick;
         } else {
           for (std::size_t off = 0; off < r; ++off) {
@@ -246,10 +241,10 @@ AccessResult ReferenceSingleOwnerEngine::execute(
               break;
             }
           }
-          const auto& pa = copies_[i][pick];
+          const auto& pa = prep.copies[i][pick];
           wire_[out] = mpc::Request{static_cast<std::uint32_t>(i), pa.module,
                                     pa.slot, batch[i].op, batch[i].value,
-                                    stamps_[i]};
+                                    prep.stamps[i]};
           wire_copy_[out] = pick;
         }
       }
@@ -298,7 +293,7 @@ AccessResult ReferenceSingleOwnerEngine::execute(
     });
     metrics_.scanSeconds += timer.seconds();
   }
-  finishPhase(nb, nullptr, r, result);
+  finishPhase(prep, nb, nullptr, r, result);
 
   result.phaseIterations.push_back(iters);
   result.liveTrajectory.push_back(std::move(trajectory));
@@ -310,7 +305,6 @@ AccessResult ReferenceSingleOwnerEngine::execute(
                                                      : batch[i].value;
   }
   for (const std::size_t i : result.unsatisfiable) result.values[i] = 0;
-  finishBatch(batch.size());
   return result;
 }
 

@@ -20,14 +20,23 @@ namespace dsm::protocol {
 class ReferenceMajorityEngine : public EngineBase {
  public:
   using EngineBase::EngineBase;
-  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+
+ protected:
+  AccessResult executePrepared(const std::vector<AccessRequest>& batch,
+                               const PreparedBatch& prep) override;
+  /// Baselines measure the pre-overhaul stream too: no batch overlap.
+  bool streamPipelineEnabled() const override { return false; }
 };
 
 /// One-processor-per-request engine, pre-overhaul implementation.
 class ReferenceSingleOwnerEngine : public EngineBase {
  public:
   using EngineBase::EngineBase;
-  AccessResult execute(const std::vector<AccessRequest>& batch) override;
+
+ protected:
+  AccessResult executePrepared(const std::vector<AccessRequest>& batch,
+                               const PreparedBatch& prep) override;
+  bool streamPipelineEnabled() const override { return false; }
 };
 
 }  // namespace dsm::protocol

@@ -1,5 +1,9 @@
 #include "dsm/scheme/copy_cache.hpp"
 
+#include <algorithm>
+
+#include "dsm/util/assert.hpp"
+
 namespace dsm::scheme {
 
 namespace {
@@ -11,33 +15,103 @@ std::size_t roundUpPow2(std::size_t v) {
 }  // namespace
 
 CopyCache::CopyCache(const MemoryScheme& scheme, std::size_t capacity)
-    : scheme_(scheme) {
+    : scheme_(scheme), stride_(scheme.copiesPerVariable()) {
   if (capacity > 0) {
-    slots_.resize(roundUpPow2(capacity));
-    mask_ = slots_.size() - 1;
+    const std::size_t slots = roundUpPow2(capacity);
+    slot_var_.assign(slots, 0);
+    slot_valid_.assign(slots, 0);
+    addrs_.resize(slots * stride_);
+    mask_ = slots - 1;
   }
 }
 
 void CopyCache::copies(std::uint64_t v, std::vector<PhysicalAddress>& out) {
-  if (slots_.empty()) {
+  if (slot_valid_.empty()) {
     ++misses_;
     scheme_.copies(v, out);
     return;
   }
-  Slot& slot = slots_[static_cast<std::size_t>(v & mask_)];
-  if (slot.valid && slot.variable == v) {
+  const std::size_t s = static_cast<std::size_t>(v & mask_);
+  PhysicalAddress* line = &addrs_[s * stride_];
+  if (slot_valid_[s] && slot_var_[s] == v) {
     ++hits_;
-  } else {
-    ++misses_;
-    scheme_.copies(v, slot.addrs);
-    slot.variable = v;
-    slot.valid = true;
+    out.assign(line, line + stride_);
+    return;
   }
-  out.assign(slot.addrs.begin(), slot.addrs.end());
+  ++misses_;
+  scheme_.copies(v, out);
+  DSM_CHECK_MSG(out.size() == stride_,
+                "scheme returned " << out.size() << " copies, expected "
+                                   << stride_);
+  std::copy(out.begin(), out.end(), line);
+  slot_var_[s] = v;
+  slot_valid_[s] = 1;
+}
+
+void CopyCache::copiesBatch(const std::uint64_t* vars, std::size_t count,
+                            std::vector<std::vector<PhysicalAddress>>& out,
+                            mpc::ThreadPool* pool) {
+  const auto resolve_misses = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const std::size_t i = miss_scratch_[k];
+      scheme_.copies(vars[i], out[i]);
+    }
+  };
+  if (slot_valid_.empty()) {
+    // Caching disabled: everything misses, everything resolves in parallel.
+    misses_ += count;
+    miss_scratch_.resize(count);
+    for (std::size_t i = 0; i < count; ++i) miss_scratch_[i] = i;
+  } else {
+    // Serial classification in batch order. A miss claims its slot's tag
+    // immediately (the addresses follow after resolution), so later
+    // lookups colliding with it classify exactly as the serial loop's
+    // overwrite would have. With distinct variables a reclaimed slot can
+    // only turn a would-be hit into a miss — never the reverse — so no
+    // lookup ever needs an address line this batch hasn't computed yet.
+    miss_scratch_.clear();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t v = vars[i];
+      const std::size_t s = static_cast<std::size_t>(v & mask_);
+      if (slot_valid_[s] && slot_var_[s] == v) {
+        ++hits_;
+        const PhysicalAddress* line = &addrs_[s * stride_];
+        out[i].assign(line, line + stride_);
+        continue;
+      }
+      ++misses_;
+      slot_var_[s] = v;
+      slot_valid_[s] = 1;
+      miss_scratch_.push_back(i);
+    }
+  }
+  if (miss_scratch_.empty()) return;
+  // Miss resolution: pure scheme computation into disjoint out[i] buffers —
+  // the parallel-safe part (schemes are immutable; copies() is documented
+  // thread-safe). No cache state is touched here.
+  if (pool != nullptr) {
+    pool->parallelFor(miss_scratch_.size(), resolve_misses);
+  } else {
+    resolve_misses(0, miss_scratch_.size());
+  }
+  if (slot_valid_.empty()) return;
+  // Serial write-back in batch order. When several misses collided on one
+  // slot, the tag now names the LAST claimant (serial overwrite order), so
+  // only that miss installs its line.
+  for (const std::size_t i : miss_scratch_) {
+    const std::uint64_t v = vars[i];
+    DSM_CHECK_MSG(out[i].size() == stride_,
+                  "scheme returned " << out[i].size() << " copies, expected "
+                                     << stride_);
+    const std::size_t s = static_cast<std::size_t>(v & mask_);
+    if (slot_var_[s] == v) {
+      std::copy(out[i].begin(), out[i].end(), &addrs_[s * stride_]);
+    }
+  }
 }
 
 void CopyCache::clear() {
-  for (Slot& s : slots_) s.valid = false;
+  std::fill(slot_valid_.begin(), slot_valid_.end(), 0);
   hits_ = 0;
   misses_ = 0;
 }

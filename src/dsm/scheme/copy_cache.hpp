@@ -8,15 +8,24 @@
 // evict (direct-mapped), so memory stays bounded at capacity * (q+1)
 // entries and lookups are O(1) with no probing.
 //
-// Not thread-safe: the protocol engines consult it from the (serial)
-// preprocess step only. The underlying scheme stays the source of truth —
-// entries are immutable once filled because schemes are immutable.
+// Storage is flat: one contiguous capacity * (q+1) PhysicalAddress array
+// plus parallel tag/valid arrays, so a hit is a bounds-known memcpy from a
+// computed offset — no per-slot vector header chase, and no per-slot
+// allocations ever (clear() keeps all capacity).
+//
+// Not thread-safe for concurrent calls: the protocol engines consult it
+// from one preprocess thread at a time. copiesBatch() may however resolve
+// its MISSES in parallel on a caller-provided pool, because schemes are
+// immutable and document copies() as thread-safe — the cache bookkeeping
+// around those scheme calls stays single-threaded. The underlying scheme
+// stays the source of truth — entries are immutable once filled.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "dsm/mpc/thread_pool.hpp"
 #include "dsm/scheme/memory_scheme.hpp"
 
 namespace dsm::scheme {
@@ -31,7 +40,19 @@ class CopyCache {
   /// Fills out with the q+1 copies of v, from the cache when possible.
   void copies(std::uint64_t v, std::vector<PhysicalAddress>& out);
 
-  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Batch lookup: fills out[i] with the copies of vars[i] for all
+  /// i < count, leaving the cache state, hit/miss counters and out values
+  /// exactly as `count` serial copies() calls in index order would have.
+  /// Misses are resolved through the scheme in parallel on `pool` (pass
+  /// nullptr to resolve serially — e.g. when the caller itself runs on a
+  /// worker thread); hits never touch the scheme. Precondition: vars are
+  /// pairwise distinct (the engines' batch invariant) — duplicates would
+  /// need a miss's result visible to a later lookup mid-batch.
+  void copiesBatch(const std::uint64_t* vars, std::size_t count,
+                   std::vector<std::vector<PhysicalAddress>>& out,
+                   mpc::ThreadPool* pool);
+
+  std::size_t capacity() const noexcept { return slot_var_.size(); }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   double hitRate() const noexcept {
@@ -39,19 +60,18 @@ class CopyCache {
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
   }
 
-  /// Drops all entries and zeroes the hit/miss counters.
+  /// Drops all entries and zeroes the hit/miss counters. Capacity (and
+  /// every backing allocation) is retained.
   void clear();
 
  private:
-  struct Slot {
-    std::uint64_t variable = 0;
-    bool valid = false;
-    std::vector<PhysicalAddress> addrs;
-  };
-
   const MemoryScheme& scheme_;
   std::uint64_t mask_ = 0;
-  std::vector<Slot> slots_;
+  std::size_t stride_ = 0;  ///< q+1 addresses per slot
+  std::vector<std::uint64_t> slot_var_;   ///< per-slot variable tag
+  std::vector<std::uint8_t> slot_valid_;  ///< per-slot fill flag
+  std::vector<PhysicalAddress> addrs_;    ///< capacity * stride_, flat
+  std::vector<std::size_t> miss_scratch_; ///< batch indices that missed
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <utility>
+
 #include "dsm/util/assert.hpp"
 #include "dsm/util/rng.hpp"
 
@@ -125,6 +130,102 @@ TEST(Machine, ArbitrationDeterministicAcrossThreadCounts) {
     EXPECT_EQ(mt.requestsGranted, m1.requestsGranted);
     EXPECT_EQ(mt.maxModuleQueue, m1.maxModuleQueue);
   }
+}
+
+// Differential oracle for the module-sharded path: with few modules, many
+// wire entries and a forking pool, step() takes the counting-sort + shard
+// route (no atomics in arbitration or access) and must still be
+// bit-identical to the five-pass stepReference() — grants, values, cells,
+// contention peaks and fault-plan drops included.
+TEST(Machine, ShardedStepMatchesReferenceOnSaturatedStreams) {
+  constexpr Op kOps[] = {Op::kRead, Op::kWrite, Op::kCommit, Op::kAbort,
+                         Op::kRepair};
+  for (const bool faulty : {false, true}) {
+    util::Xoshiro256 rng(faulty ? 0xBADCAB : 0xCABBA6E);
+    // 16 modules against >=512-entry cycles: module_count < n and
+    // partitionWidth > 1, so every step below runs the sharded path.
+    Machine fast(16, 8, 4);
+    Machine ref(16, 8, 4);
+    if (faulty) {
+      FaultPlan plan;
+      plan.failAt(4, 3).healAt(18, 3).transientAt(25, 9, 5);
+      plan.grantDropProbability = 0.2;
+      plan.seed = 21;
+      fast.setFaultPlan(plan);
+      ref.setFaultPlan(plan);
+    }
+    std::vector<Response> fast_resp;
+    std::vector<Response> ref_resp;
+    for (int cyc = 0; cyc < 40; ++cyc) {
+      std::vector<Request> reqs;
+      const int n = 512 + static_cast<int>(rng.below(512));
+      for (int i = 0; i < n; ++i) {
+        reqs.push_back(Request{static_cast<std::uint32_t>(rng.below(256)),
+                               rng.below(16), rng.below(8), kOps[rng.below(5)],
+                               rng.below(100), rng.below(8)});
+      }
+      fast.step(reqs, fast_resp);
+      ref.stepReference(reqs, ref_resp);
+      ASSERT_EQ(fast_resp.size(), ref_resp.size());
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        ASSERT_EQ(fast_resp[i].granted, ref_resp[i].granted)
+            << "faulty=" << faulty << " cyc=" << cyc << " i=" << i;
+        ASSERT_EQ(fast_resp[i].moduleFailed, ref_resp[i].moduleFailed);
+        ASSERT_EQ(fast_resp[i].value, ref_resp[i].value);
+        ASSERT_EQ(fast_resp[i].timestamp, ref_resp[i].timestamp);
+      }
+    }
+    for (std::uint64_t mod = 0; mod < 16; ++mod) {
+      for (std::uint64_t s = 0; s < 8; ++s) {
+        EXPECT_EQ(fast.peek(mod, s).value, ref.peek(mod, s).value);
+        EXPECT_EQ(fast.peek(mod, s).timestamp, ref.peek(mod, s).timestamp);
+        EXPECT_EQ(fast.hasStagedEntry(mod, s), ref.hasStagedEntry(mod, s));
+      }
+    }
+    EXPECT_EQ(fast.metrics().requestsGranted, ref.metrics().requestsGranted);
+    EXPECT_EQ(fast.metrics().maxModuleQueue, ref.metrics().maxModuleQueue);
+    EXPECT_EQ(fast.metrics().grantsDropped, ref.metrics().grantsDropped);
+    EXPECT_EQ(fast.lifetimeCycles(), ref.lifetimeCycles());
+  }
+}
+
+TEST(Machine, ShardedStepFirstOffenderMatchesSerial) {
+  // Invalid addresses on the sharded path must report the lowest offending
+  // wire index (stable counting sort puts it first in the overflow bucket),
+  // exactly like the serial sweep, and must not poison later cycles.
+  std::vector<Request> reqs;
+  for (int i = 0; i < 700; ++i) {
+    reqs.push_back(Request{static_cast<std::uint32_t>(i),
+                           static_cast<std::uint64_t>(i % 16), 0, Op::kWrite,
+                           1, 1});
+  }
+  reqs[321].module = 99;  // first offender (bad module)
+  reqs[450].slot = 99;    // later offender (bad slot)
+  std::string sharded_msg;
+  std::string serial_msg;
+  Machine sharded(16, 8, 4);
+  Machine serial(16, 8, 1);
+  std::vector<Response> resp;
+  try {
+    sharded.step(reqs, resp);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    sharded_msg = e.what();
+  }
+  try {
+    serial.step(reqs, resp);
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& e) {
+    serial_msg = e.what();
+  }
+  EXPECT_EQ(sharded_msg, serial_msg);
+  EXPECT_NE(sharded_msg.find("module out of range"), std::string::npos)
+      << sharded_msg;
+  // Machine stays usable after the unwind.
+  std::vector<Request> good{{3, 0, 0, Op::kWrite, 7, 2}};
+  sharded.step(good, resp);
+  ASSERT_EQ(resp.size(), 1u);
+  EXPECT_TRUE(resp[0].granted);
 }
 
 // Differential oracle: the fused two-sweep step() must be bit-identical to
@@ -281,6 +382,65 @@ TEST(ThreadPool, HandlesSmallRanges) {
     total.fetch_add(static_cast<int>(hi - lo));
   });
   EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ShardsCoverEveryBucketExactlyOnce) {
+  // Skewed bucket sizes (including empty buckets and one huge bucket): the
+  // shard cuts land on bucket boundaries, every bucket index is visited by
+  // exactly one body call, and calls tile [0, buckets) in order.
+  ThreadPool pool(4);
+  constexpr std::size_t kBuckets = 37;
+  std::vector<std::size_t> bounds(kBuckets + 1, 0);
+  util::Xoshiro256 rng(99);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::size_t size = b == 5    ? 4000  // dominates everything
+                             : b % 3 == 0 ? 0  // empty
+                                          : rng.below(64);
+    bounds[b + 1] = bounds[b] + size;
+  }
+  std::vector<std::atomic<int>> hits(kBuckets);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallelForShards(bounds.data(), kBuckets,
+                         [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t b = lo; b < hi; ++b) {
+                             hits[b].fetch_add(1, std::memory_order_relaxed);
+                           }
+                           std::lock_guard<std::mutex> lock(mu);
+                           ranges.emplace_back(lo, hi);
+                         });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t next = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, next);
+    EXPECT_LE(lo, hi);
+    next = hi;
+  }
+  EXPECT_EQ(next, kBuckets);
+}
+
+TEST(ThreadPool, ShardsRunInlineBelowGrain) {
+  // Totals below the fork grain collapse to one inline call over all
+  // buckets on the dispatching thread.
+  ThreadPool pool(8);
+  const std::size_t bounds[] = {0, 10, 20, 30};
+  const auto self = std::this_thread::get_id();
+  std::thread::id seen;
+  int calls = 0;
+  pool.parallelForShards(bounds, 3, [&](std::size_t lo, std::size_t hi) {
+    seen = std::this_thread::get_id();
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 3u);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, self);
+  // Zero buckets: the body must not run at all.
+  const std::size_t none[] = {0};
+  int ran = 0;
+  pool.parallelForShards(none, 0, [&](std::size_t, std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 0);
 }
 
 }  // namespace

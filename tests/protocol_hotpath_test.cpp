@@ -153,6 +153,47 @@ TEST(HotPath, MajorityMatchesReferenceUnderScriptedFailures) {
   }
 }
 
+template <class Engine, class Scheme>
+void expectStreamMatchesPerBatch(const Scheme& s,
+                                 std::uint64_t stream_seed) {
+  // The pipelined executeStream (batch k+1's addressing overlapped with
+  // batch k's wire rounds) must be byte-identical to feeding the same
+  // batches one execute() at a time to a fresh engine: same values, same
+  // trajectories, same machine wire history. The fault plan keys drops and
+  // outages on lifetime cycles, so any divergence in cycle order shows up
+  // as a different tally or different values.
+  const auto stream = makeStream(s.numVariables(), 768, stream_seed);
+  for (const unsigned threads : {1u, mpc::ThreadPool::defaultThreads()}) {
+    mpc::Machine stream_m(s.numModules(), s.slotsPerModule(), threads);
+    mpc::Machine batch_m(s.numModules(), s.slotsPerModule(), threads);
+    stream_m.setFaultPlan(dropsAndOutages(s.numModules()));
+    batch_m.setFaultPlan(dropsAndOutages(s.numModules()));
+    Engine streamed(s, stream_m);
+    Engine batched(s, batch_m);
+    const auto got = streamed.executeStream(stream);
+    std::vector<AccessResult> want;
+    for (const auto& batch : stream) want.push_back(batched.execute(batch));
+    expectSameResults(got, want, "stream-vs-batch");
+    EXPECT_EQ(tally(stream_m), tally(batch_m)) << "threads=" << threads;
+    // The overlap shifts which batch's accounting absorbs a cache miss,
+    // but the totals over the whole stream are conserved.
+    EXPECT_EQ(streamed.metrics().cacheHits + streamed.metrics().cacheMisses,
+              batched.metrics().cacheHits + batched.metrics().cacheMisses);
+  }
+}
+
+TEST(HotPath, MajorityStreamMatchesPerBatchExecute) {
+  // PpScheme(1,5): 1023 modules against a ~2304-entry wire, so the
+  // module-sharded step path is engaged whenever threads > 1.
+  expectStreamMatchesPerBatch<MajorityEngine>(scheme::PpScheme(1, 5),
+                                              0xC0FFEE);
+}
+
+TEST(HotPath, SingleOwnerStreamMatchesPerBatchExecute) {
+  expectStreamMatchesPerBatch<SingleOwnerEngine>(
+      scheme::MvScheme(40000, 255, 3), 0xD00D);
+}
+
 TEST(HotPath, PersistentWireSurvivesEngineReuse) {
   // The wire scratch persists across batches and streams on one engine
   // instance; results must not depend on what a previous batch left behind.
