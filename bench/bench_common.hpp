@@ -158,7 +158,9 @@ inline void printEngineMetrics(const std::string& label,
             << " | build=" << util::TextTable::num(m.wireBuildSeconds * 1e3, 1)
             << "ms step=" << util::TextTable::num(m.stepSeconds * 1e3, 1)
             << "ms scan=" << util::TextTable::num(m.scanSeconds * 1e3, 1)
-            << "ms\n";
+            << "ms";
+  if (m.networkCycles > 0) std::cout << " net-cycles=" << m.networkCycles;
+  std::cout << "\n";
 }
 
 /// One-line summary of the fault/recovery counters (E11, E15).

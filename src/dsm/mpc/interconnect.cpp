@@ -1,0 +1,39 @@
+#include "dsm/mpc/interconnect.hpp"
+
+#include <algorithm>
+
+#include "dsm/util/assert.hpp"
+#include "dsm/util/numeric.hpp"
+
+namespace dsm::mpc {
+
+Interconnect::~Interconnect() = default;
+
+net::RoutingStats CrossbarInterconnect::routeWinners(
+    const std::vector<GrantLink>& winners) {
+  // Complete graph: every packet arrives the cycle it was sent, for free.
+  net::RoutingStats stats;
+  stats.packets = winners.size();
+  return stats;
+}
+
+ButterflyInterconnect::ButterflyInterconnect(std::uint64_t module_count)
+    : module_count_(module_count),
+      bf_(std::max(1, util::ceilLog2(module_count))) {
+  DSM_CHECK_MSG(module_count > 0,
+                "butterfly interconnect needs at least one module");
+}
+
+net::RoutingStats ButterflyInterconnect::routeWinners(
+    const std::vector<GrantLink>& winners) {
+  packets_.resize(winners.size());
+  for (std::size_t i = 0; i < winners.size(); ++i) {
+    DSM_CHECK_MSG(winners[i].module < module_count_,
+                  "winner module out of range: " << winners[i].module);
+    packets_[i] = net::Packet{inputRow(winners[i].processor),
+                              outputRow(winners[i].module)};
+  }
+  return bf_.route(packets_);
+}
+
+}  // namespace dsm::mpc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsm/mpc/interconnect.hpp"
 #include "dsm/util/assert.hpp"
 #include "dsm/util/rng.hpp"
 #include "dsm/util/timer.hpp"
@@ -56,6 +57,70 @@ Machine::Machine(std::uint64_t module_count, std::uint64_t slots_per_module,
   for (auto& a : arb_) a.store(kNoWinner, std::memory_order_relaxed);
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   failed_.assign(static_cast<std::size_t>(module_count), 0);
+}
+
+// Out of line: Interconnect is incomplete in the header.
+Machine::~Machine() = default;
+
+void Machine::setInterconnect(std::unique_ptr<Interconnect> backend) {
+  if (backend != nullptr && !backend->zeroCost()) {
+    DSM_CHECK_MSG(backend->moduleLimit() >= module_count_,
+                  "interconnect '" << backend->name() << "' covers only "
+                                   << backend->moduleLimit()
+                                   << " modules, machine has "
+                                   << module_count_);
+  }
+  interconnect_ = std::move(backend);
+  // Zero-cost backends (and none at all) keep the cycle paths pristine:
+  // network_ stays null and step()/stepReference() never collect winners.
+  network_ = (interconnect_ != nullptr && !interconnect_->zeroCost())
+                 ? interconnect_.get()
+                 : nullptr;
+}
+
+void Machine::routeCycleWinners(const std::vector<Request>& requests) {
+  // Re-derive this cycle's post-arbitration winner set: at most one winner
+  // per non-failed module, including winners whose grant the FaultPlan's
+  // drop noise then lost (the port was consumed and the packet crossed the
+  // network; only the reply vanished). Plain serial min over the arb_
+  // scratch — every step path leaves it fully reset, and this pass resets
+  // what it touches the same winner-owned way.
+  const std::size_t n = requests.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request& r = requests[i];
+    const std::size_t m = static_cast<std::size_t>(r.module);
+    if (failed_[m]) continue;
+    const std::uint64_t key = arbKey(r.processor, i);
+    if (key < arb_[m].load(std::memory_order_relaxed)) {
+      arb_[m].store(key, std::memory_order_relaxed);
+    }
+  }
+  winners_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Request& r = requests[i];
+    const std::size_t m = static_cast<std::size_t>(r.module);
+    if (failed_[m]) continue;
+    if (arb_[m].load(std::memory_order_relaxed) == arbKey(r.processor, i)) {
+      // Winners surface in wire order, so packet injection order — and
+      // therefore the butterfly's FIFO tie-breaks — is a pure function of
+      // the wire, independent of the machine's thread count.
+      winners_.push_back(GrantLink{r.processor, r.module});
+      arb_[m].store(kNoWinner, std::memory_order_relaxed);
+    }
+  }
+  const net::RoutingStats stats = network_->routeWinners(winners_);
+  metrics_.networkCycles += stats.cycles;
+  metrics_.networkPackets += stats.packets;
+  metrics_.networkMaxQueue =
+      std::max(metrics_.networkMaxQueue, stats.maxQueue);
+  if (!winners_.empty()) {
+    metrics_.networkIdealCycles += network_->idealCycles();
+  }
+  metrics_.networkStretch =
+      metrics_.networkIdealCycles == 0
+          ? 0.0
+          : static_cast<double>(metrics_.networkCycles) /
+                static_cast<double>(metrics_.networkIdealCycles);
 }
 
 void Machine::failModule(std::uint64_t module) {
@@ -239,12 +304,22 @@ void Machine::step(const std::vector<Request>& requests,
   // when the pool will fork and the wire is dense over the modules, the
   // counting-sort partition amortizes and each module runs on exactly one
   // thread; when modules outnumber the wire, per-module contention is
-  // sparse and the atomic-min sweeps below win (no O(modules) scratch).
+  // sparse and the atomic-min sweeps of stepFused win (no O(modules)
+  // scratch).
   if (module_count_ < n && pool_.partitionWidth(n) > 1) {
     stepSharded(requests, responses);
-    return;
+  } else {
+    stepFused(requests, responses);
   }
+  // Interconnect epilogue: only a routed (non-zero-cost) backend collects
+  // winners — the default crossbar keeps the plain-pointer test above as
+  // the cycle's entire interconnect cost.
+  if (network_ != nullptr) routeCycleWinners(requests);
+}
 
+void Machine::stepFused(const std::vector<Request>& requests,
+                        std::vector<Response>& responses) {
+  const std::size_t n = requests.size();
   util::Timer arb_timer;
   // Sweep 1: validate + arbitrate + count, fused. Address validation is
   // folded into the arbitration loop; the serial first-offender semantics
@@ -764,6 +839,10 @@ void Machine::stepReference(const std::vector<Request>& requests,
   metrics_.grantsDropped += dropped.load(std::memory_order_relaxed);
   metrics_.maxModuleQueue = std::max<std::uint64_t>(
       metrics_.maxModuleQueue, peak.load(std::memory_order_relaxed));
+
+  // The reference cycle prices a routed backend exactly like step() does,
+  // so the differential oracles stay bit-identical on every metric.
+  if (network_ != nullptr) routeCycleWinners(requests);
 }
 
 }  // namespace dsm::mpc

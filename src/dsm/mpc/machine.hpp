@@ -51,10 +51,21 @@
 // observe committed state only, so a write that dies before reaching its
 // quorum can never leak a freshest-stamped value into a later read — the
 // torn-write hazard the access engines' two-phase protocol closes.
+//
+// Interconnect seam: by default the machine IS the paper's MPC — a complete
+// processor↔module crossbar where delivery is free. setInterconnect()
+// installs a pluggable backend (see interconnect.hpp); for a zero-cost
+// backend (CrossbarInterconnect, or none) the cycle paths above run
+// untouched, with no winner collection and no virtual dispatch. A routed
+// backend (ButterflyInterconnect) receives each cycle's post-arbitration
+// winner set AFTER the access sweep and folds the bounded-degree delivery
+// cost into the network* metrics. Routing never changes responses or cell
+// state — it prices the cycle, the paper's "request routing problem".
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -63,6 +74,9 @@
 #include "dsm/mpc/thread_pool.hpp"
 
 namespace dsm::mpc {
+
+class Interconnect;  // interconnect.hpp
+struct GrantLink;
 
 /// One memory word with its majority-protocol timestamp [UW87, Tho79].
 struct Cell {
@@ -105,6 +119,15 @@ struct MachineMetrics {
   std::uint64_t requestsGranted = 0;
   std::uint64_t maxModuleQueue = 0;  ///< worst per-module contention seen
   std::uint64_t grantsDropped = 0;   ///< grants lost to FaultPlan drop noise
+  // Bounded-degree interconnect cost (all zero under the default crossbar).
+  // Deterministic — a pure function of the wire history, identical at any
+  // thread count — so these DO belong in bit-identity comparisons between
+  // machines with the same backend installed.
+  std::uint64_t networkCycles = 0;   ///< store-and-forward cycles, summed
+  std::uint64_t networkPackets = 0;  ///< winners routed through the network
+  std::uint64_t networkMaxQueue = 0; ///< worst FIFO queue across all cycles
+  std::uint64_t networkIdealCycles = 0;  ///< stretch denominator (d / cycle)
+  double networkStretch = 0.0;  ///< networkCycles / networkIdealCycles
   // Per-stage wall time of step() (stepReference is timed externally by the
   // benchmarks). Wall-clock, so excluded from bit-identity comparisons.
   double arbSeconds = 0.0;     ///< fused validate + arbitrate + count sweep
@@ -171,6 +194,7 @@ class Machine {
   /// (used by baseline schemes that key slots by variable index).
   Machine(std::uint64_t module_count, std::uint64_t slots_per_module,
           unsigned threads = 1);
+  ~Machine();
 
   std::uint64_t moduleCount() const noexcept { return module_count_; }
   std::uint64_t slotsPerModule() const noexcept { return slots_per_module_; }
@@ -238,6 +262,23 @@ class Machine {
   void clearFaultPlan();
   const FaultPlan& faultPlan() const noexcept { return plan_; }
 
+  /// Installs a delivery backend for the processor↔module traffic (see
+  /// interconnect.hpp). nullptr restores the default — the paper's complete
+  /// crossbar, delivery free. A zero-cost backend leaves every cycle path
+  /// untouched (no winner collection, no virtual dispatch); a routed
+  /// backend (e.g. ButterflyInterconnect) must cover moduleCount() and is
+  /// handed each cycle's post-arbitration winner set after the access
+  /// sweep, folding its cost into the network* metrics. Responses and cell
+  /// state are never affected. Applies to step() and stepReference() alike,
+  /// so differential oracles price traffic identically.
+  void setInterconnect(std::unique_ptr<Interconnect> backend);
+  /// The installed backend, or nullptr when the default crossbar is active.
+  const Interconnect* interconnect() const noexcept {
+    return interconnect_.get();
+  }
+  /// True when a non-zero-cost backend is routing cycles.
+  bool networkActive() const noexcept { return network_ != nullptr; }
+
   const MachineMetrics& metrics() const noexcept { return metrics_; }
   void resetMetrics() noexcept { metrics_ = {}; }
 
@@ -257,10 +298,22 @@ class Machine {
   void applyDueFaultEvents();
   bool dropsGrant(std::uint64_t module) const;
   void resetTouchedScratch(const std::vector<Request>& requests);
+  /// The fused serial/atomic cycle (see file comment): sweep 1 validates,
+  /// arbitrates and counts; sweep 2 accesses, records the peak and resets
+  /// the scratch it owns.
+  void stepFused(const std::vector<Request>& requests,
+                 std::vector<Response>& responses);
   /// The module-sharded cycle (see file comment). Preconditions: requests
   /// nonempty, module_count_ < requests.size(), pool would fork.
   void stepSharded(const std::vector<Request>& requests,
                    std::vector<Response>& responses);
+  /// Routed-backend epilogue: re-derives the cycle's winner set (including
+  /// winners whose grant the drop noise lost — their packet crossed the
+  /// network) and hands it to the installed backend. Serial O(wire); only
+  /// a non-zero-cost interconnect ever pays it. Precondition: every request
+  /// validated (the step paths throw before getting here otherwise) and the
+  /// arb_ scratch fully reset — which each path guarantees.
+  void routeCycleWinners(const std::vector<Request>& requests);
 
   std::uint64_t module_count_;
   std::uint64_t slots_per_module_;
@@ -309,6 +362,13 @@ class Machine {
   bool has_drops_ = false;
   MachineMetrics metrics_;
   std::uint64_t lifetime_cycles_ = 0;  // never reset; keys fault schedules
+  // Interconnect backend. network_ caches interconnect_.get() when (and
+  // only when) the backend actually routes (zeroCost() is false): the hot
+  // path tests one plain pointer and a crossbar machine never branches into
+  // routing code, let alone through a vtable.
+  std::unique_ptr<Interconnect> interconnect_;
+  Interconnect* network_ = nullptr;
+  std::vector<GrantLink> winners_;  // per-cycle winner scratch (routed only)
   ThreadPool pool_;
 };
 

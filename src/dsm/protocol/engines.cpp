@@ -351,11 +351,20 @@ void EngineBase::finishBatch(std::size_t batch_size) {
   cache_misses_seen_ = cache_.misses();
 }
 
+AccessResult EngineBase::runPrepared(const std::vector<AccessRequest>& batch,
+                                     const PreparedBatch& prep) {
+  const std::uint64_t net_before = machine_.metrics().networkCycles;
+  AccessResult result = executePrepared(batch, prep);
+  result.networkCycles = machine_.metrics().networkCycles - net_before;
+  metrics_.networkCycles += result.networkCycles;
+  return result;
+}
+
 AccessResult EngineBase::execute(const std::vector<AccessRequest>& batch) {
   if (batch.empty()) return AccessResult{};
   prepare(batch, prep_a_, &machine_.pool());
   beginBatch(prep_a_, batch.size());
-  AccessResult result = executePrepared(batch, prep_a_);
+  AccessResult result = runPrepared(batch, prep_a_);
   finishBatch(batch.size());
   return result;
 }
@@ -392,7 +401,7 @@ std::vector<AccessResult> EngineBase::executeStream(
       prefetcher_->submit(&batches[k + 1], next);
     }
     beginBatch(*cur, batch.size());
-    results.push_back(executePrepared(batch, *cur));
+    results.push_back(runPrepared(batch, *cur));
     bool next_ready = false;
     if (prefetch_next) {
       if (pipelined) {

@@ -112,6 +112,13 @@ struct AccessResult {
   /// address-computation steps. Phases that run zero iterations perform no
   /// address computation and are not billed.
   std::uint64_t modeledSteps = 0;
+  /// Bounded-degree-network delivery cost of this batch: store-and-forward
+  /// cycles the machine's installed interconnect spent routing the batch's
+  /// post-arbitration winner sets (MachineMetrics::networkCycles delta
+  /// around the wire rounds). Zero on the paper's crossbar model, where
+  /// delivery is free. Deterministic — independent of thread count — so it
+  /// participates in bit-identity comparisons between same-backend runs.
+  std::uint64_t networkCycles = 0;
   /// Requests whose quorum became unreachable because too many of their
   /// copies live in failed modules (> r - quorum dead copies). Their values
   /// entry is zeroed. Empty when no module faults are injected.
@@ -162,6 +169,9 @@ struct EngineMetrics {
   double wireBuildSeconds = 0.0;
   double stepSeconds = 0.0;
   double scanSeconds = 0.0;
+  /// Sum of AccessResult::networkCycles across batches — interconnect
+  /// delivery cost alongside the modeled-step figure. Zero on a crossbar.
+  std::uint64_t networkCycles = 0;
   FaultMetrics faults;  ///< fault-tolerance and recovery counters
 
   double cacheHitRate() const {
@@ -249,6 +259,14 @@ class EngineBase {
   /// beginBatch() and finishBatch(); `batch` is never empty.
   virtual AccessResult executePrepared(const std::vector<AccessRequest>& batch,
                                        const PreparedBatch& prep) = 0;
+
+  /// Wraps executePrepared() with interconnect cost capture: the machine's
+  /// networkCycles delta across the wire rounds becomes the batch's
+  /// AccessResult::networkCycles (the engine has exclusive use of the
+  /// machine, so the delta is exactly this batch's traffic). Both execute()
+  /// and executeStream() dispatch through here.
+  AccessResult runPrepared(const std::vector<AccessRequest>& batch,
+                           const PreparedBatch& prep);
 
   /// Whether executeStream may overlap prepare with wire rounds. The
   /// reference engines return false: they are the pre-overhaul baseline and

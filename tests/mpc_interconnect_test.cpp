@@ -1,0 +1,223 @@
+// Machine-level contract of the interconnect seam (interconnect.hpp):
+//   * a zero-cost backend (crossbar, or none) leaves step() bit-identical
+//     and never touches the network metrics;
+//   * ButterflyInterconnect's row mapping covers non-power-of-two module
+//     counts (distinct output row per module, folded input rows);
+//   * the routed winner set is exactly the consumed ports — including
+//     grants later lost to drop noise, excluding failed modules — and its
+//     cost is identical at every thread count;
+//   * install-time validation and resetMetrics interplay.
+#include "dsm/mpc/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+#include "dsm/util/assert.hpp"
+
+namespace dsm::mpc {
+namespace {
+
+constexpr Op kOps[] = {Op::kRead, Op::kWrite, Op::kCommit, Op::kAbort,
+                       Op::kRepair};
+
+// Contended wire: `per_module` competing requests per module, rotating ops.
+std::vector<Request> contendedWire(std::uint64_t modules, std::uint64_t slots,
+                                   std::uint64_t per_module,
+                                   std::uint64_t cyc) {
+  std::vector<Request> wire;
+  for (std::uint64_t i = 0; i < modules * per_module; ++i) {
+    wire.push_back(Request{static_cast<std::uint32_t>(i), i % modules,
+                           (i / modules + cyc) % slots, kOps[(i + cyc) % 5],
+                           i ^ cyc, cyc + 1});
+  }
+  return wire;
+}
+
+bool sameResponses(const std::vector<Response>& a,
+                   const std::vector<Response>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].granted != b[i].granted ||
+        a[i].moduleFailed != b[i].moduleFailed || a[i].value != b[i].value ||
+        a[i].timestamp != b[i].timestamp) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Interconnect, CrossbarIsZeroCostAndLeavesStepIdentical) {
+  Machine plain(16, 32, 1);
+  Machine xbar(16, 32, 1);
+  xbar.setInterconnect(std::make_unique<CrossbarInterconnect>());
+  ASSERT_NE(xbar.interconnect(), nullptr);
+  EXPECT_EQ(xbar.interconnect()->name(), "crossbar");
+  // Zero-cost backends never activate the per-cycle routing epilogue.
+  EXPECT_FALSE(xbar.networkActive());
+  std::vector<Response> ra;
+  std::vector<Response> rb;
+  for (std::uint64_t cyc = 0; cyc < 12; ++cyc) {
+    const auto wire = contendedWire(16, 32, 3, cyc);
+    plain.step(wire, ra);
+    xbar.step(wire, rb);
+    EXPECT_TRUE(sameResponses(ra, rb)) << "cycle " << cyc;
+  }
+  const auto& pm = plain.metrics();
+  const auto& xm = xbar.metrics();
+  EXPECT_EQ(pm.requestsGranted, xm.requestsGranted);
+  EXPECT_EQ(pm.maxModuleQueue, xm.maxModuleQueue);
+  EXPECT_EQ(xm.networkCycles, 0u);
+  EXPECT_EQ(xm.networkPackets, 0u);
+  EXPECT_EQ(xm.networkMaxQueue, 0u);
+  EXPECT_DOUBLE_EQ(xm.networkStretch, 0.0);
+}
+
+TEST(Interconnect, ButterflyRowMappingCoversNonPowerOfTwo) {
+  // 13 modules need d = ceil(log2 13) = 4, 16 rows: every module keeps a
+  // distinct output row, processor ids fold onto the 16 input rows.
+  ButterflyInterconnect ic(13);
+  EXPECT_EQ(ic.name(), "butterfly");
+  EXPECT_FALSE(ic.zeroCost());
+  EXPECT_EQ(ic.dimension(), 4);
+  EXPECT_EQ(ic.rows(), 16u);
+  EXPECT_EQ(ic.moduleLimit(), 16u);
+  EXPECT_EQ(ic.idealCycles(), 4u);
+  for (std::uint64_t m = 0; m < 13; ++m) {
+    EXPECT_EQ(ic.outputRow(m), m);
+  }
+  EXPECT_EQ(ic.inputRow(5), 5u);
+  EXPECT_EQ(ic.inputRow(16), 0u);
+  EXPECT_EQ(ic.inputRow(19), 3u);
+  EXPECT_EQ(ic.inputRow(0xFFFFFFF1u), 1u);
+  // The degenerate single-module machine still gets a (two-row) network.
+  ButterflyInterconnect tiny(1);
+  EXPECT_EQ(tiny.dimension(), 1);
+  EXPECT_EQ(tiny.rows(), 2u);
+}
+
+TEST(Interconnect, InstallValidatesModuleLimit) {
+  Machine m(32, 8, 1);
+  // 16 rows cannot address 32 modules: refused at install time, and the
+  // machine keeps its previous (default) backend.
+  EXPECT_THROW(m.setInterconnect(std::make_unique<ButterflyInterconnect>(16)),
+               util::CheckError);
+  EXPECT_EQ(m.interconnect(), nullptr);
+  EXPECT_FALSE(m.networkActive());
+  m.setInterconnect(std::make_unique<ButterflyInterconnect>(32));
+  EXPECT_TRUE(m.networkActive());
+  // nullptr restores the free-delivery default.
+  m.setInterconnect(nullptr);
+  EXPECT_FALSE(m.networkActive());
+  EXPECT_THROW(ButterflyInterconnect(0), util::CheckError);
+}
+
+TEST(Interconnect, RoutesExactlyTheConsumedPorts) {
+  // Winner accounting: every consumed port crosses the network — grants
+  // AND grants subsequently lost to drop noise (the packet travelled; only
+  // the reply vanished). Arbitration losers never inject a packet.
+  FaultPlan plan;
+  plan.grantDropProbability = 0.3;
+  plan.seed = 99;
+  Machine m(16, 32, 1);
+  m.setInterconnect(std::make_unique<ButterflyInterconnect>(16));
+  m.setFaultPlan(plan);
+  std::vector<Response> resp;
+  for (std::uint64_t cyc = 0; cyc < 20; ++cyc) {
+    m.step(contendedWire(16, 32, 3, cyc), resp);
+  }
+  const auto& mm = m.metrics();
+  EXPECT_GT(mm.grantsDropped, 0u);
+  EXPECT_EQ(mm.networkPackets, mm.requestsGranted + mm.grantsDropped);
+  EXPECT_GT(mm.networkCycles, 0u);
+  EXPECT_GE(mm.networkStretch, 1.0);
+}
+
+TEST(Interconnect, FailedModulesRouteNothing) {
+  Machine m(8, 16, 1);
+  m.setInterconnect(std::make_unique<ButterflyInterconnect>(8));
+  for (std::uint64_t mod = 0; mod < 8; ++mod) m.failModule(mod);
+  std::vector<Response> resp;
+  m.step(contendedWire(8, 16, 2, 0), resp);
+  for (const auto& r : resp) EXPECT_TRUE(r.moduleFailed);
+  EXPECT_EQ(m.metrics().networkPackets, 0u);
+  EXPECT_EQ(m.metrics().networkCycles, 0u);
+  // Heal half: only the live modules' ports inject packets.
+  for (std::uint64_t mod = 0; mod < 4; ++mod) m.healModule(mod);
+  m.step(contendedWire(8, 16, 2, 1), resp);
+  EXPECT_EQ(m.metrics().networkPackets, 4u);
+}
+
+TEST(Interconnect, NetworkMetricsIdenticalAcrossThreadCounts) {
+  // The routed winner set is re-derived serially in wire order, so network
+  // figures are a pure function of the wire history — the sharded and
+  // atomic-min step paths must produce the exact same packets.
+  auto run = [](unsigned threads) {
+    Machine m(64, 64, threads);
+    m.setInterconnect(std::make_unique<ButterflyInterconnect>(64));
+    FaultPlan plan;
+    plan.grantDropProbability = 0.1;
+    plan.seed = 7;
+    plan.transientAt(3, 5, 6);
+    m.setFaultPlan(plan);
+    std::vector<Response> resp;
+    for (std::uint64_t cyc = 0; cyc < 25; ++cyc) {
+      m.step(contendedWire(64, 64, 4, cyc), resp);
+    }
+    return m.metrics();
+  };
+  const MachineMetrics serial = run(1);
+  EXPECT_GT(serial.networkCycles, 0u);
+  for (const unsigned threads : {2u, ThreadPool::defaultThreads()}) {
+    const MachineMetrics forked = run(threads);
+    EXPECT_EQ(forked.networkCycles, serial.networkCycles) << threads;
+    EXPECT_EQ(forked.networkPackets, serial.networkPackets) << threads;
+    EXPECT_EQ(forked.networkMaxQueue, serial.networkMaxQueue) << threads;
+    EXPECT_EQ(forked.networkIdealCycles, serial.networkIdealCycles)
+        << threads;
+    EXPECT_DOUBLE_EQ(forked.networkStretch, serial.networkStretch) << threads;
+  }
+}
+
+TEST(Interconnect, StepReferencePricesTheSameTraffic) {
+  // The differential oracle routes through the same epilogue: a reference
+  // machine with the same backend reports identical network figures.
+  Machine fast(16, 32, 1);
+  Machine ref(16, 32, 1);
+  fast.setInterconnect(std::make_unique<ButterflyInterconnect>(16));
+  ref.setInterconnect(std::make_unique<ButterflyInterconnect>(16));
+  std::vector<Response> ra;
+  std::vector<Response> rb;
+  for (std::uint64_t cyc = 0; cyc < 15; ++cyc) {
+    const auto wire = contendedWire(16, 32, 3, cyc);
+    fast.step(wire, ra);
+    ref.stepReference(wire, rb);
+    EXPECT_TRUE(sameResponses(ra, rb)) << "cycle " << cyc;
+  }
+  EXPECT_GT(fast.metrics().networkCycles, 0u);
+  EXPECT_EQ(fast.metrics().networkCycles, ref.metrics().networkCycles);
+  EXPECT_EQ(fast.metrics().networkPackets, ref.metrics().networkPackets);
+  EXPECT_EQ(fast.metrics().networkMaxQueue, ref.metrics().networkMaxQueue);
+}
+
+TEST(Interconnect, ResetMetricsClearsNetworkFigures) {
+  Machine m(16, 32, 1);
+  m.setInterconnect(std::make_unique<ButterflyInterconnect>(16));
+  std::vector<Response> resp;
+  m.step(contendedWire(16, 32, 2, 0), resp);
+  EXPECT_GT(m.metrics().networkCycles, 0u);
+  m.resetMetrics();
+  EXPECT_EQ(m.metrics().networkCycles, 0u);
+  EXPECT_EQ(m.metrics().networkPackets, 0u);
+  EXPECT_EQ(m.metrics().networkIdealCycles, 0u);
+  EXPECT_DOUBLE_EQ(m.metrics().networkStretch, 0.0);
+  // The backend stays installed across a metrics reset.
+  EXPECT_TRUE(m.networkActive());
+  m.step(contendedWire(16, 32, 2, 1), resp);
+  EXPECT_GT(m.metrics().networkCycles, 0u);
+}
+
+}  // namespace
+}  // namespace dsm::mpc

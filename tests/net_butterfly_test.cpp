@@ -23,10 +23,73 @@ TEST(Butterfly, SinglePacketTakesExactlyDCycles) {
 }
 
 TEST(Butterfly, EmptyBatch) {
+  // An idle network costs nothing — in particular stretch must stay 0, not
+  // NaN (it feeds MachineMetrics::networkStretch on cycles with no winners).
   const Butterfly bf(3);
   const auto st = bf.route({});
   EXPECT_EQ(st.cycles, 0u);
   EXPECT_EQ(st.packets, 0u);
+  EXPECT_EQ(st.totalHops, 0u);
+  EXPECT_EQ(st.maxQueue, 0u);
+  EXPECT_DOUBLE_EQ(st.stretch, 0.0);
+}
+
+TEST(Butterfly, DimensionOneSmallestNetwork) {
+  // d=1 is the degenerate two-row butterfly (what ButterflyInterconnect
+  // builds for a one-module machine). One hop each way; two packets on the
+  // same link serialize.
+  const Butterfly bf(1);
+  EXPECT_EQ(bf.rows(), 2u);
+  for (std::uint32_t s : {0u, 1u}) {
+    for (std::uint32_t t : {0u, 1u}) {
+      const auto st = bf.route({Packet{s, t}});
+      EXPECT_EQ(st.cycles, 1u) << s << "->" << t;
+      EXPECT_DOUBLE_EQ(st.stretch, 1.0);
+    }
+  }
+  const auto st = bf.route({Packet{0, 1}, Packet{0, 1}});
+  EXPECT_EQ(st.cycles, 2u);
+  EXPECT_EQ(st.maxQueue, 2u);
+  EXPECT_DOUBLE_EQ(st.stretch, 2.0);
+}
+
+TEST(Butterfly, AllPacketsOneDestinationSaturates) {
+  // Every row sends to row 0 — the worst hot spot the network can see. The
+  // destination is fed by two links, so 2^d packets need at least 2^(d-1)
+  // cycles no matter how the tree buffers them.
+  const Butterfly bf(5);
+  std::vector<Packet> pkts;
+  for (std::uint32_t i = 0; i < bf.rows(); ++i) pkts.push_back({i, 0});
+  const auto st = bf.route(pkts);
+  EXPECT_EQ(st.packets, bf.rows());
+  EXPECT_GE(st.cycles, bf.rows() / 2);
+  EXPECT_GT(st.maxQueue, 1u);
+  EXPECT_EQ(st.totalHops, bf.rows() * 5);
+}
+
+TEST(Butterfly, FifoTieBreakByPacketIndexIsPinned) {
+  // Regression pin for the documented determinism contract: queues are FIFO
+  // and simultaneous arrivals are ordered by packet index, so RoutingStats
+  // is a pure function of the ordered packet list — and the order matters.
+  // The interconnect seam relies on exactly this: Machine::routeCycleWinners
+  // injects winners in wire order, which makes networkCycles independent of
+  // the machine's thread count. If a refactor changed the tie-break (e.g.
+  // to arrival order under a different scan, or last-writer-wins), the
+  // pinned numbers below would shift.
+  const Butterfly bf(2);
+  const std::vector<Packet> in_order = {{0, 2}, {0, 3}, {2, 2}, {2, 3}};
+  const std::vector<Packet> swapped = {{0, 2}, {0, 3}, {2, 3}, {2, 2}};
+  const auto a = bf.route(in_order);
+  EXPECT_EQ(a.cycles, 4u);
+  EXPECT_EQ(a.maxQueue, 3u);
+  const auto b = bf.route(swapped);
+  EXPECT_EQ(b.cycles, 3u);
+  EXPECT_EQ(b.maxQueue, 2u);
+  // Same multiset, different order, different cost — and each ordering is
+  // perfectly repeatable.
+  const auto a2 = bf.route(in_order);
+  EXPECT_EQ(a2.cycles, a.cycles);
+  EXPECT_EQ(a2.maxQueue, a.maxQueue);
 }
 
 TEST(Butterfly, IdentityPermutationIsContentionFree) {
