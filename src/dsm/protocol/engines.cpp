@@ -32,12 +32,17 @@ class EngineBase::Prefetcher {
 
   ~Prefetcher() {
     {
-      const std::lock_guard<std::mutex> lk(mu_);
+      std::unique_lock<std::mutex> lk(mu_);
+      // Never abandon a submitted prepare: the worker dereferences a batch
+      // pointer owned by whoever called submit(), and during an unwind that
+      // frame may already be dying. executeStream's drain guard collects
+      // every submit before returning or throwing, so this wait is a no-op
+      // in practice — it is the backstop for a teardown that races one.
+      cv_.wait(lk, [&] { return !busy_; });
       stop_ = true;
     }
     cv_.notify_all();
-    // worker_ (jthread) joins on destruction; a prepare in flight finishes
-    // first — it only touches engine state that outlives this object.
+    // worker_ (jthread) joins on destruction.
   }
 
   Prefetcher(const Prefetcher&) = delete;
@@ -63,6 +68,17 @@ class EngineBase::Prefetcher {
       error_ = nullptr;
       std::rethrow_exception(error);
     }
+  }
+
+  /// Blocks until any submitted prepare finished and discards its outcome
+  /// (exception included). Unwind path: the pointers handed to submit() are
+  /// about to die with the caller's frame, so the worker must be idle
+  /// before the unwind continues; the primary exception is already in
+  /// flight, so whatever the prepare raised is dropped.
+  void drain() noexcept {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return !busy_; });
+    error_ = nullptr;
   }
 
  private:
@@ -380,6 +396,19 @@ std::vector<AccessResult> EngineBase::executeStream(
   if (pipelined && prefetcher_ == nullptr) {
     prefetcher_ = std::make_unique<Prefetcher>(*this);
   }
+  // Error contract (header): executeStream must never unwind with a prepare
+  // in flight — the prefetch thread would keep dereferencing the caller's
+  // `batches` span after its frame died (and the engine could be torn down
+  // under it). The guard drains any uncollected submit on every exit path;
+  // on the normal path wait() collects first and the guard is a no-op.
+  struct PrefetchDrain {
+    Prefetcher* prefetcher = nullptr;
+    bool pending = false;
+    ~PrefetchDrain() {
+      if (pending) prefetcher->drain();
+    }
+  } guard;
+  guard.prefetcher = prefetcher_.get();
   PreparedBatch* cur = &prep_a_;
   PreparedBatch* next = &prep_b_;
   bool cur_ready = false;      // *cur holds batches[k]'s prepare
@@ -391,6 +420,11 @@ std::vector<AccessResult> EngineBase::executeStream(
       results.emplace_back();
       continue;
     }
+    // A validation throw from any prepare below leaves the engine as if the
+    // offending batch had never been submitted: prepare validates before it
+    // mutates the clock, the prep slots are scratch the next prepare
+    // overwrites, and every batch that already ran was fully accounted
+    // (finishBatch) before the throw propagates.
     if (!cur_ready) prepare(batch, *cur, &machine_.pool());
     // Overlap: hand batch k+1's prepare to the prefetch thread, run batch
     // k's wire rounds, then collect (rethrowing any validation failure at
@@ -399,19 +433,32 @@ std::vector<AccessResult> EngineBase::executeStream(
         k + 1 < batches.size() && !batches[k + 1].empty();
     if (prefetch_next && pipelined) {
       prefetcher_->submit(&batches[k + 1], next);
+      guard.pending = true;
     }
     beginBatch(*cur, batch.size());
     results.push_back(runPrepared(batch, *cur));
     bool next_ready = false;
-    if (prefetch_next) {
-      if (pipelined) {
+    if (prefetch_next && pipelined) {
+      // finishBatch reads the copy-cache counters the prefetch thread
+      // mutates, so it must stay ordered after wait() — but batch k itself
+      // completed, so its books close even when wait() rethrows batch
+      // k+1's validation failure.
+      guard.pending = false;  // wait() collects the submit, throw or not
+      try {
         prefetcher_->wait();
-      } else {
-        prepare(batches[k + 1], *next, &machine_.pool());
+      } catch (...) {
+        finishBatch(batch.size());
+        throw;
       }
+      finishBatch(batch.size());
       next_ready = true;
+    } else {
+      finishBatch(batch.size());
+      if (prefetch_next) {
+        prepare(batches[k + 1], *next, &machine_.pool());
+        next_ready = true;
+      }
     }
-    finishBatch(batch.size());
     std::swap(cur, next);
     cur_ready = next_ready;
   }

@@ -204,6 +204,24 @@ class EngineBase {
   /// a prefetch thread while batch k's wire rounds execute (see the file
   /// comment). Results are identical to calling execute() per batch on a
   /// fresh engine over the same machine, at any thread count.
+  ///
+  /// Error contract (what a long-lived server may rely on):
+  ///  * A batch that fails validation (out-of-range variable, duplicate
+  ///    variables, oversized batch) raises util::CheckError at its stream
+  ///    position and leaves NO trace: validation precedes every clock /
+  ///    timestamp mutation, and the prepare scratch is overwritten by the
+  ///    next prepare. Batches before the bad one have fully executed (their
+  ///    writes are committed and accounted in metrics(), though their
+  ///    AccessResults are lost with the throw); batches after it have not
+  ///    started. The engine remains fully usable: continuing with the
+  ///    remaining batches yields results byte-identical to a stream that
+  ///    never contained the bad batch.
+  ///  * If the wire rounds themselves throw (machine precondition failure),
+  ///    the engine and machine stay safe and reusable, but the interrupted
+  ///    batch may have partially mutated memory (some writes committed,
+  ///    some staged-forever-invisible) and a pipelined successor's prepare
+  ///    may already have advanced the clock. No path — normal or unwinding
+  ///    — returns with a prepare still in flight on the prefetch thread.
   std::vector<AccessResult> executeStream(
       std::span<const std::vector<AccessRequest>> batches);
 

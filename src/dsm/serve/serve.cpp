@@ -1,0 +1,273 @@
+#include "dsm/serve/serve.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "dsm/util/assert.hpp"
+
+namespace dsm::serve {
+
+const char* statusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kUnsatisfiable:
+      return "unsatisfiable";
+    case Status::kRejected:
+      return "rejected";
+    case Status::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+std::uint64_t ClientSession::submitRead(std::uint64_t variable,
+                                        std::uint64_t ttl_ticks) {
+  return scheduler_->admit(*this, variable, mpc::Op::kRead, 0, ttl_ticks);
+}
+
+std::uint64_t ClientSession::submitWrite(std::uint64_t variable,
+                                         std::uint64_t value,
+                                         std::uint64_t ttl_ticks) {
+  return scheduler_->admit(*this, variable, mpc::Op::kWrite, value,
+                           ttl_ticks);
+}
+
+bool ClientSession::poll(Response& out) {
+  if (inbox_.empty()) return false;
+  out = inbox_.front();
+  inbox_.pop_front();
+  return true;
+}
+
+std::vector<Response> ClientSession::drainResponses() {
+  std::vector<Response> out(inbox_.begin(), inbox_.end());
+  inbox_.clear();
+  return out;
+}
+
+AdmissionScheduler::AdmissionScheduler(protocol::EngineBase& engine,
+                                       ServeConfig config)
+    : engine_(engine), config_(config) {
+  DSM_CHECK_MSG(config_.maxBatch >= 1, "maxBatch must be positive");
+  DSM_CHECK_MSG(config_.maxBatchesPerPump >= 1,
+                "maxBatchesPerPump must be positive");
+  DSM_CHECK_MSG(config_.queueCapacity >= 1, "queueCapacity must be positive");
+  // The engines derive 32-bit wire processor ids from batch positions; the
+  // scheduler must never compose a batch the engine would reject.
+  DSM_CHECK_MSG(config_.maxBatch + engine.scheme().copiesPerVariable() <=
+                    (1ULL << 32),
+                "maxBatch too large for 32-bit processor ids: "
+                    << config_.maxBatch);
+}
+
+ClientSession& AdmissionScheduler::openSession() {
+  const auto id = static_cast<std::uint64_t>(sessions_.size());
+  sessions_.push_back(
+      std::unique_ptr<ClientSession>(new ClientSession(*this, id)));
+  return *sessions_.back();
+}
+
+void AdmissionScheduler::closeSession(ClientSession& session) {
+  DSM_CHECK_MSG(session.scheduler_ == this,
+                "session belongs to a different scheduler");
+  session.closed_ = true;
+  session.inbox_.clear();
+  // Queued work is discarded lazily at the next composition (droppedClosed);
+  // scanning the queue here would make close O(queue) for no benefit.
+}
+
+std::uint64_t AdmissionScheduler::admit(ClientSession& session,
+                                        std::uint64_t variable, mpc::Op op,
+                                        std::uint64_t value,
+                                        std::uint64_t ttl_ticks) {
+  ++metrics_.submitted;
+  const std::uint64_t id = session.next_request_id_++;
+  const auto reject = [&](std::uint64_t& counter) {
+    ++counter;
+    if (session.closed_) return id;  // a closed session's inbox stays empty
+    Response resp;
+    resp.requestId = id;
+    resp.variable = variable;
+    resp.op = op;
+    resp.status = Status::kRejected;
+    resp.submitTick = now_;
+    resp.completeTick = now_;
+    session.inbox_.push_back(resp);
+    return id;
+  };
+  if (session.closed_) return reject(metrics_.rejectedClosed);
+  if (variable >= engine_.scheme().numVariables()) {
+    // Catch malformed requests at the door: by the time a batch reaches the
+    // engine, a validation throw would take down the whole stream call.
+    return reject(metrics_.rejectedInvalid);
+  }
+  if (pending_.size() >= config_.queueCapacity) {
+    // Backpressure: the queue is bounded, so sustained overload surfaces
+    // here (and as sheds) instead of as unbounded memory and latency.
+    return reject(metrics_.rejectedQueueFull);
+  }
+  Pending p;
+  p.session = &session;
+  p.requestId = id;
+  p.variable = variable;
+  p.op = op;
+  p.value = value;
+  p.arrival = now_;
+  p.deadline = ttl_ticks == kNoDeadline ? kNoDeadline : now_ + ttl_ticks;
+  if (p.deadline < now_) p.deadline = kNoDeadline;  // saturate on overflow
+  p.submitWall = wall_.seconds();
+  pending_.push_back(p);
+  ++session.in_flight_;
+  ++metrics_.admitted;
+  metrics_.maxQueueDepth =
+      std::max<std::uint64_t>(metrics_.maxQueueDepth, pending_.size());
+  return id;
+}
+
+bool AdmissionScheduler::due() const {
+  if (pending_.empty()) return false;
+  if (pending_.size() >= config_.maxBatch) return true;  // size trigger
+  // Deadline trigger: the oldest queued request has waited long enough.
+  return now_ >= pending_.front().arrival + config_.maxWaitTicks;
+}
+
+std::size_t AdmissionScheduler::tick() {
+  ++now_;
+  return pump();
+}
+
+std::size_t AdmissionScheduler::pump() {
+  return due() ? serveDue(config_.maxBatchesPerPump) : 0;
+}
+
+std::size_t AdmissionScheduler::flush() {
+  std::size_t delivered = 0;
+  // Unlimited batches per round: every queued request either sheds or finds
+  // a batch (a variable conflict just opens a later batch), so one round
+  // drains the queue.
+  while (!pending_.empty()) delivered += serveDue(pending_.size());
+  return delivered;
+}
+
+std::size_t AdmissionScheduler::serveDue(std::size_t max_batches) {
+  std::size_t delivered = 0;
+  stream_.clear();
+  slots_.clear();
+  keep_.clear();
+
+  // One pass over the queue in arrival order: shed expired work, place the
+  // rest into the first open batch not already holding the variable, keep
+  // what does not fit this pump. Placement is a pure function of the
+  // arrival order — nothing here consults results, time-of-day or thread
+  // count — which is what makes batch composition reproducible.
+  for (const Pending& p : pending_) {
+    if (p.session->closed_) {
+      --p.session->in_flight_;
+      ++metrics_.droppedClosed;
+      continue;
+    }
+    if (p.deadline < now_) {
+      deliver(p, Status::kShed, 0);
+      ++delivered;
+      continue;
+    }
+    bool conflict_seen = false;
+    bool placed = false;
+    for (std::size_t b = 0; b < stream_.size(); ++b) {
+      if (batch_vars_[b].count(p.variable) != 0) {
+        // Per-variable FIFO: this batch already carries an earlier request
+        // for the variable, so p must run in a strictly later batch.
+        conflict_seen = true;
+        continue;
+      }
+      if (stream_[b].size() >= config_.maxBatch) continue;
+      stream_[b].push_back({p.variable, p.op, p.value});
+      slots_[b].push_back(p);
+      batch_vars_[b].insert(p.variable);
+      placed = true;
+      break;
+    }
+    if (!placed && stream_.size() < max_batches) {
+      stream_.emplace_back();
+      slots_.emplace_back();
+      if (batch_vars_.size() < stream_.size()) {
+        batch_vars_.emplace_back();
+      } else {
+        batch_vars_[stream_.size() - 1].clear();
+      }
+      stream_.back().push_back({p.variable, p.op, p.value});
+      slots_.back().push_back(p);
+      batch_vars_[stream_.size() - 1].insert(p.variable);
+      placed = true;
+    }
+    if (!placed) {
+      keep_.push_back(p);
+      continue;
+    }
+    if (conflict_seen) ++metrics_.coalesceDeferrals;
+  }
+  pending_.swap(keep_);
+
+  if (!stream_.empty()) {
+    metrics_.batchesComposed += stream_.size();
+    ++metrics_.streamsRun;
+    if (config_.recordBatches) {
+      for (const auto& batch : stream_) recorded_.push_back(batch);
+    }
+    // The pipelined stream path: batch k+1's validation/addressing/stamping
+    // overlaps batch k's wire rounds on a multi-threaded machine. Admission
+    // already validated every request, so a mid-stream throw here means a
+    // machine-level failure — the hardened executeStream contract keeps
+    // the engine reusable either way.
+    const std::vector<protocol::AccessResult> results =
+        engine_.executeStream(stream_);
+    for (std::size_t b = 0; b < stream_.size(); ++b) {
+      const protocol::AccessResult& result = results[b];
+      unsat_.assign(slots_[b].size(), 0);
+      for (const std::size_t i : result.unsatisfiable) unsat_[i] = 1;
+      for (std::size_t i = 0; i < slots_[b].size(); ++i) {
+        if (unsat_[i] != 0) {
+          deliver(slots_[b][i], Status::kUnsatisfiable, 0);
+        } else {
+          deliver(slots_[b][i], Status::kOk, result.values[i]);
+        }
+        ++delivered;
+      }
+    }
+  }
+  return delivered;
+}
+
+void AdmissionScheduler::deliver(const Pending& pending, Status status,
+                                 std::uint64_t value) {
+  ClientSession& session = *pending.session;
+  --session.in_flight_;
+  switch (status) {
+    case Status::kOk:
+      ++metrics_.served;
+      break;
+    case Status::kUnsatisfiable:
+      ++metrics_.unsatisfiable;
+      break;
+    case Status::kShed:
+      ++metrics_.shed;
+      break;
+    case Status::kRejected:
+      break;  // rejections never reach the queue; see admit()
+  }
+  if (session.closed_) return;  // nobody is listening
+  Response resp;
+  resp.requestId = pending.requestId;
+  resp.variable = pending.variable;
+  resp.op = pending.op;
+  resp.status = status;
+  resp.value = value;
+  resp.submitTick = pending.arrival;
+  resp.completeTick = now_;
+  resp.latencySeconds = wall_.seconds() - pending.submitWall;
+  session.inbox_.push_back(resp);
+}
+
+}  // namespace dsm::serve

@@ -1,0 +1,244 @@
+// Online serving front end (DESIGN.md §11): a deterministic admission layer
+// that turns continuous per-client read/write traffic into the closed,
+// distinct-variable MPC batches the protocol engines consume.
+//
+// The paper's scheme simulates shared memory for batches of DISTINCT
+// variables issued synchronously; production traffic is neither — it
+// arrives continuously, from many clients, with duplicates and deadlines.
+// AdmissionScheduler bridges the two models:
+//
+//   * ClientSession objects enqueue reads/writes with per-request relative
+//     deadlines and collect per-request Responses from an inbox.
+//   * Admission is bounded: a full queue rejects new work immediately
+//     (backpressure, Status::kRejected) instead of growing without bound,
+//     and out-of-range variables are rejected up front so a malformed
+//     request can never surface as a mid-stream validation throw.
+//   * A size-or-deadline trigger fires service: the queue is served when it
+//     holds a full batch (maxBatch) or when the oldest admitted request has
+//     waited maxWaitTicks. Each pump composes up to maxBatchesPerPump
+//     batches — the per-tick service capacity — and runs them through the
+//     engine's pipelined executeStream as one stream.
+//   * Batch composition is deterministic given arrival order: requests are
+//     scanned oldest first, each placed into the first open batch that does
+//     not already contain its variable (the engine's distinct-variable
+//     precondition). Duplicate-variable requests therefore land in strictly
+//     later batches than their predecessors — per-variable FIFO, the
+//     consistency contract a memory cell needs — while independent
+//     variables may pack into earlier batches. Requests whose deadline has
+//     passed at composition time are shed (Status::kShed) instead of
+//     occupying a slot: under overload the scheduler degrades by dropping
+//     late work, never by stalling fresh work.
+//   * Responses fan back out per session with per-request status; the
+//     engine's unsatisfiable verdicts (quorum unreachable under module
+//     faults) map to Status::kUnsatisfiable with a zeroed value.
+//
+// Time is virtual (ticks advanced by tick()), so the entire serving
+// pipeline — composition, shedding, every response field except the
+// wall-clock latencySeconds — is a pure function of the arrival trace and
+// the engine's deterministic results: bit-identical across machine thread
+// counts and under an active FaultPlan. A network front end would pin
+// sessions to this driver thread (the usual event-loop shape); the MPC
+// machine's thread pool underneath provides the parallelism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "dsm/protocol/engines.hpp"
+#include "dsm/util/timer.hpp"
+
+namespace dsm::serve {
+
+/// Relative deadline meaning "never shed this request".
+inline constexpr std::uint64_t kNoDeadline = ~0ULL;
+
+/// Per-request outcome, visible in ClientSession responses.
+enum class Status : std::uint8_t {
+  kOk = 0,          ///< served; value holds the read/echoed-write result
+  kUnsatisfiable,   ///< served, but the quorum was unreachable (faults)
+  kRejected,        ///< refused at admission: queue full, bad variable, or
+                    ///< closed session — never enqueued
+  kShed,            ///< admitted, but its deadline passed before service
+};
+
+const char* statusName(Status s);
+
+/// One completed request, delivered to its session's inbox.
+struct Response {
+  std::uint64_t requestId = 0;  ///< session-scoped, monotone from 0
+  std::uint64_t variable = 0;
+  mpc::Op op = mpc::Op::kRead;
+  Status status = Status::kOk;
+  std::uint64_t value = 0;        ///< 0 unless status == kOk
+  std::uint64_t submitTick = 0;
+  std::uint64_t completeTick = 0;
+  /// Wall-clock submit-to-delivery latency. The only nondeterministic
+  /// field — excluded from bit-identity comparisons.
+  double latencySeconds = 0.0;
+};
+
+/// Scheduler knobs. Defaults suit the benchmark scale; servers tune them.
+struct ServeConfig {
+  /// Target MPC batch size (the size trigger; also each batch's cap).
+  std::size_t maxBatch = 256;
+  /// Batches composed per pump — the per-tick service capacity, and the
+  /// depth of the executeStream pipeline each pump drives.
+  std::size_t maxBatchesPerPump = 4;
+  /// Deadline trigger: serve once the oldest admitted request has waited
+  /// this many ticks, even if the size trigger never fires.
+  std::uint64_t maxWaitTicks = 4;
+  /// Bounded admission queue; submissions beyond this are rejected
+  /// (backpressure). Sheds and rejections are the overload valve — the
+  /// queue can never grow without bound.
+  std::size_t queueCapacity = 4096;
+  /// Keep a log of every composed batch (recordedBatches()) for
+  /// determinism tests and debugging. Off in production: it grows.
+  bool recordBatches = false;
+};
+
+/// Serving-side counters (cumulative; all deterministic given the arrival
+/// trace and the machine's fault history).
+struct ServeMetrics {
+  std::uint64_t submitted = 0;         ///< submit calls, any outcome
+  std::uint64_t admitted = 0;          ///< entered the queue
+  std::uint64_t rejectedQueueFull = 0; ///< backpressure rejections
+  std::uint64_t rejectedInvalid = 0;   ///< variable out of range
+  std::uint64_t rejectedClosed = 0;    ///< submitted on a closed session
+  std::uint64_t shed = 0;              ///< deadline passed before service
+  std::uint64_t served = 0;            ///< Status::kOk responses
+  std::uint64_t unsatisfiable = 0;     ///< Status::kUnsatisfiable responses
+  std::uint64_t droppedClosed = 0;     ///< pending work of closed sessions
+  std::uint64_t batchesComposed = 0;   ///< MPC batches built
+  std::uint64_t streamsRun = 0;        ///< executeStream invocations
+  /// Requests pushed past an open batch because it already held their
+  /// variable (the coalescing cost of duplicate traffic).
+  std::uint64_t coalesceDeferrals = 0;
+  std::uint64_t maxQueueDepth = 0;     ///< worst admission-queue depth seen
+};
+
+class AdmissionScheduler;
+
+/// One client's window onto the scheduler: submits requests, collects
+/// responses. Created by AdmissionScheduler::openSession() and owned by the
+/// scheduler (stable address for the scheduler's lifetime). Not
+/// thread-safe: sessions live on the scheduler's driver thread.
+class ClientSession {
+ public:
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Enqueue a read/write of `variable`. `ttl_ticks` is the relative
+  /// deadline: the request is shed if still unserved once that many ticks
+  /// have elapsed (kNoDeadline = never shed). Returns the session-scoped
+  /// request id; rejected submissions complete immediately with
+  /// Status::kRejected in the inbox.
+  std::uint64_t submitRead(std::uint64_t variable,
+                           std::uint64_t ttl_ticks = kNoDeadline);
+  std::uint64_t submitWrite(std::uint64_t variable, std::uint64_t value,
+                            std::uint64_t ttl_ticks = kNoDeadline);
+
+  /// Pops the oldest completed response, if any.
+  bool poll(Response& out);
+  /// Moves out every completed response, oldest first.
+  std::vector<Response> drainResponses();
+
+  std::size_t ready() const noexcept { return inbox_.size(); }
+  std::uint64_t inFlight() const noexcept { return in_flight_; }
+  std::uint64_t id() const noexcept { return id_; }
+  bool closed() const noexcept { return closed_; }
+
+ private:
+  friend class AdmissionScheduler;
+  ClientSession(AdmissionScheduler& scheduler, std::uint64_t id)
+      : scheduler_(&scheduler), id_(id) {}
+
+  AdmissionScheduler* scheduler_;
+  std::uint64_t id_;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t in_flight_ = 0;  ///< admitted, not yet responded
+  bool closed_ = false;
+  std::deque<Response> inbox_;
+};
+
+/// The admission front end. Owns the sessions and the bounded queue; runs
+/// composed batch streams through a borrowed engine (which must outlive the
+/// scheduler, along with its machine).
+class AdmissionScheduler {
+ public:
+  explicit AdmissionScheduler(protocol::EngineBase& engine,
+                              ServeConfig config = {});
+
+  /// Opens a session. The reference stays valid until the scheduler dies.
+  ClientSession& openSession();
+  /// Closes a session: later submissions are rejected, its queued work is
+  /// discarded at the next composition, and its inbox is cleared.
+  void closeSession(ClientSession& session);
+
+  std::uint64_t now() const noexcept { return now_; }
+  /// Advances virtual time one tick and pumps if a trigger is due.
+  /// Returns the number of responses delivered.
+  std::size_t tick();
+  /// Serves queued work now if the size-or-deadline trigger is due
+  /// (composes up to maxBatchesPerPump batches, runs them as one pipelined
+  /// stream, fans responses out). Returns responses delivered.
+  std::size_t pump();
+  /// Drains the whole queue regardless of triggers and capacity (expired
+  /// requests still shed). For shutdown and tests.
+  std::size_t flush();
+
+  std::size_t queueDepth() const noexcept { return pending_.size(); }
+  const ServeMetrics& metrics() const noexcept { return metrics_; }
+  protocol::EngineBase& engine() noexcept { return engine_; }
+  const ServeConfig& config() const noexcept { return config_; }
+
+  /// Every batch composed so far, in execution order (empty unless
+  /// ServeConfig::recordBatches).
+  const std::vector<std::vector<protocol::AccessRequest>>& recordedBatches()
+      const noexcept {
+    return recorded_;
+  }
+
+ private:
+  friend class ClientSession;
+
+  struct Pending {
+    ClientSession* session = nullptr;
+    std::uint64_t requestId = 0;
+    std::uint64_t variable = 0;
+    mpc::Op op = mpc::Op::kRead;
+    std::uint64_t value = 0;
+    std::uint64_t arrival = 0;   ///< tick of admission
+    std::uint64_t deadline = 0;  ///< absolute tick; kNoDeadline = never
+    double submitWall = 0.0;     ///< wall seconds at admission
+  };
+
+  std::uint64_t admit(ClientSession& session, std::uint64_t variable,
+                      mpc::Op op, std::uint64_t value,
+                      std::uint64_t ttl_ticks);
+  bool due() const;
+  /// Composes up to `max_batches` batches from the queue (shedding expired
+  /// work), runs them, fans out. Returns responses delivered.
+  std::size_t serveDue(std::size_t max_batches);
+  void deliver(const Pending& pending, Status status, std::uint64_t value);
+
+  protocol::EngineBase& engine_;
+  ServeConfig config_;
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+  std::vector<Pending> pending_;  ///< admission queue, arrival order
+  std::uint64_t now_ = 0;
+  ServeMetrics metrics_;
+  util::Timer wall_;  ///< monotone wall clock since construction
+  // Composition scratch, reused across pumps.
+  std::vector<std::vector<protocol::AccessRequest>> stream_;
+  std::vector<std::vector<Pending>> slots_;  ///< parallels stream_
+  std::vector<std::unordered_set<std::uint64_t>> batch_vars_;
+  std::vector<Pending> keep_;
+  std::vector<std::uint8_t> unsat_;  ///< per-slot flag scratch
+  std::vector<std::vector<protocol::AccessRequest>> recorded_;
+};
+
+}  // namespace dsm::serve

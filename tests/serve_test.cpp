@@ -1,0 +1,356 @@
+// Serving front end: admission, coalescing, triggers, overload behavior
+// (backpressure + shedding), fault mapping — and the headline property, that
+// the whole serving pipeline is deterministic: a fixed arrival trace yields
+// bit-identical batch composition and responses across machine thread
+// counts, with an active FaultPlan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/serve/serve.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::serve {
+namespace {
+
+struct Fixture {
+  explicit Fixture(ServeConfig cfg = {}, unsigned threads = 1)
+      : scheme(1, 3),
+        machine(scheme.numModules(), scheme.slotsPerModule(), threads),
+        engine(scheme, machine),
+        sched(engine, cfg) {}
+
+  scheme::PpScheme scheme;
+  mpc::Machine machine;
+  protocol::MajorityEngine engine;
+  AdmissionScheduler sched;
+};
+
+TEST(Serve, WriteThenReadRoundTrip) {
+  Fixture f;
+  ClientSession& writer = f.sched.openSession();
+  ClientSession& reader = f.sched.openSession();
+  const std::uint64_t wid = writer.submitWrite(5, 42);
+  const std::uint64_t rid = reader.submitRead(5);
+  EXPECT_EQ(f.sched.queueDepth(), 2u);
+  f.sched.flush();
+  EXPECT_EQ(f.sched.queueDepth(), 0u);
+
+  Response w;
+  ASSERT_TRUE(writer.poll(w));
+  EXPECT_EQ(w.requestId, wid);
+  EXPECT_EQ(w.status, Status::kOk);
+  EXPECT_EQ(w.value, 42u);  // writes echo the committed value
+
+  Response r;
+  ASSERT_TRUE(reader.poll(r));
+  EXPECT_EQ(r.requestId, rid);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.value, 42u);  // the read ran in a later batch (per-var FIFO)
+
+  EXPECT_EQ(f.sched.metrics().served, 2u);
+  EXPECT_EQ(f.sched.metrics().batchesComposed, 2u);
+  EXPECT_FALSE(writer.poll(w));
+}
+
+TEST(Serve, DuplicateVariableCoalescesInFifoOrder) {
+  ServeConfig cfg;
+  cfg.recordBatches = true;
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  const std::uint64_t v = 9;
+  s.submitWrite(v, 1);
+  s.submitWrite(v, 2);
+  s.submitRead(v);
+  f.sched.flush();
+
+  // Three same-variable requests cannot share a batch: one batch each, in
+  // arrival order, so the read observes the LAST write.
+  const auto& batches = f.sched.recordedBatches();
+  ASSERT_EQ(batches.size(), 3u);
+  for (const auto& b : batches) {
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0].variable, v);
+  }
+  const auto responses = s.drainResponses();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[2].op, mpc::Op::kRead);
+  EXPECT_EQ(responses[2].value, 2u);
+  EXPECT_EQ(f.sched.metrics().coalesceDeferrals, 2u);
+}
+
+TEST(Serve, SizeTriggerFiresAtMaxBatch) {
+  ServeConfig cfg;
+  cfg.maxBatch = 4;
+  cfg.maxWaitTicks = 1000;  // keep the deadline trigger out of the way
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  for (std::uint64_t v = 0; v < 3; ++v) s.submitRead(v);
+  EXPECT_EQ(f.sched.pump(), 0u);  // below maxBatch, nothing due
+  s.submitRead(3);
+  EXPECT_EQ(f.sched.pump(), 4u);  // size trigger
+  EXPECT_EQ(f.sched.queueDepth(), 0u);
+  EXPECT_EQ(f.sched.metrics().batchesComposed, 1u);
+}
+
+TEST(Serve, DeadlineTriggerFiresAfterMaxWaitTicks) {
+  ServeConfig cfg;
+  cfg.maxBatch = 1000;
+  cfg.maxWaitTicks = 3;
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(1);
+  s.submitRead(2);
+  EXPECT_EQ(f.sched.tick(), 0u);  // now=1: oldest has waited 1 < 3
+  EXPECT_EQ(f.sched.tick(), 0u);  // now=2
+  EXPECT_EQ(f.sched.tick(), 2u);  // now=3: deadline trigger serves both
+  EXPECT_EQ(s.ready(), 2u);
+}
+
+TEST(Serve, ExpiredRequestsAreShedNotServed) {
+  ServeConfig cfg;
+  cfg.maxWaitTicks = 1000;  // only flush() will serve
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(1, /*ttl_ticks=*/1);
+  s.submitRead(2);  // no deadline
+  f.sched.tick();
+  f.sched.tick();  // now=2 > deadline 1: the first request has expired
+  f.sched.flush();
+
+  const auto responses = s.drainResponses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].status, Status::kShed);
+  EXPECT_EQ(responses[0].value, 0u);
+  EXPECT_EQ(responses[1].status, Status::kOk);
+  EXPECT_EQ(f.sched.metrics().shed, 1u);
+  EXPECT_EQ(f.sched.metrics().served, 1u);
+}
+
+TEST(Serve, FullQueueRejectsImmediately) {
+  ServeConfig cfg;
+  cfg.queueCapacity = 2;
+  cfg.maxWaitTicks = 1000;
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(1);
+  s.submitRead(2);
+  const std::uint64_t id = s.submitRead(3);  // over capacity
+
+  ASSERT_EQ(s.ready(), 1u);  // the rejection completed immediately
+  Response r;
+  ASSERT_TRUE(s.poll(r));
+  EXPECT_EQ(r.requestId, id);
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(f.sched.metrics().rejectedQueueFull, 1u);
+  EXPECT_EQ(f.sched.metrics().admitted, 2u);
+  EXPECT_EQ(s.inFlight(), 2u);
+
+  f.sched.flush();
+  EXPECT_EQ(s.inFlight(), 0u);
+  EXPECT_EQ(f.sched.metrics().served, 2u);
+}
+
+TEST(Serve, OutOfRangeVariableRejectedAtAdmission) {
+  Fixture f;
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(f.scheme.numVariables());
+  Response r;
+  ASSERT_TRUE(s.poll(r));
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(f.sched.metrics().rejectedInvalid, 1u);
+  EXPECT_EQ(f.sched.queueDepth(), 0u);
+}
+
+TEST(Serve, ClosedSessionDropsQueuedWorkAndRejectsNewWork) {
+  ServeConfig cfg;
+  cfg.maxWaitTicks = 1000;
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  ClientSession& other = f.sched.openSession();
+  s.submitRead(1);
+  s.submitRead(2);
+  other.submitRead(3);
+  f.sched.closeSession(s);
+  EXPECT_TRUE(s.closed());
+  s.submitRead(4);  // after close: rejected, no response delivered
+  EXPECT_EQ(f.sched.metrics().rejectedClosed, 1u);
+  EXPECT_EQ(s.ready(), 0u);
+
+  f.sched.flush();
+  EXPECT_EQ(f.sched.metrics().droppedClosed, 2u);
+  EXPECT_EQ(s.ready(), 0u);  // dropped work produces no responses
+  EXPECT_EQ(s.inFlight(), 0u);
+  ASSERT_EQ(other.ready(), 1u);  // the open session is unaffected
+  Response r;
+  ASSERT_TRUE(other.poll(r));
+  EXPECT_EQ(r.status, Status::kOk);
+}
+
+TEST(Serve, ModuleFaultsSurfaceAsUnsatisfiable) {
+  Fixture f;
+  const std::uint64_t victim = 7;
+  // Kill 2 of the 3 copies: the read/write quorum (2) becomes unreachable
+  // for this variable only.
+  const auto copies = f.scheme.copiesOf(victim);
+  ASSERT_EQ(copies.size(), 3u);
+  f.machine.failModule(copies[0].module);
+  f.machine.failModule(copies[1].module);
+
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(victim);
+  // A healthy variable: one sharing no module with the victim's dead pair.
+  std::uint64_t healthy = victim;
+  for (std::uint64_t v = 0; v < f.scheme.numVariables(); ++v) {
+    if (v == victim) continue;
+    bool hit = false;
+    for (const auto& c : f.scheme.copiesOf(v)) {
+      hit |= c.module == copies[0].module || c.module == copies[1].module;
+    }
+    if (!hit) {
+      healthy = v;
+      break;
+    }
+  }
+  ASSERT_NE(healthy, victim);
+  s.submitRead(healthy);
+  f.sched.flush();
+
+  const auto responses = s.drainResponses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].status, Status::kUnsatisfiable);
+  EXPECT_EQ(responses[0].value, 0u);
+  EXPECT_EQ(responses[1].status, Status::kOk);
+  EXPECT_EQ(f.sched.metrics().unsatisfiable, 1u);
+  EXPECT_EQ(f.sched.metrics().served, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: admission determinism under faults. A fixed arrival trace —
+// overdriven enough to exercise coalescing, shedding AND backpressure —
+// must produce bit-identical batches, responses and metrics whether the MPC
+// machine runs 1 thread (serial stream path) or 3 (pipelined prefetch),
+// with an active FaultPlan (module outage + grant-drop noise).
+
+struct TraceRun {
+  std::vector<std::vector<Response>> responses;  // per session
+  std::vector<std::vector<protocol::AccessRequest>> batches;
+  ServeMetrics metrics;
+};
+
+TraceRun runTrace(unsigned threads) {
+  const scheme::PpScheme scheme(1, 3);
+  mpc::Machine machine(scheme.numModules(), scheme.slotsPerModule(), threads);
+  mpc::FaultPlan plan;
+  plan.grantDropProbability = 0.2;
+  plan.seed = 7;
+  plan.transientAt(3, 1, 9);
+  machine.setFaultPlan(plan);
+  protocol::MajorityEngine engine(scheme, machine);
+
+  ServeConfig cfg;
+  cfg.maxBatch = 8;
+  cfg.maxBatchesPerPump = 2;
+  cfg.maxWaitTicks = 2;
+  cfg.queueCapacity = 24;
+  cfg.recordBatches = true;
+  AdmissionScheduler sched(engine, cfg);
+
+  std::vector<ClientSession*> sessions;
+  for (int i = 0; i < 3; ++i) sessions.push_back(&sched.openSession());
+
+  // The trace itself is deterministic: same seed, same submissions, same
+  // tick boundaries — the only degree of freedom between runs is `threads`.
+  util::Xoshiro256 rng(2026);
+  const std::uint64_t var_pool = 12;  // small pool => heavy coalescing
+  for (int t = 0; t < 20; ++t) {
+    const std::size_t n = 4 + static_cast<std::size_t>(rng.below(10));
+    for (std::size_t i = 0; i < n; ++i) {
+      ClientSession& s = *sessions[rng.below(sessions.size())];
+      const std::uint64_t v = rng.below(var_pool);
+      const std::uint64_t ttl = 1 + rng.below(5);  // short: forces sheds
+      if (rng.below(2) == 0) {
+        s.submitRead(v, ttl);
+      } else {
+        s.submitWrite(v, rng() % 1000, ttl);
+      }
+    }
+    sched.tick();
+  }
+  for (int t = 0; t < 8; ++t) sched.tick();  // drain window
+  sched.flush();
+
+  TraceRun run;
+  for (ClientSession* s : sessions) run.responses.push_back(s->drainResponses());
+  run.batches = sched.recordedBatches();
+  run.metrics = sched.metrics();
+  return run;
+}
+
+void expectSameMetrics(const ServeMetrics& a, const ServeMetrics& b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejectedQueueFull, b.rejectedQueueFull);
+  EXPECT_EQ(a.rejectedInvalid, b.rejectedInvalid);
+  EXPECT_EQ(a.rejectedClosed, b.rejectedClosed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.unsatisfiable, b.unsatisfiable);
+  EXPECT_EQ(a.droppedClosed, b.droppedClosed);
+  EXPECT_EQ(a.batchesComposed, b.batchesComposed);
+  EXPECT_EQ(a.streamsRun, b.streamsRun);
+  EXPECT_EQ(a.coalesceDeferrals, b.coalesceDeferrals);
+  EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
+}
+
+TEST(ServeDeterminism, TraceBitIdenticalAcrossThreadCountsUnderFaults) {
+  const TraceRun serial = runTrace(1);
+  const TraceRun pipelined = runTrace(3);
+
+  // The trace genuinely exercised the interesting paths.
+  EXPECT_GT(serial.metrics.served, 0u);
+  EXPECT_GT(serial.metrics.shed, 0u);
+  EXPECT_GT(serial.metrics.coalesceDeferrals, 0u);
+  EXPECT_GT(serial.metrics.batchesComposed, 2u);
+
+  // Identical batch composition...
+  ASSERT_EQ(serial.batches.size(), pipelined.batches.size());
+  for (std::size_t b = 0; b < serial.batches.size(); ++b) {
+    ASSERT_EQ(serial.batches[b].size(), pipelined.batches[b].size())
+        << "batch " << b;
+    for (std::size_t i = 0; i < serial.batches[b].size(); ++i) {
+      EXPECT_EQ(serial.batches[b][i].variable, pipelined.batches[b][i].variable)
+          << "batch " << b << " req " << i;
+      EXPECT_EQ(serial.batches[b][i].op, pipelined.batches[b][i].op);
+      EXPECT_EQ(serial.batches[b][i].value, pipelined.batches[b][i].value);
+    }
+  }
+
+  // ...identical responses (latencySeconds is wall clock — the one field
+  // documented as nondeterministic)...
+  ASSERT_EQ(serial.responses.size(), pipelined.responses.size());
+  for (std::size_t s = 0; s < serial.responses.size(); ++s) {
+    ASSERT_EQ(serial.responses[s].size(), pipelined.responses[s].size())
+        << "session " << s;
+    for (std::size_t i = 0; i < serial.responses[s].size(); ++i) {
+      const Response& x = serial.responses[s][i];
+      const Response& y = pipelined.responses[s][i];
+      EXPECT_EQ(x.requestId, y.requestId) << "session " << s << " resp " << i;
+      EXPECT_EQ(x.variable, y.variable);
+      EXPECT_EQ(x.op, y.op);
+      EXPECT_EQ(x.status, y.status) << "session " << s << " resp " << i;
+      EXPECT_EQ(x.value, y.value) << "session " << s << " resp " << i;
+      EXPECT_EQ(x.submitTick, y.submitTick);
+      EXPECT_EQ(x.completeTick, y.completeTick);
+    }
+  }
+
+  // ...and identical serving metrics.
+  expectSameMetrics(serial.metrics, pipelined.metrics);
+}
+
+}  // namespace
+}  // namespace dsm::serve
