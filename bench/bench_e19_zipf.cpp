@@ -1,0 +1,477 @@
+// E19 — hot-key combining under Zipf skew: goodput sweep uniform -> a=1.2.
+//
+// Synthetic clients drive the AdmissionScheduler at a fixed 4x overload with
+// variables drawn from a Zipf(alpha) distribution over the pool. Each alpha
+// runs three ways: combining off (legacy conflict-deferral composition),
+// combining on, and combining on with the front cache. The table shows the
+// serving story of DESIGN.md §12: without combining, skew serializes the hot
+// variables (one slot per duplicate, at most batchesPerPump per pump) and
+// goodput collapses as alpha grows; with combining, each variable's queued
+// run costs at most two slots no matter how hot it is, so goodput RISES with
+// skew — duplicate traffic is the cheapest traffic — and the front cache
+// serves repeat reads of committed values with no slot at all.
+//
+// Gates (exit code 1 on violation):
+//   * uncombined goodput at the heaviest skew degrades below 0.8x its
+//     uniform row (the problem is real);
+//   * combined goodput at the heaviest skew exceeds its uniform row
+//     (combining turns skew from a liability into a discount), with and
+//     without the front cache;
+//   * combined beats uncombined at the heaviest skew by >= 1.5x;
+//   * semantic transparency: a skewed no-shed trace replayed uncombined,
+//     combined, and combined+cache produces identical per-request statuses
+//     and values — at 1 machine thread, defaultThreads() and 3, and under a
+//     FaultPlan (transient module outage + grant-drop noise); the combined
+//     runs are additionally bit-identical across those thread counts.
+//
+// --smoke shrinks the sweep for `ctest -L perf`; full runs also write
+// BENCH_e19.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dsm/mpc/machine.hpp"
+#include "dsm/mpc/thread_pool.hpp"
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/serve/serve.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/util/stats.hpp"
+#include "dsm/util/table.hpp"
+
+namespace dsm {
+namespace {
+
+/// Zipf(alpha) sampler over [0, n): P(i) proportional to 1/(i+1)^alpha,
+/// inverse-CDF via binary search. alpha = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double alpha) : cdf_(n) {
+    double total = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::uint64_t operator()(util::Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+enum class Mode { kUncombined, kCombined, kCombinedCache };
+
+const char* modeName(Mode m) {
+  switch (m) {
+    case Mode::kUncombined: return "uncombined";
+    case Mode::kCombined: return "combined";
+    case Mode::kCombinedCache: return "combined+cache";
+  }
+  return "?";
+}
+
+struct BenchParams {
+  std::size_t max_batch = 128;
+  std::size_t batches_per_pump = 2;
+  std::uint64_t max_wait_ticks = 2;
+  std::uint64_t ttl_ticks = 6;
+  std::uint64_t offered_ticks = 40;
+  std::size_t sessions = 16;
+  std::uint64_t var_pool = 1024;
+  std::size_t cache_capacity = 256;
+  double offered_factor = 4.0;
+  std::uint64_t read_pct = 90;
+  std::uint64_t seed = 19;
+};
+
+struct RowStats {
+  double alpha = 0.0;
+  Mode mode = Mode::kUncombined;
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  double goodput_per_tick = 0.0;
+  double loss_fraction = 0.0;
+  double p99_ticks = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t combined_reads = 0;
+  std::uint64_t combined_writes = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+serve::ServeConfig makeConfig(const BenchParams& params, Mode mode) {
+  serve::ServeConfig cfg;
+  cfg.maxBatch = params.max_batch;
+  cfg.maxBatchesPerPump = params.batches_per_pump;
+  cfg.maxWaitTicks = params.max_wait_ticks;
+  cfg.queueCapacity = 16 * params.max_batch;
+  cfg.combineDuplicates = mode != Mode::kUncombined;
+  cfg.frontCacheCapacity =
+      mode == Mode::kCombinedCache ? params.cache_capacity : 0;
+  return cfg;
+}
+
+RowStats runRow(const scheme::PpScheme& scheme, double alpha, Mode mode,
+                const BenchParams& params, unsigned threads) {
+  mpc::Machine machine(scheme.numModules(), scheme.slotsPerModule(), threads);
+  protocol::MajorityEngine engine(scheme, machine);
+  serve::AdmissionScheduler sched(engine, makeConfig(params, mode));
+
+  std::vector<serve::ClientSession*> sessions;
+  for (std::size_t i = 0; i < params.sessions; ++i) {
+    sessions.push_back(&sched.openSession());
+  }
+
+  const double capacity =
+      static_cast<double>(params.max_batch * params.batches_per_pump);
+  const std::uint64_t pool =
+      std::min<std::uint64_t>(params.var_pool, scheme.numVariables());
+  const ZipfSampler zipf(pool, alpha);
+  util::Xoshiro256 rng(params.seed);
+
+  double carry = 0.0;
+  std::size_t rr = 0;
+  for (std::uint64_t t = 0; t < params.offered_ticks; ++t) {
+    carry += params.offered_factor * capacity;
+    auto per_tick = static_cast<std::uint64_t>(carry);
+    carry -= static_cast<double>(per_tick);
+    for (std::uint64_t i = 0; i < per_tick; ++i) {
+      serve::ClientSession& s = *sessions[rr++ % sessions.size()];
+      const std::uint64_t v = zipf(rng);
+      if (rng.below(100) < params.read_pct) {
+        s.submitRead(v, params.ttl_ticks);
+      } else {
+        s.submitWrite(v, rng(), params.ttl_ticks);
+      }
+    }
+    sched.tick();
+  }
+  for (int t = 0; t < 64 && sched.queueDepth() > 0; ++t) sched.tick();
+  sched.flush();
+
+  RowStats row;
+  row.alpha = alpha;
+  row.mode = mode;
+  std::vector<double> ticks;
+  for (serve::ClientSession* s : sessions) {
+    for (const serve::Response& r : s->drainResponses()) {
+      if (r.status == serve::Status::kOk) {
+        ticks.push_back(static_cast<double>(r.completeTick - r.submitTick));
+      }
+    }
+  }
+  const serve::ServeMetrics& m = sched.metrics();
+  row.submitted = m.submitted;
+  row.served = m.served;
+  row.shed = m.shed;
+  row.rejected = m.rejectedQueueFull;
+  row.goodput_per_tick =
+      static_cast<double>(m.served) / static_cast<double>(params.offered_ticks);
+  row.loss_fraction = m.submitted == 0
+                          ? 0.0
+                          : static_cast<double>(m.shed + m.rejectedQueueFull) /
+                                static_cast<double>(m.submitted);
+  if (!ticks.empty()) row.p99_ticks = util::quantile(ticks, 0.99);
+  row.batches = m.batchesComposed;
+  row.combined_reads = m.combinedReads;
+  row.combined_writes = m.combinedWrites;
+  row.cache_hits = m.frontCacheHits;
+  return row;
+}
+
+// --- Semantic-transparency replay ----------------------------------------
+// A skewed trace with no sheds (kNoDeadline), no rejects (huge queue) and a
+// survivable FaultPlan, replayed per mode and thread count. Combining must
+// not change any response's status or value, only what the slots cost.
+
+// (session index, requestId) -> (status, value)
+using ResponseMap = std::map<std::pair<std::size_t, std::uint64_t>,
+                             std::pair<serve::Status, std::uint64_t>>;
+
+ResponseMap runReplay(const scheme::PpScheme& scheme, double alpha, Mode mode,
+                      const BenchParams& params, unsigned threads,
+                      bool faulted) {
+  mpc::Machine machine(scheme.numModules(), scheme.slotsPerModule(), threads);
+  if (faulted) {
+    mpc::FaultPlan plan;
+    plan.grantDropProbability = 0.15;
+    plan.seed = 23;
+    // ONE module out at a time: every quorum (2-of-3 copies) stays
+    // reachable, so fault timing can skew cycle counts between modes
+    // without ever flipping a status.
+    plan.transientAt(4, 1, 10);
+    machine.setFaultPlan(plan);
+  }
+  protocol::MajorityEngine engine(scheme, machine);
+
+  serve::ServeConfig cfg = makeConfig(params, mode);
+  cfg.queueCapacity = 1u << 20;  // identity needs no rejects...
+  serve::AdmissionScheduler sched(engine, cfg);
+
+  std::vector<serve::ClientSession*> sessions;
+  for (std::size_t i = 0; i < params.sessions; ++i) {
+    sessions.push_back(&sched.openSession());
+  }
+
+  const std::uint64_t pool =
+      std::min<std::uint64_t>(params.var_pool, scheme.numVariables());
+  const ZipfSampler zipf(pool, alpha);
+  util::Xoshiro256 rng(params.seed + 1);
+  const std::uint64_t per_tick = params.max_batch;
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    for (std::uint64_t i = 0; i < per_tick; ++i) {
+      serve::ClientSession& s = *sessions[rng.below(sessions.size())];
+      const std::uint64_t v = zipf(rng);
+      if (rng.below(100) < params.read_pct) {
+        s.submitRead(v, serve::kNoDeadline);  // ...and no sheds
+      } else {
+        s.submitWrite(v, rng(), serve::kNoDeadline);
+      }
+    }
+    sched.tick();
+  }
+  sched.flush();
+
+  ResponseMap out;
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    for (const serve::Response& r : sessions[si]->drainResponses()) {
+      out.emplace(std::make_pair(si, r.requestId),
+                  std::make_pair(r.status, r.value));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace dsm
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  const util::Cli cli(argc, argv);
+  const bool smoke = cli.getBool("smoke", false);
+
+  BenchParams params;
+  params.max_batch = cli.getUint("max-batch", smoke ? 64 : 128);
+  params.batches_per_pump = cli.getUint("batches-per-pump", 2);
+  params.max_wait_ticks = cli.getUint("max-wait", 2);
+  params.ttl_ticks = cli.getUint("ttl", 6);
+  params.offered_ticks = cli.getUint("ticks", smoke ? 10 : 40);
+  params.sessions = cli.getUint("sessions", 16);
+  params.var_pool = cli.getUint("var-pool", 1024);
+  params.cache_capacity = cli.getUint("cache", 256);
+  params.read_pct = cli.getUint("read-pct", 90);
+  params.seed = cli.getUint("seed", 19);
+  const unsigned threads = static_cast<unsigned>(
+      cli.getUint("threads", mpc::ThreadPool::defaultThreads()));
+
+  std::vector<double> alphas;
+  if (cli.has("alphas")) {
+    // Percent-scaled: --alphas=0,40,120 means {0.0, 0.4, 1.2}.
+    for (const std::uint64_t pct : cli.getUintList("alphas", {})) {
+      alphas.push_back(static_cast<double>(pct) / 100.0);
+    }
+  } else {
+    alphas = smoke ? std::vector<double>{0.0, 1.2}
+                   : std::vector<double>{0.0, 0.4, 0.8, 1.0, 1.2};
+  }
+
+  const scheme::PpScheme scheme(1, 5);
+  const double capacity =
+      static_cast<double>(params.max_batch * params.batches_per_pump);
+
+  bench::banner("E19", "hot-key combining under Zipf skew");
+  std::cout << "  scheme=" << scheme.name()
+            << " modules=" << scheme.numModules()
+            << " variables=" << scheme.numVariables() << " threads=" << threads
+            << "\n  capacity/tick=" << static_cast<std::uint64_t>(capacity)
+            << " offered=" << params.offered_factor << "x"
+            << " ttl=" << params.ttl_ticks << " ticks=" << params.offered_ticks
+            << " sessions=" << params.sessions
+            << " var-pool=" << params.var_pool
+            << " reads=" << params.read_pct << "%"
+            << " cache=" << params.cache_capacity << "\n";
+
+  util::TextTable table({"alpha", "mode", "submitted", "served", "shed",
+                         "rejected", "loss%", "goodput/tick", "p99tk",
+                         "batches", "combR", "combW", "cacheHit"});
+  std::vector<RowStats> rows;
+  const std::vector<Mode> modes = {Mode::kUncombined, Mode::kCombined,
+                                   Mode::kCombinedCache};
+  for (const double alpha : alphas) {
+    for (const Mode mode : modes) {
+      rows.push_back(runRow(scheme, alpha, mode, params, threads));
+      const RowStats& r = rows.back();
+      table.addRow({util::TextTable::num(r.alpha, 1), modeName(r.mode),
+                    util::TextTable::num(r.submitted),
+                    util::TextTable::num(r.served),
+                    util::TextTable::num(r.shed),
+                    util::TextTable::num(r.rejected),
+                    util::TextTable::num(r.loss_fraction * 100.0, 2),
+                    util::TextTable::num(r.goodput_per_tick, 1),
+                    util::TextTable::num(r.p99_ticks, 1),
+                    util::TextTable::num(r.batches),
+                    util::TextTable::num(r.combined_reads),
+                    util::TextTable::num(r.combined_writes),
+                    util::TextTable::num(r.cache_hits)});
+    }
+  }
+  table.print(std::cout);
+
+  const auto find = [&rows](double alpha, Mode mode) -> const RowStats& {
+    for (const RowStats& r : rows) {
+      if (r.alpha == alpha && r.mode == mode) return r;
+    }
+    return rows.front();  // unreachable with the sweeps this binary builds
+  };
+  const double lo = alphas.front();
+  const double hi = alphas.back();
+  const RowStats& unc_lo = find(lo, Mode::kUncombined);
+  const RowStats& unc_hi = find(hi, Mode::kUncombined);
+  const RowStats& com_lo = find(lo, Mode::kCombined);
+  const RowStats& com_hi = find(hi, Mode::kCombined);
+  const RowStats& cch_lo = find(lo, Mode::kCombinedCache);
+  const RowStats& cch_hi = find(hi, Mode::kCombinedCache);
+
+  bench::footnote(
+      "skew " + util::TextTable::num(lo, 1) + " -> " +
+      util::TextTable::num(hi, 1) + ": uncombined goodput " +
+      util::TextTable::num(unc_lo.goodput_per_tick, 1) + " -> " +
+      util::TextTable::num(unc_hi.goodput_per_tick, 1) + ", combined " +
+      util::TextTable::num(com_lo.goodput_per_tick, 1) + " -> " +
+      util::TextTable::num(com_hi.goodput_per_tick, 1) + ", +cache " +
+      util::TextTable::num(cch_lo.goodput_per_tick, 1) + " -> " +
+      util::TextTable::num(cch_hi.goodput_per_tick, 1));
+
+  // --- Gates --------------------------------------------------------------
+  bool ok = true;
+  if (unc_hi.goodput_per_tick >= 0.8 * unc_lo.goodput_per_tick) {
+    std::cout << "  GATE FAIL: uncombined goodput did not degrade under skew ("
+              << unc_hi.goodput_per_tick << " vs uniform "
+              << unc_lo.goodput_per_tick << ")\n";
+    ok = false;
+  }
+  if (com_hi.goodput_per_tick <= com_lo.goodput_per_tick) {
+    std::cout << "  GATE FAIL: combined goodput did not rise with skew ("
+              << com_hi.goodput_per_tick << " vs uniform "
+              << com_lo.goodput_per_tick << ")\n";
+    ok = false;
+  }
+  if (cch_hi.goodput_per_tick <= cch_lo.goodput_per_tick) {
+    std::cout << "  GATE FAIL: combined+cache goodput did not rise with skew ("
+              << cch_hi.goodput_per_tick << " vs uniform "
+              << cch_lo.goodput_per_tick << ")\n";
+    ok = false;
+  }
+  if (com_hi.goodput_per_tick < 1.5 * unc_hi.goodput_per_tick) {
+    std::cout << "  GATE FAIL: combining won less than 1.5x at alpha=" << hi
+              << " (" << com_hi.goodput_per_tick << " vs "
+              << unc_hi.goodput_per_tick << ")\n";
+    ok = false;
+  }
+
+  // Transparency gate: per-request (status, value) identical across the
+  // three modes, each at 1 thread, defaultThreads() and 3, faulted and not.
+  {
+    bool identical = true;
+    std::vector<unsigned> thread_counts = {1, mpc::ThreadPool::defaultThreads(),
+                                           3};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+    for (const bool faulted : {false, true}) {
+      const ResponseMap base =
+          runReplay(scheme, hi, Mode::kUncombined, params, 1, faulted);
+      if (base.empty()) identical = false;
+      for (const unsigned tc : thread_counts) {
+        for (const Mode mode : modes) {
+          if (tc == 1 && mode == Mode::kUncombined) continue;
+          const ResponseMap got =
+              runReplay(scheme, hi, mode, params, tc, faulted);
+          if (got != base) {
+            std::cout << "  GATE FAIL: " << modeName(mode) << " at " << tc
+                      << " thread(s)" << (faulted ? " under faults" : "")
+                      << " diverged from the uncombined replay\n";
+            identical = false;
+          }
+        }
+      }
+    }
+    if (identical) {
+      bench::footnote(
+          "transparency: skewed no-shed replay value-identical across all "
+          "modes, thread counts and fault plans");
+    }
+    ok = ok && identical;
+  }
+  std::cout << "  gates: " << (ok ? "PASS" : "FAIL") << "\n";
+
+  if (!smoke) {
+    bench::Json root = bench::Json::obj();
+    root.set("experiment", "E19");
+    root.set("title", "hot-key combining under Zipf skew");
+    bench::Json cfg = bench::Json::obj();
+    cfg.set("scheme", scheme.name());
+    cfg.set("modules", scheme.numModules());
+    cfg.set("variables", scheme.numVariables());
+    cfg.set("threads", static_cast<std::uint64_t>(threads));
+    cfg.set("maxBatch", static_cast<std::uint64_t>(params.max_batch));
+    cfg.set("batchesPerPump",
+            static_cast<std::uint64_t>(params.batches_per_pump));
+    cfg.set("maxWaitTicks", params.max_wait_ticks);
+    cfg.set("ttlTicks", params.ttl_ticks);
+    cfg.set("offeredTicks", params.offered_ticks);
+    cfg.set("offeredFactor", params.offered_factor);
+    cfg.set("sessions", static_cast<std::uint64_t>(params.sessions));
+    cfg.set("varPool", params.var_pool);
+    cfg.set("cacheCapacity", static_cast<std::uint64_t>(params.cache_capacity));
+    cfg.set("readPct", params.read_pct);
+    cfg.set("capacityPerTick", capacity);
+    cfg.set("seed", params.seed);
+    root.set("config", std::move(cfg));
+    bench::Json arr = bench::Json::arr();
+    for (const RowStats& r : rows) {
+      bench::Json row = bench::Json::obj();
+      row.set("alpha", r.alpha);
+      row.set("mode", modeName(r.mode));
+      row.set("submitted", r.submitted);
+      row.set("served", r.served);
+      row.set("shed", r.shed);
+      row.set("rejectedQueueFull", r.rejected);
+      row.set("lossFraction", r.loss_fraction);
+      row.set("goodputPerTick", r.goodput_per_tick);
+      row.set("p99Ticks", r.p99_ticks);
+      row.set("batchesComposed", r.batches);
+      row.set("combinedReads", r.combined_reads);
+      row.set("combinedWrites", r.combined_writes);
+      row.set("frontCacheHits", r.cache_hits);
+      arr.push(std::move(row));
+    }
+    root.set("rows", std::move(arr));
+    bench::Json gates = bench::Json::obj();
+    gates.set("uncombinedGoodputUniform", unc_lo.goodput_per_tick);
+    gates.set("uncombinedGoodputSkewed", unc_hi.goodput_per_tick);
+    gates.set("combinedGoodputUniform", com_lo.goodput_per_tick);
+    gates.set("combinedGoodputSkewed", com_hi.goodput_per_tick);
+    gates.set("cacheGoodputUniform", cch_lo.goodput_per_tick);
+    gates.set("cacheGoodputSkewed", cch_hi.goodput_per_tick);
+    gates.set("pass", ok);
+    root.set("gates", std::move(gates));
+    bench::writeJson("BENCH_e19.json", root);
+  }
+  return ok ? 0 : 1;
+}

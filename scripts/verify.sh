@@ -16,7 +16,7 @@ cmake --preset default
 cmake --build --preset default
 ctest --preset default
 
-echo "== perf smoke: bit-identity + serving gates (ctest -L perf: e13/e16/e17/e18) =="
+echo "== perf smoke: bit-identity + serving gates (ctest -L perf: e13/e16/e17/e18/e19) =="
 ctest --test-dir build -L perf --output-on-failure
 
 echo "== sanitized: configure + build + ctest (preset: ${asan_preset}) =="

@@ -1,0 +1,83 @@
+#include "dsm/serve/combine.hpp"
+
+namespace dsm::serve::combine {
+
+void planRun(const std::vector<RunEntry>& run, RunPlan& plan) {
+  plan.leadReads = 0;
+  plan.writeCount = 0;
+  plan.winnerValue = 0;
+  plan.fixedValues.clear();
+
+  std::size_t first_write = run.size();
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    if (run[i].op == mpc::Op::kWrite) {
+      first_write = i;
+      break;
+    }
+  }
+  plan.leadReads = first_write;
+  if (first_write == run.size()) return;  // pure-read run: one read slot
+
+  // From the first write on, every entry's response value is fixed at
+  // composition time: a write echoes its own payload (what its own
+  // uncombined batch would return), a read observes the last write queued
+  // before it (per-variable FIFO). The LAST write's payload is the version
+  // memory ends at — the one the write slot actually carries.
+  std::uint64_t last_write = 0;
+  plan.fixedValues.reserve(run.size() - first_write);
+  for (std::size_t i = first_write; i < run.size(); ++i) {
+    if (run[i].op == mpc::Op::kWrite) {
+      ++plan.writeCount;
+      last_write = run[i].value;
+      plan.fixedValues.push_back(run[i].value);
+    } else {
+      plan.fixedValues.push_back(last_write);
+    }
+  }
+  plan.winnerValue = last_write;
+}
+
+bool FrontCache::lookup(std::uint64_t variable, std::uint64_t& value) {
+  const auto it = index_.find(variable);
+  if (it == index_.end()) return false;
+  value = it->second->entry.value;
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump recency
+  return true;
+}
+
+void FrontCache::insert(std::uint64_t variable, std::uint64_t value,
+                        std::uint64_t stamp) {
+  if (capacity_ == 0) return;
+  const auto it = index_.find(variable);
+  if (it != index_.end()) {
+    it->second->entry = {value, stamp};
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(lru_.back().variable);
+    lru_.pop_back();
+  }
+  lru_.push_front({variable, {value, stamp}});
+  index_.emplace(variable, lru_.begin());
+}
+
+bool FrontCache::invalidate(std::uint64_t variable) {
+  const auto it = index_.find(variable);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void FrontCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+const FrontCache::Entry* FrontCache::peek(std::uint64_t variable) const {
+  const auto it = index_.find(variable);
+  return it == index_.end() ? nullptr : &it->second->entry;
+}
+
+}  // namespace dsm::serve::combine

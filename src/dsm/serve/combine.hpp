@@ -1,0 +1,116 @@
+// Hot-key combining for the admission front end (DESIGN.md §12).
+//
+// The engine's distinct-variable precondition forces the uncombined
+// scheduler to spread duplicate requests for one variable over strictly
+// later batches (per-variable FIFO by deferral). Under Zipfian traffic the
+// hot key then serializes the whole scheduler: K duplicates cost K batches.
+// Combining collapses one variable's queued run to at most TWO protocol
+// slots per pump while keeping every response value identical to the
+// uncombined replay:
+//
+//   * the reads that precede the first queued write share ONE read slot
+//     (they would all observe the same committed value anyway — no write
+//     separates them), and its result fans out to each of them;
+//   * of the queued writes, only the LAST (arrival order) executes — one
+//     write slot carrying the winning payload. Earlier writes are
+//     acknowledged with the slot's status and their own echoed payload
+//     (exactly what their own slot would have returned), and memory ends at
+//     the winning version — versioned last-writer-wins;
+//   * reads between/after writes never reach the engine: each is answered
+//     with the payload of the last queued write before it (the value its
+//     own deferred batch would have observed), gated on the write slot's
+//     status so a failed quorum still surfaces as kUnsatisfiable/0.
+//
+// planRun() is the pure classification step: given one variable's queued
+// run in arrival order it computes the slot structure and the fixed
+// response values. AdmissionScheduler places the slots (read slot in a
+// strictly earlier batch than the write slot) and fans results out.
+//
+// FrontCache is the optional timestamp-stamped read cache in front of the
+// combiner (off by default). Coherence is constructive, not probed: the
+// scheduler is the engine's only client, so an entry is valid exactly as
+// long as no write to its variable has been admitted since insertion —
+// every write admission invalidates, every committed slot result
+// re-populates. Entries carry the scheduler's committed-write sequence
+// number (the serving-layer analog of the engine's write timestamps) for
+// auditability; engine-level read-repair never changes a committed value,
+// so it can never make a front-cache entry stale (§12 has the argument).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+
+namespace dsm::serve::combine {
+
+/// One queued request of a per-variable run, arrival order.
+struct RunEntry {
+  mpc::Op op = mpc::Op::kRead;
+  std::uint64_t value = 0;  ///< write payload (ignored for reads)
+};
+
+/// Slot structure of one combined run. Entries [0, leadReads) are reads
+/// answered by the read slot (needed iff leadReads > 0 and no front-cache
+/// hit); entries [leadReads, n) are answered by the write slot: entry
+/// leadReads + k receives fixedValues[k] when the slot commits, 0 when it
+/// is unsatisfiable.
+struct RunPlan {
+  std::size_t leadReads = 0;       ///< reads before the first write
+  std::size_t writeCount = 0;      ///< writes in the run (slot iff > 0)
+  std::uint64_t winnerValue = 0;   ///< last write's payload (the version
+                                   ///< memory ends at)
+  std::vector<std::uint64_t> fixedValues;  ///< size n - leadReads
+};
+
+/// Classifies `run` (one variable's queued requests, arrival order) into
+/// `plan`. Pure function; `plan` is overwritten (vector capacity reused).
+void planRun(const std::vector<RunEntry>& run, RunPlan& plan);
+
+/// Bounded LRU read cache keyed by variable. capacity == 0 disables it
+/// (lookup always misses, insert is a no-op). All operations are
+/// deterministic given the call sequence, so the cache never perturbs the
+/// serving layer's bit-identity across machine thread counts.
+class FrontCache {
+ public:
+  struct Entry {
+    std::uint64_t value = 0;
+    /// Scheduler commit sequence number the value reflects (monotone;
+    /// the serving-layer write "timestamp" this entry was validated at).
+    std::uint64_t stamp = 0;
+  };
+
+  explicit FrontCache(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const noexcept { return capacity_ > 0; }
+  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Hit: copies the cached value and bumps the entry's recency.
+  bool lookup(std::uint64_t variable, std::uint64_t& value);
+  /// Inserts or overwrites; evicts the least-recently-used entry when at
+  /// capacity. No-op when disabled.
+  void insert(std::uint64_t variable, std::uint64_t value,
+              std::uint64_t stamp);
+  /// Drops the entry if present; returns whether one was dropped.
+  bool invalidate(std::uint64_t variable);
+  void clear();
+
+  /// Inspection without a recency bump (tests, debugging); nullptr on miss.
+  const Entry* peek(std::uint64_t variable) const;
+
+ private:
+  struct Node {
+    std::uint64_t variable = 0;
+    Entry entry;
+  };
+
+  std::size_t capacity_;
+  std::list<Node> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Node>::iterator> index_;
+};
+
+}  // namespace dsm::serve::combine

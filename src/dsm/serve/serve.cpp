@@ -49,7 +49,9 @@ std::vector<Response> ClientSession::drainResponses() {
 
 AdmissionScheduler::AdmissionScheduler(protocol::EngineBase& engine,
                                        ServeConfig config)
-    : engine_(engine), config_(config) {
+    : engine_(engine),
+      config_(config),
+      front_cache_(config.combineDuplicates ? config.frontCacheCapacity : 0) {
   DSM_CHECK_MSG(config_.maxBatch >= 1, "maxBatch must be positive");
   DSM_CHECK_MSG(config_.maxBatchesPerPump >= 1,
                 "maxBatchesPerPump must be positive");
@@ -83,6 +85,7 @@ std::uint64_t AdmissionScheduler::admit(ClientSession& session,
                                         std::uint64_t value,
                                         std::uint64_t ttl_ticks) {
   ++metrics_.submitted;
+  const double submit_wall = wallSeconds();
   const std::uint64_t id = session.next_request_id_++;
   const auto reject = [&](std::uint64_t& counter) {
     ++counter;
@@ -94,6 +97,10 @@ std::uint64_t AdmissionScheduler::admit(ClientSession& session,
     resp.status = Status::kRejected;
     resp.submitTick = now_;
     resp.completeTick = now_;
+    // Same wall-clock latency accounting as every served/shed response:
+    // submit-to-delivery, which for a rejection is the admission check
+    // itself.
+    resp.latencySeconds = wallSeconds() - submit_wall;
     session.inbox_.push_back(resp);
     return id;
   };
@@ -117,12 +124,18 @@ std::uint64_t AdmissionScheduler::admit(ClientSession& session,
   p.arrival = now_;
   p.deadline = ttl_ticks == kNoDeadline ? kNoDeadline : now_ + ttl_ticks;
   if (p.deadline < now_) p.deadline = kNoDeadline;  // saturate on overflow
-  p.submitWall = wall_.seconds();
+  p.submitWall = submit_wall;
   pending_.push_back(p);
   ++session.in_flight_;
   ++metrics_.admitted;
   metrics_.maxQueueDepth =
       std::max<std::uint64_t>(metrics_.maxQueueDepth, pending_.size());
+  if (op == mpc::Op::kWrite && front_cache_.enabled()) {
+    // Write-timestamp coherence rule: a queued write makes the cached value
+    // a stale version the moment it commits, and reads behind it must queue
+    // (per-variable FIFO). Invalidate eagerly at admission.
+    if (front_cache_.invalidate(variable)) ++metrics_.frontCacheInvalidations;
+  }
   return id;
 }
 
@@ -130,7 +143,12 @@ bool AdmissionScheduler::due() const {
   if (pending_.empty()) return false;
   if (pending_.size() >= config_.maxBatch) return true;  // size trigger
   // Deadline trigger: the oldest queued request has waited long enough.
-  return now_ >= pending_.front().arrival + config_.maxWaitTicks;
+  // Saturate like admit()'s deadline path: a wait so long the tick
+  // arithmetic would wrap means "never fire", not "fire immediately".
+  const std::uint64_t arrival = pending_.front().arrival;
+  const std::uint64_t trigger = arrival + config_.maxWaitTicks;
+  if (trigger < arrival) return false;  // overflow: waits forever
+  return now_ >= trigger;
 }
 
 std::size_t AdmissionScheduler::tick() {
@@ -145,18 +163,45 @@ std::size_t AdmissionScheduler::pump() {
 std::size_t AdmissionScheduler::flush() {
   std::size_t delivered = 0;
   // Unlimited batches per round: every queued request either sheds or finds
-  // a batch (a variable conflict just opens a later batch), so one round
-  // drains the queue.
+  // a batch (uncombined, a variable conflict just opens a later batch;
+  // combined, a run needs at most two slots and slots never outnumber
+  // requests), so one round drains the queue.
   while (!pending_.empty()) delivered += serveDue(pending_.size());
   return delivered;
 }
 
 std::size_t AdmissionScheduler::serveDue(std::size_t max_batches) {
-  std::size_t delivered = 0;
   stream_.clear();
   slots_.clear();
+  fan_.clear();
   keep_.clear();
 
+  std::size_t delivered = config_.combineDuplicates
+                              ? composeCombined(max_batches)
+                              : composeDistinct(max_batches);
+  pending_.swap(keep_);
+
+  if (!stream_.empty()) {
+    metrics_.batchesComposed += stream_.size();
+    ++metrics_.streamsRun;
+    if (config_.recordBatches) {
+      for (const auto& batch : stream_) recorded_.push_back(batch);
+    }
+    // The pipelined stream path: batch k+1's validation/addressing/stamping
+    // overlaps batch k's wire rounds on a multi-threaded machine. Admission
+    // already validated every request, so a mid-stream throw here means a
+    // machine-level failure — the hardened executeStream contract keeps
+    // the engine reusable either way.
+    const std::vector<protocol::AccessResult> results =
+        engine_.executeStream(stream_);
+    delivered += config_.combineDuplicates ? fanOutCombined(results)
+                                           : fanOutDistinct(results);
+  }
+  return delivered;
+}
+
+std::size_t AdmissionScheduler::composeDistinct(std::size_t max_batches) {
+  std::size_t delivered = 0;
   // One pass over the queue in arrival order: shed expired work, place the
   // rest into the first open batch not already holding the variable, keep
   // what does not fit this pump. Placement is a pure function of the
@@ -202,38 +247,191 @@ std::size_t AdmissionScheduler::serveDue(std::size_t max_batches) {
       batch_vars_[stream_.size() - 1].insert(p.variable);
       placed = true;
     }
-    if (!placed) {
-      keep_.push_back(p);
+    // A conflict defers the request past at least one open batch whether it
+    // lands in a later batch or waits for a later pump (keep_) — both are
+    // the serialization cost of duplicate traffic, so both count.
+    if (conflict_seen) ++metrics_.coalesceDeferrals;
+    if (!placed) keep_.push_back(p);
+  }
+  return delivered;
+}
+
+std::size_t AdmissionScheduler::composeCombined(std::size_t max_batches) {
+  std::size_t delivered = 0;
+  runs_.clear();
+  run_index_.clear();
+  kept_idx_.clear();
+
+  // Group the queue into per-variable runs, preserving arrival order both
+  // within a run and across first arrivals. Expired and orphaned work is
+  // settled here, exactly as the distinct path would.
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Pending& p = pending_[i];
+    if (p.session->closed_) {
+      --p.session->in_flight_;
+      ++metrics_.droppedClosed;
       continue;
     }
-    if (conflict_seen) ++metrics_.coalesceDeferrals;
-  }
-  pending_.swap(keep_);
-
-  if (!stream_.empty()) {
-    metrics_.batchesComposed += stream_.size();
-    ++metrics_.streamsRun;
-    if (config_.recordBatches) {
-      for (const auto& batch : stream_) recorded_.push_back(batch);
+    if (p.deadline < now_) {
+      deliver(p, Status::kShed, 0);
+      ++delivered;
+      continue;
     }
-    // The pipelined stream path: batch k+1's validation/addressing/stamping
-    // overlaps batch k's wire rounds on a multi-threaded machine. Admission
-    // already validated every request, so a mid-stream throw here means a
-    // machine-level failure — the hardened executeStream contract keeps
-    // the engine reusable either way.
-    const std::vector<protocol::AccessResult> results =
-        engine_.executeStream(stream_);
-    for (std::size_t b = 0; b < stream_.size(); ++b) {
-      const protocol::AccessResult& result = results[b];
-      unsat_.assign(slots_[b].size(), 0);
-      for (const std::size_t i : result.unsatisfiable) unsat_[i] = 1;
-      for (std::size_t i = 0; i < slots_[b].size(); ++i) {
-        if (unsat_[i] != 0) {
-          deliver(slots_[b][i], Status::kUnsatisfiable, 0);
-        } else {
-          deliver(slots_[b][i], Status::kOk, result.values[i]);
-        }
+    const auto [it, fresh] = run_index_.try_emplace(p.variable, runs_.size());
+    if (fresh) runs_.emplace_back();
+    runs_[it->second].push_back(i);
+  }
+
+  // Place each run's slots, first-arrival order. A run occupies at most two
+  // slots: a read slot for the reads ahead of the first write, and a write
+  // slot (strictly later batch) carrying the winning write. Placement is
+  // planned before any mutation so a run that does not fit this pump is
+  // kept whole — per-variable FIFO never splits across a pump boundary.
+  for (const std::vector<std::size_t>& run : runs_) {
+    const std::uint64_t variable = pending_[run.front()].variable;
+    run_scratch_.clear();
+    for (const std::size_t idx : run) {
+      run_scratch_.push_back({pending_[idx].op, pending_[idx].value});
+    }
+    combine::planRun(run_scratch_, plan_scratch_);
+    const combine::RunPlan& plan = plan_scratch_;
+
+    std::uint64_t cached_value = 0;
+    const bool cache_hit = plan.leadReads > 0 && front_cache_.enabled() &&
+                           front_cache_.lookup(variable, cached_value);
+    const bool need_read_slot = plan.leadReads > 0 && !cache_hit;
+    const bool need_write_slot = plan.writeCount > 0;
+
+    // Dry-run placement: earliest batch with room for the read slot, then
+    // the earliest strictly-later batch with room for the write slot.
+    const auto find_open = [&](std::size_t from,
+                               std::size_t batches) -> std::size_t {
+      for (std::size_t b = from; b < batches; ++b) {
+        if (stream_[b].size() < config_.maxBatch) return b;
+      }
+      if (batches < max_batches) return batches;  // open a new batch
+      return static_cast<std::size_t>(-1);
+    };
+    const auto npos = static_cast<std::size_t>(-1);
+    std::size_t read_b = npos;
+    std::size_t write_b = npos;
+    bool fits = true;
+    if (need_read_slot) {
+      read_b = find_open(0, stream_.size());
+      fits = read_b != npos;
+    }
+    if (fits && need_write_slot) {
+      const std::size_t batches =
+          std::max(stream_.size(), read_b == npos ? 0 : read_b + 1);
+      write_b = find_open(read_b == npos ? 0 : read_b + 1, batches);
+      fits = write_b != npos;
+    }
+    if (!fits) {
+      for (const std::size_t idx : run) kept_idx_.push_back(idx);
+      continue;
+    }
+
+    if (cache_hit) {
+      // Repeat reads of a recently-committed value: answered on the spot,
+      // no protocol slot at all. The cached value is exactly what a read
+      // slot would return — see the §12 coherence argument.
+      for (std::size_t k = 0; k < plan.leadReads; ++k) {
+        deliver(pending_[run[k]], Status::kOk, cached_value);
         ++delivered;
+        ++metrics_.frontCacheHits;
+      }
+    } else if (plan.leadReads > 0 && front_cache_.enabled()) {
+      metrics_.frontCacheMisses += plan.leadReads;
+    }
+
+    const auto ensure_batch = [&](std::size_t b) {
+      while (stream_.size() <= b) {
+        stream_.emplace_back();
+        fan_.emplace_back();
+      }
+    };
+    if (need_read_slot) {
+      ensure_batch(read_b);
+      stream_[read_b].push_back({variable, mpc::Op::kRead, 0});
+      fan_[read_b].emplace_back();
+      std::vector<FanTarget>& targets = fan_[read_b].back();
+      for (std::size_t k = 0; k < plan.leadReads; ++k) {
+        targets.push_back({pending_[run[k]], /*fixed=*/false, 0});
+      }
+      metrics_.combinedReads += plan.leadReads - 1;
+    }
+    if (need_write_slot) {
+      ensure_batch(write_b);
+      stream_[write_b].push_back(
+          {variable, mpc::Op::kWrite, plan.winnerValue});
+      fan_[write_b].emplace_back();
+      std::vector<FanTarget>& targets = fan_[write_b].back();
+      for (std::size_t k = plan.leadReads; k < run.size(); ++k) {
+        targets.push_back({pending_[run[k]], /*fixed=*/true,
+                           plan.fixedValues[k - plan.leadReads]});
+      }
+      metrics_.combinedWrites += plan.writeCount - 1;
+      metrics_.combinedReads +=
+          (run.size() - plan.leadReads) - plan.writeCount;
+    }
+  }
+
+  // Kept runs re-queue in original arrival order.
+  std::sort(kept_idx_.begin(), kept_idx_.end());
+  for (const std::size_t idx : kept_idx_) keep_.push_back(pending_[idx]);
+  return delivered;
+}
+
+std::size_t AdmissionScheduler::fanOutDistinct(
+    const std::vector<protocol::AccessResult>& results) {
+  std::size_t delivered = 0;
+  for (std::size_t b = 0; b < stream_.size(); ++b) {
+    const protocol::AccessResult& result = results[b];
+    unsat_.assign(slots_[b].size(), 0);
+    for (const std::size_t i : result.unsatisfiable) unsat_[i] = 1;
+    for (std::size_t i = 0; i < slots_[b].size(); ++i) {
+      if (unsat_[i] != 0) {
+        deliver(slots_[b][i], Status::kUnsatisfiable, 0);
+      } else {
+        deliver(slots_[b][i], Status::kOk, result.values[i]);
+      }
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+std::size_t AdmissionScheduler::fanOutCombined(
+    const std::vector<protocol::AccessResult>& results) {
+  std::size_t delivered = 0;
+  for (std::size_t b = 0; b < stream_.size(); ++b) {
+    const protocol::AccessResult& result = results[b];
+    unsat_.assign(stream_[b].size(), 0);
+    for (const std::size_t i : result.unsatisfiable) unsat_[i] = 1;
+    for (std::size_t s = 0; s < stream_[b].size(); ++s) {
+      const Status status =
+          unsat_[s] != 0 ? Status::kUnsatisfiable : Status::kOk;
+      const std::uint64_t slot_value = result.values[s];
+      for (const FanTarget& target : fan_[b][s]) {
+        const std::uint64_t value =
+            status == Status::kOk ? (target.fixed ? target.value : slot_value)
+                                  : 0;
+        deliver(target.pending, status, value);
+        ++delivered;
+      }
+      if (front_cache_.enabled()) {
+        const std::uint64_t variable = stream_[b][s].variable;
+        if (status == Status::kOk) {
+          // A committed slot is the freshest version by construction:
+          // writes echo the value they just committed, reads return the
+          // majority-rule freshest — and any write admitted since would
+          // have invalidated at the door. Processing batches in order keeps
+          // a same-pump write slot overwriting its read slot's entry.
+          if (stream_[b][s].op == mpc::Op::kWrite) ++commit_seq_;
+          front_cache_.insert(variable, slot_value, commit_seq_);
+        } else if (front_cache_.invalidate(variable)) {
+          ++metrics_.frontCacheInvalidations;
+        }
       }
     }
   }
@@ -266,7 +464,7 @@ void AdmissionScheduler::deliver(const Pending& pending, Status status,
   resp.value = value;
   resp.submitTick = pending.arrival;
   resp.completeTick = now_;
-  resp.latencySeconds = wall_.seconds() - pending.submitWall;
+  resp.latencySeconds = wallSeconds() - pending.submitWall;
   session.inbox_.push_back(resp);
 }
 

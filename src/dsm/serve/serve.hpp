@@ -18,16 +18,30 @@
 //     waited maxWaitTicks. Each pump composes up to maxBatchesPerPump
 //     batches — the per-tick service capacity — and runs them through the
 //     engine's pipelined executeStream as one stream.
-//   * Batch composition is deterministic given arrival order: requests are
-//     scanned oldest first, each placed into the first open batch that does
-//     not already contain its variable (the engine's distinct-variable
-//     precondition). Duplicate-variable requests therefore land in strictly
-//     later batches than their predecessors — per-variable FIFO, the
-//     consistency contract a memory cell needs — while independent
-//     variables may pack into earlier batches. Requests whose deadline has
-//     passed at composition time are shed (Status::kShed) instead of
-//     occupying a slot: under overload the scheduler degrades by dropping
-//     late work, never by stalling fresh work.
+//   * Batch composition is deterministic given arrival order. By default a
+//     COMBINING stage (DESIGN.md §12, combine.hpp) collapses each
+//     variable's queued duplicate run to at most two protocol slots: one
+//     read slot fanning its result out to every read that precedes the
+//     first queued write, and one write slot carrying the LAST queued
+//     write's payload (versioned last-writer-wins; superseded writes are
+//     acknowledged with the slot's status and their own echoed payload,
+//     reads behind a write are answered from the last write queued before
+//     them). Every response value is identical to the uncombined replay —
+//     combining changes the cost of duplicates, not their semantics. With
+//     combineDuplicates off, requests are scanned oldest first, each placed
+//     into the first open batch that does not already contain its variable
+//     (the engine's distinct-variable precondition), so duplicates land in
+//     strictly later batches than their predecessors — per-variable FIFO by
+//     deferral. Either way, requests whose deadline has passed at
+//     composition time are shed (Status::kShed) instead of occupying a
+//     slot: under overload the scheduler degrades by dropping late work,
+//     never by stalling fresh work.
+//   * An optional timestamp-stamped FRONT CACHE (frontCacheCapacity, off by
+//     default, combined mode only) serves repeat reads of
+//     recently-committed values without any protocol slot. Every write
+//     admission invalidates its variable's entry and every committed slot
+//     result re-populates it, so a hit can only return the value the
+//     engine would have returned (§12 has the coherence argument).
 //   * Responses fan back out per session with per-request status; the
 //     engine's unsatisfiable verdicts (quorum unreachable under module
 //     faults) map to Status::kUnsatisfiable with a zeroed value.
@@ -44,11 +58,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "dsm/protocol/engines.hpp"
+#include "dsm/serve/combine.hpp"
 #include "dsm/util/timer.hpp"
 
 namespace dsm::serve {
@@ -98,6 +115,16 @@ struct ServeConfig {
   /// Keep a log of every composed batch (recordedBatches()) for
   /// determinism tests and debugging. Off in production: it grows.
   bool recordBatches = false;
+  /// Hot-key combining (DESIGN.md §12): merge each variable's queued
+  /// duplicate run into at most two protocol slots per pump instead of a
+  /// chain of deferred single-variable batches. Response values are
+  /// identical to the uncombined path; only the cost changes. Off selects
+  /// the legacy conflict-deferral composition.
+  bool combineDuplicates = true;
+  /// Front-cache capacity in variables (combine.hpp FrontCache). 0 (the
+  /// default) disables the cache. Only consulted when combineDuplicates is
+  /// on — the cache is part of the combining stage.
+  std::size_t frontCacheCapacity = 0;
 };
 
 /// Serving-side counters (cumulative; all deterministic given the arrival
@@ -114,9 +141,22 @@ struct ServeMetrics {
   std::uint64_t droppedClosed = 0;     ///< pending work of closed sessions
   std::uint64_t batchesComposed = 0;   ///< MPC batches built
   std::uint64_t streamsRun = 0;        ///< executeStream invocations
-  /// Requests pushed past an open batch because it already held their
-  /// variable (the coalescing cost of duplicate traffic).
+  /// Uncombined mode only: requests pushed past an open batch because it
+  /// already held their variable (the coalescing cost of duplicate
+  /// traffic). Counts BOTH outcomes of a conflict — placed into a later
+  /// batch, or kept for a later pump because no later batch had room.
   std::uint64_t coalesceDeferrals = 0;
+  /// Combined mode: reads served without a protocol slot of their own
+  /// (shared a read slot's fan-out, or answered from a queued write).
+  std::uint64_t combinedReads = 0;
+  /// Combined mode: duplicate writes resolved by last-writer-wins without
+  /// a slot (acknowledged from the winning write's outcome).
+  std::uint64_t combinedWrites = 0;
+  std::uint64_t frontCacheHits = 0;    ///< reads served straight from cache
+  std::uint64_t frontCacheMisses = 0;  ///< cacheable reads that needed a slot
+  /// Cache entries dropped because a write to their variable was admitted
+  /// (the write-timestamp coherence rule) or a slot went unsatisfiable.
+  std::uint64_t frontCacheInvalidations = 0;
   std::uint64_t maxQueueDepth = 0;     ///< worst admission-queue depth seen
 };
 
@@ -194,6 +234,16 @@ class AdmissionScheduler {
   const ServeMetrics& metrics() const noexcept { return metrics_; }
   protocol::EngineBase& engine() noexcept { return engine_; }
   const ServeConfig& config() const noexcept { return config_; }
+  /// The combining stage's front cache (disabled unless configured).
+  const combine::FrontCache& frontCache() const noexcept {
+    return front_cache_;
+  }
+
+  /// Test seam: overrides the wall-clock source behind latencySeconds so
+  /// tests can pin latency fields deterministically. fn must be monotone.
+  void setWallClockForTesting(std::function<double()> fn) {
+    wall_override_ = std::move(fn);
+  }
 
   /// Every batch composed so far, in execution order (empty unless
   /// ServeConfig::recordBatches).
@@ -216,6 +266,15 @@ class AdmissionScheduler {
     double submitWall = 0.0;     ///< wall seconds at admission
   };
 
+  /// Combined mode: where a slot's fan-out target takes its value from —
+  /// the slot's engine result (lead reads) or a value fixed at composition
+  /// (write echoes, reads answered from a queued write).
+  struct FanTarget {
+    Pending pending;
+    bool fixed = false;
+    std::uint64_t value = 0;
+  };
+
   std::uint64_t admit(ClientSession& session, std::uint64_t variable,
                       mpc::Op op, std::uint64_t value,
                       std::uint64_t ttl_ticks);
@@ -223,7 +282,19 @@ class AdmissionScheduler {
   /// Composes up to `max_batches` batches from the queue (shedding expired
   /// work), runs them, fans out. Returns responses delivered.
   std::size_t serveDue(std::size_t max_batches);
+  /// Legacy composition: one slot per request, duplicates deferred to
+  /// strictly later batches. Fills stream_ and slots_.
+  std::size_t composeDistinct(std::size_t max_batches);
+  /// Combining composition (DESIGN.md §12): per-variable runs collapsed to
+  /// at most two slots; cache-served reads complete immediately. Fills
+  /// stream_ and fan_.
+  std::size_t composeCombined(std::size_t max_batches);
+  std::size_t fanOutDistinct(const std::vector<protocol::AccessResult>& res);
+  std::size_t fanOutCombined(const std::vector<protocol::AccessResult>& res);
   void deliver(const Pending& pending, Status status, std::uint64_t value);
+  double wallSeconds() const {
+    return wall_override_ ? wall_override_() : wall_.seconds();
+  }
 
   protocol::EngineBase& engine_;
   ServeConfig config_;
@@ -232,12 +303,22 @@ class AdmissionScheduler {
   std::uint64_t now_ = 0;
   ServeMetrics metrics_;
   util::Timer wall_;  ///< monotone wall clock since construction
+  std::function<double()> wall_override_;  ///< test seam; empty in production
+  combine::FrontCache front_cache_;
+  std::uint64_t commit_seq_ = 0;  ///< committed write slots (cache stamps)
   // Composition scratch, reused across pumps.
   std::vector<std::vector<protocol::AccessRequest>> stream_;
-  std::vector<std::vector<Pending>> slots_;  ///< parallels stream_
+  std::vector<std::vector<Pending>> slots_;  ///< parallels stream_ (distinct)
+  std::vector<std::vector<std::vector<FanTarget>>> fan_;  ///< (combined)
   std::vector<std::unordered_set<std::uint64_t>> batch_vars_;
   std::vector<Pending> keep_;
   std::vector<std::uint8_t> unsat_;  ///< per-slot flag scratch
+  // Combined-mode grouping scratch.
+  std::vector<std::vector<std::size_t>> runs_;  ///< pending_ indices per var
+  std::unordered_map<std::uint64_t, std::size_t> run_index_;
+  std::vector<combine::RunEntry> run_scratch_;
+  combine::RunPlan plan_scratch_;
+  std::vector<std::size_t> kept_idx_;
   std::vector<std::vector<protocol::AccessRequest>> recorded_;
 };
 

@@ -1,0 +1,538 @@
+// Hot-key combining and the front cache (DESIGN.md §12): planRun's slot
+// classification, FrontCache behavior, and the serving-level properties —
+// combined responses value-identical to the uncombined replay, hot-key
+// storms collapsing to near-distinct batches while preserving per-variable
+// FIFO write effects, and bit-identity across machine thread counts under
+// an active FaultPlan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+#include "dsm/mpc/thread_pool.hpp"
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/serve/combine.hpp"
+#include "dsm/serve/serve.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::serve {
+namespace {
+
+using combine::FrontCache;
+using combine::RunEntry;
+using combine::RunPlan;
+
+RunEntry rd() { return {mpc::Op::kRead, 0}; }
+RunEntry wr(std::uint64_t v) { return {mpc::Op::kWrite, v}; }
+
+TEST(PlanRun, PureReadRunIsOneReadSlot) {
+  RunPlan plan;
+  combine::planRun({rd(), rd(), rd()}, plan);
+  EXPECT_EQ(plan.leadReads, 3u);
+  EXPECT_EQ(plan.writeCount, 0u);
+  EXPECT_TRUE(plan.fixedValues.empty());
+}
+
+TEST(PlanRun, WritesResolveToLastWriterWins) {
+  RunPlan plan;
+  combine::planRun({wr(10), wr(20), wr(30)}, plan);
+  EXPECT_EQ(plan.leadReads, 0u);
+  EXPECT_EQ(plan.writeCount, 3u);
+  EXPECT_EQ(plan.winnerValue, 30u);
+  // Every write is acknowledged with its own echoed payload.
+  EXPECT_EQ(plan.fixedValues, (std::vector<std::uint64_t>{10, 20, 30}));
+}
+
+TEST(PlanRun, InterleavedReadsObserveLastPrecedingWrite) {
+  RunPlan plan;
+  // R R W(5) R W(9) R R  — arrival order.
+  combine::planRun({rd(), rd(), wr(5), rd(), wr(9), rd(), rd()}, plan);
+  EXPECT_EQ(plan.leadReads, 2u);  // the two reads ahead of the first write
+  EXPECT_EQ(plan.writeCount, 2u);
+  EXPECT_EQ(plan.winnerValue, 9u);
+  // W(5) echoes 5; the read behind it observes 5; W(9) echoes 9; the two
+  // trailing reads observe the winning version.
+  EXPECT_EQ(plan.fixedValues, (std::vector<std::uint64_t>{5, 5, 9, 9, 9}));
+}
+
+TEST(PlanRun, ScratchIsReusedCleanly) {
+  RunPlan plan;
+  combine::planRun({wr(1), rd()}, plan);
+  combine::planRun({rd(), rd()}, plan);
+  EXPECT_EQ(plan.leadReads, 2u);
+  EXPECT_EQ(plan.writeCount, 0u);
+  EXPECT_TRUE(plan.fixedValues.empty());
+}
+
+TEST(FrontCacheTest, LookupInsertInvalidate) {
+  FrontCache cache(4);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(cache.lookup(7, v));
+  cache.insert(7, 42, 1);
+  ASSERT_TRUE(cache.lookup(7, v));
+  EXPECT_EQ(v, 42u);
+  ASSERT_NE(cache.peek(7), nullptr);
+  EXPECT_EQ(cache.peek(7)->stamp, 1u);
+  cache.insert(7, 43, 2);  // overwrite advances the stamp
+  ASSERT_TRUE(cache.lookup(7, v));
+  EXPECT_EQ(v, 43u);
+  EXPECT_EQ(cache.peek(7)->stamp, 2u);
+  EXPECT_TRUE(cache.invalidate(7));
+  EXPECT_FALSE(cache.invalidate(7));
+  EXPECT_FALSE(cache.lookup(7, v));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(FrontCacheTest, EvictsLeastRecentlyUsed) {
+  FrontCache cache(2);
+  std::uint64_t v = 0;
+  cache.insert(1, 100, 1);
+  cache.insert(2, 200, 2);
+  ASSERT_TRUE(cache.lookup(1, v));  // bump 1: now 2 is least recent
+  cache.insert(3, 300, 3);          // evicts 2
+  EXPECT_FALSE(cache.lookup(2, v));
+  EXPECT_TRUE(cache.lookup(1, v));
+  EXPECT_TRUE(cache.lookup(3, v));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(FrontCacheTest, ZeroCapacityDisablesEverything) {
+  FrontCache cache(0);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(1, 100, 1);
+  EXPECT_FALSE(cache.lookup(1, v));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Serving-level combining.
+
+struct Fixture {
+  explicit Fixture(ServeConfig cfg = {}, unsigned threads = 1)
+      : scheme(1, 3),
+        machine(scheme.numModules(), scheme.slotsPerModule(), threads),
+        engine(scheme, machine),
+        sched(engine, cfg) {}
+
+  scheme::PpScheme scheme;
+  mpc::Machine machine;
+  protocol::MajorityEngine engine;
+  AdmissionScheduler sched;
+};
+
+TEST(ServeCombine, ReadFanoutSharesOneSlot) {
+  ServeConfig cfg;
+  cfg.recordBatches = true;
+  Fixture f(cfg);
+  ClientSession& writer = f.sched.openSession();
+  const std::uint64_t v = 4;
+  writer.submitWrite(v, 99);
+  f.sched.flush();
+
+  std::vector<ClientSession*> readers;
+  for (int i = 0; i < 10; ++i) readers.push_back(&f.sched.openSession());
+  for (ClientSession* r : readers) r->submitRead(v);
+  f.sched.flush();
+
+  // Ten duplicate reads, ONE protocol slot: batch 2 holds a single read.
+  const auto& batches = f.sched.recordedBatches();
+  ASSERT_EQ(batches.size(), 2u);
+  ASSERT_EQ(batches[1].size(), 1u);
+  EXPECT_EQ(batches[1][0].op, mpc::Op::kRead);
+  for (ClientSession* r : readers) {
+    Response resp;
+    ASSERT_TRUE(r->poll(resp));
+    EXPECT_EQ(resp.status, Status::kOk);
+    EXPECT_EQ(resp.value, 99u);  // bit-identical fan-out
+  }
+  EXPECT_EQ(f.sched.metrics().combinedReads, 9u);
+}
+
+TEST(ServeCombine, DuplicateWritesResolveLastWriterWins) {
+  ServeConfig cfg;
+  cfg.recordBatches = true;
+  Fixture f(cfg);
+  const std::uint64_t v = 6;
+  std::vector<ClientSession*> writers;
+  for (int i = 0; i < 5; ++i) writers.push_back(&f.sched.openSession());
+  for (int i = 0; i < 5; ++i) writers[i]->submitWrite(v, 10 + i);
+  f.sched.flush();
+
+  // One slot carrying the winning payload; losers acknowledged kOk with
+  // their own echoed payload (what their own batch would have returned).
+  const auto& batches = f.sched.recordedBatches();
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].size(), 1u);
+  EXPECT_EQ(batches[0][0].op, mpc::Op::kWrite);
+  EXPECT_EQ(batches[0][0].value, 14u);
+  for (int i = 0; i < 5; ++i) {
+    Response resp;
+    ASSERT_TRUE(writers[i]->poll(resp));
+    EXPECT_EQ(resp.status, Status::kOk);
+    EXPECT_EQ(resp.value, static_cast<std::uint64_t>(10 + i));
+  }
+  EXPECT_EQ(f.sched.metrics().combinedWrites, 4u);
+
+  // Memory ended at the winning version.
+  ClientSession& reader = f.sched.openSession();
+  reader.submitRead(v);
+  f.sched.flush();
+  Response resp;
+  ASSERT_TRUE(reader.poll(resp));
+  EXPECT_EQ(resp.value, 14u);
+}
+
+TEST(ServeCombine, UnsatisfiableSlotFansOutToEveryWaiter) {
+  Fixture f;
+  const std::uint64_t victim = 7;
+  const auto copies = f.scheme.copiesOf(victim);
+  ASSERT_EQ(copies.size(), 3u);
+  f.machine.failModule(copies[0].module);
+  f.machine.failModule(copies[1].module);
+
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(victim);
+  s.submitRead(victim);
+  s.submitWrite(victim, 5);
+  s.submitWrite(victim, 6);
+  s.submitRead(victim);
+  f.sched.flush();
+
+  const auto responses = s.drainResponses();
+  ASSERT_EQ(responses.size(), 5u);
+  for (const Response& r : responses) {
+    EXPECT_EQ(r.status, Status::kUnsatisfiable);
+    EXPECT_EQ(r.value, 0u);  // no payload leaks through a dead quorum
+  }
+  EXPECT_EQ(f.sched.metrics().unsatisfiable, 5u);
+}
+
+// Per-variable FIFO of write effects through combining: every read observes
+// exactly the payload of the last write submitted before it, across pump
+// boundaries, matching a sequential model of the submission trace.
+TEST(ServeCombine, HotKeyStormPreservesWriteFifoEffects) {
+  ServeConfig cfg;
+  cfg.maxBatch = 8;
+  cfg.maxBatchesPerPump = 2;
+  cfg.maxWaitTicks = 1;
+  Fixture f(cfg);
+  const std::uint64_t hot = 3;
+  std::vector<ClientSession*> sessions;
+  for (int i = 0; i < 6; ++i) sessions.push_back(&f.sched.openSession());
+
+  util::Xoshiro256 rng(99);
+  // expected[session][requestId] = model value at submission time.
+  std::vector<std::map<std::uint64_t, std::uint64_t>> expected(6);
+  std::uint64_t model = 0;  // fresh memory reads as 0
+  std::uint64_t next_payload = 1;
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t n = 1 + rng.below(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t si = rng.below(sessions.size());
+      if (rng.below(3) == 0) {
+        const std::uint64_t payload = next_payload++;
+        const std::uint64_t id = sessions[si]->submitWrite(hot, payload);
+        model = payload;
+        expected[si][id] = payload;  // writes echo their own payload
+      } else {
+        const std::uint64_t id = sessions[si]->submitRead(hot);
+        expected[si][id] = model;
+      }
+    }
+    f.sched.tick();
+  }
+  f.sched.flush();
+
+  std::size_t checked = 0;
+  for (std::size_t si = 0; si < sessions.size(); ++si) {
+    for (const Response& r : sessions[si]->drainResponses()) {
+      ASSERT_EQ(r.status, Status::kOk);
+      const auto it = expected[si].find(r.requestId);
+      ASSERT_NE(it, expected[si].end());
+      EXPECT_EQ(r.value, it->second)
+          << "session " << si << " request " << r.requestId;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, f.sched.metrics().submitted);
+  EXPECT_GT(f.sched.metrics().combinedReads, 0u);
+  EXPECT_GT(f.sched.metrics().combinedWrites, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Semantic transparency: the combined scheduler's responses are
+// value-identical (per request) to the uncombined replay of the same trace,
+// with and without the front cache.
+
+struct ReplayConfig {
+  bool combine = false;
+  std::size_t cache = 0;
+  unsigned threads = 1;
+  bool faults = false;
+};
+
+// (session, requestId) -> (status, value, op, variable)
+using ResponseMap =
+    std::map<std::pair<std::uint64_t, std::uint64_t>,
+             std::tuple<Status, std::uint64_t, mpc::Op, std::uint64_t>>;
+
+ResponseMap runReplay(const ReplayConfig& rc) {
+  const scheme::PpScheme scheme(1, 3);
+  mpc::Machine machine(scheme.numModules(), scheme.slotsPerModule(),
+                       rc.threads);
+  if (rc.faults) {
+    mpc::FaultPlan plan;
+    plan.grantDropProbability = 0.15;
+    plan.seed = 11;
+    plan.transientAt(5, 2, 12);  // one module out: quorums stay reachable
+    machine.setFaultPlan(plan);
+  }
+  protocol::MajorityEngine engine(scheme, machine);
+
+  ServeConfig cfg;
+  cfg.maxBatch = 8;
+  cfg.maxBatchesPerPump = 2;
+  cfg.maxWaitTicks = 2;
+  cfg.queueCapacity = 4096;  // identity needs no rejects...
+  cfg.combineDuplicates = rc.combine;
+  cfg.frontCacheCapacity = rc.cache;
+  AdmissionScheduler sched(engine, cfg);
+
+  std::vector<ClientSession*> sessions;
+  for (int i = 0; i < 4; ++i) sessions.push_back(&sched.openSession());
+
+  util::Xoshiro256 rng(2027);
+  const std::uint64_t hot = 2;
+  for (int t = 0; t < 18; ++t) {
+    const std::size_t n = 2 + rng.below(7);
+    for (std::size_t i = 0; i < n; ++i) {
+      ClientSession& s = *sessions[rng.below(sessions.size())];
+      // 2/3 of traffic hammers the hot variable; the rest spreads.
+      const std::uint64_t v = rng.below(3) < 2 ? hot : 3 + rng.below(9);
+      if (rng.below(3) == 0) {
+        s.submitWrite(v, 1 + rng.below(1000), kNoDeadline);
+      } else {
+        s.submitRead(v, kNoDeadline);  // ...and no sheds
+      }
+    }
+    sched.tick();
+  }
+  sched.flush();
+
+  ResponseMap out;
+  for (ClientSession* s : sessions) {
+    for (const Response& r : s->drainResponses()) {
+      out.emplace(std::make_pair(s->id(), r.requestId),
+                  std::make_tuple(r.status, r.value, r.op, r.variable));
+    }
+  }
+  return out;
+}
+
+TEST(ServeCombine, CombinedValuesIdenticalToUncombinedReplay) {
+  const ResponseMap uncombined = runReplay({});
+  for (const bool faults : {false, true}) {
+    const ResponseMap base =
+        faults ? runReplay({false, 0, 1, true}) : uncombined;
+    for (const unsigned threads :
+         {1u, 3u, mpc::ThreadPool::defaultThreads()}) {
+      const ResponseMap combined = runReplay({true, 0, threads, faults});
+      const ResponseMap cached = runReplay({true, 64, threads, faults});
+      EXPECT_EQ(combined, base) << "threads=" << threads
+                                << " faults=" << faults;
+      EXPECT_EQ(cached, base) << "threads=" << threads
+                              << " faults=" << faults << " (front cache)";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-key storm determinism: a fixed storm trace — combining and front
+// cache on, short ttls (sheds), transient module outage + grant drops —
+// must be bit-identical across machine thread counts: batches, responses
+// (all fields but wall latency) and metrics.
+
+struct StormRun {
+  std::vector<std::vector<Response>> responses;
+  std::vector<std::vector<protocol::AccessRequest>> batches;
+  ServeMetrics metrics;
+};
+
+StormRun runStorm(unsigned threads) {
+  const scheme::PpScheme scheme(1, 3);
+  mpc::Machine machine(scheme.numModules(), scheme.slotsPerModule(), threads);
+  mpc::FaultPlan plan;
+  plan.grantDropProbability = 0.2;
+  plan.seed = 7;
+  plan.transientAt(3, 1, 9);
+  machine.setFaultPlan(plan);
+  protocol::MajorityEngine engine(scheme, machine);
+
+  ServeConfig cfg;
+  cfg.maxBatch = 8;
+  cfg.maxBatchesPerPump = 2;
+  cfg.maxWaitTicks = 2;
+  cfg.queueCapacity = 24;
+  cfg.recordBatches = true;
+  cfg.frontCacheCapacity = 8;
+  AdmissionScheduler sched(engine, cfg);
+
+  std::vector<ClientSession*> sessions;
+  for (int i = 0; i < 4; ++i) sessions.push_back(&sched.openSession());
+
+  util::Xoshiro256 rng(2028);
+  const std::uint64_t hot = 5;
+  for (int t = 0; t < 20; ++t) {
+    const std::size_t n = 4 + rng.below(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      ClientSession& s = *sessions[rng.below(sessions.size())];
+      const std::uint64_t v = rng.below(4) < 3 ? hot : rng.below(12);
+      const std::uint64_t ttl = 1 + rng.below(5);
+      if (rng.below(3) == 0) {
+        s.submitWrite(v, rng() % 1000, ttl);
+      } else {
+        s.submitRead(v, ttl);
+      }
+    }
+    sched.tick();
+  }
+  for (int t = 0; t < 8; ++t) sched.tick();
+  sched.flush();
+
+  StormRun run;
+  for (ClientSession* s : sessions) {
+    run.responses.push_back(s->drainResponses());
+  }
+  run.batches = sched.recordedBatches();
+  run.metrics = sched.metrics();
+  return run;
+}
+
+void expectSameStorm(const StormRun& a, const StormRun& b) {
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (std::size_t i = 0; i < a.batches.size(); ++i) {
+    ASSERT_EQ(a.batches[i].size(), b.batches[i].size()) << "batch " << i;
+    for (std::size_t j = 0; j < a.batches[i].size(); ++j) {
+      EXPECT_EQ(a.batches[i][j].variable, b.batches[i][j].variable);
+      EXPECT_EQ(a.batches[i][j].op, b.batches[i][j].op);
+      EXPECT_EQ(a.batches[i][j].value, b.batches[i][j].value);
+    }
+  }
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t s = 0; s < a.responses.size(); ++s) {
+    ASSERT_EQ(a.responses[s].size(), b.responses[s].size()) << "session " << s;
+    for (std::size_t i = 0; i < a.responses[s].size(); ++i) {
+      const Response& x = a.responses[s][i];
+      const Response& y = b.responses[s][i];
+      EXPECT_EQ(x.requestId, y.requestId) << "session " << s << " resp " << i;
+      EXPECT_EQ(x.variable, y.variable);
+      EXPECT_EQ(x.op, y.op);
+      EXPECT_EQ(x.status, y.status) << "session " << s << " resp " << i;
+      EXPECT_EQ(x.value, y.value) << "session " << s << " resp " << i;
+      EXPECT_EQ(x.submitTick, y.submitTick);
+      EXPECT_EQ(x.completeTick, y.completeTick);
+    }
+  }
+  EXPECT_EQ(a.metrics.served, b.metrics.served);
+  EXPECT_EQ(a.metrics.shed, b.metrics.shed);
+  EXPECT_EQ(a.metrics.unsatisfiable, b.metrics.unsatisfiable);
+  EXPECT_EQ(a.metrics.batchesComposed, b.metrics.batchesComposed);
+  EXPECT_EQ(a.metrics.combinedReads, b.metrics.combinedReads);
+  EXPECT_EQ(a.metrics.combinedWrites, b.metrics.combinedWrites);
+  EXPECT_EQ(a.metrics.frontCacheHits, b.metrics.frontCacheHits);
+  EXPECT_EQ(a.metrics.frontCacheMisses, b.metrics.frontCacheMisses);
+  EXPECT_EQ(a.metrics.frontCacheInvalidations,
+            b.metrics.frontCacheInvalidations);
+}
+
+TEST(ServeCombineDeterminism, HotKeyStormBitIdenticalAcrossThreadCounts) {
+  const StormRun serial = runStorm(1);
+
+  // The storm genuinely exercised combining, caching and shedding.
+  EXPECT_GT(serial.metrics.served, 0u);
+  EXPECT_GT(serial.metrics.shed, 0u);
+  EXPECT_GT(serial.metrics.combinedReads, 0u);
+  EXPECT_GT(serial.metrics.combinedWrites, 0u);
+  EXPECT_GT(serial.metrics.frontCacheHits, 0u);
+  EXPECT_GT(serial.metrics.frontCacheInvalidations, 0u);
+
+  const StormRun pipelined = runStorm(3);
+  expectSameStorm(serial, pipelined);
+  const unsigned dflt = mpc::ThreadPool::defaultThreads();
+  if (dflt != 1 && dflt != 3) {
+    const StormRun wide = runStorm(dflt);
+    expectSameStorm(serial, wide);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Front cache through the scheduler: hits skip the engine entirely, write
+// admissions invalidate, stamps advance with committed writes.
+
+TEST(ServeCombine, FrontCacheServesRepeatReadsWithoutSlots) {
+  ServeConfig cfg;
+  cfg.frontCacheCapacity = 4;
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  const std::uint64_t v = 9;
+
+  s.submitWrite(v, 55);
+  f.sched.flush();  // committed write populates the cache
+  ASSERT_NE(f.sched.frontCache().peek(v), nullptr);
+  EXPECT_EQ(f.sched.frontCache().peek(v)->value, 55u);
+  const std::uint64_t batches_after_write = f.sched.metrics().batchesComposed;
+
+  s.submitRead(v);
+  s.submitRead(v);
+  f.sched.flush();  // both reads served from cache: no new batch
+  EXPECT_EQ(f.sched.metrics().batchesComposed, batches_after_write);
+  EXPECT_EQ(f.sched.metrics().frontCacheHits, 2u);
+  auto responses = s.drainResponses();
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[1].value, 55u);
+  EXPECT_EQ(responses[2].value, 55u);
+
+  // A new write invalidates; the next read misses, takes a slot, and
+  // re-populates with a fresher stamp.
+  const std::uint64_t stamp_before = f.sched.frontCache().peek(v)->stamp;
+  s.submitWrite(v, 66);
+  EXPECT_EQ(f.sched.metrics().frontCacheInvalidations, 1u);
+  EXPECT_EQ(f.sched.frontCache().peek(v), nullptr);
+  f.sched.flush();
+  s.submitRead(v);
+  f.sched.flush();
+  EXPECT_EQ(f.sched.metrics().frontCacheMisses, 0u);  // write re-populated
+  EXPECT_EQ(f.sched.metrics().frontCacheHits, 3u);
+  responses = s.drainResponses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[1].value, 66u);
+  ASSERT_NE(f.sched.frontCache().peek(v), nullptr);
+  EXPECT_GT(f.sched.frontCache().peek(v)->stamp, stamp_before);
+}
+
+TEST(ServeCombine, FrontCacheMissOnColdReadThenHit) {
+  ServeConfig cfg;
+  cfg.frontCacheCapacity = 4;
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(11);  // cold: never written
+  f.sched.flush();
+  EXPECT_EQ(f.sched.metrics().frontCacheMisses, 1u);
+  EXPECT_EQ(f.sched.metrics().frontCacheHits, 0u);
+  s.submitRead(11);
+  f.sched.flush();
+  EXPECT_EQ(f.sched.metrics().frontCacheHits, 1u);
+  const auto responses = s.drainResponses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0].value, 0u);  // fresh memory reads as zero
+  EXPECT_EQ(responses[1].value, 0u);  // the cached zero is the same value
+}
+
+}  // namespace
+}  // namespace dsm::serve

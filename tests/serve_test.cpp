@@ -49,16 +49,20 @@ TEST(Serve, WriteThenReadRoundTrip) {
   ASSERT_TRUE(reader.poll(r));
   EXPECT_EQ(r.requestId, rid);
   EXPECT_EQ(r.status, Status::kOk);
-  EXPECT_EQ(r.value, 42u);  // the read ran in a later batch (per-var FIFO)
+  EXPECT_EQ(r.value, 42u);  // read behind the write observes its value
 
   EXPECT_EQ(f.sched.metrics().served, 2u);
-  EXPECT_EQ(f.sched.metrics().batchesComposed, 2u);
+  // Combining (the default): the read rides the write slot instead of
+  // opening a second batch — one slot serves both requests.
+  EXPECT_EQ(f.sched.metrics().batchesComposed, 1u);
+  EXPECT_EQ(f.sched.metrics().combinedReads, 1u);
   EXPECT_FALSE(writer.poll(w));
 }
 
 TEST(Serve, DuplicateVariableCoalescesInFifoOrder) {
   ServeConfig cfg;
   cfg.recordBatches = true;
+  cfg.combineDuplicates = false;  // this test pins the deferral path
   Fixture f(cfg);
   ClientSession& s = f.sched.openSession();
   const std::uint64_t v = 9;
@@ -257,6 +261,8 @@ TraceRun runTrace(unsigned threads) {
   cfg.maxWaitTicks = 2;
   cfg.queueCapacity = 24;
   cfg.recordBatches = true;
+  cfg.combineDuplicates = false;  // pins the legacy deferral composition;
+                                  // serve_combine_test replays combined
   AdmissionScheduler sched(engine, cfg);
 
   std::vector<ClientSession*> sessions;
@@ -303,6 +309,11 @@ void expectSameMetrics(const ServeMetrics& a, const ServeMetrics& b) {
   EXPECT_EQ(a.batchesComposed, b.batchesComposed);
   EXPECT_EQ(a.streamsRun, b.streamsRun);
   EXPECT_EQ(a.coalesceDeferrals, b.coalesceDeferrals);
+  EXPECT_EQ(a.combinedReads, b.combinedReads);
+  EXPECT_EQ(a.combinedWrites, b.combinedWrites);
+  EXPECT_EQ(a.frontCacheHits, b.frontCacheHits);
+  EXPECT_EQ(a.frontCacheMisses, b.frontCacheMisses);
+  EXPECT_EQ(a.frontCacheInvalidations, b.frontCacheInvalidations);
   EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
 }
 
@@ -350,6 +361,86 @@ TEST(ServeDeterminism, TraceBitIdenticalAcrossThreadCountsUnderFaults) {
 
   // ...and identical serving metrics.
   expectSameMetrics(serial.metrics, pipelined.metrics);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite regressions: serving-layer accounting fixes. Each of these fails
+// when its fix in serve.cpp is reverted.
+
+// A conflict-blocked request that is placed NOWHERE this pump (kept for a
+// later pump because no later batch had room) is still a deferral — the
+// counter must cover both the placed-later and the kept path.
+TEST(ServeRegression, CoalesceDeferralCountsKeepPath) {
+  ServeConfig cfg;
+  cfg.combineDuplicates = false;
+  cfg.maxBatch = 4;
+  cfg.maxBatchesPerPump = 1;  // the duplicate cannot open a second batch
+  cfg.maxWaitTicks = 0;       // every pump is due
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(3);
+  s.submitRead(3);  // conflicts with the first, no later batch to land in
+  EXPECT_EQ(f.sched.pump(), 1u);  // only the first served
+  EXPECT_EQ(f.sched.queueDepth(), 1u);
+  // Pre-fix this read 0: only placed-with-conflict incremented the counter.
+  EXPECT_EQ(f.sched.metrics().coalesceDeferrals, 1u);
+  EXPECT_EQ(f.sched.pump(), 1u);  // the kept request serves next pump
+  EXPECT_EQ(f.sched.metrics().coalesceDeferrals, 1u);
+}
+
+// arrival + maxWaitTicks must saturate, not wrap: with maxWaitTicks = ~0ULL
+// the deadline trigger used to fire spuriously on every tick once arrival
+// was nonzero (arrival + ~0 == arrival - 1 <= now).
+TEST(ServeRegression, HugeMaxWaitTicksNeverFiresDeadlineTrigger) {
+  ServeConfig cfg;
+  cfg.maxBatch = 8;
+  cfg.maxWaitTicks = ~0ULL;
+  Fixture f(cfg);
+  ClientSession& s = f.sched.openSession();
+  f.sched.tick();  // now = 1, so a wrapped trigger would be in the past
+  s.submitRead(1);
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(f.sched.tick(), 0u);
+  EXPECT_EQ(f.sched.queueDepth(), 1u);
+  EXPECT_EQ(f.sched.metrics().batchesComposed, 0u);
+  // The size trigger still works: fill the batch and the queue drains.
+  for (std::uint64_t v = 2; v <= 8; ++v) s.submitRead(v);
+  EXPECT_EQ(f.sched.pump(), 8u);
+  EXPECT_EQ(f.sched.queueDepth(), 0u);
+}
+
+// Admission rejections must populate every Response field the served/shed
+// paths populate — latencySeconds included (it was left at its default).
+// The injected wall clock advances on every read, so any response built
+// after the submit-time reading shows a strictly positive latency.
+TEST(ServeRegression, RejectResponsePinsAllFieldsIncludingLatency) {
+  ServeConfig cfg;
+  cfg.queueCapacity = 1;
+  cfg.maxWaitTicks = 1000;
+  Fixture f(cfg);
+  double fake_now = 0.0;
+  f.sched.setWallClockForTesting([&fake_now] { return fake_now += 0.5; });
+  ClientSession& s = f.sched.openSession();
+  s.submitRead(1);
+  f.sched.tick();  // now = 1: the rejection's ticks are distinguishable
+  const std::uint64_t id = s.submitWrite(2, 77);  // queue full -> rejected
+
+  ASSERT_EQ(s.ready(), 1u);
+  Response r;
+  ASSERT_TRUE(s.poll(r));
+  EXPECT_EQ(r.requestId, id);
+  EXPECT_EQ(r.variable, 2u);
+  EXPECT_EQ(r.op, mpc::Op::kWrite);
+  EXPECT_EQ(r.status, Status::kRejected);
+  EXPECT_EQ(r.value, 0u);  // a rejected write never echoes its payload
+  EXPECT_EQ(r.submitTick, 1u);
+  EXPECT_EQ(r.completeTick, 1u);
+  EXPECT_GT(r.latencySeconds, 0.0);  // pre-fix: default 0.0
+
+  // Served responses share the same clock plumbing.
+  f.sched.flush();
+  ASSERT_TRUE(s.poll(r));
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_GT(r.latencySeconds, 0.0);
 }
 
 }  // namespace
