@@ -16,8 +16,11 @@ cmake --preset default
 cmake --build --preset default
 ctest --preset default
 
-echo "== perf smoke: bit-identity + serving gates (ctest -L perf: e13/e16/e17/e18/e19) =="
+echo "== perf smoke: bit-identity + serving gates (ctest -L perf: e13/e16/e17/e18/e19/e20) =="
 ctest --test-dir build -L perf --output-on-failure
+
+echo "== forced-scalar: faults-labelled suite on the soft-fallback kernels (DSM_FORCE_SCALAR=1) =="
+DSM_FORCE_SCALAR=1 ctest --test-dir build -L faults --output-on-failure
 
 echo "== sanitized: configure + build + ctest (preset: ${asan_preset}) =="
 cmake --preset asan

@@ -1,0 +1,80 @@
+#include "dsm/gf/clmul.hpp"
+
+#include "dsm/gf/gf2poly.hpp"
+#include "dsm/util/kernel_dispatch.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define DSM_CLMUL_X86 1
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_AES)
+#include <arm_neon.h>
+#define DSM_CLMUL_NEON 1
+#endif
+
+namespace dsm::gf {
+
+std::uint64_t clmulSoft(std::uint64_t a, std::uint64_t b) noexcept {
+  // 64 fixed select-and-xor rounds: (0 - bit) is an all-ones/all-zeros mask,
+  // so there is no data-dependent control flow and the loop unrolls cleanly.
+  std::uint64_t r = 0;
+  for (int i = 0; i < 64; ++i) {
+    r ^= (a << i) & (0ULL - ((b >> i) & 1ULL));
+  }
+  return r;
+}
+
+#if defined(DSM_CLMUL_X86)
+
+__attribute__((target("pclmul,sse2"))) static std::uint64_t clmulPclmul(
+    std::uint64_t a, std::uint64_t b) noexcept {
+  const __m128i va = _mm_cvtsi64_si128(static_cast<long long>(a));
+  const __m128i vb = _mm_cvtsi64_si128(static_cast<long long>(b));
+  // Low-lane product; callers guarantee deg a + deg b < 64, so the high
+  // half of the 128-bit result is zero.
+  const __m128i p = _mm_clmulepi64_si128(va, vb, 0x00);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(p));
+}
+
+std::uint64_t clmulHw(std::uint64_t a, std::uint64_t b) noexcept {
+  return clmulPclmul(a, b);
+}
+
+#elif defined(DSM_CLMUL_NEON)
+
+std::uint64_t clmulHw(std::uint64_t a, std::uint64_t b) noexcept {
+  const poly128_t p =
+      vmull_p64(static_cast<poly64_t>(a), static_cast<poly64_t>(b));
+  return static_cast<std::uint64_t>(p);
+}
+
+#else
+
+std::uint64_t clmulHw(std::uint64_t a, std::uint64_t b) noexcept {
+  return clmulSoft(a, b);
+}
+
+#endif
+
+std::uint64_t clmulMulMod(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t poly) noexcept {
+  const int m = polyDegree(poly);
+  const std::uint64_t mask = (1ULL << m) - 1;
+  // x^m ≡ low (mod poly), so each fold rewrites the overflow bits as a
+  // carryless product with the low part. The primitive polynomials used
+  // here have few terms, so this converges in two or three folds.
+  const std::uint64_t low = poly & mask;
+  if (util::hasClmulHw()) {
+    std::uint64_t r = clmulHw(a, b);
+    while ((r >> m) != 0) {
+      r = (r & mask) ^ clmulHw(r >> m, low);
+    }
+    return r;
+  }
+  std::uint64_t r = clmulSoft(a, b);
+  while ((r >> m) != 0) {
+    r = (r & mask) ^ clmulSoft(r >> m, low);
+  }
+  return r;
+}
+
+}  // namespace dsm::gf

@@ -1,0 +1,40 @@
+// Carryless-multiply kernel for GF(2^m) reduction arithmetic.
+//
+// Three layers (DESIGN.md §13):
+//   * clmulHw   — one hardware carryless multiply (PCLMULQDQ on x86-64,
+//     PMULL on AArch64). Only meaningful when util::hasClmulHw() is true;
+//     on other targets it aliases the software kernel.
+//   * clmulSoft — branch-free shift-and-xor product: 64 fixed select/xor
+//     rounds, no data-dependent branches (unlike gf2poly's clmul, which
+//     early-exits on b's popcount).
+//   * clmulMulMod — (a*b) mod poly through the dispatched multiply plus a
+//     fold reduction (x^m ≡ poly - x^m, so high bits fold down through
+//     further carryless multiplies by the low part of poly).
+//
+// All three produce results bit-identical to the scalar oracle
+// polyMulMod(a, b, poly): carryless multiplication followed by polynomial
+// reduction is the same GF(2)[x] arithmetic however it is evaluated.
+// Valid for deg a + deg b < 64 (every field context here has m <= 32 per
+// operand; TowerCtx gates its e == 1 fast path on n <= 32 for the same
+// reason). Callers decide between this kernel and the oracle via
+// util::forceScalar(); nothing here consults the seam.
+#pragma once
+
+#include <cstdint>
+
+namespace dsm::gf {
+
+/// Branch-free software carryless multiply (deg a + deg b < 64).
+std::uint64_t clmulSoft(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// Hardware carryless multiply where available (see util::hasClmulHw());
+/// falls back to clmulSoft on targets without one.
+std::uint64_t clmulHw(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// (a * b) mod poly over GF(2) via the carryless kernel; poly has degree
+/// m in [1, 32] with bit m set, a and b have degree < m. Bit-identical to
+/// polyMulMod(a, b, poly).
+std::uint64_t clmulMulMod(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t poly) noexcept;
+
+}  // namespace dsm::gf

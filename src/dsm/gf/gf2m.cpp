@@ -1,7 +1,9 @@
 #include "dsm/gf/gf2m.hpp"
 
+#include "dsm/gf/clmul.hpp"
 #include "dsm/gf/gf2poly.hpp"
 #include "dsm/util/assert.hpp"
+#include "dsm/util/kernel_dispatch.hpp"
 #include "dsm/util/numeric.hpp"
 
 namespace dsm::gf {
@@ -43,7 +45,9 @@ void Gf2mCtx::init() {
       v = polyMulMod(v, gamma(), poly_);
     }
     // v == gamma^bsgsStep_; giant step multiplies by gamma^{-bsgsStep_}.
-    bsgsGiant_ = pow(v, order - 1);  // inverse via a^{order-1} ... see below
+    // Inverse via v^{order-1}: pow() only needs mul(), which works before
+    // any tables exist (tables are disabled on this branch anyway).
+    bsgsGiant_ = pow(v, order - 1);
   }
 }
 
@@ -52,6 +56,7 @@ Felem Gf2mCtx::mul(Felem a, Felem b) const noexcept {
   if (!log_.empty()) {
     return exp_[log_[a] + log_[b]];
   }
+  if (!util::forceScalar()) return clmulMulMod(a, b, poly_);
   return polyMulMod(a, b, poly_);
 }
 
@@ -98,6 +103,57 @@ std::uint64_t Gf2mCtx::dlog(Felem a) const {
   }
   DSM_CHECK_MSG(false, "BSGS dlog failed (element outside group?)");
   return 0;  // unreachable
+}
+
+void Gf2mCtx::mulBatch(const Felem* a, const Felem* b, Felem* out,
+                       std::size_t count) const noexcept {
+  if (!log_.empty()) {
+    // Hoist the table pointers so the per-lane body is two loads, an add
+    // and a select — independent across lanes, so it pipelines.
+    const std::uint32_t* lg = log_.data();
+    const std::uint32_t* ex = exp_.data();
+    for (std::size_t i = 0; i < count; ++i) {
+      const Felem x = a[i];
+      const Felem y = b[i];
+      out[i] = (x == 0 || y == 0) ? 0 : ex[lg[x] + lg[y]];
+    }
+    return;
+  }
+  if (!util::forceScalar()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const Felem x = a[i];
+      const Felem y = b[i];
+      out[i] = (x == 0 || y == 0) ? 0 : clmulMulMod(x, y, poly_);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const Felem x = a[i];
+    const Felem y = b[i];
+    out[i] = (x == 0 || y == 0) ? 0 : polyMulMod(x, y, poly_);
+  }
+}
+
+void Gf2mCtx::powBatch(const Felem* a, const std::uint64_t* e, Felem* out,
+                       std::size_t count) const noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = pow(a[i], e[i]);
+  }
+}
+
+void Gf2mCtx::dlogBatch(const Felem* a, std::uint64_t* out,
+                        std::size_t count) const {
+  if (!log_.empty()) {
+    const std::uint32_t* lg = log_.data();
+    for (std::size_t i = 0; i < count; ++i) {
+      DSM_CHECK_MSG(a[i] != 0, "dlog of zero in GF(2^" << m_ << ")");
+      out[i] = lg[a[i]];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = dlog(a[i]);
+  }
 }
 
 }  // namespace dsm::gf

@@ -11,6 +11,7 @@
 // fallback is used.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,11 @@ using Felem = std::uint64_t;
 /// Elements are uint64_t values with only the low m bits used; the value is
 /// the coefficient vector of a polynomial in the primitive element gamma
 /// (bit i = coefficient of gamma^i). gamma itself is the value 0b10.
+///
+/// Thread-safety: all state (tables, BSGS baby-step map, giant-step
+/// element) is built eagerly in the constructor and never mutated
+/// afterwards, so every const method — including the BSGS dlog() path —
+/// is safe to call concurrently from any number of threads.
 class Gf2mCtx {
  public:
   /// Largest m for which full log/exp tables are materialised (2 * 2^m * 4
@@ -66,6 +72,22 @@ class Gf2mCtx {
   std::uint64_t dlog(Felem a) const;
 
   bool hasTables() const noexcept { return !log_.empty(); }
+
+  // Batched entry points (DESIGN.md §13). Structure-of-arrays: operands in
+  // parallel input arrays, results written to `out` (may alias an input).
+  // Any count is accepted; the kernels consume lanes in groups so table
+  // pointers and dispatch decisions are hoisted out of the per-element
+  // path. Results are bit-identical to calling the scalar method per lane
+  // under every dispatch mode (util::forceScalar()).
+
+  /// out[i] = mul(a[i], b[i]).
+  void mulBatch(const Felem* a, const Felem* b, Felem* out,
+                std::size_t count) const noexcept;
+  /// out[i] = pow(a[i], e[i]).
+  void powBatch(const Felem* a, const std::uint64_t* e, Felem* out,
+                std::size_t count) const noexcept;
+  /// out[i] = dlog(a[i]); DSM_CHECK(a[i] != 0).
+  void dlogBatch(const Felem* a, std::uint64_t* out, std::size_t count) const;
 
  private:
   void init();

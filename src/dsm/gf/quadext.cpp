@@ -138,6 +138,43 @@ std::uint64_t QuadExtCtx::dlogLambda(Felem x) const {
   return 0;  // unreachable
 }
 
+void QuadExtCtx::mulBatch(const Felem* x, const Felem* y, Felem* out,
+                          std::size_t count) const noexcept {
+  constexpr std::size_t kLanes = 16;
+  Felem a[kLanes], b[kLanes], c[kLanes], d[kLanes];
+  Felem ac[kLanes], ad[kLanes], bc[kLanes], bd[kLanes];
+  for (std::size_t at = 0; at < count; at += kLanes) {
+    const std::size_t nl = count - at < kLanes ? count - at : kLanes;
+    for (std::size_t i = 0; i < nl; ++i) {
+      a[i] = hi(x[at + i]);
+      b[i] = lo(x[at + i]);
+      c[i] = hi(y[at + i]);
+      d[i] = lo(y[at + i]);
+    }
+    base_.mulBatch(a, c, ac, nl);
+    base_.mulBatch(a, d, ad, nl);
+    base_.mulBatch(b, c, bc, nl);
+    base_.mulBatch(b, d, bd, nl);
+    for (std::size_t i = 0; i < nl; ++i) {
+      out[at + i] = pack(ac[i] ^ ad[i] ^ bc[i], ac[i] ^ bd[i]);
+    }
+  }
+}
+
+void QuadExtCtx::fromRowBatch(const Felem* x, const Felem* y, Felem* out,
+                              std::size_t count) const noexcept {
+  constexpr std::size_t kLanes = 16;
+  Felem wb[kLanes], xw[kLanes];
+  for (std::size_t i = 0; i < kLanes; ++i) wb[i] = w_b_;
+  for (std::size_t at = 0; at < count; at += kLanes) {
+    const std::size_t nl = count - at < kLanes ? count - at : kLanes;
+    base_.mulBatch(x + at, wb, xw, nl);
+    for (std::size_t i = 0; i < nl; ++i) {
+      out[at + i] = pack(x[at + i], xw[i] ^ y[at + i]);
+    }
+  }
+}
+
 Felem QuadExtCtx::fromRow(Felem x, Felem y) const noexcept {
   // x·w + y where w = (1, w_b): scalar multiplication by x ∈ F_{2^n} acts
   // componentwise, so x·w = (x, x·w_b).

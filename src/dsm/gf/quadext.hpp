@@ -74,6 +74,18 @@ class QuadExtCtx {
   /// Inverse of fromRow: decomposes α in the (w, 1) basis.
   std::pair<Felem, Felem> toRow(Felem alpha) const noexcept;
 
+  // Batched entry points (DESIGN.md §13): each lane's four base-field
+  // products run through TowerCtx::mulBatch in structure-of-arrays form, so
+  // the extension multiply vectorizes across lanes rather than within one
+  // multiply. Bit-identical to the scalar methods per lane.
+
+  /// out[i] = mul(x[i], y[i]).
+  void mulBatch(const Felem* x, const Felem* y, Felem* out,
+                std::size_t count) const noexcept;
+  /// out[i] = fromRow(x[i], y[i]).
+  void fromRowBatch(const Felem* x, const Felem* y, Felem* out,
+                    std::size_t count) const noexcept;
+
  private:
   void findLambda();
   void buildDlog();

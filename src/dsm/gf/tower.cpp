@@ -1,7 +1,9 @@
 #include "dsm/gf/tower.hpp"
 
+#include "dsm/gf/clmul.hpp"
 #include "dsm/gf/gf2poly.hpp"
 #include "dsm/util/assert.hpp"
+#include "dsm/util/kernel_dispatch.hpp"
 #include "dsm/util/numeric.hpp"
 
 namespace dsm::gf {
@@ -26,7 +28,9 @@ TowerCtx::TowerCtx(int e, int n) : base_(e), n_(n) {
   scalar_index_ = (size_ - 1) / (base_.size() - 1);
   if (e == 1) {
     // Bit-compatible with Gf2mCtx(n): same canonical primitive polynomial.
-    reduction_ = fromBitPoly(findPrimitivePolyGf2(n));
+    const std::uint64_t bits = findPrimitivePolyGf2(n);
+    reduction_ = fromBitPoly(bits);
+    if (n <= 32) bitpoly_ = bits;  // carryless fast path (see tower.hpp)
   } else {
     reduction_ = findPrimitivePoly(base_, n);
   }
@@ -125,6 +129,11 @@ Felem TowerCtx::mulSchoolbook(Felem a, Felem b) const noexcept {
 Felem TowerCtx::mul(Felem a, Felem b) const noexcept {
   if (a == 0 || b == 0) return 0;
   if (!log_.empty()) return exp_[log_[a] + log_[b]];
+  if (bitpoly_ != 0 && !util::forceScalar()) {
+    // e == 1: packed form is the plain GF(2) coefficient bitmask, so the
+    // carryless kernel computes the same product the schoolbook loop does.
+    return clmulMulMod(a, b, bitpoly_);
+  }
   return mulSchoolbook(a, b);
 }
 
@@ -165,6 +174,81 @@ std::uint64_t TowerCtx::dlog(Felem a) const {
   }
   DSM_CHECK_MSG(false, "BSGS dlog failed");
   return 0;  // unreachable
+}
+
+void TowerCtx::mulBatch(const Felem* a, const Felem* b, Felem* out,
+                        std::size_t count) const noexcept {
+  if (!log_.empty()) {
+    const std::uint32_t* lg = log_.data();
+    const std::uint32_t* ex = exp_.data();
+    for (std::size_t i = 0; i < count; ++i) {
+      const Felem x = a[i];
+      const Felem y = b[i];
+      out[i] = (x == 0 || y == 0) ? 0 : ex[lg[x] + lg[y]];
+    }
+    return;
+  }
+  if (bitpoly_ != 0 && !util::forceScalar()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const Felem x = a[i];
+      const Felem y = b[i];
+      out[i] = (x == 0 || y == 0) ? 0 : clmulMulMod(x, y, bitpoly_);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const Felem x = a[i];
+    const Felem y = b[i];
+    out[i] = (x == 0 || y == 0) ? 0 : mulSchoolbook(x, y);
+  }
+}
+
+void TowerCtx::dlogBatch(const Felem* a, std::uint64_t* out,
+                         std::size_t count) const {
+  if (!log_.empty()) {
+    const std::uint32_t* lg = log_.data();
+    for (std::size_t i = 0; i < count; ++i) {
+      DSM_CHECK_MSG(a[i] != 0,
+                    "dlog of zero in GF(" << q() << "^" << n_ << ")");
+      out[i] = lg[a[i]];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = dlog(a[i]);
+  }
+}
+
+void TowerCtx::invBatch(const Felem* a, Felem* out, std::size_t count) const {
+  if (!log_.empty()) {
+    const std::uint32_t* lg = log_.data();
+    const std::uint32_t* ex = exp_.data();
+    const std::uint64_t order = groupOrder();
+    for (std::size_t i = 0; i < count; ++i) {
+      DSM_CHECK_MSG(a[i] != 0,
+                    "inverse of zero in GF(" << q() << "^" << n_ << ")");
+      out[i] = ex[(order - lg[a[i]]) % order];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = inv(a[i]);
+  }
+}
+
+void TowerCtx::expBatch(const std::uint64_t* e, Felem* out,
+                        std::size_t count) const noexcept {
+  const std::uint64_t order = groupOrder();
+  if (!exp_.empty()) {
+    const std::uint32_t* ex = exp_.data();
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = ex[e[i] % order];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = exp(e[i]);
+  }
 }
 
 }  // namespace dsm::gf

@@ -81,6 +81,21 @@ class TowerCtx {
 
   bool hasTables() const noexcept { return !log_.empty(); }
 
+  // Batched entry points (DESIGN.md §13): structure-of-arrays lanes, any
+  // count, results bit-identical to the scalar method per lane under every
+  // dispatch mode.
+
+  /// out[i] = mul(a[i], b[i]).
+  void mulBatch(const Felem* a, const Felem* b, Felem* out,
+                std::size_t count) const noexcept;
+  /// out[i] = dlog(a[i]); DSM_CHECK(a[i] != 0).
+  void dlogBatch(const Felem* a, std::uint64_t* out, std::size_t count) const;
+  /// out[i] = inv(a[i]); DSM_CHECK(a[i] != 0).
+  void invBatch(const Felem* a, Felem* out, std::size_t count) const;
+  /// out[i] = exp(e[i]).
+  void expBatch(const std::uint64_t* e, Felem* out, std::size_t count) const
+      noexcept;
+
  private:
   Felem mulSchoolbook(Felem a, Felem b) const noexcept;
   void init();
@@ -90,6 +105,10 @@ class TowerCtx {
   std::uint64_t size_;
   std::uint64_t scalar_index_;
   PolyGF reduction_;
+  // For e == 1 with n <= 32, the reduction polynomial as a GF(2) bitmask so
+  // mul() can use the carryless kernel (clmulMulMod needs the 2n-1 bit
+  // product to fit in 64 bits). Zero when the fast path does not apply.
+  std::uint64_t bitpoly_ = 0;
   std::vector<Felem> xpow_;  // x^{n+j} mod f, packed, j in [0, n-1)
   std::vector<std::uint32_t> exp_;
   std::vector<std::uint32_t> log_;

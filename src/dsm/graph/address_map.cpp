@@ -1,6 +1,7 @@
 #include "dsm/graph/address_map.hpp"
 
 #include "dsm/util/assert.hpp"
+#include "dsm/util/kernel_dispatch.hpp"
 
 namespace dsm::graph {
 
@@ -27,13 +28,213 @@ std::uint64_t AddressMap::slotOf(const pgl::Hn1Coset& module,
 }
 
 std::vector<PhysicalAddress> AddressMap::copiesOf(const pgl::Mat2& A) const {
-  const auto neighbors = g_.moduleNeighbors(A);
-  std::vector<PhysicalAddress> out;
-  out.reserve(neighbors.size());
-  for (const pgl::Hn1Coset& m : neighbors) {
-    out.push_back(PhysicalAddress{modules_.index(m), slotOf(m, A)});
-  }
+  std::vector<PhysicalAddress> out(g_.variableDegree());
+  copiesOf(A, out.data());
   return out;
+}
+
+void AddressMap::copiesOf(const pgl::Mat2& A, PhysicalAddress* out) const {
+  const gf::TowerCtx& k = g_.field();
+  DSM_CHECK_MSG(pgl::det(k, A) != 0, "singular variable representative");
+  // Lemma-1 neighbour order (copy 0 via A, copy 1+a via the (a 1; 1 0)
+  // twist), canonicalising each coset in place — no vector returns.
+  pgl::Hn1Coset m = pgl::canonicalHn1Coset(k, A);
+  out[0] = PhysicalAddress{modules_.index(m), slotOf(m, A)};
+  for (gf::Felem a = 0; a < g_.q(); ++a) {
+    const pgl::Mat2 twisted = pgl::mul(k, A, pgl::Mat2{a, 1, 1, 0});
+    m = pgl::canonicalHn1Coset(k, twisted);
+    out[1 + a] = PhysicalAddress{modules_.index(m), slotOf(m, A)};
+  }
+}
+
+void AddressMap::copiesOfBatch(const pgl::Mat2* vars, std::size_t count,
+                               PhysicalAddress* out) const {
+  const std::size_t r = g_.variableDegree();
+  if (g_.q() != 2 || util::forceScalar()) {
+    // Generic / oracle path: per-lane scalar math through the same
+    // allocation-free flat storage.
+    for (std::size_t i = 0; i < count; ++i) {
+      copiesOf(vars[i], out + i * r);
+    }
+    return;
+  }
+  for (std::size_t at = 0; at < count; at += kBatchLanes) {
+    const std::size_t nl =
+        count - at < kBatchLanes ? count - at : kBatchLanes;
+    copiesOfBatchQ2(vars + at, nl, out + at * r);
+  }
+}
+
+void AddressMap::copiesOfBatchQ2(const pgl::Mat2* vars, std::size_t count,
+                                 PhysicalAddress* out) const {
+  const gf::TowerCtx& k = g_.field();
+  constexpr std::size_t kMaxPairs = 3 * kBatchLanes;
+  const std::size_t np = 3 * count;  // (variable, copy) pairs in this chunk
+  const std::uint64_t s_idx = k.scalarIndex();
+  const std::uint64_t qn1 = k.size() + 1;
+
+  // Stage 1 — Lemma-1 twists; for q = 2 both twist matrices are entry
+  // shuffles/xors of A, no field multiplies:
+  //   T[3i]   = A
+  //   T[3i+1] = A·(0 1; 1 0) = (b, a; d, c)
+  //   T[3i+2] = A·(1 1; 1 0) = (a+b, a; c+d, c)
+  pgl::Mat2 T[kMaxPairs];
+  for (std::size_t i = 0; i < count; ++i) {
+    const pgl::Mat2& A = vars[i];
+    DSM_CHECK_MSG(pgl::det(k, A) != 0, "singular variable representative");
+    T[3 * i + 0] = A;
+    T[3 * i + 1] = pgl::Mat2{A.b, A.a, A.d, A.c};
+    T[3 * i + 2] = pgl::Mat2{A.a ^ A.b, A.a, A.c ^ A.d, A.c};
+  }
+
+  // Stage 2 — analytic H_{n-1} canonicalisation (same arithmetic as
+  // canonicalHn1Coset), SoA: partition the pairs by branch, batch the
+  // inversions / multiplies / discrete logs per branch.
+  std::uint64_t s_of[kMaxPairs];
+  std::int64_t t_of[kMaxPairs];
+  gf::Felem gs_of[kMaxPairs];  // γ^s per pair (rep entry, reused by stage 3)
+  gf::Felem x_of[kMaxPairs];   // general-branch x (= rep.a = t)
+
+  std::size_t idx[kMaxPairs];
+  gf::Felem va[kMaxPairs], vb[kMaxPairs], vc[kMaxPairs], vd[kMaxPairs];
+  std::uint64_t lg[kMaxPairs], sv[kMaxPairs];
+
+  // Diagonal branch (T.c == 0): x = a/d, s = dlog(x) mod scalarIndex,
+  // rep = diag(γ^s, 1), t = -1.
+  std::size_t nb = 0;
+  for (std::size_t p = 0; p < np; ++p) {
+    if (T[p].c == 0) idx[nb++] = p;
+  }
+  if (nb != 0) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      va[i] = T[idx[i]].a;
+      vd[i] = T[idx[i]].d;
+    }
+    k.invBatch(vd, vd, nb);
+    k.mulBatch(va, vd, va, nb);  // x = a/d
+    k.dlogBatch(va, lg, nb);
+    for (std::size_t i = 0; i < nb; ++i) sv[i] = lg[i] % s_idx;
+    k.expBatch(sv, va, nb);  // γ^s
+    for (std::size_t i = 0; i < nb; ++i) {
+      const std::size_t p = idx[i];
+      s_of[p] = sv[i];
+      t_of[p] = -1;
+      gs_of[p] = va[i];
+    }
+  }
+
+  // General branch (T.c != 0): x = a/c, y = b/c, v = d/c,
+  // s = dlog(xv + y) mod scalarIndex, rep = ((x, γ^s), (1, 0)), t = x.
+  nb = 0;
+  for (std::size_t p = 0; p < np; ++p) {
+    if (T[p].c != 0) idx[nb++] = p;
+  }
+  if (nb != 0) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      const pgl::Mat2& M = T[idx[i]];
+      va[i] = M.a;
+      vb[i] = M.b;
+      vc[i] = M.c;
+      vd[i] = M.d;
+    }
+    k.invBatch(vc, vc, nb);      // 1/c
+    k.mulBatch(va, vc, va, nb);  // x
+    k.mulBatch(vb, vc, vb, nb);  // y
+    k.mulBatch(vd, vc, vd, nb);  // v
+    k.mulBatch(va, vd, vd, nb);  // x·v
+    for (std::size_t i = 0; i < nb; ++i) vd[i] ^= vb[i];  // β₀ = xv + y
+    k.dlogBatch(vd, lg, nb);
+    for (std::size_t i = 0; i < nb; ++i) sv[i] = lg[i] % s_idx;
+    k.expBatch(sv, vb, nb);  // γ^s
+    for (std::size_t i = 0; i < nb; ++i) {
+      const std::size_t p = idx[i];
+      s_of[p] = sv[i];
+      t_of[p] = static_cast<std::int64_t>(va[i]);
+      x_of[p] = va[i];
+      gs_of[p] = vb[i];
+    }
+  }
+
+  // Stage 3 — module index f(s, t) = s(q^n+1) + t + 1 and the Lemma-4
+  // basis D = rep⁻¹·A. The adjugate of either rep shape has a zero and a
+  // unit entry, so the generic 8-multiply product collapses:
+  //   t == -1: rep⁻¹ = ((1, 0), (0, γ^s))   → D = (a, b; γ^s c, γ^s d)
+  //   t >= 0:  rep⁻¹ = ((0, γ^s), (1, x))   → D = (γ^s c, γ^s d; a+xc, b+xd)
+  // (mul by 0 / 1 is exact in the scalar path too, so bits match.)
+  std::uint64_t mod_of[kMaxPairs];
+  pgl::Mat2 D[kMaxPairs];
+  for (std::size_t p = 0; p < np; ++p) {
+    mod_of[p] = s_of[p] * qn1 + static_cast<std::uint64_t>(t_of[p] + 1);
+    const pgl::Mat2& A = vars[p / 3];
+    va[p] = gs_of[p];
+    vb[p] = A.c;
+    vc[p] = A.d;
+  }
+  k.mulBatch(va, vb, vb, np);  // γ^s · c
+  k.mulBatch(va, vc, vc, np);  // γ^s · d
+  nb = 0;
+  for (std::size_t p = 0; p < np; ++p) {
+    if (t_of[p] >= 0) idx[nb++] = p;
+  }
+  if (nb != 0) {
+    for (std::size_t i = 0; i < nb; ++i) {
+      const pgl::Mat2& A = vars[idx[i] / 3];
+      va[i] = x_of[idx[i]];
+      vd[i] = A.c;
+    }
+    k.mulBatch(va, vd, vd, nb);  // x·c
+    for (std::size_t i = 0; i < nb; ++i) {
+      const pgl::Mat2& A = vars[idx[i] / 3];
+      va[i] = x_of[idx[i]];
+      lg[i] = A.d;
+    }
+    k.mulBatch(va, lg, lg, nb);  // x·d (lg reused as Felem storage)
+  }
+  for (std::size_t p = 0; p < np; ++p) {
+    const pgl::Mat2& A = vars[p / 3];
+    if (t_of[p] < 0) {
+      D[p] = pgl::Mat2{A.a, A.b, vb[p], vc[p]};
+    } else {
+      D[p] = pgl::Mat2{vb[p], vc[p], 0, 0};  // bottom row filled below
+    }
+  }
+  for (std::size_t i = 0; i < nb; ++i) {
+    const std::size_t p = idx[i];
+    const pgl::Mat2& A = vars[p / 3];
+    D[p].c = A.a ^ vd[i];
+    D[p].d = A.b ^ lg[i];
+  }
+
+  // Stage 4 — Lemma-4 slot scan, the D·h sweep shared across lanes: for
+  // each of the |H_0| subgroup elements (entries in F_2 = {0, 1}, so D·h
+  // is a masked xor-combine, multiply-free), find the unique (1 p; 0 1)
+  // shape with p ∈ P_γ. Any two matching h give the same p — the quotient
+  // (1 p; 0 1)⁻¹(1 p'; 0 1) = (1 p+p'; 0 1) lies in H_0 only if
+  // p + p' ∈ F_q ∩ P_γ = {0} — so first-match order equals the scalar
+  // scan's result exactly.
+  bool found[kMaxPairs] = {};
+  std::size_t remaining = np;
+  for (const pgl::Mat2& h : g_.h0().elements()) {
+    if (remaining == 0) break;
+    const gf::Felem ma = 0 - h.a, mb = 0 - h.b;
+    const gf::Felem mc = 0 - h.c, md = 0 - h.d;
+    for (std::size_t p = 0; p < np; ++p) {
+      if (found[p]) continue;
+      const gf::Felem ec = (D[p].c & ma) ^ (D[p].d & mc);
+      const gf::Felem ed = (D[p].c & mb) ^ (D[p].d & md);
+      if (ec != 0 || ed == 0) continue;
+      const gf::Felem ea = (D[p].a & ma) ^ (D[p].b & mc);
+      if (ea != ed) continue;  // ⇔ mul(E.a, inv(E.d)) != 1
+      const gf::Felem eb = (D[p].a & mb) ^ (D[p].b & md);
+      const gf::Felem pv = k.div(eb, ed);
+      if (!k.inPGamma(pv)) continue;
+      out[p] = PhysicalAddress{mod_of[p], k.pGammaIndex(pv)};
+      found[p] = true;
+      --remaining;
+    }
+  }
+  DSM_CHECK_MSG(remaining == 0,
+                "copiesOfBatch: variable does not neighbour its module");
 }
 
 pgl::Mat2 AddressMap::variableAt(std::uint64_t module_index,

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -41,10 +42,27 @@ class AddressMap {
   const GraphG& graph() const noexcept { return g_; }
   const ModuleIndexer& modules() const noexcept { return modules_; }
 
+  /// SoA lane width of the batched addressing kernel: copiesOfBatch
+  /// consumes inputs in chunks of up to this many variables, sharing the
+  /// canonicalisation table sweeps and the Lemma-4 D·h subgroup scan
+  /// across the chunk.
+  static constexpr std::size_t kBatchLanes = 16;
+
   /// All q+1 copies of the variable with coset representative A, ordered as
   /// in Lemma 1 (copy 0 via A itself, copy 1+a via the (a 1; 1 0) twist).
   /// The returned modules are pairwise distinct and the slots are exact.
   std::vector<PhysicalAddress> copiesOf(const pgl::Mat2& A) const;
+
+  /// Allocation-free form: writes exactly graph().variableDegree() addresses
+  /// (same order as above) into caller-provided storage.
+  void copiesOf(const pgl::Mat2& A, PhysicalAddress* out) const;
+
+  /// Batched form: out[i*r .. (i+1)*r) receives the copies of vars[i], where
+  /// r = graph().variableDegree(). For q == 2 this runs the SoA kernel
+  /// (DESIGN.md §13); for other q, or under util::forceScalar(), each lane
+  /// takes the scalar path. Results are bit-identical across all modes.
+  void copiesOfBatch(const pgl::Mat2* vars, std::size_t count,
+                     PhysicalAddress* out) const;
 
   /// Slot of the copy of variable A inside the module with canonical coset
   /// `module` (A must actually neighbour that module — checked).
@@ -55,6 +73,10 @@ class AddressMap {
   pgl::Mat2 variableAt(std::uint64_t module_index, std::uint64_t slot) const;
 
  private:
+  // q == 2 SoA kernel over one chunk of count <= kBatchLanes variables.
+  void copiesOfBatchQ2(const pgl::Mat2* vars, std::size_t count,
+                       PhysicalAddress* out) const;
+
   const GraphG& g_;
   ModuleIndexer modules_;
 };

@@ -21,10 +21,15 @@ VarIndexer::VarIndexer(const GraphG& g) : g_(g), ext_(g.field()) {
   // Per-s S4 block sizes; the paper proves each equals (2^n-1)(2^n-3), and
   // the constructor verifies that the families add up to exactly M.
   s4_prefix_.assign(sMax_ + 1, 0);
+  s4_c_.reserve(sMax_ * kJ);
+  s4_vj_.reserve(sMax_ * kJ);
   for (std::uint64_t s = 1; s <= sMax_; ++s) {
     std::uint64_t block = 0;
     for (std::uint64_t j = 0; j < kJ; ++j) {
-      block += s4Count(s, j, ext_.rho() - 1);
+      const std::uint64_t vj = s4Count(s, j, ext_.rho() - 1);
+      s4_c_.push_back(s4ExcludedResidue(s, j));
+      s4_vj_.push_back(vj);
+      block += vj;
     }
     s4_prefix_[s] = s4_prefix_[s - 1] + block;
   }
@@ -112,24 +117,42 @@ pgl::Mat2 VarIndexer::matrixOf(std::uint64_t index) const {
   const std::uint64_t s = lo;
   std::uint64_t local = index - s4_prefix_[s - 1];
   std::uint64_t j = 0;
-  while (true) {
-    const std::uint64_t vj = s4Count(s, j, rho - 1);
-    if (local < vj) break;
-    local -= vj;
+  while (local >= s4_vj_[(s - 1) * kJ + j]) {
+    local -= s4_vj_[(s - 1) * kJ + j];
     ++j;
     DSM_CHECK(j < kJ);
   }
-  // Unrank i: smallest X in [1, rho) with s4Count(s, j, X) == local + 1.
-  std::uint64_t ilo = 1, ihi = rho - 1;
-  while (ilo < ihi) {
-    const std::uint64_t mid = (ilo + ihi) / 2;
-    if (s4Count(s, j, mid) >= local + 1) {
-      ihi = mid;
-    } else {
-      ilo = mid + 1;
-    }
+  // Unrank i: the (local+1)-th value in [1, rho) with i % tau != 0 and
+  // i % sigma != c. The exclusion pattern repeats with period sigma = 3*tau,
+  // so the k-th survivor is a whole number of sigma-blocks plus a position
+  // inside one block — closed form, no search over s4Count.
+  const std::uint64_t tau = ext_.tau();
+  const std::uint64_t c = s4_c_[(s - 1) * kJ + j];
+  const std::uint64_t k = local + 1;
+  std::uint64_t i;
+  if (c % tau == 0) {
+    // The excluded sigma-class sits inside the tau-multiples, so only those
+    // are skipped: the k-th non-multiple of tau is k plus one skip for every
+    // tau-1 survivors consumed.
+    i = k + (k - 1) / (tau - 1);
+  } else {
+    // Four distinct excluded positions per sigma-block: tau, 2*tau, sigma,
+    // and the class position c (1 <= c < sigma, tau does not divide c).
+    const std::uint64_t keep = sigma - 4;
+    const std::uint64_t blocks = (k - 1) / keep;
+    std::uint64_t pos = (k - 1) % keep + 1;
+    // Sort {tau, 2*tau, c} (sigma is always the largest), then walk the
+    // excluded positions in ascending order; each one at or below the
+    // running position shifts it up by one.
+    std::uint64_t e0 = tau, e1 = 2 * tau, e2 = c;
+    if (e2 < e1) { const std::uint64_t t = e1; e1 = e2; e2 = t; }
+    if (e1 < e0) { const std::uint64_t t = e0; e0 = e1; e1 = t; }
+    pos += pos >= e0;
+    pos += pos >= e1;
+    pos += pos >= e2;
+    pos += pos >= sigma;
+    i = blocks * sigma + pos;
   }
-  const std::uint64_t i = ilo;
   return fromAlphaBeta(ext_.expLambda(s), ext_.expLambda(i + j * rho));
 }
 

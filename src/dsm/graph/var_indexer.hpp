@@ -15,10 +15,14 @@
 // with 1 <= s <= (2^{n-1}-1)/3, 0 <= t < 2^n-1, 0 <= j < 3.
 //
 // Global index layout: [S1 | S2 | S3 | S4]; S2/S3 ordered by (s, t, j); S4
-// ordered by (s, j, i) with i ascending over valid values. unrank is O(log N)
-// (a binary search over the S4 counting function); rank tries the |H_0| = 6
-// coset mates of the input, pattern-matches each against the four families,
-// and verifies the candidate by unranking — so a successful rank is
+// ordered by (s, j, i) with i ascending over valid values. unrank is
+// O(log N): a binary search locates the S4 s-block, and the inner index i
+// is recovered in closed form — the S4 exclusion pattern (multiples of τ
+// plus one residue class mod σ) repeats with period σ = 3τ, so the k-th
+// surviving i is a whole number of σ-blocks plus a fixed-position skip, no
+// search over the counting function needed. rank tries the |H_0| = 6 coset
+// mates of the input, pattern-matches each against the four families, and
+// verifies the candidate by unranking — so a successful rank is
 // self-checking.
 #pragma once
 
@@ -80,6 +84,12 @@ class VarIndexer {
   std::uint64_t tMax_;   // 2^n - 1
   std::uint64_t n1_, n2_, n3_, total_;
   std::vector<std::uint64_t> s4_prefix_;  // s4_prefix_[s] = |S4 blocks with s' <= s|
+  // Per-(s, j) S4 tables, indexed [(s-1)*3 + j]: the excluded residue
+  // c(s, j) and the block cardinality s4Count(s, j, ρ-1). Filled during
+  // construction (the prefix loop computes both anyway); they turn the hot
+  // unrank into table lookups plus the closed-form block computation.
+  std::vector<std::uint64_t> s4_c_;
+  std::vector<std::uint64_t> s4_vj_;
 };
 
 }  // namespace dsm::graph

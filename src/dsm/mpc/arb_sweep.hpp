@@ -1,0 +1,54 @@
+// Branch-free arbitration min-sweep over contiguous 64-bit keys.
+//
+// The sharded cycle path arbitrates each module by taking the minimum
+// arbitration key over the module's bucket (lowest processor id wins, ties
+// break to the lowest wire index — see arbKey in machine.cpp). When the
+// keys sit in a dense array, that minimum is a pure horizontal reduction:
+// no data-dependent branches, no pointer chasing through the wire. This
+// kernel runs it with four independent accumulators so the compiler can
+// keep four min chains in flight (and auto-vectorize them where the ISA
+// has an unsigned 64-bit min), instead of serialising one
+// compare-and-branch per element like the scalar candidate-walk does.
+//
+// Because every key embeds its wire index in the low 32 bits, keys within
+// a cycle are pairwise distinct and the minimum is unique — the caller
+// recovers the winning wire index as uint32(min) with no argmin tracking.
+// Bit-identity with the scalar walk is structural: both compute the same
+// unique minimum of the same key set; min is min however it is reduced.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsm::mpc {
+
+/// Minimum of keys[0 .. count). Precondition: count >= 1. Branch-free
+/// (conditional moves only) with a 4-way unrolled main loop.
+inline std::uint64_t arbMinSweep(const std::uint64_t* keys,
+                                 std::size_t count) noexcept {
+  constexpr std::uint64_t kMax = ~0ULL;
+  std::uint64_t m0 = kMax;
+  std::uint64_t m1 = kMax;
+  std::uint64_t m2 = kMax;
+  std::uint64_t m3 = kMax;
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const std::uint64_t k0 = keys[i];
+    const std::uint64_t k1 = keys[i + 1];
+    const std::uint64_t k2 = keys[i + 2];
+    const std::uint64_t k3 = keys[i + 3];
+    m0 = k0 < m0 ? k0 : m0;
+    m1 = k1 < m1 ? k1 : m1;
+    m2 = k2 < m2 ? k2 : m2;
+    m3 = k3 < m3 ? k3 : m3;
+  }
+  for (; i < count; ++i) {
+    const std::uint64_t k = keys[i];
+    m0 = k < m0 ? k : m0;
+  }
+  m0 = m1 < m0 ? m1 : m0;
+  m2 = m3 < m2 ? m3 : m2;
+  return m2 < m0 ? m2 : m0;
+}
+
+}  // namespace dsm::mpc

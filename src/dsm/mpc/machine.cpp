@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsm/mpc/arb_sweep.hpp"
 #include "dsm/mpc/interconnect.hpp"
 #include "dsm/util/assert.hpp"
+#include "dsm/util/kernel_dispatch.hpp"
 #include "dsm/util/rng.hpp"
 #include "dsm/util/timer.hpp"
 
@@ -540,6 +542,7 @@ void Machine::stepSharded(const std::vector<Request>& requests,
   part_counts_.resize(active_width * buckets);
   bucket_bounds_.resize(buckets + 1);
   bucket_entries_.resize(n);
+  bucket_keys_.resize(n);
   pool_.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
     std::size_t* cnt = &part_counts_[(lo / chunk) * buckets];
     std::fill(cnt, cnt + buckets, 0);
@@ -565,7 +568,9 @@ void Machine::stepSharded(const std::vector<Request>& requests,
     }
   }
   bucket_bounds_[buckets] = pos;  // == n
-  // Partition pass 2: stable scatter of the wire indices.
+  // Partition pass 2: stable scatter of the wire indices, paired with each
+  // entry's arbitration key so the min-sweep below reads one dense u64 run
+  // per module instead of re-deriving keys through the wire indirection.
   pool_.parallelFor(n, [&](std::size_t lo, std::size_t hi) {
     std::size_t* offset = &part_counts_[(lo / chunk) * buckets];
     for (std::size_t i = lo; i < hi; ++i) {
@@ -574,7 +579,9 @@ void Machine::stepSharded(const std::vector<Request>& requests,
           (r.module >= mc || (spm != 0 && r.slot >= spm))
               ? mc
               : static_cast<std::size_t>(r.module);
-      bucket_entries_[offset[b]++] = static_cast<std::uint32_t>(i);
+      const std::size_t o = offset[b]++;
+      bucket_entries_[o] = static_cast<std::uint32_t>(i);
+      bucket_keys_[o] = arbKey(r.processor, i);
     }
   });
   // Invalid requests never touched the per-module scratch (there is none to
@@ -597,8 +604,13 @@ void Machine::stepSharded(const std::vector<Request>& requests,
   const std::uint64_t drop_salt =
       plan_.seed ^ (lifetime_cycles_ * 0x9E3779B97F4A7C15ULL);
   const std::uint32_t* entries = bucket_entries_.data();
+  const std::uint64_t* keys = bucket_keys_.data();
   const std::size_t* bounds = bucket_bounds_.data();
   Cell* flat = eager_ ? flat_.data() : nullptr;
+  // Dispatch seam, hoisted once per cycle: DSM_FORCE_SCALAR keeps the
+  // pre-vectorization compare-and-branch walk (with its candidate-cell
+  // prefetch) as the bit-identity oracle for the min-sweep.
+  const bool force_scalar = util::forceScalar();
   // Execution: each shard is a contiguous module range, cut at bucket
   // boundaries with near-equal wire-entry counts, so one worker owns a
   // module's arbitration, access, staging and peak bookkeeping outright —
@@ -619,21 +631,36 @@ void Machine::stepSharded(const std::vector<Request>& requests,
         continue;
       }
       // Arbitration: a plain min over the bucket (same key, same winner as
-      // the atomic path). The running minimum is the candidate winner —
-      // prefetch its committed cell like the serial sweep does.
-      std::size_t win = entries[b0];
-      std::uint64_t best = arbKey(req[win].processor, win);
-      if (flat != nullptr) {
-        __builtin_prefetch(&flat[m * spm + req[win].slot], 1, 1);
-      }
-      for (std::size_t e = b0 + 1; e < b1; ++e) {
-        const std::size_t i = entries[e];
-        const std::uint64_t key = arbKey(req[i].processor, i);
-        if (key < best) {
-          best = key;
-          win = i;
-          if (flat != nullptr) {
-            __builtin_prefetch(&flat[m * spm + req[i].slot], 1, 1);
+      // the atomic path). Default is the branch-free min-sweep over the
+      // module's contiguous key run; the key embeds its wire index, so the
+      // winner falls out of the minimum's low 32 bits. The forced-scalar
+      // oracle is the pre-vectorization compare-and-branch walk, where the
+      // running minimum is the candidate winner and its committed cell is
+      // prefetched like the serial sweep does. Keys are pairwise distinct
+      // (the index is part of the key), so both reductions find the same
+      // unique minimum — bit-identical winners.
+      std::size_t win;
+      if (!force_scalar) {
+        const std::uint64_t best = arbMinSweep(keys + b0, b1 - b0);
+        win = static_cast<std::size_t>(static_cast<std::uint32_t>(best));
+        if (flat != nullptr) {
+          __builtin_prefetch(&flat[m * spm + req[win].slot], 1, 1);
+        }
+      } else {
+        win = entries[b0];
+        std::uint64_t best = arbKey(req[win].processor, win);
+        if (flat != nullptr) {
+          __builtin_prefetch(&flat[m * spm + req[win].slot], 1, 1);
+        }
+        for (std::size_t e = b0 + 1; e < b1; ++e) {
+          const std::size_t i = entries[e];
+          const std::uint64_t key = arbKey(req[i].processor, i);
+          if (key < best) {
+            best = key;
+            win = i;
+            if (flat != nullptr) {
+              __builtin_prefetch(&flat[m * spm + req[i].slot], 1, 1);
+            }
           }
         }
       }

@@ -19,11 +19,15 @@
 //   * sharded   — module_count < wire size: a stable counting sort
 //     partitions the wire into per-module buckets (persistent scratch, two
 //     parallel passes paired through the pool's fixed chunk partition),
+//     scattering each entry's arbitration key alongside its wire index;
 //     then parallelForShards hands each worker a contiguous MODULE range
 //     cut at bucket boundaries, so arbitration, access, staging and peak
 //     accounting for a module run on exactly one thread — no atomic-min, no
-//     lock-prefixed RMWs, no false sharing on the arbitration scratch.
-//     Responses are still written at the original wire positions.
+//     lock-prefixed RMWs, no false sharing on the arbitration scratch. Per
+//     module the winner is a branch-free min-sweep over the contiguous key
+//     run (arb_sweep.hpp); DSM_FORCE_SCALAR keeps the compare-and-branch
+//     walk as its bit-identity oracle. Responses are still written at the
+//     original wire positions.
 //   * atomic    — modules outnumber the wire (contention is sparse, so a
 //     counting pass would cost more than it saves): sweep 1 fuses
 //     validation + arbitration + counting via commutative atomic-min;
@@ -349,6 +353,12 @@ class Machine {
   // scatter-offset arrays; the two passes pair up through the pool's fixed
   // chunk partition (see ThreadPool::parallelFor's partition guarantee).
   std::vector<std::uint32_t> bucket_entries_;  // wire indices, bucket order
+  // Arbitration keys scattered alongside bucket_entries_ (same positions),
+  // so per-module arbitration is a branch-free min over a contiguous u64
+  // run (see arb_sweep.hpp) instead of a compare-and-branch walk that
+  // re-derives each key from the wire. The key embeds its wire index, so
+  // the winner is uint32(min) — no argmin tracking.
+  std::vector<std::uint64_t> bucket_keys_;
   std::vector<std::size_t> bucket_bounds_;     // module_count_ + 2 bounds
   std::vector<std::size_t> part_counts_;
   std::vector<std::uint8_t> failed_;  // fault flags, driven by plan + calls

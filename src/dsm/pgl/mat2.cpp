@@ -28,6 +28,48 @@ Mat2 inverse(const gf::TowerCtx& k, const Mat2& m) {
   return Mat2{m.d, m.b, m.c, m.a};
 }
 
+void mulBatch(const gf::TowerCtx& k, const Mat2* x, const Mat2* y, Mat2* out,
+              std::size_t count) noexcept {
+  constexpr std::size_t kLanes = 16;
+  gf::Felem l[kLanes], r[kLanes], p0[kLanes], p1[kLanes];
+  Mat2 res[kLanes];
+  for (std::size_t at = 0; at < count; at += kLanes) {
+    const std::size_t nl = count - at < kLanes ? count - at : kLanes;
+    // One SoA pass per output entry: gather the two operand pairs, multiply
+    // across lanes, xor-combine. (Gather cost is trivial next to the field
+    // multiplies; res[] defers stores so out may alias x or y.)
+    const auto entry = [&](gf::Felem Mat2::* xa, gf::Felem Mat2::* yb,
+                           gf::Felem Mat2::* xc, gf::Felem Mat2::* yd,
+                           gf::Felem Mat2::* o) {
+      for (std::size_t i = 0; i < nl; ++i) {
+        l[i] = x[at + i].*xa;
+        r[i] = y[at + i].*yb;
+      }
+      k.mulBatch(l, r, p0, nl);
+      for (std::size_t i = 0; i < nl; ++i) {
+        l[i] = x[at + i].*xc;
+        r[i] = y[at + i].*yd;
+      }
+      k.mulBatch(l, r, p1, nl);
+      for (std::size_t i = 0; i < nl; ++i) res[i].*o = p0[i] ^ p1[i];
+    };
+    entry(&Mat2::a, &Mat2::a, &Mat2::b, &Mat2::c, &Mat2::a);
+    entry(&Mat2::a, &Mat2::b, &Mat2::b, &Mat2::d, &Mat2::b);
+    entry(&Mat2::c, &Mat2::a, &Mat2::d, &Mat2::c, &Mat2::c);
+    entry(&Mat2::c, &Mat2::b, &Mat2::d, &Mat2::d, &Mat2::d);
+    for (std::size_t i = 0; i < nl; ++i) out[at + i] = res[i];
+  }
+}
+
+void inverseBatch(const gf::TowerCtx& k, const Mat2* m, Mat2* out,
+                  std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    DSM_CHECK_MSG(det(k, m[i]) != 0, "inverse of singular matrix");
+    const Mat2 src = m[i];
+    out[i] = Mat2{src.d, src.b, src.c, src.a};
+  }
+}
+
 Mat2 scalarCanonical(const gf::TowerCtx& k, const Mat2& m) {
   gf::Felem lead = m.a;
   if (lead == 0) lead = m.b;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -38,6 +39,20 @@ Mat2 mul(const gf::TowerCtx& k, const Mat2& x, const Mat2& y) noexcept;
 /// Projective inverse: the adjugate ((d, b), (c, a)) in characteristic 2.
 /// (Scaling by det^{-1} is unnecessary modulo scalars.) DSM_CHECK(det != 0).
 Mat2 inverse(const gf::TowerCtx& k, const Mat2& m);
+
+// Batched entry points (DESIGN.md §13): the 8 entry products of each 2x2
+// product run through TowerCtx::mulBatch in structure-of-arrays form, so
+// the matrix multiply vectorizes across lanes rather than within one field
+// multiply. Bit-identical to the scalar functions per lane.
+
+/// out[i] = mul(k, x[i], y[i]). out may alias x or y.
+void mulBatch(const gf::TowerCtx& k, const Mat2* x, const Mat2* y, Mat2* out,
+              std::size_t count) noexcept;
+
+/// out[i] = inverse(k, m[i]) (entry shuffle, no field ops beyond the
+/// determinant check). out may alias m.
+void inverseBatch(const gf::TowerCtx& k, const Mat2* m, Mat2* out,
+                  std::size_t count);
 
 /// Scales m so its first non-zero entry (scan a, b, c, d) equals 1.
 /// The result is the unique bitwise-comparable representative of the

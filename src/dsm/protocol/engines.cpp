@@ -152,7 +152,7 @@ void EngineBase::prepare(const std::vector<AccessRequest>& batch,
   const auto probe = [&prep](std::size_t have, std::size_t need) {
     if (need > 0 && have >= need) ++prep.allocationsAvoided;
   };
-  probe(prep.copies.capacity(), b);
+  probe(prep.copies.capacity(), b * scheme_.copiesPerVariable());
   probe(prep.stamps.capacity(), b);
   probe(prep.vars.capacity(), b);
   probe(prep.distinct.capacity(), b);
@@ -174,13 +174,14 @@ void EngineBase::prepare(const std::vector<AccessRequest>& batch,
   DSM_CHECK_MSG(dup == prep.distinct.end(),
                 "duplicate variable in batch: "
                     << (dup == prep.distinct.end() ? 0 : *dup));
-  // Section-4 addressing through the cache; misses resolve in parallel on
-  // `pool` when one is available (the scheme is immutable + thread-safe).
-  prep.copies.resize(b);
-  cache_.copiesBatch(prep.vars.data(), b, prep.copies, pool);
-  for (std::size_t i = 0; i < b; ++i) {
-    DSM_CHECK(prep.copies[i].size() == scheme_.copiesPerVariable());
-  }
+  // Section-4 addressing through the cache into the flat copy buffer;
+  // misses resolve through one batched scheme call per pool chunk when a
+  // pool is available (the scheme is immutable + thread-safe). Timed into
+  // prep (not metrics_ — this may be the prefetch thread).
+  prep.copies.resize(b * scheme_.copiesPerVariable());
+  util::Timer addr_timer;
+  cache_.copiesBatch(prep.vars.data(), b, prep.copies.data(), pool);
+  prep.addrSeconds = addr_timer.seconds();
   // Write stamping in batch order — prepare is the only writer of clock_,
   // and prepares run in batch order even when pipelined, so the stamps are
   // identical to the serial loop's.
@@ -220,6 +221,7 @@ void EngineBase::beginBatch(const PreparedBatch& prep,
   probe(acked_.capacity(), b);
   probe(lost_.capacity(), b);
   metrics_.allocationsAvoided += prep.allocationsAvoided;
+  metrics_.addrSeconds += prep.addrSeconds;
   // The dead-module memo is per batch: modules may heal between batches, so
   // each batch rediscovers honestly.
   module_dead_.resize(static_cast<std::size_t>(scheme_.numModules()), 0);
@@ -249,7 +251,8 @@ void EngineBase::premarkKnownDeadCopies(const PreparedBatch& prep,
                                         std::size_t r) {
   if (!module_dead_any_) return;
   for (std::size_t j = 0; j < r; ++j) {
-    if (module_dead_[static_cast<std::size_t>(prep.copies[req][j].module)]) {
+    if (module_dead_[static_cast<std::size_t>(
+            prep.copies[req * r + j].module)]) {
       dead_[a * r + j] = 1;
       ++dead_count_[a];
     }
@@ -328,7 +331,8 @@ void EngineBase::finishPhase(const PreparedBatch& prep, std::size_t count,
       fm.deadCopies += dead_count_[a];
       for (std::size_t j = 0; j < r; ++j) {
         if (!dead_[a * r + j]) continue;
-        const auto m = static_cast<std::size_t>(prep.copies[req][j].module);
+        const auto m =
+            static_cast<std::size_t>(prep.copies[req * r + j].module);
         if (!module_dead_[m]) {
           module_dead_[m] = 1;
           module_dead_any_ = true;
@@ -363,8 +367,12 @@ void EngineBase::finishBatch(std::size_t batch_size) {
   metrics_.requests += batch_size;
   metrics_.cacheHits += cache_.hits() - cache_hits_seen_;
   metrics_.cacheMisses += cache_.misses() - cache_misses_seen_;
+  metrics_.addrBatchLanes += cache_.batchMissLanes() - addr_lanes_seen_;
+  metrics_.addrBatchChunks += cache_.batchMissChunks() - addr_chunks_seen_;
   cache_hits_seen_ = cache_.hits();
   cache_misses_seen_ = cache_.misses();
+  addr_lanes_seen_ = cache_.batchMissLanes();
+  addr_chunks_seen_ = cache_.batchMissChunks();
 }
 
 AccessResult EngineBase::runPrepared(const std::vector<AccessRequest>& batch,
@@ -586,7 +594,7 @@ AccessResult MajorityEngine::executePrepared(
                 repair ? fresh_[req].timestamp : prep.stamps[req];
             for (std::size_t j = 0; j < r; ++j) {
               if (!pending_[a * r + j]) continue;
-              const auto& pa = prep.copies[req][j];
+              const auto& pa = prep.copies[req * r + j];
               wire_next_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, fop, val, ts};
@@ -598,7 +606,7 @@ AccessResult MajorityEngine::executePrepared(
             const std::uint8_t* dd = &dead_[a * r];
             for (std::size_t j = 0; j < r; ++j) {
               if (acc[j] || dd[j]) continue;
-              const auto& pa = prep.copies[req][j];
+              const auto& pa = prep.copies[req * r + j];
               wire_next_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, batch[req].op, batch[req].value, prep.stamps[req]};
@@ -761,7 +769,7 @@ AccessResult SingleOwnerEngine::executePrepared(
           }
           const auto fop = static_cast<mpc::Op>(final_op_[i]);
           const bool repair = fop == mpc::Op::kRepair;
-          const auto& pa = prep.copies[i][pick];
+          const auto& pa = prep.copies[i * r + pick];
           wire_[out] = mpc::Request{
               static_cast<std::uint32_t>(i), pa.module, pa.slot, fop,
               repair ? fresh_[i].value : batch[i].value,
@@ -775,7 +783,7 @@ AccessResult SingleOwnerEngine::executePrepared(
               break;
             }
           }
-          const auto& pa = prep.copies[i][pick];
+          const auto& pa = prep.copies[i * r + pick];
           wire_[out] = mpc::Request{static_cast<std::uint32_t>(i), pa.module,
                                     pa.slot, batch[i].op, batch[i].value,
                                     prep.stamps[i]};

@@ -163,12 +163,21 @@ struct EngineMetrics {
   std::uint64_t wireRequests = 0;   ///< MPC requests placed on the wire
   std::uint64_t cacheHits = 0;      ///< copy-cache hits (addressing skipped)
   std::uint64_t cacheMisses = 0;
+  /// Cache misses resolved through the batched Section-4 kernel and the
+  /// number of scheme copiesBatch chunk calls that carried them; their
+  /// ratio is the average miss-lane occupancy (see CopyCache).
+  std::uint64_t addrBatchLanes = 0;
+  std::uint64_t addrBatchChunks = 0;
   /// Scratch buffers whose capacity already fit the batch at preprocess
   /// time — reallocation avoided by reuse across batches/stream entries.
   std::uint64_t allocationsAvoided = 0;
   double wireBuildSeconds = 0.0;
   double stepSeconds = 0.0;
   double scanSeconds = 0.0;
+  /// Wall-clock spent inside the copy-cache batch resolution (the Section-4
+  /// addressing kernels), split out of prepare. Timed inside prepare and
+  /// folded by beginBatch — prepare may run on the prefetch thread.
+  double addrSeconds = 0.0;
   /// Sum of AccessResult::networkCycles across batches — interconnect
   /// delivery cost alongside the modeled-step figure. Zero on a crossbar.
   std::uint64_t networkCycles = 0;
@@ -263,7 +272,10 @@ class EngineBase {
   /// engine state, so one PreparedBatch can be filled by the prefetch
   /// thread while another drives the current batch's wire rounds.
   struct PreparedBatch {
-    std::vector<std::vector<scheme::PhysicalAddress>> copies;
+    /// Flat copy addresses: request i's copy j at [i * r + j], with
+    /// r = copiesPerVariable(). One contiguous buffer per batch instead of
+    /// a vector-of-vectors — the batched cache path fills it directly.
+    std::vector<scheme::PhysicalAddress> copies;
     std::vector<std::uint64_t> stamps;
     std::vector<std::uint64_t> vars;      ///< batch variables, batch order
     std::vector<std::uint64_t> distinct;  ///< sorted duplicate-check scratch
@@ -271,6 +283,9 @@ class EngineBase {
     /// metrics_ by beginBatch (prepare must not touch metrics_ — it may be
     /// running on the prefetch thread).
     std::uint64_t allocationsAvoided = 0;
+    /// Seconds spent in the copy-cache batch resolution (addressing
+    /// kernels), folded into metrics_.addrSeconds by beginBatch.
+    double addrSeconds = 0.0;
   };
 
   /// Runs the engine's wire rounds for one prepared batch. Called between
@@ -334,6 +349,8 @@ class EngineBase {
   EngineMetrics metrics_;
   std::uint64_t cache_hits_seen_ = 0;    ///< cache counters already folded
   std::uint64_t cache_misses_seen_ = 0;
+  std::uint64_t addr_lanes_seen_ = 0;
+  std::uint64_t addr_chunks_seen_ = 0;
 
   // Double-buffered prepare slots: one drives the current batch's wire
   // rounds while the other is filled (possibly on the prefetch thread) for

@@ -83,7 +83,7 @@ AccessResult ReferenceMajorityEngine::executePrepared(
                 repair ? fresh_[req].timestamp : prep.stamps[req];
             for (std::size_t j = 0; j < r; ++j) {
               if (!pending_[a * r + j]) continue;
-              const auto& pa = prep.copies[req][j];
+              const auto& pa = prep.copies[req * r + j];
               wire_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, fop, val, ts};
@@ -95,7 +95,7 @@ AccessResult ReferenceMajorityEngine::executePrepared(
             const std::uint8_t* dd = &dead_[a * r];
             for (std::size_t j = 0; j < r; ++j) {
               if (acc[j] || dd[j]) continue;
-              const auto& pa = prep.copies[req][j];
+              const auto& pa = prep.copies[req * r + j];
               wire_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, batch[req].op, batch[req].value, prep.stamps[req]};
@@ -227,7 +227,7 @@ AccessResult ReferenceSingleOwnerEngine::executePrepared(
           }
           const auto fop = static_cast<mpc::Op>(final_op_[i]);
           const bool repair = fop == mpc::Op::kRepair;
-          const auto& pa = prep.copies[i][pick];
+          const auto& pa = prep.copies[i * r + pick];
           wire_[out] = mpc::Request{
               static_cast<std::uint32_t>(i), pa.module, pa.slot, fop,
               repair ? fresh_[i].value : batch[i].value,
@@ -241,7 +241,7 @@ AccessResult ReferenceSingleOwnerEngine::executePrepared(
               break;
             }
           }
-          const auto& pa = prep.copies[i][pick];
+          const auto& pa = prep.copies[i * r + pick];
           wire_[out] = mpc::Request{static_cast<std::uint32_t>(i), pa.module,
                                     pa.slot, batch[i].op, batch[i].value,
                                     prep.stamps[i]};

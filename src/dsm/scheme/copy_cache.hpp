@@ -40,21 +40,28 @@ class CopyCache {
   /// Fills out with the q+1 copies of v, from the cache when possible.
   void copies(std::uint64_t v, std::vector<PhysicalAddress>& out);
 
-  /// Batch lookup: fills out[i] with the copies of vars[i] for all
-  /// i < count, leaving the cache state, hit/miss counters and out values
-  /// exactly as `count` serial copies() calls in index order would have.
-  /// Misses are resolved through the scheme in parallel on `pool` (pass
-  /// nullptr to resolve serially — e.g. when the caller itself runs on a
-  /// worker thread); hits never touch the scheme. Precondition: vars are
-  /// pairwise distinct (the engines' batch invariant) — duplicates would
-  /// need a miss's result visible to a later lookup mid-batch.
+  /// Batch lookup into flat storage: out[i*r .. (i+1)*r) receives the
+  /// copies of vars[i] (r = copiesPerVariable()), leaving the cache state,
+  /// hit/miss counters and out values exactly as `count` serial copies()
+  /// calls in index order would have. Misses are gathered contiguously and
+  /// resolved through ONE MemoryScheme::copiesBatch call per pool chunk
+  /// (pass nullptr to resolve in a single serial chunk — e.g. when the
+  /// caller itself runs on a worker thread); hits never touch the scheme.
+  /// Precondition: vars are pairwise distinct (the engines' batch
+  /// invariant) — duplicates would need a miss's result visible to a later
+  /// lookup mid-batch.
   void copiesBatch(const std::uint64_t* vars, std::size_t count,
-                   std::vector<std::vector<PhysicalAddress>>& out,
-                   mpc::ThreadPool* pool);
+                   PhysicalAddress* out, mpc::ThreadPool* pool);
 
   std::size_t capacity() const noexcept { return slot_var_.size(); }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+  /// Misses resolved through the batched miss path (copiesBatch), and the
+  /// number of scheme copiesBatch chunk calls that resolved them. Their
+  /// ratio is the average miss-lane occupancy per chunk — the E20 metric
+  /// for how full the SoA kernels run.
+  std::uint64_t batchMissLanes() const noexcept { return batch_miss_lanes_; }
+  std::uint64_t batchMissChunks() const noexcept { return batch_miss_chunks_; }
   double hitRate() const noexcept {
     const std::uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
@@ -72,8 +79,12 @@ class CopyCache {
   std::vector<std::uint8_t> slot_valid_;  ///< per-slot fill flag
   std::vector<PhysicalAddress> addrs_;    ///< capacity * stride_, flat
   std::vector<std::size_t> miss_scratch_; ///< batch indices that missed
+  std::vector<std::uint64_t> miss_vars_;  ///< missed vars, gathered flat
+  std::vector<PhysicalAddress> miss_addrs_;  ///< resolved miss lines, flat
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t batch_miss_lanes_ = 0;
+  std::uint64_t batch_miss_chunks_ = 0;
 };
 
 }  // namespace dsm::scheme

@@ -11,6 +11,7 @@
 //   SingleCopyScheme— no redundancy: hashing only (the worst-case victim).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,6 +52,20 @@ class MemoryScheme {
     std::vector<PhysicalAddress> out;
     copies(v, out);
     return out;
+  }
+
+  /// Batched form: out[i*r .. (i+1)*r) receives the copies of vars[i],
+  /// r = copiesPerVariable(). The default loops over copies(); schemes with
+  /// a vectorized addressing kernel (PpScheme) override it. Results must be
+  /// identical to the per-variable method in every dispatch mode.
+  virtual void copiesBatch(const std::uint64_t* vars, std::size_t count,
+                           PhysicalAddress* out) const {
+    std::vector<PhysicalAddress> tmp;
+    const unsigned r = copiesPerVariable();
+    for (std::size_t i = 0; i < count; ++i) {
+      copies(vars[i], tmp);
+      for (unsigned j = 0; j < r; ++j) out[i * r + j] = tmp[j];
+    }
   }
 };
 

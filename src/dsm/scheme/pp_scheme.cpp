@@ -34,9 +34,28 @@ std::uint64_t PpScheme::indexOf(const pgl::Mat2& A) const {
 
 void PpScheme::copies(std::uint64_t v,
                       std::vector<PhysicalAddress>& out) const {
-  out.clear();
-  const auto addrs = amap_.copiesOf(matrixOf(v));
-  out.assign(addrs.begin(), addrs.end());
+  // resize + in-place fill: after the first call on a given vector this
+  // allocates nothing (capacity is retained across calls).
+  out.resize(copiesPerVariable());
+  amap_.copiesOf(matrixOf(v), out.data());
+}
+
+void PpScheme::copies(std::uint64_t v, PhysicalAddress* out) const {
+  amap_.copiesOf(matrixOf(v), out);
+}
+
+void PpScheme::copiesBatch(const std::uint64_t* vars, std::size_t count,
+                           PhysicalAddress* out) const {
+  constexpr std::size_t kLanes = graph::AddressMap::kBatchLanes;
+  const std::size_t r = copiesPerVariable();
+  pgl::Mat2 reps[kLanes];
+  for (std::size_t at = 0; at < count; at += kLanes) {
+    const std::size_t nl = count - at < kLanes ? count - at : kLanes;
+    for (std::size_t i = 0; i < nl; ++i) {
+      reps[i] = matrixOf(vars[at + i]);
+    }
+    amap_.copiesOfBatch(reps, nl, out + at * r);
+  }
 }
 
 }  // namespace dsm::scheme

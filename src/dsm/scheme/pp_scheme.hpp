@@ -36,6 +36,15 @@ class PpScheme : public MemoryScheme {
   }
   void copies(std::uint64_t v, std::vector<PhysicalAddress>& out) const override;
 
+  /// Allocation-free form: writes exactly copiesPerVariable() addresses.
+  void copies(std::uint64_t v, PhysicalAddress* out) const;
+
+  /// Batched miss-path entry: unranks the representatives, then resolves
+  /// addresses through AddressMap::copiesOfBatch in chunks of
+  /// AddressMap::kBatchLanes.
+  void copiesBatch(const std::uint64_t* vars, std::size_t count,
+                   PhysicalAddress* out) const override;
+
   /// True when the O(log N)/O(1) constructive indexing is active (q = 2,
   /// odd n), false when the enumerated directory fallback is in use.
   bool constructiveIndexing() const noexcept { return indexer_.has_value(); }

@@ -1,0 +1,55 @@
+#include "dsm/util/kernel_dispatch.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dsm::util {
+
+namespace {
+
+bool envForceScalar() noexcept {
+  const char* v = std::getenv("DSM_FORCE_SCALAR");
+  if (v == nullptr) return false;
+  // Accept the conventional truthy spellings; anything else (including the
+  // empty string and "0") leaves the kernels on.
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+bool detectClmulHw() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("pclmul") != 0;
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_AES)
+  // PMULL lives in the crypto extension; when the binary targets it
+  // (-march=...+crypto) the instruction is unconditionally available.
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+namespace detail {
+bool g_force_scalar = envForceScalar();
+}
+
+void setForceScalarForTesting(bool on) noexcept {
+  detail::g_force_scalar = on;
+}
+
+void clearForceScalarOverride() noexcept {
+  detail::g_force_scalar = envForceScalar();
+}
+
+bool hasClmulHw() noexcept {
+  static const bool cached = detectClmulHw();
+  return cached;
+}
+
+const char* kernelDispatchName() noexcept {
+  if (forceScalar()) return "scalar";
+  return hasClmulHw() ? "clmul-hw" : "clmul-soft";
+}
+
+}  // namespace dsm::util

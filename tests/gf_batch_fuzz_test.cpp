@@ -1,0 +1,252 @@
+// Differential fuzz for the vectorized kernels (DESIGN.md §13): every
+// batched entry point — Gf2mCtx / TowerCtx / QuadExtCtx field ops, pgl
+// matrix ops, AddressMap::copiesOfBatch and the scheme/cache miss path —
+// is compared lane-for-lane against its scalar oracle, under BOTH dispatch
+// modes (default hardware/soft-clmul dispatch and DSM_FORCE_SCALAR). The
+// forced-scalar scalar result is the cross-mode reference, so this also
+// pins that the dispatched kernels are bit-identical to the pure software
+// path on whatever ISA the test runs on.
+//
+// setForceScalarForTesting is not thread-safe against running kernels;
+// everything here is single-threaded and toggles between serial phases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dsm/gf/gf2m.hpp"
+#include "dsm/gf/quadext.hpp"
+#include "dsm/gf/tower.hpp"
+#include "dsm/graph/address_map.hpp"
+#include "dsm/pgl/mat2.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/kernel_dispatch.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm {
+namespace {
+
+// RAII: whatever a test does with the override, the process-wide dispatch
+// mode is restored for the tests that follow.
+struct DispatchGuard {
+  ~DispatchGuard() { util::clearForceScalarOverride(); }
+};
+
+// Batch sizes straddling the SoA chunk width (AddressMap::kBatchLanes and
+// the gf kernels' internal grouping): 1, a sub-chunk count, the exact
+// width, one over, and a multi-chunk count with a ragged tail.
+constexpr std::size_t kCounts[] = {1, 7, 16, 17, 45};
+
+class Gf2mBatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Gf2mBatchFuzz, MulPowDlogMatchScalarUnderBothModes) {
+  DispatchGuard guard;
+  const int m = GetParam();
+  const gf::Gf2mCtx k(m);
+  util::Xoshiro256 rng(4000 + m);
+  for (const std::size_t count : kCounts) {
+    std::vector<gf::Felem> a(count), b(count), nz(count);
+    std::vector<std::uint64_t> e(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      a[i] = rng.below(k.size());
+      b[i] = rng.below(k.size());
+      nz[i] = 1 + rng.below(k.size() - 1);
+      e[i] = rng.below(4 * k.groupOrder() + 3);  // exponents past the order
+    }
+    // Forced-scalar scalar calls are the cross-mode reference.
+    util::setForceScalarForTesting(true);
+    std::vector<gf::Felem> ref_mul(count), ref_pow(count);
+    std::vector<std::uint64_t> ref_dlog(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ref_mul[i] = k.mul(a[i], b[i]);
+      ref_pow[i] = k.pow(a[i], e[i]);
+      ref_dlog[i] = k.dlog(nz[i]);
+    }
+    for (const bool force : {true, false}) {
+      util::setForceScalarForTesting(force);
+      std::vector<gf::Felem> out(count);
+      std::vector<std::uint64_t> lg(count);
+      k.mulBatch(a.data(), b.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(out[i], ref_mul[i]) << "mul m=" << m << " lane " << i;
+        EXPECT_EQ(k.mul(a[i], b[i]), ref_mul[i]);
+      }
+      k.powBatch(a.data(), e.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(out[i], ref_pow[i]) << "pow m=" << m << " lane " << i;
+      }
+      k.dlogBatch(nz.data(), lg.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(lg[i], ref_dlog[i]) << "dlog m=" << m << " lane " << i;
+      }
+    }
+  }
+}
+
+// m = 1 (degenerate group), the kTableLimit boundary (22: last tabled m)
+// and 23 (first BSGS m, clmul no-table mul path).
+INSTANTIATE_TEST_SUITE_P(Sizes, Gf2mBatchFuzz,
+                         ::testing::Values(1, 2, 3, 8, 22, 23));
+
+class TowerBatchFuzz : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TowerBatchFuzz, MulDlogInvExpMatchScalarUnderBothModes) {
+  DispatchGuard guard;
+  const auto [e_param, n_param] = GetParam();
+  const gf::TowerCtx k(e_param, n_param);
+  util::Xoshiro256 rng(5000 + 100 * e_param + n_param);
+  for (const std::size_t count : kCounts) {
+    std::vector<gf::Felem> a(count), b(count), nz(count);
+    std::vector<std::uint64_t> e(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      // Draw via exp() so values are uniform over valid packed encodings.
+      a[i] = rng.below(2) ? k.exp(rng.below(k.groupOrder())) : 0;
+      b[i] = k.exp(rng.below(k.groupOrder()));
+      nz[i] = k.exp(rng.below(k.groupOrder()));
+      e[i] = rng.below(3 * k.groupOrder() + 1);
+    }
+    util::setForceScalarForTesting(true);
+    std::vector<gf::Felem> ref_mul(count), ref_inv(count), ref_exp(count);
+    std::vector<std::uint64_t> ref_dlog(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ref_mul[i] = k.mul(a[i], b[i]);
+      ref_inv[i] = k.inv(nz[i]);
+      ref_exp[i] = k.exp(e[i]);
+      ref_dlog[i] = k.dlog(nz[i]);
+    }
+    for (const bool force : {true, false}) {
+      util::setForceScalarForTesting(force);
+      std::vector<gf::Felem> out(count);
+      std::vector<std::uint64_t> lg(count);
+      k.mulBatch(a.data(), b.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(out[i], ref_mul[i]) << "lane " << i;
+        EXPECT_EQ(k.mul(a[i], b[i]), ref_mul[i]);
+      }
+      k.invBatch(nz.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], ref_inv[i]);
+      k.expBatch(e.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], ref_exp[i]);
+      k.dlogBatch(nz.data(), lg.data(), count);
+      for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(lg[i], ref_dlog[i]);
+    }
+  }
+}
+
+// (1, 5): tabled q=2 tower. (2, 3): e > 1 (no clmul fast path; schoolbook
+// oracle). (1, 23): above kTableLimit — the no-table clmul mul and BSGS
+// dlog paths.
+INSTANTIATE_TEST_SUITE_P(Configs, TowerBatchFuzz,
+                         ::testing::Values(std::pair{1, 5}, std::pair{2, 3},
+                                           std::pair{1, 23}));
+
+TEST(QuadExtBatchFuzz, MulFromRowMatchScalarUnderBothModes) {
+  DispatchGuard guard;
+  const gf::TowerCtx base(1, 5);
+  const gf::QuadExtCtx k(base);
+  util::Xoshiro256 rng(6001);
+  for (const std::size_t count : kCounts) {
+    std::vector<gf::Felem> x(count), y(count), rx(count), ry(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      x[i] = k.expLambda(rng.below(k.groupOrder()));
+      y[i] = rng.below(2) ? k.expLambda(rng.below(k.groupOrder())) : 0;
+      rx[i] = rng.below(base.size());
+      ry[i] = rng.below(base.size());
+    }
+    util::setForceScalarForTesting(true);
+    std::vector<gf::Felem> ref_mul(count), ref_row(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ref_mul[i] = k.mul(x[i], y[i]);
+      ref_row[i] = k.fromRow(rx[i], ry[i]);
+    }
+    for (const bool force : {true, false}) {
+      util::setForceScalarForTesting(force);
+      std::vector<gf::Felem> out(count);
+      k.mulBatch(x.data(), y.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], ref_mul[i]);
+      k.fromRowBatch(rx.data(), ry.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], ref_row[i]);
+    }
+  }
+}
+
+TEST(Mat2BatchFuzz, MulInverseMatchScalarUnderBothModes) {
+  DispatchGuard guard;
+  const gf::TowerCtx k(1, 5);
+  util::Xoshiro256 rng(7002);
+  const auto random_invertible = [&] {
+    while (true) {
+      pgl::Mat2 m{rng.below(k.size()), rng.below(k.size()),
+                  rng.below(k.size()), rng.below(k.size())};
+      if (pgl::isInvertible(k, m)) return m;
+    }
+  };
+  for (const std::size_t count : kCounts) {
+    std::vector<pgl::Mat2> x(count), y(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      x[i] = random_invertible();
+      y[i] = random_invertible();
+    }
+    util::setForceScalarForTesting(true);
+    std::vector<pgl::Mat2> ref_mul(count), ref_inv(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ref_mul[i] = pgl::mul(k, x[i], y[i]);
+      ref_inv[i] = pgl::inverse(k, x[i]);
+    }
+    for (const bool force : {true, false}) {
+      util::setForceScalarForTesting(force);
+      std::vector<pgl::Mat2> out(count);
+      pgl::mulBatch(k, x.data(), y.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], ref_mul[i]);
+      pgl::inverseBatch(k, x.data(), out.data(), count);
+      for (std::size_t i = 0; i < count; ++i) EXPECT_EQ(out[i], ref_inv[i]);
+      // Aliasing contract: out may alias x.
+      std::vector<pgl::Mat2> in_place = x;
+      pgl::mulBatch(k, in_place.data(), y.data(), in_place.data(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(in_place[i], ref_mul[i]);
+      }
+    }
+  }
+}
+
+class CopiesBatchFuzz
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CopiesBatchFuzz, MatchesScalarCopiesUnderBothModes) {
+  DispatchGuard guard;
+  const auto [e_param, n_param] = GetParam();
+  const scheme::PpScheme s(e_param, n_param);
+  const std::size_t r = s.copiesPerVariable();
+  util::Xoshiro256 rng(8000 + 100 * e_param + n_param);
+  for (const std::size_t count : kCounts) {
+    std::vector<std::uint64_t> vars(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      vars[i] = rng.below(s.numVariables());
+    }
+    // Reference: the scalar per-variable path, forced-scalar field kernels.
+    util::setForceScalarForTesting(true);
+    std::vector<scheme::PhysicalAddress> ref(count * r);
+    for (std::size_t i = 0; i < count; ++i) {
+      s.copies(vars[i], ref.data() + i * r);
+    }
+    for (const bool force : {true, false}) {
+      util::setForceScalarForTesting(force);
+      std::vector<scheme::PhysicalAddress> out(count * r);
+      s.copiesBatch(vars.data(), count, out.data());
+      for (std::size_t i = 0; i < count * r; ++i) {
+        EXPECT_EQ(out[i], ref[i])
+            << s.name() << " count=" << count << " flat index " << i;
+      }
+    }
+  }
+}
+
+// (1, 3) and (1, 5): the q = 2 SoA kernel (constructive indexing). (2, 3):
+// q = 4 through the directory — copiesOfBatch's per-lane scalar fallback.
+INSTANTIATE_TEST_SUITE_P(Configs, CopiesBatchFuzz,
+                         ::testing::Values(std::pair{1, 3}, std::pair{1, 5},
+                                           std::pair{2, 3}));
+
+}  // namespace
+}  // namespace dsm

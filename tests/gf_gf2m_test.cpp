@@ -93,6 +93,34 @@ TEST(Gf2m, LargeFieldUsesBsgs) {
   }
 }
 
+TEST(Gf2m, DlogExactAcrossTableLimitBoundary) {
+  // m = kTableLimit is the last tabled field; m = kTableLimit + 1 is the
+  // first to run dlog() through BSGS (and mul() through the carryless
+  // kernel, with no tables to lean on). Pin both sides of the boundary:
+  // exp/dlog must round-trip exactly and dlog must stay the homomorphism
+  // dlog(a*b) = dlog(a) + dlog(b) (mod 2^m - 1).
+  const Gf2mCtx tabled(Gf2mCtx::kTableLimit);
+  const Gf2mCtx bsgs(Gf2mCtx::kTableLimit + 1);
+  EXPECT_TRUE(tabled.hasTables());
+  EXPECT_FALSE(bsgs.hasTables());
+  util::Xoshiro256 rng(12);
+  for (const Gf2mCtx* k : {&tabled, &bsgs}) {
+    for (int i = 0; i < 20; ++i) {
+      const std::uint64_t e1 = rng.below(k->groupOrder());
+      const std::uint64_t e2 = rng.below(k->groupOrder());
+      const Felem a = k->exp(e1);
+      const Felem b = k->exp(e2);
+      EXPECT_EQ(k->dlog(a), e1);
+      EXPECT_EQ(k->dlog(b), e2);
+      EXPECT_EQ(k->dlog(k->mul(a, b)), (e1 + e2) % k->groupOrder());
+    }
+    // Fixed points of the group structure.
+    EXPECT_EQ(k->dlog(1), 0u);
+    EXPECT_EQ(k->dlog(k->gamma()), 1u);
+    EXPECT_EQ(k->exp(k->groupOrder()), 1u);
+  }
+}
+
 TEST(Gf2m, TableAndSchoolbookAgree) {
   // Same field built with tables (m<=22) must agree with raw polynomial ops.
   const Gf2mCtx k(9);

@@ -7,7 +7,9 @@
 #include <string>
 #include <utility>
 
+#include "dsm/mpc/arb_sweep.hpp"
 #include "dsm/util/assert.hpp"
+#include "dsm/util/kernel_dispatch.hpp"
 #include "dsm/util/rng.hpp"
 
 namespace dsm::mpc {
@@ -187,6 +189,82 @@ TEST(Machine, ShardedStepMatchesReferenceOnSaturatedStreams) {
     EXPECT_EQ(fast.metrics().grantsDropped, ref.metrics().grantsDropped);
     EXPECT_EQ(fast.lifetimeCycles(), ref.lifetimeCycles());
   }
+}
+
+TEST(ArbMinSweep, MatchesSerialMinOnAllShapes) {
+  // The branch-free 4-way sweep must equal a plain serial min for every
+  // count shape (tail lengths 0..3 around the unroll) and for minima at
+  // every position, including duplicates of the non-minimal values.
+  util::Xoshiro256 rng(0xA5B);
+  for (std::size_t count = 1; count <= 70; ++count) {
+    std::vector<std::uint64_t> keys(count);
+    for (std::size_t pos = 0; pos < count; ++pos) {
+      for (std::size_t i = 0; i < count; ++i) {
+        keys[i] = 1 + rng.below(i % 3 == 0 ? 4 : ~0ULL - 1);
+      }
+      keys[pos] = 0;  // unique minimum at pos
+      EXPECT_EQ(arbMinSweep(keys.data(), count), 0u)
+          << "count=" << count << " pos=" << pos;
+      keys[pos] = rng.below(~0ULL);
+      const std::uint64_t want =
+          *std::min_element(keys.begin(), keys.end());
+      EXPECT_EQ(arbMinSweep(keys.data(), count), want) << "count=" << count;
+    }
+  }
+  // All-max input (the accumulator sentinel value must still be returned).
+  std::vector<std::uint64_t> all_max(9, ~0ULL);
+  EXPECT_EQ(arbMinSweep(all_max.data(), all_max.size()), ~0ULL);
+}
+
+TEST(Machine, ShardedStepIdenticalUnderForceScalar) {
+  // The vectorized arbitration min-sweep against its forced-scalar oracle
+  // (the pre-vectorization compare-and-branch walk): same saturated
+  // streams, same faults, bit-identical responses, cells and metrics.
+  constexpr Op kOps[] = {Op::kRead, Op::kWrite, Op::kCommit, Op::kAbort,
+                         Op::kRepair};
+  util::Xoshiro256 rng(0xFACE);
+  Machine vec(16, 8, 4);
+  Machine scal(16, 8, 4);
+  FaultPlan plan;
+  plan.failAt(6, 2).healAt(20, 2);
+  plan.grantDropProbability = 0.15;
+  vec.setFaultPlan(plan);
+  scal.setFaultPlan(plan);
+  std::vector<Response> vec_resp;
+  std::vector<Response> scal_resp;
+  for (int cyc = 0; cyc < 30; ++cyc) {
+    std::vector<Request> reqs;
+    const int n = 512 + static_cast<int>(rng.below(256));
+    for (int i = 0; i < n; ++i) {
+      reqs.push_back(Request{static_cast<std::uint32_t>(rng.below(256)),
+                             rng.below(16), rng.below(8), kOps[rng.below(5)],
+                             rng.below(100), rng.below(8)});
+    }
+    // The seam is read once per step on this (serial) thread, so toggling
+    // between the two machines' steps is the documented safe pattern.
+    util::clearForceScalarOverride();
+    vec.step(reqs, vec_resp);
+    util::setForceScalarForTesting(true);
+    scal.step(reqs, scal_resp);
+    util::clearForceScalarOverride();
+    ASSERT_EQ(vec_resp.size(), scal_resp.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_EQ(vec_resp[i].granted, scal_resp[i].granted)
+          << "cyc=" << cyc << " i=" << i;
+      ASSERT_EQ(vec_resp[i].moduleFailed, scal_resp[i].moduleFailed);
+      ASSERT_EQ(vec_resp[i].value, scal_resp[i].value);
+      ASSERT_EQ(vec_resp[i].timestamp, scal_resp[i].timestamp);
+    }
+  }
+  for (std::uint64_t mod = 0; mod < 16; ++mod) {
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      EXPECT_EQ(vec.peek(mod, s).value, scal.peek(mod, s).value);
+      EXPECT_EQ(vec.peek(mod, s).timestamp, scal.peek(mod, s).timestamp);
+    }
+  }
+  EXPECT_EQ(vec.metrics().requestsGranted, scal.metrics().requestsGranted);
+  EXPECT_EQ(vec.metrics().maxModuleQueue, scal.metrics().maxModuleQueue);
+  EXPECT_EQ(vec.metrics().grantsDropped, scal.metrics().grantsDropped);
 }
 
 TEST(Machine, ShardedStepFirstOffenderMatchesSerial) {

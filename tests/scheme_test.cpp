@@ -216,5 +216,61 @@ TEST(CopyCache, ZeroCapacityDisablesCaching) {
   EXPECT_EQ(out, s.copiesOf(5));
 }
 
+TEST(PpScheme, CopiesReusesVectorCapacity) {
+  // The miss path hands the same vector back to copies() for every lookup;
+  // after the first call the resize must be a no-op on capacity, so the
+  // buffer is never reallocated (out.data() stays stable) and the per-miss
+  // allocation the old return-by-value interface paid is gone.
+  const PpScheme s(1, 5);
+  std::vector<PhysicalAddress> out;
+  s.copies(0, out);
+  ASSERT_EQ(out.size(), s.copiesPerVariable());
+  const PhysicalAddress* buf = out.data();
+  const std::size_t cap = out.capacity();
+  for (std::uint64_t v = 1; v < 200; ++v) {
+    s.copies(v, out);
+    EXPECT_EQ(out.data(), buf) << "reallocation at v=" << v;
+    EXPECT_EQ(out.capacity(), cap);
+    EXPECT_EQ(out, s.copiesOf(v));
+  }
+}
+
+TEST(CopyCache, CopiesBatchMatchesSerialCopies) {
+  // copiesBatch must leave counters, cache contents and output exactly as
+  // the equivalent serial copies() loop would — for hit/miss mixes, with
+  // and without a worker pool resolving the misses.
+  const PpScheme s(1, 5);
+  util::Xoshiro256 rng(21);
+  mpc::ThreadPool pool(4);
+  for (mpc::ThreadPool* p : {static_cast<mpc::ThreadPool*>(nullptr), &pool}) {
+    CopyCache batched(s, 64);
+    CopyCache serial(s, 64);
+    std::vector<PhysicalAddress> expect;
+    for (int round = 0; round < 6; ++round) {
+      // Distinct variables per batch (the engines' batch invariant); reuse
+      // across rounds produces hits, fresh draws produce misses/evictions.
+      std::set<std::uint64_t> drawn;
+      while (drawn.size() < 100) {
+        drawn.insert(rng.below(round < 3 ? 300 : s.numVariables()));
+      }
+      const std::vector<std::uint64_t> vars(drawn.begin(), drawn.end());
+      const std::size_t r = s.copiesPerVariable();
+      std::vector<PhysicalAddress> out(vars.size() * r);
+      batched.copiesBatch(vars.data(), vars.size(), out.data(), p);
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        serial.copies(vars[i], expect);
+        for (std::size_t j = 0; j < r; ++j) {
+          EXPECT_EQ(out[i * r + j], expect[j])
+              << "var " << vars[i] << " copy " << j;
+        }
+      }
+      EXPECT_EQ(batched.hits(), serial.hits());
+      EXPECT_EQ(batched.misses(), serial.misses());
+    }
+    EXPECT_EQ(batched.batchMissLanes(), batched.misses());
+    EXPECT_GT(batched.batchMissChunks(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace dsm::scheme
