@@ -12,8 +12,11 @@
 #include <utility>
 #include <vector>
 
+#include "dsm/mpc/machine.hpp"
 #include "dsm/protocol/engines.hpp"
+#include "dsm/serve/serve.hpp"
 #include "dsm/util/cli.hpp"
+#include "dsm/util/reflect.hpp"
 #include "dsm/util/table.hpp"
 
 namespace dsm::bench {
@@ -158,9 +161,108 @@ inline void printEngineMetrics(const std::string& label,
             << " | build=" << util::TextTable::num(m.wireBuildSeconds * 1e3, 1)
             << "ms step=" << util::TextTable::num(m.stepSeconds * 1e3, 1)
             << "ms scan=" << util::TextTable::num(m.scanSeconds * 1e3, 1)
+            << "ms addr=" << util::TextTable::num(m.addrSeconds * 1e3, 1)
             << "ms";
+  if (m.addrBatchChunks > 0) {
+    std::cout << " addr-lanes/chunk="
+              << util::TextTable::num(
+                     static_cast<double>(m.addrBatchLanes) /
+                         static_cast<double>(m.addrBatchChunks),
+                     1);
+  }
   if (m.networkCycles > 0) std::cout << " net-cycles=" << m.networkCycles;
+  if (m.plannedWireSavings > 0 || m.escalations > 0) {
+    std::cout << " plan-savings=" << m.plannedWireSavings
+              << " escalations=" << m.escalations
+              << " max-planned-load=" << m.maxPlannedModuleLoad;
+  }
   std::cout << "\n";
+}
+
+// Full-field JSON serializers for the metrics structs. The static_asserts
+// pin each struct's field count: adding a counter without serializing it
+// here fails the build instead of silently skipping the bench artifacts
+// (the audit that added these found addrSeconds, the cache-miss split and
+// the addr-batch occupancy missing from every BENCH_*.json).
+
+inline Json faultMetricsJson(const protocol::FaultMetrics& f) {
+  static_assert(util::aggregateFieldCount<protocol::FaultMetrics>() == 7,
+                "FaultMetrics changed: serialize the new field here");
+  Json degraded = Json::arr();
+  for (const std::uint64_t d : f.degradedQuorum) degraded.push(Json::num(d));
+  return Json::obj()
+      .set("deadCopies", f.deadCopies)
+      .set("stagedAborted", f.stagedAborted)
+      .set("repairsPerformed", f.repairsPerformed)
+      .set("commitsLost", f.commitsLost)
+      .set("abortsLost", f.abortsLost)
+      .set("unsatisfiable", f.unsatisfiable)
+      .set("degradedQuorum", std::move(degraded));
+}
+
+inline Json engineMetricsJson(const protocol::EngineMetrics& m) {
+  static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 17,
+                "EngineMetrics changed: serialize the new field here");
+  return Json::obj()
+      .set("batches", m.batches)
+      .set("requests", m.requests)
+      .set("wireRequests", m.wireRequests)
+      .set("cacheHits", m.cacheHits)
+      .set("cacheMisses", m.cacheMisses)
+      .set("addrBatchLanes", m.addrBatchLanes)
+      .set("addrBatchChunks", m.addrBatchChunks)
+      .set("allocationsAvoided", m.allocationsAvoided)
+      .set("wireBuildSeconds", m.wireBuildSeconds)
+      .set("stepSeconds", m.stepSeconds)
+      .set("scanSeconds", m.scanSeconds)
+      .set("addrSeconds", m.addrSeconds)
+      .set("networkCycles", m.networkCycles)
+      .set("plannedWireSavings", m.plannedWireSavings)
+      .set("escalations", m.escalations)
+      .set("maxPlannedModuleLoad", m.maxPlannedModuleLoad)
+      .set("faults", faultMetricsJson(m.faults));
+}
+
+inline Json machineMetricsJson(const mpc::MachineMetrics& m) {
+  static_assert(util::aggregateFieldCount<mpc::MachineMetrics>() == 12,
+                "MachineMetrics changed: serialize the new field here");
+  return Json::obj()
+      .set("cycles", m.cycles)
+      .set("requestsIssued", m.requestsIssued)
+      .set("requestsGranted", m.requestsGranted)
+      .set("maxModuleQueue", m.maxModuleQueue)
+      .set("grantsDropped", m.grantsDropped)
+      .set("networkCycles", m.networkCycles)
+      .set("networkPackets", m.networkPackets)
+      .set("networkMaxQueue", m.networkMaxQueue)
+      .set("networkIdealCycles", m.networkIdealCycles)
+      .set("networkStretch", m.networkStretch)
+      .set("arbSeconds", m.arbSeconds)
+      .set("accessSeconds", m.accessSeconds);
+}
+
+inline Json serveMetricsJson(const serve::ServeMetrics& m) {
+  static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 18,
+                "ServeMetrics changed: serialize the new field here");
+  return Json::obj()
+      .set("submitted", m.submitted)
+      .set("admitted", m.admitted)
+      .set("rejectedQueueFull", m.rejectedQueueFull)
+      .set("rejectedInvalid", m.rejectedInvalid)
+      .set("rejectedClosed", m.rejectedClosed)
+      .set("shed", m.shed)
+      .set("served", m.served)
+      .set("unsatisfiable", m.unsatisfiable)
+      .set("droppedClosed", m.droppedClosed)
+      .set("batchesComposed", m.batchesComposed)
+      .set("streamsRun", m.streamsRun)
+      .set("coalesceDeferrals", m.coalesceDeferrals)
+      .set("combinedReads", m.combinedReads)
+      .set("combinedWrites", m.combinedWrites)
+      .set("frontCacheHits", m.frontCacheHits)
+      .set("frontCacheMisses", m.frontCacheMisses)
+      .set("frontCacheInvalidations", m.frontCacheInvalidations)
+      .set("maxQueueDepth", m.maxQueueDepth);
 }
 
 /// One-line summary of the fault/recovery counters (E11, E15).

@@ -4,6 +4,11 @@
 // serving repeated random and adversarial full-load batches, per scheme.
 // Report: max/mean grant ratio and the coefficient of variation. A scheme
 // with poor balance has hot modules even when total time looks fine.
+//
+// The PP rows also run with the quorum planner on (PR 9): reads then attack
+// a greedily balanced q-subset instead of all r copies, which is exactly
+// the knob this experiment's metric measures — compare max/mean and cv
+// between the planner-off and planner-on rows. Emits BENCH_e12.json.
 #include <algorithm>
 
 #include "bench_common.hpp"
@@ -18,49 +23,79 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = cli.getUint("seed", 31);
   const int n = static_cast<int>(cli.getUint("n", 5));
   const int rounds = static_cast<int>(cli.getUint("rounds", 20));
+  const std::string json_path = cli.getString("json", "BENCH_e12.json");
   dsm::bench::banner("E12", "per-module access-load balance (n=" +
                                std::to_string(n) + ")");
 
-  util::TextTable t({"scheme", "workload", "total grants", "mean/module",
-                     "max/module", "max/mean", "cv"});
+  bench::Json json = bench::Json::obj();
+  json.set("experiment", "E12")
+      .set("title", "per-module access-load balance");
+  json.set("config", bench::Json::obj()
+                         .set("n", n)
+                         .set("rounds", rounds)
+                         .set("seed", seed));
+  bench::Json rows = bench::Json::arr();
+
+  util::TextTable t({"scheme", "workload", "planner", "total grants",
+                     "mean/module", "max/module", "max/mean", "cv"});
   for (const SchemeKind kind :
        {SchemeKind::kPp, SchemeKind::kMv, SchemeKind::kUwRandom,
         SchemeKind::kSingleCopy}) {
     for (const bool adversarial : {false, true}) {
-      SharedMemoryConfig cfg;
-      cfg.kind = kind;
-      cfg.n = n;
-      cfg.seed = seed;
-      SharedMemory mem(cfg);
-      mem.machine().enableLoadTracking();
-      util::Xoshiro256 rng(seed + (adversarial ? 1 : 0));
-      for (int rd = 0; rd < rounds; ++rd) {
-        const auto vars =
-            adversarial
-                ? workload::greedyAdversarial(
-                      mem.scheme(), mem.numModules() / 2, 12, rng)
-                : workload::randomDistinct(mem.numVariables(),
-                                           mem.numModules(), rng);
-        mem.read(vars);
+      // Only the PP engine supports the planner; other schemes get the
+      // planner-off row alone.
+      for (const bool planner : {false, true}) {
+        if (planner && kind != SchemeKind::kPp) continue;
+        SharedMemoryConfig cfg;
+        cfg.kind = kind;
+        cfg.n = n;
+        cfg.seed = seed;
+        SharedMemory mem(cfg);
+        mem.setPlannerEnabled(planner);
+        mem.machine().enableLoadTracking();
+        util::Xoshiro256 rng(seed + (adversarial ? 1 : 0));
+        for (int rd = 0; rd < rounds; ++rd) {
+          const auto vars =
+              adversarial
+                  ? workload::greedyAdversarial(
+                        mem.scheme(), mem.numModules() / 2, 12, rng)
+                  : workload::randomDistinct(mem.numVariables(),
+                                             mem.numModules(), rng);
+          mem.read(vars);
+        }
+        util::RunningStats stats;
+        for (const std::uint64_t g : mem.machine().moduleLoad()) {
+          stats.add(static_cast<double>(g));
+        }
+        const double max_mean = stats.max() / std::max(1.0, stats.mean());
+        const double cv = stats.stddev() / std::max(1e-9, stats.mean());
+        t.addRow(
+            {mem.schemeName(), adversarial ? "greedy-adv" : "random",
+             planner ? "on" : "off",
+             util::TextTable::num(static_cast<std::uint64_t>(stats.sum())),
+             util::TextTable::num(stats.mean(), 1),
+             util::TextTable::num(stats.max(), 0),
+             util::TextTable::num(max_mean, 2),
+             util::TextTable::num(cv, 2)});
+        rows.push(bench::Json::obj()
+                      .set("scheme", mem.schemeName())
+                      .set("workload", adversarial ? "greedy-adv" : "random")
+                      .set("planner", planner)
+                      .set("total_grants",
+                           static_cast<std::uint64_t>(stats.sum()))
+                      .set("mean_per_module", stats.mean())
+                      .set("max_per_module", stats.max())
+                      .set("max_over_mean", max_mean)
+                      .set("cv", cv));
       }
-      util::RunningStats stats;
-      for (const std::uint64_t g : mem.machine().moduleLoad()) {
-        stats.add(static_cast<double>(g));
-      }
-      t.addRow({mem.schemeName(), adversarial ? "greedy-adv" : "random",
-                util::TextTable::num(static_cast<std::uint64_t>(stats.sum())),
-                util::TextTable::num(stats.mean(), 1),
-                util::TextTable::num(stats.max(), 0),
-                util::TextTable::num(stats.max() / std::max(1.0, stats.mean()),
-                                     2),
-                util::TextTable::num(stats.stddev() /
-                                         std::max(1e-9, stats.mean()),
-                                     2)});
     }
   }
   t.print(std::cout);
+  json.set("balance", std::move(rows));
+  bench::writeJson(json_path, json);
   dsm::bench::footnote(
       "Fact 1.4 balances storage exactly; access balance follows from the "
-      "copy dispersion — max/mean near 1 means no hot modules.");
+      "copy dispersion — max/mean near 1 means no hot modules. Planner-on "
+      "rows (PP only) shrink reads to a balanced q-subset.");
   return 0;
 }

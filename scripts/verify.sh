@@ -16,7 +16,7 @@ cmake --preset default
 cmake --build --preset default
 ctest --preset default
 
-echo "== perf smoke: bit-identity + serving gates (ctest -L perf: e13/e16/e17/e18/e19/e20) =="
+echo "== perf smoke: bit-identity + serving + planner gates (ctest -L perf: e13/e16/e17/e18/e19/e20/e21) =="
 ctest --test-dir build -L perf --output-on-failure
 
 echo "== forced-scalar: faults-labelled suite on the soft-fallback kernels (DSM_FORCE_SCALAR=1) =="

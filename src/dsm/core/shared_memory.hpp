@@ -82,6 +82,13 @@ class SharedMemory {
     return engine_->metrics();
   }
 
+  /// Congestion-aware quorum planner toggle (off by default; see
+  /// protocol::EngineBase::setPlannerEnabled). Values are unchanged; the
+  /// wire traffic and per-module contention of reads shrink to a planned
+  /// read quorum.
+  void setPlannerEnabled(bool on) noexcept { engine_->setPlannerEnabled(on); }
+  bool plannerEnabled() const noexcept { return engine_->plannerEnabled(); }
+
   const scheme::MemoryScheme& scheme() const noexcept { return *scheme_; }
   /// The PP scheme object when kind == kPp (nullptr otherwise).
   const scheme::PpScheme* ppScheme() const noexcept { return pp_; }

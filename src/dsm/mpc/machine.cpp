@@ -455,7 +455,7 @@ void Machine::stepFused(const std::vector<Request>& requests,
                              (r.module * 0xA24BAED4963EE407ULL));
           if (g.next() < threshold) {
             ++local_dropped;
-            resp = Response{false, false, 0, 0};
+            resp = Response{false, false, 0, 0, true};
             continue;
           }
         }
@@ -497,6 +497,7 @@ void Machine::stepFused(const std::vector<Request>& requests,
       }
       resp.granted = true;
       resp.moduleFailed = false;
+      resp.dropped = false;
       resp.value = cell.value;
       resp.timestamp = cell.timestamp;
       ++local_granted;
@@ -679,7 +680,7 @@ void Machine::stepSharded(const std::vector<Request>& requests,
           util::SplitMix64 g(drop_salt ^ (r.module * 0xA24BAED4963EE407ULL));
           if (g.next() < threshold) {
             ++local_dropped;
-            resp = Response{false, false, 0, 0};
+            resp = Response{false, false, 0, 0, true};
             continue;
           }
         }
@@ -719,6 +720,7 @@ void Machine::stepSharded(const std::vector<Request>& requests,
       }
       resp.granted = true;
       resp.moduleFailed = false;
+      resp.dropped = false;
       resp.value = cell.value;
       resp.timestamp = cell.timestamp;
       ++local_granted;
@@ -788,6 +790,7 @@ void Machine::stepReference(const std::vector<Request>& requests,
       // the requester retries in a later cycle.
       if (has_drops_ && dropsGrant(r.module)) {
         ++local_dropped;
+        responses[i].dropped = true;
         continue;
       }
       Cell& cell = cellRefReference(r.module, r.slot);

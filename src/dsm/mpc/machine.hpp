@@ -114,6 +114,12 @@ struct Response {
   bool moduleFailed = false;  ///< target module is down; retrying is futile
   std::uint64_t value = 0;      ///< cell contents for granted reads
   std::uint64_t timestamp = 0;  ///< cell timestamp for granted reads
+  /// The request WON arbitration but FaultPlan drop noise ate the grant
+  /// (port consumed, access not performed). Distinguishes a lossy module
+  /// from an ordinary arbitration loss, so a quorum planner can escalate to
+  /// a spare copy instead of hammering the same noisy module. Deterministic
+  /// (pure function of (seed, cycle, module)) like the drop itself.
+  bool dropped = false;
 };
 
 /// Aggregate simulation metrics.

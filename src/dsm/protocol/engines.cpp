@@ -192,6 +192,104 @@ void EngineBase::prepare(const std::vector<AccessRequest>& batch,
   // Reads must observe any write completed in an earlier batch; bump the
   // clock so later batches always stamp strictly newer.
   ++clock_;
+  // Quorum plan, riding the prepare (and therefore the prefetch pipeline)
+  // for free: a pure function of the batch and its resolved copies.
+  if (planner_enabled_ && plannerSupported()) {
+    planBatch(batch, prep);
+  } else {
+    prep.planned = false;
+  }
+}
+
+void EngineBase::planBatch(const std::vector<AccessRequest>& batch,
+                           PreparedBatch& prep) {
+  const std::size_t b = batch.size();
+  const std::size_t r = scheme_.copiesPerVariable();
+  DSM_CHECK_MSG(r <= 0xFFFF, "copy count too large for plan ranks: " << r);
+  if (prep.plan_order.capacity() >= b * r) ++prep.allocationsAvoided;
+  if (prep.plan_count.capacity() >= b) ++prep.allocationsAvoided;
+  prep.plan_order.resize(b * r);
+  prep.plan_count.resize(b);
+  prep.planSavings = 0;
+  prep.maxPlannedLoad = 0;
+  // Shared per-module planned-load histogram (CopyCache scratch — prepare
+  // is its only caller, serialized by the one-in-flight-prepare contract).
+  // Only the touched entries are re-zeroed at the end: planner batches
+  // touch O(batch * r) modules of potentially millions.
+  std::vector<std::uint32_t>& load = cache_.planLoad();
+  std::vector<std::uint64_t>& touched = cache_.planTouched();
+  touched.clear();
+  for (std::size_t i = 0; i < b; ++i) {
+    const scheme::PhysicalAddress* line = &prep.copies[i * r];
+    std::uint16_t* order = &prep.plan_order[i * r];
+    // Reads target a read quorum; writes keep their full r-copy attack but
+    // take the congestion-interleaved order (and bump the histogram for
+    // all r — they really will hit every module).
+    const std::size_t targets = batch[i].op == mpc::Op::kRead
+                                    ? scheme_.readQuorum()
+                                    : r;
+    // Greedy balanced assignment: pick the target copies one at a time,
+    // each time the copy whose module carries the least planned load so
+    // far (stable tie-break by module index — the plan is a pure function
+    // of the batch). O(r^2) per request with r tiny.
+    for (std::size_t k = 0; k < r; ++k) {
+      std::size_t best = r;
+      std::uint32_t best_load = 0;
+      std::uint64_t best_mod = 0;
+      for (std::size_t j = 0; j < r; ++j) {
+        bool picked = false;
+        for (std::size_t p = 0; p < k; ++p) {
+          if (order[p] == j) {
+            picked = true;
+            break;
+          }
+        }
+        if (picked) continue;
+        const std::uint64_t m = line[j].module;
+        const std::uint32_t l = load[static_cast<std::size_t>(m)];
+        if (best == r || l < best_load ||
+            (l == best_load && m < best_mod)) {
+          best = j;
+          best_load = l;
+          best_mod = m;
+        }
+      }
+      order[k] = static_cast<std::uint16_t>(best);
+      if (k < targets) {
+        // Targets bump the histogram; spares beyond the target count are
+        // only ordered by it (coldest-first escalation order), never
+        // counted — they fire only on escalation.
+        const auto m = static_cast<std::size_t>(line[best].module);
+        if (load[m] == 0) touched.push_back(line[best].module);
+        ++load[m];
+        if (load[m] > prep.maxPlannedLoad) prep.maxPlannedLoad = load[m];
+      }
+    }
+    prep.plan_count[i] = static_cast<std::uint16_t>(targets);
+    prep.planSavings += r - targets;
+  }
+  for (const std::uint64_t m : touched) {
+    load[static_cast<std::size_t>(m)] = 0;
+  }
+  prep.planned = true;
+}
+
+void EngineBase::initPlanTargets(const PreparedBatch& prep, std::size_t a,
+                                 std::size_t req, std::size_t r) {
+  const std::uint16_t* order = &prep.plan_order[req * r];
+  unsigned tc = prep.plan_count[req];
+  unsigned live = 0;
+  for (unsigned k = 0; k < tc; ++k) {
+    if (!dead_[a * r + order[k]]) ++live;
+  }
+  // Premarked-dead targets escalate before the first wire round, exactly
+  // like a mid-phase discovery would.
+  while (live < quorum_[a] && tc < r) {
+    const std::uint16_t j = order[tc++];
+    if (!dead_[a * r + j]) ++live;
+  }
+  target_count_[a] = tc;
+  live_targets_[a] = live;
 }
 
 void EngineBase::beginBatch(const PreparedBatch& prep,
@@ -222,6 +320,15 @@ void EngineBase::beginBatch(const PreparedBatch& prep,
   probe(lost_.capacity(), b);
   metrics_.allocationsAvoided += prep.allocationsAvoided;
   metrics_.addrSeconds += prep.addrSeconds;
+  // The planner flag travels with the prepared batch (prepare sampled it),
+  // so a toggle mid-stream can never tear a batch between modes.
+  plan_active_ = prep.planned;
+  if (prep.planned) {
+    probe(target_count_.capacity(), b);
+    probe(live_targets_.capacity(), b);
+    metrics_.maxPlannedModuleLoad =
+        std::max(metrics_.maxPlannedModuleLoad, prep.maxPlannedLoad);
+  }
   // The dead-module memo is per batch: modules may heal between batches, so
   // each batch rediscovers honestly.
   module_dead_.resize(static_cast<std::size_t>(scheme_.numModules()), 0);
@@ -244,6 +351,10 @@ void EngineBase::resetPhaseState(std::size_t count, std::size_t r) {
   state_.assign(count, kStateAcquire);
   final_op_.assign(count, static_cast<std::uint8_t>(mpc::Op::kRead));
   quorum_.resize(count);
+  if (plan_active_) {
+    target_count_.assign(count, 0);
+    live_targets_.assign(count, 0);
+  }
 }
 
 void EngineBase::premarkKnownDeadCopies(const PreparedBatch& prep,
@@ -358,6 +469,10 @@ void EngineBase::finishPhase(const PreparedBatch& prep, std::size_t count,
     } else {
       result.unsatisfiable.push_back(req);
       ++fm.unsatisfiable;
+    }
+    if (prep.planned) {
+      metrics_.plannedWireSavings += r - target_count_[a];
+      metrics_.escalations += target_count_[a] - prep.plan_count[req];
     }
   }
 }
@@ -515,6 +630,7 @@ AccessResult MajorityEngine::executePrepared(
     // zero iterations).
     for (std::size_t a = 0; a < na; ++a) {
       premarkKnownDeadCopies(prep, a, active_[a], r);
+      if (plan_active_) initPlanTargets(prep, a, active_[a], r);
       transitionAfterScan(a, active_[a], batch[active_[a]].op, r);
     }
     // Persistent wire: live_ tracks the requests with outstanding work, in
@@ -551,9 +667,13 @@ AccessResult MajorityEngine::executePrepared(
         live_next_.push_back(a);
         fill_from_.push_back(p);
         offsets_next_.push_back(total);
-        total += state_[a] == kStateAcquire
-                     ? r - done_[a] - dead_count_[a]
-                     : pending_count_[a];
+        // An acquirer's segment is its untried live copies — all r minus
+        // retired (done/dead) planner-off, or the open plan ranks minus
+        // granted planner-on (open dead ranks are excluded by
+        // live_targets_'s invariant).
+        total += state_[a] != kStateAcquire ? pending_count_[a]
+                 : plan_active_            ? live_targets_[a] - done_[a]
+                                           : r - done_[a] - dead_count_[a];
       }
       offsets_next_.push_back(total);
       if (live_next_.empty()) break;
@@ -598,6 +718,26 @@ AccessResult MajorityEngine::executePrepared(
               wire_next_[out] = mpc::Request{
                   static_cast<std::uint32_t>(cluster * r + j), pa.module,
                   pa.slot, fop, val, ts};
+              wire_copy_next_[out] = j;
+              ++out;
+            }
+          } else if (plan_active_) {
+            // Planned acquire: fire only at the open plan ranks, in rank
+            // order (escalations append, so spares land after targets).
+            // Entries of one segment go to r distinct modules and carry
+            // distinct processor ids, so intra-segment order cannot change
+            // any arbitration outcome.
+            const std::uint8_t* acc = &accessed_[a * r];
+            const std::uint8_t* dd = &dead_[a * r];
+            const std::uint16_t* ord = &prep.plan_order[req * r];
+            const unsigned tc = target_count_[a];
+            for (unsigned k = 0; k < tc; ++k) {
+              const std::size_t j = ord[k];
+              if (acc[j] || dd[j]) continue;
+              const auto& pa = prep.copies[req * r + j];
+              wire_next_[out] = mpc::Request{
+                  static_cast<std::uint32_t>(cluster * r + j), pa.module,
+                  pa.slot, batch[req].op, batch[req].value, prep.stamps[req]};
               wire_copy_next_[out] = j;
               ++out;
             }
@@ -646,6 +786,21 @@ AccessResult MajorityEngine::executePrepared(
               if (!dead_[a * r + j]) {
                 dead_[a * r + j] = 1;
                 ++dead_count_[a];
+                if (plan_active_ && !finalizing) {
+                  // A planned copy died (j is an open rank — the planner
+                  // only fires at open ranks): escalate one spare at a
+                  // time until a quorum is reachable again or the spares
+                  // run out (transitionAfterScan then rules unsatisfiable
+                  // exactly as planner-off would).
+                  --live_targets_[a];
+                  const std::uint16_t* ord = &prep.plan_order[req * r];
+                  while (live_targets_[a] < quorum_[a] &&
+                         target_count_[a] < r) {
+                    const std::size_t nj = ord[target_count_[a]++];
+                    if (!dead_[a * r + nj]) ++live_targets_[a];
+                    need_refill_[a] = 1;  // new rank: segment must rebuild
+                  }
+                }
               }
               if (finalizing && pending_[a * r + j]) {
                 pending_[a * r + j] = 0;
@@ -654,7 +809,20 @@ AccessResult MajorityEngine::executePrepared(
               }
               continue;
             }
-            if (!replies_[w].granted) continue;
+            if (!replies_[w].granted) {
+              if (plan_active_ && !finalizing && replies_[w].dropped &&
+                  target_count_[a] < r) {
+                // FaultPlan drop noise denied a planned copy: open ONE
+                // spare to route around the lossy module. The dropped copy
+                // stays open (it may still be granted later). Deterministic
+                // — drops are a pure function of (seed, cycle, module).
+                const std::size_t nj =
+                    prep.plan_order[req * r + target_count_[a]++];
+                if (!dead_[a * r + nj]) ++live_targets_[a];
+                need_refill_[a] = 1;
+              }
+              continue;
+            }
             if (finalizing) {
               pending_[a * r + j] = 0;
               --pending_count_[a];
@@ -721,6 +889,7 @@ AccessResult SingleOwnerEngine::executePrepared(
   }
   for (std::size_t i = 0; i < nb; ++i) {
     premarkKnownDeadCopies(prep, i, i, r);
+    if (plan_active_) initPlanTargets(prep, i, i, r);
     transitionAfterScan(i, i, batch[i].op, r);
   }
 
@@ -776,11 +945,31 @@ AccessResult SingleOwnerEngine::executePrepared(
               repair ? fresh_[i].timestamp : prep.stamps[i]};
           wire_copy_[out] = pick;
         } else {
-          for (std::size_t off = 0; off < r; ++off) {
-            const std::size_t j = (start + off) % r;
-            if (!accessed_[i * r + j] && !dead_[i * r + j]) {
-              pick = j;
-              break;
+          if (plan_active_) {
+            // Planned acquire. Reads walk the open ranks from the top —
+            // the primary target is attacked persistently, spares only
+            // once escalation opened them. Writes keep the round-robin
+            // stagger, but in rank space, so identical-copy-set writes
+            // still spread their attempts across the (congestion-
+            // interleaved) order.
+            const std::uint16_t* ord = &prep.plan_order[i * r];
+            const std::size_t tc = target_count_[i];
+            const std::size_t rk0 =
+                batch[i].op == mpc::Op::kRead ? 0 : (i + iters) % tc;
+            for (std::size_t off = 0; off < tc; ++off) {
+              const std::size_t j = ord[(rk0 + off) % tc];
+              if (!accessed_[i * r + j] && !dead_[i * r + j]) {
+                pick = j;
+                break;
+              }
+            }
+          } else {
+            for (std::size_t off = 0; off < r; ++off) {
+              const std::size_t j = (start + off) % r;
+              if (!accessed_[i * r + j] && !dead_[i * r + j]) {
+                pick = j;
+                break;
+              }
             }
           }
           const auto& pa = prep.copies[i * r + pick];
@@ -810,12 +999,28 @@ AccessResult SingleOwnerEngine::executePrepared(
           if (!dead_[i * r + j]) {
             dead_[i * r + j] = 1;
             ++dead_count_[i];
+            if (plan_active_ && !finalizing) {
+              // Planned copy died: escalate spares until a quorum is
+              // reachable again (see MajorityEngine's scan).
+              --live_targets_[i];
+              const std::uint16_t* ord = &prep.plan_order[i * r];
+              while (live_targets_[i] < quorum_[i] && target_count_[i] < r) {
+                const std::size_t nj = ord[target_count_[i]++];
+                if (!dead_[i * r + nj]) ++live_targets_[i];
+              }
+            }
           }
           if (finalizing && pending_[i * r + j]) {
             pending_[i * r + j] = 0;
             --pending_count_[i];
             ++lost_[i];
           }
+        } else if (plan_active_ && !finalizing && replies_[w].dropped &&
+                   target_count_[i] < r) {
+          // Drop noise denied the planned copy: open one spare (see
+          // MajorityEngine's scan).
+          const std::size_t nj = prep.plan_order[i * r + target_count_[i]++];
+          if (!dead_[i * r + nj]) ++live_targets_[i];
         } else if (replies_[w].granted) {
           if (finalizing) {
             pending_[i * r + j] = 0;

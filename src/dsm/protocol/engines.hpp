@@ -58,6 +58,26 @@
 // between batches (schemes are immutable and thread-safe), and serially on
 // the prefetch thread (the pool is busy with wire rounds then).
 //
+// Quorum planner (opt-in, setPlannerEnabled): the majority rule only needs
+// SOME read quorum of q = readQuorum() copies, yet the engines historically
+// attacked all r = 2q-1 copies of every read. With the planner on, prepare
+// additionally computes a deterministic per-request TARGET SET from the
+// batch's resolved copy multiset: reads get the q copies chosen by a greedy
+// balanced-assignment sweep minimizing the maximum planned load per module
+// (ties broken by module index, so the plan is a pure function of the batch
+// — no clock, no RNG, no thread count); writes keep their full write attack
+// but get a planned attack order that interleaves hot modules across
+// requests (same greedy sweep, cold-first). The phase loops fire only at
+// planned copies and ESCALATE to the unplanned spares one at a time exactly
+// when a planned copy is denied by a dead module (until a quorum is again
+// reachable) or by a FaultPlan grant drop (one spare per drop, routing
+// around the lossy module). Escalation re-creates the planner-off copy set
+// in the limit, so fault-freedom and the sub-quorum/two-phase/repair
+// machinery are untouched; any q granted copies intersect every committed
+// write quorum (q + q > r), so read values are unchanged. Planner-off
+// behaviour is byte-identical to the pre-planner engine, and the reference
+// engines stay planner-off as the differential oracle.
+//
 // Persistent wire: within a phase the wire is maintained incrementally. A
 // live list of requests survives from one iteration to the next; the serial
 // offset pass walks only that list (O(live), not O(phase size)), and the
@@ -181,6 +201,17 @@ struct EngineMetrics {
   /// Sum of AccessResult::networkCycles across batches — interconnect
   /// delivery cost alongside the modeled-step figure. Zero on a crossbar.
   std::uint64_t networkCycles = 0;
+  /// Quorum-planner counters (all zero with the planner off).
+  /// plannedWireSavings: per-request copies never targeted, summed — for a
+  /// read that finished on its plan this is r - q; every escalation eats
+  /// into it. escalations: spare copies opened because a planned copy was
+  /// denied (dead module or FaultPlan drop). maxPlannedModuleLoad: worst
+  /// per-module planned load any batch's greedy sweep settled for — the
+  /// quantity the planner minimizes (compare maxModuleQueue, the machine's
+  /// measured analogue).
+  std::uint64_t plannedWireSavings = 0;
+  std::uint64_t escalations = 0;
+  std::uint64_t maxPlannedModuleLoad = 0;
   FaultMetrics faults;  ///< fault-tolerance and recovery counters
 
   double cacheHitRate() const {
@@ -242,6 +273,16 @@ class EngineBase {
 
   const scheme::CopyCache& copyCache() const noexcept { return cache_; }
 
+  /// Congestion-aware quorum planner toggle (see the file comment). Off by
+  /// default — planner-off behaviour is byte-identical to the pre-planner
+  /// engine. The flag is sampled once per prepare and travels with the
+  /// prepared batch, so toggling mid-executeStream is safe but takes effect
+  /// at an unspecified batch boundary; toggle between streams for
+  /// deterministic comparisons. Reference engines must stay planner-off
+  /// (they are the differential oracle).
+  void setPlannerEnabled(bool on) noexcept { planner_enabled_ = on; }
+  bool plannerEnabled() const noexcept { return planner_enabled_; }
+
  protected:
   /// Per-request protocol state within a phase. A request moves forward
   /// only (acquire -> finalize -> done), so the live set shrinks
@@ -286,6 +327,17 @@ class EngineBase {
     /// Seconds spent in the copy-cache batch resolution (addressing
     /// kernels), folded into metrics_.addrSeconds by beginBatch.
     double addrSeconds = 0.0;
+    /// Quorum plan (filled by planBatch iff `planned`; stale otherwise).
+    /// plan_order[i*r + k] is the copy index request i attacks at rank k:
+    /// ranks [0, plan_count[i]) are the planned targets, ranks beyond are
+    /// the spares in deterministic escalation order. plan_count[i] is
+    /// readQuorum() for reads and r for writes (writes keep their full
+    /// attack; the permutation is their congestion-interleaved order).
+    std::vector<std::uint16_t> plan_order;
+    std::vector<std::uint16_t> plan_count;
+    std::uint64_t planSavings = 0;     ///< sum of r - plan_count[i]
+    std::uint64_t maxPlannedLoad = 0;  ///< greedy sweep's achieved bottleneck
+    bool planned = false;              ///< plan_* valid for this batch
   };
 
   /// Runs the engine's wire rounds for one prepared batch. Called between
@@ -305,6 +357,12 @@ class EngineBase {
   /// reference engines return false: they are the pre-overhaul baseline and
   /// must keep its strictly serial batch loop.
   virtual bool streamPipelineEnabled() const { return true; }
+
+  /// Whether this engine's wire loops understand quorum plans. The
+  /// reference engines return false: they are the planner-off oracle, and
+  /// setPlannerEnabled(true) on them must stay a no-op instead of feeding
+  /// plan-unaware loops planner bookkeeping.
+  virtual bool plannerSupported() const { return true; }
 
   /// Validates batch (range, distinct variables, 32-bit processor-id head
   /// room), resolves copies through the cache (misses in parallel on
@@ -326,6 +384,21 @@ class EngineBase {
   /// observed failed in an earlier phase of this batch are not retried).
   void premarkKnownDeadCopies(const PreparedBatch& prep, std::size_t a,
                               std::size_t req, std::size_t r);
+
+  /// Computes the quorum plan for one batch (see the file comment): a
+  /// greedy balanced-assignment sweep over the batch's resolved copies in
+  /// batch order, one shared per-module load histogram (CopyCache scratch),
+  /// stable tie-break by module index. Pure function of (batch, copies) —
+  /// no engine state beyond the cache scratch — so it runs inside prepare,
+  /// on the prefetch thread included.
+  void planBatch(const std::vector<AccessRequest>& batch, PreparedBatch& prep);
+
+  /// Planner-on phase init for request `a` (after premarkKnownDeadCopies,
+  /// before the first transitionAfterScan): opens the planned ranks, counts
+  /// the live ones and escalates past premarked-dead targets until a quorum
+  /// is reachable or the spares are exhausted.
+  void initPlanTargets(const PreparedBatch& prep, std::size_t a,
+                       std::size_t req, std::size_t r);
 
   /// Advances the state machine of request `a` (batch index `req`) after
   /// its replies for one round have been scanned (or before the first round
@@ -377,6 +450,15 @@ class EngineBase {
   std::vector<unsigned> dead_count_;
   std::vector<unsigned> quorum_;
   std::vector<std::size_t> active_;     ///< per-phase request indices
+  // Planner runtime state (valid only while plan_active_). target_count_[a]
+  // is how many plan ranks are open for request a; live_targets_[a] counts
+  // the open ranks whose module is not (yet) known dead — the acquire
+  // invariant is live_targets_ == #{k < target_count_ : !dead_[plan[k]]},
+  // and a request escalates (opens further ranks) until live_targets_ >=
+  // quorum_ or the spares run out. Updated per-request only, so the
+  // parallel reply scan mutates them race-free like the rest of the state.
+  std::vector<unsigned> target_count_;
+  std::vector<unsigned> live_targets_;
   // Two-phase/repair state (per phase, same indexing as accessed_/done_).
   std::vector<std::uint8_t> state_;        ///< State per request
   std::vector<std::uint8_t> final_op_;     ///< mpc::Op of the finalize round
@@ -401,6 +483,12 @@ class EngineBase {
   // may heal between batches, and the engine re-discovers honestly).
   std::vector<std::uint8_t> module_dead_;
   bool module_dead_any_ = false;
+  // Quorum planner (file comment). planner_enabled_ is the user-facing
+  // toggle, sampled per prepare; plan_active_ mirrors the CURRENT batch's
+  // prep.planned (set by beginBatch), so the wire loops never read a flag
+  // that flipped mid-stream.
+  bool planner_enabled_ = false;
+  bool plan_active_ = false;
 };
 
 /// Section-3 clustered majority protocol (used by PP and UW schemes).

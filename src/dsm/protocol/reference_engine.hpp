@@ -10,6 +10,12 @@
 //     baseline instead of a number from a previous checkout.
 // Not for production use: every iteration pays the pass count and allocator
 // traffic the overhaul removed.
+//
+// The reference engines are also the QUORUM-PLANNER-OFF oracle: they always
+// attack all r copies (plannerSupported() is false, so setPlannerEnabled is
+// a no-op on them), which is exactly the behaviour a planner-on engine must
+// reproduce value-for-value whenever every committed write reached a live
+// write quorum (q + q > r: any read quorum intersects it).
 #pragma once
 
 #include "dsm/protocol/engines.hpp"
@@ -26,6 +32,8 @@ class ReferenceMajorityEngine : public EngineBase {
                                const PreparedBatch& prep) override;
   /// Baselines measure the pre-overhaul stream too: no batch overlap.
   bool streamPipelineEnabled() const override { return false; }
+  /// Planner-off oracle: the pre-overhaul loops know no quorum plans.
+  bool plannerSupported() const override { return false; }
 };
 
 /// One-processor-per-request engine, pre-overhaul implementation.
@@ -37,6 +45,7 @@ class ReferenceSingleOwnerEngine : public EngineBase {
   AccessResult executePrepared(const std::vector<AccessRequest>& batch,
                                const PreparedBatch& prep) override;
   bool streamPipelineEnabled() const override { return false; }
+  bool plannerSupported() const override { return false; }
 };
 
 }  // namespace dsm::protocol

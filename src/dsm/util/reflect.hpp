@@ -1,0 +1,46 @@
+// Compile-time field counting for plain aggregates.
+//
+// aggregateFieldCount<T>() evaluates to the number of direct members of an
+// aggregate struct: the largest N such that T{x1, ..., xN} is well-formed
+// with placeholder arguments convertible to anything. The metrics structs
+// (EngineMetrics, FaultMetrics, ServeMetrics, MachineMetrics) pin their
+// counts with static_asserts next to the code that serializes or resets
+// them, so adding a counter without teaching every reporter about it is a
+// compile error instead of a silently missing column — the failure mode
+// that let addrSeconds and the cache-miss split skip the bench output for
+// two PRs.
+//
+// Restrictions (all satisfied by the metrics structs): T must be an
+// aggregate with no base classes; arrays as members count as one field.
+#pragma once
+
+#include <cstddef>
+
+namespace dsm::util {
+
+namespace detail {
+
+/// Placeholder convertible to any member type. Only ever used inside an
+/// unevaluated requires-expression, so the conversion needs no definition.
+struct AnyField {
+  template <class T>
+  constexpr operator T() const noexcept;
+};
+
+template <class T, class... Fields>
+constexpr std::size_t countFields() {
+  if constexpr (requires { T{Fields{}..., AnyField{}}; }) {
+    return countFields<T, Fields..., AnyField>();
+  } else {
+    return sizeof...(Fields);
+  }
+}
+
+}  // namespace detail
+
+template <class T>
+constexpr std::size_t aggregateFieldCount() {
+  return detail::countFields<T>();
+}
+
+}  // namespace dsm::util

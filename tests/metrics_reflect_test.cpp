@@ -1,0 +1,191 @@
+// Metrics audit tests: pin the field count of every metrics aggregate with
+// util::aggregateFieldCount (so growing a struct without teaching the
+// serializers/reset checks is a build error, not a silently missing bench
+// column), and prove reset-then-reuse: after resetMetrics() every field is
+// zero and the next run accumulates from scratch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsm/mpc/machine.hpp"
+#include "dsm/protocol/engines.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/serve/serve.hpp"
+#include "dsm/util/reflect.hpp"
+#include "dsm/util/rng.hpp"
+#include "dsm/workload/generators.hpp"
+
+namespace dsm {
+namespace {
+
+// --- aggregateFieldCount sanity on known shapes ---------------------------
+
+struct Empty {};
+struct One {
+  int a;
+};
+struct Three {
+  int a;
+  double b;
+  bool c;
+};
+struct Nested {
+  One inner;  // a nested aggregate counts as ONE field
+  int tail;
+};
+
+static_assert(util::aggregateFieldCount<Empty>() == 0);
+static_assert(util::aggregateFieldCount<One>() == 1);
+static_assert(util::aggregateFieldCount<Three>() == 3);
+static_assert(util::aggregateFieldCount<Nested>() == 2);
+
+// --- pinned counts for the four metrics aggregates ------------------------
+// When one of these fires: you added (or removed) a metrics field. Update
+//   * bench/bench_common.hpp       — the *MetricsJson serializer
+//   * the expectAllZero helper below (reset coverage)
+// then bump the pin.
+
+static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 17);
+static_assert(util::aggregateFieldCount<protocol::FaultMetrics>() == 7);
+static_assert(util::aggregateFieldCount<mpc::MachineMetrics>() == 12);
+static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 18);
+
+// --- every-field zero checks (reset coverage) -----------------------------
+
+void expectAllZero(const protocol::FaultMetrics& f) {
+  static_assert(util::aggregateFieldCount<protocol::FaultMetrics>() == 7,
+                "FaultMetrics changed: check the new field here");
+  EXPECT_EQ(f.deadCopies, 0u);
+  EXPECT_EQ(f.stagedAborted, 0u);
+  EXPECT_EQ(f.repairsPerformed, 0u);
+  EXPECT_EQ(f.commitsLost, 0u);
+  EXPECT_EQ(f.abortsLost, 0u);
+  EXPECT_EQ(f.unsatisfiable, 0u);
+  EXPECT_TRUE(f.degradedQuorum.empty());
+}
+
+void expectAllZero(const protocol::EngineMetrics& m) {
+  static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 17,
+                "EngineMetrics changed: check the new field here");
+  EXPECT_EQ(m.batches, 0u);
+  EXPECT_EQ(m.requests, 0u);
+  EXPECT_EQ(m.wireRequests, 0u);
+  EXPECT_EQ(m.cacheHits, 0u);
+  EXPECT_EQ(m.cacheMisses, 0u);
+  EXPECT_EQ(m.addrBatchLanes, 0u);
+  EXPECT_EQ(m.addrBatchChunks, 0u);
+  EXPECT_EQ(m.allocationsAvoided, 0u);
+  EXPECT_EQ(m.wireBuildSeconds, 0.0);
+  EXPECT_EQ(m.stepSeconds, 0.0);
+  EXPECT_EQ(m.scanSeconds, 0.0);
+  EXPECT_EQ(m.addrSeconds, 0.0);
+  EXPECT_EQ(m.networkCycles, 0u);
+  EXPECT_EQ(m.plannedWireSavings, 0u);
+  EXPECT_EQ(m.escalations, 0u);
+  EXPECT_EQ(m.maxPlannedModuleLoad, 0u);
+  expectAllZero(m.faults);
+}
+
+void expectAllZero(const mpc::MachineMetrics& m) {
+  static_assert(util::aggregateFieldCount<mpc::MachineMetrics>() == 12,
+                "MachineMetrics changed: check the new field here");
+  EXPECT_EQ(m.cycles, 0u);
+  EXPECT_EQ(m.requestsIssued, 0u);
+  EXPECT_EQ(m.requestsGranted, 0u);
+  EXPECT_EQ(m.maxModuleQueue, 0u);
+  EXPECT_EQ(m.grantsDropped, 0u);
+  EXPECT_EQ(m.networkCycles, 0u);
+  EXPECT_EQ(m.networkPackets, 0u);
+  EXPECT_EQ(m.networkMaxQueue, 0u);
+  EXPECT_EQ(m.networkIdealCycles, 0u);
+  EXPECT_EQ(m.networkStretch, 0.0);
+  EXPECT_EQ(m.arbSeconds, 0.0);
+  EXPECT_EQ(m.accessSeconds, 0.0);
+}
+
+void expectAllZero(const serve::ServeMetrics& m) {
+  static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 18,
+                "ServeMetrics changed: check the new field here");
+  EXPECT_EQ(m.submitted, 0u);
+  EXPECT_EQ(m.admitted, 0u);
+  EXPECT_EQ(m.rejectedQueueFull, 0u);
+  EXPECT_EQ(m.rejectedInvalid, 0u);
+  EXPECT_EQ(m.rejectedClosed, 0u);
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_EQ(m.served, 0u);
+  EXPECT_EQ(m.unsatisfiable, 0u);
+  EXPECT_EQ(m.droppedClosed, 0u);
+  EXPECT_EQ(m.batchesComposed, 0u);
+  EXPECT_EQ(m.streamsRun, 0u);
+  EXPECT_EQ(m.coalesceDeferrals, 0u);
+  EXPECT_EQ(m.combinedReads, 0u);
+  EXPECT_EQ(m.combinedWrites, 0u);
+  EXPECT_EQ(m.frontCacheHits, 0u);
+  EXPECT_EQ(m.frontCacheMisses, 0u);
+  EXPECT_EQ(m.frontCacheInvalidations, 0u);
+  EXPECT_EQ(m.maxQueueDepth, 0u);
+}
+
+TEST(MetricsReflect, DefaultConstructedAllZero) {
+  expectAllZero(protocol::EngineMetrics{});
+  expectAllZero(mpc::MachineMetrics{});
+  expectAllZero(serve::ServeMetrics{});
+}
+
+// Run a planner-on workload with a fault so both the baseline and the
+// planner/fault counters go nonzero, reset, verify every field zeroed, then
+// reuse: the second run's counters must match a fresh engine's (reset left
+// no residue and missed no field).
+TEST(MetricsReflect, EngineResetThenReuse) {
+  const scheme::PpScheme s(1, 5);
+  util::Xoshiro256 rng(5);
+  const auto vars = workload::randomDistinct(s.numVariables(), 32, rng);
+
+  const auto load = [&](protocol::MajorityEngine& eng) {
+    eng.execute(workload::makeWrites(vars, 1));
+    eng.machine().failModule(s.copiesOf(vars[0]).front().module);
+    eng.execute(workload::makeReads(vars));
+  };
+
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  protocol::MajorityEngine eng(s, m);
+  eng.setPlannerEnabled(true);
+  load(eng);
+  EXPECT_GT(eng.metrics().batches, 0u);
+  EXPECT_GT(eng.metrics().wireRequests, 0u);
+  EXPECT_GT(eng.metrics().plannedWireSavings, 0u);
+  EXPECT_GT(eng.metrics().maxPlannedModuleLoad, 0u);
+  EXPECT_GT(eng.metrics().faults.deadCopies, 0u);
+
+  eng.resetMetrics();
+  expectAllZero(eng.metrics());
+
+  // Reuse after reset: counting starts over (the copy cache is warm now, so
+  // compare the history-independent counters only).
+  const auto before = eng.metrics();
+  eng.execute(workload::makeReads(vars));
+  EXPECT_EQ(eng.metrics().batches, before.batches + 1);
+  EXPECT_EQ(eng.metrics().requests, before.requests + vars.size());
+}
+
+TEST(MetricsReflect, MachineResetThenReuse) {
+  const scheme::PpScheme s(1, 5);
+  mpc::Machine m(s.numModules(), s.slotsPerModule());
+  protocol::MajorityEngine eng(s, m);
+  eng.execute({{7, mpc::Op::kWrite, 70}});
+  EXPECT_GT(m.metrics().cycles, 0u);
+  EXPECT_GT(m.metrics().requestsIssued, 0u);
+
+  const std::uint64_t lifetime = m.lifetimeCycles();
+  m.resetMetrics();
+  expectAllZero(m.metrics());
+  // The FaultPlan clock is lifetime-based and survives metric resets.
+  EXPECT_EQ(m.lifetimeCycles(), lifetime);
+
+  eng.execute({{7, mpc::Op::kRead, 0}});
+  EXPECT_GT(m.metrics().cycles, 0u);
+  EXPECT_GT(m.lifetimeCycles(), lifetime);
+}
+
+}  // namespace
+}  // namespace dsm
