@@ -201,7 +201,7 @@ inline Json faultMetricsJson(const protocol::FaultMetrics& f) {
 }
 
 inline Json engineMetricsJson(const protocol::EngineMetrics& m) {
-  static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 17,
+  static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 18,
                 "EngineMetrics changed: serialize the new field here");
   return Json::obj()
       .set("batches", m.batches)
@@ -217,6 +217,7 @@ inline Json engineMetricsJson(const protocol::EngineMetrics& m) {
       .set("scanSeconds", m.scanSeconds)
       .set("addrSeconds", m.addrSeconds)
       .set("networkCycles", m.networkCycles)
+      .set("plannedNetworkCycles", m.plannedNetworkCycles)
       .set("plannedWireSavings", m.plannedWireSavings)
       .set("escalations", m.escalations)
       .set("maxPlannedModuleLoad", m.maxPlannedModuleLoad)
@@ -242,7 +243,7 @@ inline Json machineMetricsJson(const mpc::MachineMetrics& m) {
 }
 
 inline Json serveMetricsJson(const serve::ServeMetrics& m) {
-  static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 18,
+  static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 20,
                 "ServeMetrics changed: serialize the new field here");
   return Json::obj()
       .set("submitted", m.submitted)
@@ -262,7 +263,9 @@ inline Json serveMetricsJson(const serve::ServeMetrics& m) {
       .set("frontCacheHits", m.frontCacheHits)
       .set("frontCacheMisses", m.frontCacheMisses)
       .set("frontCacheInvalidations", m.frontCacheInvalidations)
-      .set("maxQueueDepth", m.maxQueueDepth);
+      .set("maxQueueDepth", m.maxQueueDepth)
+      .set("planAwarePlacements", m.planAwarePlacements)
+      .set("planDeflections", m.planDeflections);
 }
 
 /// One-line summary of the fault/recovery counters (E11, E15).

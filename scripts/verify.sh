@@ -16,8 +16,11 @@ cmake --preset default
 cmake --build --preset default
 ctest --preset default
 
-echo "== perf smoke: bit-identity + serving + planner gates (ctest -L perf: e13/e16/e17/e18/e19/e20/e21) =="
+echo "== perf smoke: bit-identity + serving + planner gates (ctest -L perf: e13/e16/e17/e18/e19/e20/e21/e22) =="
 ctest --test-dir build -L perf --output-on-failure
+
+echo "== bench summary: committed BENCH_e*.json gate verdicts =="
+python3 scripts/bench_summary.py
 
 echo "== forced-scalar: faults-labelled suite on the soft-fallback kernels (DSM_FORCE_SCALAR=1) =="
 DSM_FORCE_SCALAR=1 ctest --test-dir build -L faults --output-on-failure

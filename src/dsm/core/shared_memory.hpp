@@ -89,6 +89,12 @@ class SharedMemory {
   void setPlannerEnabled(bool on) noexcept { engine_->setPlannerEnabled(on); }
   bool plannerEnabled() const noexcept { return engine_->plannerEnabled(); }
 
+  /// The protocol engine itself — for layers that thread deeper state
+  /// through it (the serving front end borrows it for plan-aware
+  /// composition and stream execution; see DESIGN.md §15).
+  protocol::EngineBase& engine() noexcept { return *engine_; }
+  const protocol::EngineBase& engine() const noexcept { return *engine_; }
+
   const scheme::MemoryScheme& scheme() const noexcept { return *scheme_; }
   /// The PP scheme object when kind == kPp (nullptr otherwise).
   const scheme::PpScheme* ppScheme() const noexcept { return pp_; }

@@ -17,9 +17,10 @@ net::RoutingStats CrossbarInterconnect::routeWinners(
   return stats;
 }
 
-ButterflyInterconnect::ButterflyInterconnect(std::uint64_t module_count)
+ButterflyInterconnect::ButterflyInterconnect(std::uint64_t module_count,
+                                             std::uint64_t ports)
     : module_count_(module_count),
-      bf_(std::max(1, util::ceilLog2(module_count))) {
+      bf_(std::max(1, util::ceilLog2(ports == 0 ? module_count : ports))) {
   DSM_CHECK_MSG(module_count > 0,
                 "butterfly interconnect needs at least one module");
 }

@@ -27,20 +27,34 @@
 // row; injection is FIFO in wire order, matching the butterfly's documented
 // tie-break-by-packet-index determinism.
 //
+// Port-shared (oversubscribed) variant: pass `ports` > 0 and the network is
+// sized for `ports` rows instead of one per module — modules fold onto
+// output rows the same way processors fold onto input rows
+// (outputRow(m) = m mod 2^d). This is the standard setting where memory
+// banks outnumber network interfaces: several modules answer through one
+// port, so a cycle's winner set can aim multiple packets at one output row
+// and delivery time becomes congestion-priced (serialization at the shared
+// port) rather than diameter-priced. Folding never perturbs the machine's
+// semantics — arbitration, grants, and replies are computed before routing;
+// only the delivery cost model changes.
+//
 // What gets routed: one packet per module whose port was consumed this
 // cycle — the arbitration winner — including winners whose grant the
 // FaultPlan's drop noise then lost (the packet crossed the network; only
 // the reply vanished). Requests to failed modules and arbitration losers
 // never enter the network: they are refused at the memory side, which is
 // exactly the separation the paper argues for (organize memory so the
-// network only ever sees at most one packet per destination).
+// network only ever sees at most one packet per destination port in the
+// dedicated layout — shared ports serialize their modules' winners).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "dsm/net/butterfly.hpp"
+#include "dsm/mpc/wire_plan.hpp"
 
 namespace dsm::mpc {
 
@@ -75,6 +89,12 @@ class Interconnect {
   /// returns the network cost of delivering it.
   virtual net::RoutingStats routeWinners(
       const std::vector<GrantLink>& winners) = 0;
+
+  /// Planner hand-off (Machine::beginPlannedWire): the upcoming batch's wire
+  /// summary. Purely advisory — backends may pre-size delivery scratch from
+  /// it, but routing cost must stay a pure function of the winner sets
+  /// actually routed. Default: ignore.
+  virtual void onPlan(const WirePlan& plan) { (void)plan; }
 };
 
 /// The paper's complete processor↔module crossbar: every grant is delivered
@@ -97,29 +117,48 @@ class CrossbarInterconnect final : public Interconnect {
 class ButterflyInterconnect final : public Interconnect {
  public:
   /// Sized for `module_count` modules: d = max(1, ceil(log2(module_count))).
-  explicit ButterflyInterconnect(std::uint64_t module_count);
+  /// With `ports` > 0 the network is sized for `ports` rows instead
+  /// (d = max(1, ceil(log2(ports)))) and modules SHARE output rows by
+  /// folding — the oversubscribed layout described in the file comment.
+  explicit ButterflyInterconnect(std::uint64_t module_count,
+                                 std::uint64_t ports = 0);
 
   int dimension() const noexcept { return bf_.dimension(); }
   std::uint64_t rows() const noexcept { return bf_.rows(); }
   std::uint64_t moduleCount() const noexcept { return module_count_; }
+  /// True when modules outnumber rows and fold onto shared output ports.
+  bool portShared() const noexcept { return module_count_ > bf_.rows(); }
 
   /// Input row of a processor: wire ids fold onto the 2^d rows.
   std::uint32_t inputRow(std::uint32_t processor) const noexcept {
     return processor & static_cast<std::uint32_t>(bf_.rows() - 1);
   }
-  /// Output row of a module: the identity — injective by construction.
+  /// Output row of a module: the identity in the dedicated layout
+  /// (module_count <= rows, mask is a no-op), folded when ports are shared.
   std::uint32_t outputRow(std::uint64_t module) const noexcept {
-    return static_cast<std::uint32_t>(module);
+    return static_cast<std::uint32_t>(module & (bf_.rows() - 1));
   }
 
   std::string name() const override { return "butterfly"; }
   bool zeroCost() const noexcept override { return false; }
-  std::uint64_t moduleLimit() const noexcept override { return rows(); }
+  /// Dedicated layout: rows() bounds the addressable modules. Port-shared:
+  /// any module count folds, so the limit is the constructor's own count.
+  std::uint64_t moduleLimit() const noexcept override {
+    return portShared() ? module_count_ : rows();
+  }
   std::uint64_t idealCycles() const noexcept override {
     return static_cast<std::uint64_t>(bf_.dimension());
   }
   net::RoutingStats routeWinners(
       const std::vector<GrantLink>& winners) override;
+  /// Pre-sizes the packet scratch for the planned wire: a cycle routes at
+  /// most one winner per module, so min(plannedRequests, moduleCount) bounds
+  /// the packets any planned cycle can inject. Advisory only — the reserve
+  /// never changes routing cost.
+  void onPlan(const WirePlan& plan) override {
+    packets_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(plan.plannedRequests, module_count_)));
+  }
 
  private:
   std::uint64_t module_count_;

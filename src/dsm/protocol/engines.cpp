@@ -197,7 +197,7 @@ void EngineBase::prepare(const std::vector<AccessRequest>& batch,
   if (planner_enabled_ && plannerSupported()) {
     planBatch(batch, prep);
   } else {
-    prep.planned = false;
+    prep.plan.planned = false;
   }
 }
 
@@ -205,91 +205,29 @@ void EngineBase::planBatch(const std::vector<AccessRequest>& batch,
                            PreparedBatch& prep) {
   const std::size_t b = batch.size();
   const std::size_t r = scheme_.copiesPerVariable();
-  DSM_CHECK_MSG(r <= 0xFFFF, "copy count too large for plan ranks: " << r);
-  if (prep.plan_order.capacity() >= b * r) ++prep.allocationsAvoided;
-  if (prep.plan_count.capacity() >= b) ++prep.allocationsAvoided;
-  prep.plan_order.resize(b * r);
-  prep.plan_count.resize(b);
-  prep.planSavings = 0;
-  prep.maxPlannedLoad = 0;
-  // Shared per-module planned-load histogram (CopyCache scratch — prepare
-  // is its only caller, serialized by the one-in-flight-prepare contract).
-  // Only the touched entries are re-zeroed at the end: planner batches
-  // touch O(batch * r) modules of potentially millions.
-  std::vector<std::uint32_t>& load = cache_.planLoad();
-  std::vector<std::uint64_t>& touched = cache_.planTouched();
-  touched.clear();
+  if (prep.plan.order.capacity() >= b * r) ++prep.allocationsAvoided;
+  if (prep.plan.count.capacity() >= b) ++prep.allocationsAvoided;
+  prep.plan.count.resize(b);
   for (std::size_t i = 0; i < b; ++i) {
-    const scheme::PhysicalAddress* line = &prep.copies[i * r];
-    std::uint16_t* order = &prep.plan_order[i * r];
     // Reads target a read quorum; writes keep their full r-copy attack but
     // take the congestion-interleaved order (and bump the histogram for
     // all r — they really will hit every module).
-    const std::size_t targets = batch[i].op == mpc::Op::kRead
-                                    ? scheme_.readQuorum()
-                                    : r;
-    // Greedy balanced assignment: pick the target copies one at a time,
-    // each time the copy whose module carries the least planned load so
-    // far (stable tie-break by module index — the plan is a pure function
-    // of the batch). O(r^2) per request with r tiny.
-    for (std::size_t k = 0; k < r; ++k) {
-      std::size_t best = r;
-      std::uint32_t best_load = 0;
-      std::uint64_t best_mod = 0;
-      for (std::size_t j = 0; j < r; ++j) {
-        bool picked = false;
-        for (std::size_t p = 0; p < k; ++p) {
-          if (order[p] == j) {
-            picked = true;
-            break;
-          }
-        }
-        if (picked) continue;
-        const std::uint64_t m = line[j].module;
-        const std::uint32_t l = load[static_cast<std::size_t>(m)];
-        if (best == r || l < best_load ||
-            (l == best_load && m < best_mod)) {
-          best = j;
-          best_load = l;
-          best_mod = m;
-        }
-      }
-      order[k] = static_cast<std::uint16_t>(best);
-      if (k < targets) {
-        // Targets bump the histogram; spares beyond the target count are
-        // only ordered by it (coldest-first escalation order), never
-        // counted — they fire only on escalation.
-        const auto m = static_cast<std::size_t>(line[best].module);
-        if (load[m] == 0) touched.push_back(line[best].module);
-        ++load[m];
-        if (load[m] > prep.maxPlannedLoad) prep.maxPlannedLoad = load[m];
-      }
-    }
-    prep.plan_count[i] = static_cast<std::uint16_t>(targets);
-    prep.planSavings += r - targets;
+    prep.plan.count[i] = static_cast<std::uint16_t>(
+        batch[i].op == mpc::Op::kRead ? scheme_.readQuorum() : r);
   }
-  for (const std::uint64_t m : touched) {
-    load[static_cast<std::size_t>(m)] = 0;
-  }
-  prep.planned = true;
+  // The greedy sweep itself lives in dsm/plan (the serving layer replays
+  // the same rule during plan-aware composition); the engine's
+  // ModuleLoadModel is the histogram, sparse-reset per batch inside build.
+  plan_model_.ensure(scheme_.numModules());
+  prep.plan.build(prep.copies.data(), r, plan_model_);
 }
 
 void EngineBase::initPlanTargets(const PreparedBatch& prep, std::size_t a,
                                  std::size_t req, std::size_t r) {
-  const std::uint16_t* order = &prep.plan_order[req * r];
-  unsigned tc = prep.plan_count[req];
-  unsigned live = 0;
-  for (unsigned k = 0; k < tc; ++k) {
-    if (!dead_[a * r + order[k]]) ++live;
-  }
-  // Premarked-dead targets escalate before the first wire round, exactly
-  // like a mid-phase discovery would.
-  while (live < quorum_[a] && tc < r) {
-    const std::uint16_t j = order[tc++];
-    if (!dead_[a * r + j]) ++live;
-  }
-  target_count_[a] = tc;
-  live_targets_[a] = live;
+  plan::BatchPlan::initTargets(&prep.plan.order[req * r],
+                               prep.plan.count[req], &dead_[a * r],
+                               quorum_[a], r, target_count_[a],
+                               live_targets_[a]);
 }
 
 void EngineBase::beginBatch(const PreparedBatch& prep,
@@ -322,12 +260,12 @@ void EngineBase::beginBatch(const PreparedBatch& prep,
   metrics_.addrSeconds += prep.addrSeconds;
   // The planner flag travels with the prepared batch (prepare sampled it),
   // so a toggle mid-stream can never tear a batch between modes.
-  plan_active_ = prep.planned;
-  if (prep.planned) {
+  plan_active_ = prep.plan.planned;
+  if (prep.plan.planned) {
     probe(target_count_.capacity(), b);
     probe(live_targets_.capacity(), b);
     metrics_.maxPlannedModuleLoad =
-        std::max(metrics_.maxPlannedModuleLoad, prep.maxPlannedLoad);
+        std::max(metrics_.maxPlannedModuleLoad, prep.plan.maxPlannedLoad);
   }
   // The dead-module memo is per batch: modules may heal between batches, so
   // each batch rediscovers honestly.
@@ -470,9 +408,9 @@ void EngineBase::finishPhase(const PreparedBatch& prep, std::size_t count,
       result.unsatisfiable.push_back(req);
       ++fm.unsatisfiable;
     }
-    if (prep.planned) {
+    if (prep.plan.planned) {
       metrics_.plannedWireSavings += r - target_count_[a];
-      metrics_.escalations += target_count_[a] - prep.plan_count[req];
+      metrics_.escalations += target_count_[a] - prep.plan.count[req];
     }
   }
 }
@@ -493,9 +431,29 @@ void EngineBase::finishBatch(std::size_t batch_size) {
 AccessResult EngineBase::runPrepared(const std::vector<AccessRequest>& batch,
                                      const PreparedBatch& prep) {
   const std::uint64_t net_before = machine_.metrics().networkCycles;
+  // Downward hand-off of the quorum plan (DESIGN.md §15): with a plan
+  // installed the machine derives each cycle's winner set straight from the
+  // response flags instead of re-arbitrating, and a routed backend may
+  // pre-size from the planned wire volume. Guarded so a throwing wire round
+  // (machine precondition failure) never strands a plan on the machine —
+  // the engine must stay safe and reusable per the executeStream contract.
+  struct PlanScope {
+    mpc::Machine* machine = nullptr;
+    ~PlanScope() {
+      if (machine != nullptr) machine->endPlannedWire();
+    }
+  } scope;
+  if (prep.plan.planned && machine_.networkActive()) {
+    machine_.beginPlannedWire(
+        prep.plan.wire(scheme_.copiesPerVariable()));
+    scope.machine = &machine_;
+  }
   AccessResult result = executePrepared(batch, prep);
   result.networkCycles = machine_.metrics().networkCycles - net_before;
   metrics_.networkCycles += result.networkCycles;
+  if (prep.plan.planned) {
+    metrics_.plannedNetworkCycles += result.networkCycles;
+  }
   return result;
 }
 
@@ -729,7 +687,7 @@ AccessResult MajorityEngine::executePrepared(
             // any arbitration outcome.
             const std::uint8_t* acc = &accessed_[a * r];
             const std::uint8_t* dd = &dead_[a * r];
-            const std::uint16_t* ord = &prep.plan_order[req * r];
+            const std::uint16_t* ord = &prep.plan.order[req * r];
             const unsigned tc = target_count_[a];
             for (unsigned k = 0; k < tc; ++k) {
               const std::size_t j = ord[k];
@@ -793,12 +751,11 @@ AccessResult MajorityEngine::executePrepared(
                   // run out (transitionAfterScan then rules unsatisfiable
                   // exactly as planner-off would).
                   --live_targets_[a];
-                  const std::uint16_t* ord = &prep.plan_order[req * r];
-                  while (live_targets_[a] < quorum_[a] &&
-                         target_count_[a] < r) {
-                    const std::size_t nj = ord[target_count_[a]++];
-                    if (!dead_[a * r + nj]) ++live_targets_[a];
-                    need_refill_[a] = 1;  // new rank: segment must rebuild
+                  if (plan::BatchPlan::escalateUntilQuorum(
+                          &prep.plan.order[req * r], &dead_[a * r],
+                          quorum_[a], r, target_count_[a],
+                          live_targets_[a])) {
+                    need_refill_[a] = 1;  // new ranks: segment must rebuild
                   }
                 }
               }
@@ -816,9 +773,10 @@ AccessResult MajorityEngine::executePrepared(
                 // spare to route around the lossy module. The dropped copy
                 // stays open (it may still be granted later). Deterministic
                 // — drops are a pure function of (seed, cycle, module).
-                const std::size_t nj =
-                    prep.plan_order[req * r + target_count_[a]++];
-                if (!dead_[a * r + nj]) ++live_targets_[a];
+                plan::BatchPlan::openOneSpare(&prep.plan.order[req * r],
+                                              &dead_[a * r],
+                                              target_count_[a],
+                                              live_targets_[a]);
                 need_refill_[a] = 1;
               }
               continue;
@@ -952,7 +910,7 @@ AccessResult SingleOwnerEngine::executePrepared(
             // stagger, but in rank space, so identical-copy-set writes
             // still spread their attempts across the (congestion-
             // interleaved) order.
-            const std::uint16_t* ord = &prep.plan_order[i * r];
+            const std::uint16_t* ord = &prep.plan.order[i * r];
             const std::size_t tc = target_count_[i];
             const std::size_t rk0 =
                 batch[i].op == mpc::Op::kRead ? 0 : (i + iters) % tc;
@@ -1003,11 +961,9 @@ AccessResult SingleOwnerEngine::executePrepared(
               // Planned copy died: escalate spares until a quorum is
               // reachable again (see MajorityEngine's scan).
               --live_targets_[i];
-              const std::uint16_t* ord = &prep.plan_order[i * r];
-              while (live_targets_[i] < quorum_[i] && target_count_[i] < r) {
-                const std::size_t nj = ord[target_count_[i]++];
-                if (!dead_[i * r + nj]) ++live_targets_[i];
-              }
+              plan::BatchPlan::escalateUntilQuorum(
+                  &prep.plan.order[i * r], &dead_[i * r], quorum_[i], r,
+                  target_count_[i], live_targets_[i]);
             }
           }
           if (finalizing && pending_[i * r + j]) {
@@ -1019,8 +975,9 @@ AccessResult SingleOwnerEngine::executePrepared(
                    target_count_[i] < r) {
           // Drop noise denied the planned copy: open one spare (see
           // MajorityEngine's scan).
-          const std::size_t nj = prep.plan_order[i * r + target_count_[i]++];
-          if (!dead_[i * r + nj]) ++live_targets_[i];
+          plan::BatchPlan::openOneSpare(&prep.plan.order[i * r],
+                                        &dead_[i * r], target_count_[i],
+                                        live_targets_[i]);
         } else if (replies_[w].granted) {
           if (finalizing) {
             pending_[i * r + j] = 0;

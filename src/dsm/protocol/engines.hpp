@@ -97,6 +97,7 @@
 #include <vector>
 
 #include "dsm/mpc/machine.hpp"
+#include "dsm/plan/plan.hpp"
 #include "dsm/scheme/copy_cache.hpp"
 #include "dsm/scheme/memory_scheme.hpp"
 
@@ -212,6 +213,12 @@ struct EngineMetrics {
   std::uint64_t plannedWireSavings = 0;
   std::uint64_t escalations = 0;
   std::uint64_t maxPlannedModuleLoad = 0;
+  /// networkCycles accumulated by planner-on batches only: the share of the
+  /// interconnect bill that ran under plan-priced routing (the machine's
+  /// winner sets derived from the plan's response flags rather than
+  /// re-arbitrated). Equals networkCycles when every batch is planned; zero
+  /// on a crossbar or with the planner off.
+  std::uint64_t plannedNetworkCycles = 0;
   FaultMetrics faults;  ///< fault-tolerance and recovery counters
 
   double cacheHitRate() const {
@@ -273,6 +280,18 @@ class EngineBase {
 
   const scheme::CopyCache& copyCache() const noexcept { return cache_; }
 
+  /// Composition-time addressing peek for plan-aware admission (DESIGN.md
+  /// §15): resolves v's copies through the engine's copy cache, so the
+  /// serving layer prices placements against the exact addresses the
+  /// engine will plan with. Single-threaded like every cache consumer —
+  /// callable only between executeStream calls (the scheduler's driver
+  /// thread composes strictly between pumps), never while a prepare is in
+  /// flight on the prefetch thread.
+  void resolveCopies(std::uint64_t v,
+                     std::vector<scheme::PhysicalAddress>& out) {
+    cache_.copies(v, out);
+  }
+
   /// Congestion-aware quorum planner toggle (see the file comment). Off by
   /// default — planner-off behaviour is byte-identical to the pre-planner
   /// engine. The flag is sampled once per prepare and travels with the
@@ -327,17 +346,11 @@ class EngineBase {
     /// Seconds spent in the copy-cache batch resolution (addressing
     /// kernels), folded into metrics_.addrSeconds by beginBatch.
     double addrSeconds = 0.0;
-    /// Quorum plan (filled by planBatch iff `planned`; stale otherwise).
-    /// plan_order[i*r + k] is the copy index request i attacks at rank k:
-    /// ranks [0, plan_count[i]) are the planned targets, ranks beyond are
-    /// the spares in deterministic escalation order. plan_count[i] is
-    /// readQuorum() for reads and r for writes (writes keep their full
-    /// attack; the permutation is their congestion-interleaved order).
-    std::vector<std::uint16_t> plan_order;
-    std::vector<std::uint16_t> plan_count;
-    std::uint64_t planSavings = 0;     ///< sum of r - plan_count[i]
-    std::uint64_t maxPlannedLoad = 0;  ///< greedy sweep's achieved bottleneck
-    bool planned = false;              ///< plan_* valid for this batch
+    /// Quorum plan (built by planBatch iff plan.planned; stale otherwise).
+    /// The shared artifact of DESIGN.md §15: produced here at prepare time,
+    /// consumed by the wire loops, summarized downward to the machine
+    /// (plan.wire()) around the batch's wire rounds.
+    plan::BatchPlan plan;
   };
 
   /// Runs the engine's wire rounds for one prepared batch. Called between
@@ -385,18 +398,19 @@ class EngineBase {
   void premarkKnownDeadCopies(const PreparedBatch& prep, std::size_t a,
                               std::size_t req, std::size_t r);
 
-  /// Computes the quorum plan for one batch (see the file comment): a
-  /// greedy balanced-assignment sweep over the batch's resolved copies in
-  /// batch order, one shared per-module load histogram (CopyCache scratch),
-  /// stable tie-break by module index. Pure function of (batch, copies) —
-  /// no engine state beyond the cache scratch — so it runs inside prepare,
-  /// on the prefetch thread included.
+  /// Computes the quorum plan for one batch: fills prep.plan.count from the
+  /// batch's ops (readQuorum() for reads, r for writes) and delegates the
+  /// greedy balanced-assignment sweep to plan::BatchPlan::build against the
+  /// engine's ModuleLoadModel (plan_model_ — prepare is its only caller,
+  /// serialized by the one-in-flight-prepare contract). Pure function of
+  /// (batch, copies), so it runs inside prepare, on the prefetch thread
+  /// included.
   void planBatch(const std::vector<AccessRequest>& batch, PreparedBatch& prep);
 
   /// Planner-on phase init for request `a` (after premarkKnownDeadCopies,
   /// before the first transitionAfterScan): opens the planned ranks, counts
   /// the live ones and escalates past premarked-dead targets until a quorum
-  /// is reachable or the spares are exhausted.
+  /// is reachable or the spares are exhausted (BatchPlan::initTargets).
   void initPlanTargets(const PreparedBatch& prep, std::size_t a,
                        std::size_t req, std::size_t r);
 
@@ -418,6 +432,10 @@ class EngineBase {
   const scheme::MemoryScheme& scheme_;
   mpc::Machine& machine_;
   scheme::CopyCache cache_;
+  /// Planner histogram scratch (DESIGN.md §15): per-batch, sparse reset
+  /// inside BatchPlan::build. Touched only by prepare — serialized by the
+  /// one-in-flight-prepare contract like the copy cache.
+  plan::ModuleLoadModel plan_model_;
   std::uint64_t clock_ = 0;  ///< global timestamp source (monotone)
   EngineMetrics metrics_;
   std::uint64_t cache_hits_seen_ = 0;    ///< cache counters already folded

@@ -123,14 +123,6 @@ void CopyCache::copiesBatch(const std::uint64_t* vars, std::size_t count,
   }
 }
 
-std::vector<std::uint32_t>& CopyCache::planLoad() {
-  if (plan_load_.size() !=
-      static_cast<std::size_t>(scheme_.numModules())) {
-    plan_load_.assign(static_cast<std::size_t>(scheme_.numModules()), 0);
-  }
-  return plan_load_;
-}
-
 void CopyCache::clear() {
   std::fill(slot_valid_.begin(), slot_valid_.end(), 0);
   hits_ = 0;

@@ -71,16 +71,6 @@ class CopyCache {
   /// every backing allocation) is retained.
   void clear();
 
-  /// Per-batch module-load histogram scratch for the quorum planner. Sized
-  /// to numModules() on first use and zero-filled; the caller records every
-  /// module it bumps in planTouched() and re-zeroes exactly those entries
-  /// when the plan is done (planner batches touch a few hundred modules of
-  /// potentially millions, so a full clear per batch would swamp the plan
-  /// itself). Single-threaded like the rest of the cache bookkeeping: the
-  /// engines call this from the one in-flight prepare only.
-  std::vector<std::uint32_t>& planLoad();
-  std::vector<std::uint64_t>& planTouched() noexcept { return plan_touched_; }
-
  private:
   const MemoryScheme& scheme_;
   std::uint64_t mask_ = 0;
@@ -91,8 +81,6 @@ class CopyCache {
   std::vector<std::size_t> miss_scratch_; ///< batch indices that missed
   std::vector<std::uint64_t> miss_vars_;  ///< missed vars, gathered flat
   std::vector<PhysicalAddress> miss_addrs_;  ///< resolved miss lines, flat
-  std::vector<std::uint32_t> plan_load_;   ///< planner histogram (lazy)
-  std::vector<std::uint64_t> plan_touched_;  ///< modules bumped this plan
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t batch_miss_lanes_ = 0;

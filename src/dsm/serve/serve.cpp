@@ -261,6 +261,12 @@ std::size_t AdmissionScheduler::composeCombined(std::size_t max_batches) {
   runs_.clear();
   run_index_.clear();
   kept_idx_.clear();
+  const bool plan_aware = config_.planAwareComposition;
+  if (plan_aware) {
+    // Fresh models each pump: the engine planner rebuilds its histogram per
+    // batch, so last pump's loads are spent the moment their stream ran.
+    for (plan::ModuleLoadModel& m : batch_models_) m.reset();
+  }
 
   // Group the queue into per-variable runs, preserving arrival order both
   // within a run and across first arrivals. Expired and orphaned work is
@@ -313,17 +319,71 @@ std::size_t AdmissionScheduler::composeCombined(std::size_t max_batches) {
       return static_cast<std::size_t>(-1);
     };
     const auto npos = static_cast<std::size_t>(-1);
+
+    const std::size_t r = engine_.scheme().copiesPerVariable();
+    if (plan_aware && (need_read_slot || need_write_slot)) {
+      // One copy resolution per run (driver thread; the engine's prepare
+      // pipeline is quiescent between streams) — both slots share it.
+      engine_.resolveCopies(variable, copy_scratch_);
+    }
+    // The scheduler's mirror of the plan histogram the engine will rebuild
+    // for batch b. Index stream_.size() doubles as the would-be new batch's
+    // (empty) model. (dsm::plan spelled in full: the run plan local above
+    // shadows the namespace.)
+    const auto model_for = [&](std::size_t b) -> dsm::plan::ModuleLoadModel& {
+      while (batch_models_.size() <= b) batch_models_.emplace_back();
+      batch_models_[b].ensure(engine_.scheme().numModules());
+      return batch_models_[b];
+    };
+    // Plan-aware placement: among the OPEN batches the slot could take
+    // (instead of just the first), take the one whose planned copies land
+    // on the coolest modules — min post-placement peak via the planner's
+    // own greedy pick. Ties resolve to the lowest batch index, so first fit
+    // is the exact fallback. A new batch opens exactly when first fit would
+    // open one (every open batch full): steering never changes the stream's
+    // batch count — each extra batch costs fixed protocol rounds that would
+    // swamp the load balance it buys — only which open batch a slot joins.
+    const auto choose_batch = [&](std::size_t from, std::size_t batches,
+                                  std::size_t targets) -> std::size_t {
+      const std::size_t first_fit = find_open(from, batches);
+      if (!plan_aware || first_fit == npos || first_fit >= batches) {
+        return first_fit;  // plan-off, no room anywhere, or a fresh batch
+      }
+      std::size_t best = npos;
+      std::uint32_t best_score = ~0u;
+      for (std::size_t b = from; b < batches; ++b) {
+        if (stream_[b].size() >= config_.maxBatch) continue;
+        const std::uint32_t score = dsm::plan::probePlacement(
+            model_for(b), copy_scratch_.data(), r, targets, pick_scratch_);
+        if (score < best_score) {
+          best_score = score;
+          best = b;
+        }
+      }
+      ++metrics_.planAwarePlacements;
+      if (best != first_fit) ++metrics_.planDeflections;
+      return best;
+    };
+
     std::size_t read_b = npos;
     std::size_t write_b = npos;
     bool fits = true;
     if (need_read_slot) {
-      read_b = find_open(0, stream_.size());
+      // A read followed by a write pins the write to a strictly later
+      // batch, so steering the read upward could force a batch the
+      // first-fit composition never opens. Read+write runs take the
+      // first-fit read slot; read-only runs (the bulk of skewed traffic)
+      // steer freely.
+      read_b = need_write_slot
+                   ? find_open(0, stream_.size())
+                   : choose_batch(0, stream_.size(),
+                                  engine_.scheme().readQuorum());
       fits = read_b != npos;
     }
     if (fits && need_write_slot) {
       const std::size_t batches =
           std::max(stream_.size(), read_b == npos ? 0 : read_b + 1);
-      write_b = find_open(read_b == npos ? 0 : read_b + 1, batches);
+      write_b = choose_batch(read_b == npos ? 0 : read_b + 1, batches, r);
       fits = write_b != npos;
     }
     if (!fits) {
@@ -353,6 +413,14 @@ std::size_t AdmissionScheduler::composeCombined(std::size_t max_batches) {
     if (need_read_slot) {
       ensure_batch(read_b);
       stream_[read_b].push_back({variable, mpc::Op::kRead, 0});
+      if (plan_aware) {
+        // Replay the planner's bump for the slot just placed, so the next
+        // probe against this batch sees exactly the histogram prefix the
+        // engine's planBatch will reach at this slot (§15 invariant).
+        dsm::plan::commitPlacement(model_for(read_b), copy_scratch_.data(),
+                                   r, engine_.scheme().readQuorum(),
+                                   pick_scratch_);
+      }
       fan_[read_b].emplace_back();
       std::vector<FanTarget>& targets = fan_[read_b].back();
       for (std::size_t k = 0; k < plan.leadReads; ++k) {
@@ -364,6 +432,10 @@ std::size_t AdmissionScheduler::composeCombined(std::size_t max_batches) {
       ensure_batch(write_b);
       stream_[write_b].push_back(
           {variable, mpc::Op::kWrite, plan.winnerValue});
+      if (plan_aware) {
+        dsm::plan::commitPlacement(model_for(write_b), copy_scratch_.data(),
+                                   r, r, pick_scratch_);
+      }
       fan_[write_b].emplace_back();
       std::vector<FanTarget>& targets = fan_[write_b].back();
       for (std::size_t k = plan.leadReads; k < run.size(); ++k) {

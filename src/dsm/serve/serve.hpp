@@ -64,6 +64,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dsm/plan/plan.hpp"
 #include "dsm/protocol/engines.hpp"
 #include "dsm/serve/combine.hpp"
 #include "dsm/util/timer.hpp"
@@ -125,6 +126,16 @@ struct ServeConfig {
   /// default) disables the cache. Only consulted when combineDuplicates is
   /// on — the cache is part of the combining stage.
   std::size_t frontCacheCapacity = 0;
+  /// Plan-aware composition (DESIGN.md §15; combined mode only). When a
+  /// run's slot has several open batches to choose from, score each
+  /// candidate by replaying the engine planner's greedy pick against a
+  /// per-batch module-load model and take the batch whose planned copies
+  /// land on the coolest modules (ties fall back to first fit — the legacy
+  /// placement). New batches still open exactly when first fit would open
+  /// one, so steering never inflates the batch count. A pure function of
+  /// the queue and the models, so serving stays bit-identical across
+  /// machine thread counts and fault histories.
+  bool planAwareComposition = false;
 };
 
 /// Serving-side counters (cumulative; all deterministic given the arrival
@@ -158,6 +169,13 @@ struct ServeMetrics {
   /// (the write-timestamp coherence rule) or a slot went unsatisfiable.
   std::uint64_t frontCacheInvalidations = 0;
   std::uint64_t maxQueueDepth = 0;     ///< worst admission-queue depth seen
+  /// Plan-aware composition (ServeConfig::planAwareComposition): slots whose
+  /// batch was chosen by scoring the per-batch load models rather than by
+  /// first fit alone.
+  std::uint64_t planAwarePlacements = 0;
+  /// Of those, slots steered AWAY from the first-fit batch because another
+  /// candidate's planned copies landed on cooler modules.
+  std::uint64_t planDeflections = 0;
 };
 
 class AdmissionScheduler;
@@ -319,6 +337,13 @@ class AdmissionScheduler {
   std::vector<combine::RunEntry> run_scratch_;
   combine::RunPlan plan_scratch_;
   std::vector<std::size_t> kept_idx_;
+  // Plan-aware composition scratch (DESIGN.md §15): one load model per open
+  // batch — the scheduler's exact replay of the histogram the engine planner
+  // will rebuild for that batch at prepare time — reset each pump, plus the
+  // copy/pick scratch the greedy probes use.
+  std::vector<plan::ModuleLoadModel> batch_models_;
+  std::vector<scheme::PhysicalAddress> copy_scratch_;
+  std::vector<std::uint16_t> pick_scratch_;
   std::vector<std::vector<protocol::AccessRequest>> recorded_;
 };
 

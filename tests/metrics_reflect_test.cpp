@@ -5,8 +5,10 @@
 // zero and the next run accumulates from scratch.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "dsm/mpc/interconnect.hpp"
 #include "dsm/mpc/machine.hpp"
 #include "dsm/protocol/engines.hpp"
 #include "dsm/scheme/pp_scheme.hpp"
@@ -45,10 +47,10 @@ static_assert(util::aggregateFieldCount<Nested>() == 2);
 //   * the expectAllZero helper below (reset coverage)
 // then bump the pin.
 
-static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 17);
+static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 18);
 static_assert(util::aggregateFieldCount<protocol::FaultMetrics>() == 7);
 static_assert(util::aggregateFieldCount<mpc::MachineMetrics>() == 12);
-static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 18);
+static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 20);
 
 // --- every-field zero checks (reset coverage) -----------------------------
 
@@ -65,7 +67,7 @@ void expectAllZero(const protocol::FaultMetrics& f) {
 }
 
 void expectAllZero(const protocol::EngineMetrics& m) {
-  static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 17,
+  static_assert(util::aggregateFieldCount<protocol::EngineMetrics>() == 18,
                 "EngineMetrics changed: check the new field here");
   EXPECT_EQ(m.batches, 0u);
   EXPECT_EQ(m.requests, 0u);
@@ -80,6 +82,7 @@ void expectAllZero(const protocol::EngineMetrics& m) {
   EXPECT_EQ(m.scanSeconds, 0.0);
   EXPECT_EQ(m.addrSeconds, 0.0);
   EXPECT_EQ(m.networkCycles, 0u);
+  EXPECT_EQ(m.plannedNetworkCycles, 0u);
   EXPECT_EQ(m.plannedWireSavings, 0u);
   EXPECT_EQ(m.escalations, 0u);
   EXPECT_EQ(m.maxPlannedModuleLoad, 0u);
@@ -104,7 +107,7 @@ void expectAllZero(const mpc::MachineMetrics& m) {
 }
 
 void expectAllZero(const serve::ServeMetrics& m) {
-  static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 18,
+  static_assert(util::aggregateFieldCount<serve::ServeMetrics>() == 20,
                 "ServeMetrics changed: check the new field here");
   EXPECT_EQ(m.submitted, 0u);
   EXPECT_EQ(m.admitted, 0u);
@@ -124,6 +127,8 @@ void expectAllZero(const serve::ServeMetrics& m) {
   EXPECT_EQ(m.frontCacheMisses, 0u);
   EXPECT_EQ(m.frontCacheInvalidations, 0u);
   EXPECT_EQ(m.maxQueueDepth, 0u);
+  EXPECT_EQ(m.planAwarePlacements, 0u);
+  EXPECT_EQ(m.planDeflections, 0u);
 }
 
 TEST(MetricsReflect, DefaultConstructedAllZero) {
@@ -148,6 +153,10 @@ TEST(MetricsReflect, EngineResetThenReuse) {
   };
 
   mpc::Machine m(s.numModules(), s.slotsPerModule());
+  // Routed backend so the network counters — including the new
+  // plannedNetworkCycles split — accumulate and prove their reset.
+  m.setInterconnect(std::make_unique<mpc::ButterflyInterconnect>(
+      s.numModules()));
   protocol::MajorityEngine eng(s, m);
   eng.setPlannerEnabled(true);
   load(eng);
@@ -155,6 +164,8 @@ TEST(MetricsReflect, EngineResetThenReuse) {
   EXPECT_GT(eng.metrics().wireRequests, 0u);
   EXPECT_GT(eng.metrics().plannedWireSavings, 0u);
   EXPECT_GT(eng.metrics().maxPlannedModuleLoad, 0u);
+  EXPECT_GT(eng.metrics().networkCycles, 0u);
+  EXPECT_GT(eng.metrics().plannedNetworkCycles, 0u);
   EXPECT_GT(eng.metrics().faults.deadCopies, 0u);
 
   eng.resetMetrics();

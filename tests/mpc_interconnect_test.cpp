@@ -98,6 +98,52 @@ TEST(Interconnect, ButterflyRowMappingCoversNonPowerOfTwo) {
   EXPECT_EQ(tiny.rows(), 2u);
 }
 
+TEST(Interconnect, PortSharedLayoutFoldsModulesOntoRows) {
+  // Oversubscribed network: 13 modules answer through 4 ports — the net is
+  // sized for the ports, and modules fold onto output rows mod 2^d.
+  ButterflyInterconnect ic(13, 4);
+  EXPECT_EQ(ic.dimension(), 2);
+  EXPECT_EQ(ic.rows(), 4u);
+  EXPECT_TRUE(ic.portShared());
+  EXPECT_EQ(ic.moduleLimit(), 13u);
+  EXPECT_EQ(ic.idealCycles(), 2u);
+  EXPECT_EQ(ic.outputRow(0), 0u);
+  EXPECT_EQ(ic.outputRow(5), 1u);
+  EXPECT_EQ(ic.outputRow(12), 0u);
+  // ports >= module_count degenerates to the dedicated layout.
+  ButterflyInterconnect wide(13, 16);
+  EXPECT_FALSE(wide.portShared());
+  EXPECT_EQ(wide.rows(), 16u);
+  EXPECT_EQ(wide.moduleLimit(), 16u);
+  // A machine whose module count exceeds the row count installs fine when
+  // the backend was built port-shared for that count.
+  Machine m(13, 8, 1);
+  m.setInterconnect(std::make_unique<ButterflyInterconnect>(13, 4));
+  EXPECT_TRUE(m.networkActive());
+}
+
+TEST(Interconnect, SharedPortsSerializeWinnersCongestionPriced) {
+  // One winner per module, but every module folds onto only 2 ports: the
+  // shared output link serializes deliveries, so cycles grow with the
+  // per-port inflow instead of staying pinned at the diameter — while the
+  // grants themselves (computed before routing) are unchanged.
+  auto run = [](std::uint64_t ports) {
+    Machine m(8, 16, 1);
+    m.setInterconnect(std::make_unique<ButterflyInterconnect>(8, ports));
+    std::vector<Response> resp;
+    for (std::uint64_t cyc = 0; cyc < 10; ++cyc) {
+      m.step(contendedWire(8, 16, 1, cyc), resp);
+    }
+    return m.metrics();
+  };
+  const MachineMetrics dedicated = run(0);
+  const MachineMetrics shared = run(2);
+  EXPECT_EQ(shared.requestsGranted, dedicated.requestsGranted);
+  EXPECT_EQ(shared.networkPackets, dedicated.networkPackets);
+  EXPECT_GT(shared.networkCycles, dedicated.networkCycles);
+  EXPECT_GT(shared.networkMaxQueue, dedicated.networkMaxQueue);
+}
+
 TEST(Interconnect, InstallValidatesModuleLimit) {
   Machine m(32, 8, 1);
   // 16 rows cannot address 32 modules: refused at install time, and the

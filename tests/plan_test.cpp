@@ -1,0 +1,265 @@
+// dsm/plan unit + differential tests (DESIGN.md §15): the ModuleLoadModel's
+// sparse-reset contract, BatchPlan's greedy build and escalation helpers,
+// the probe/commit replay invariant the plan-aware admission scheduler
+// leans on, and the machine-level bit-identity of plan-priced routing —
+// with a wire plan installed the butterfly receives EXACTLY the winner set
+// (and injection order) the legacy arbitration replay derives, under module
+// outages and grant-drop noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "dsm/mpc/interconnect.hpp"
+#include "dsm/mpc/machine.hpp"
+#include "dsm/plan/plan.hpp"
+#include "dsm/scheme/pp_scheme.hpp"
+#include "dsm/util/rng.hpp"
+
+namespace dsm::plan {
+namespace {
+
+using scheme::PhysicalAddress;
+
+TEST(ModuleLoadModel, BumpTracksLoadAndPeak) {
+  ModuleLoadModel m;
+  m.ensure(16);
+  EXPECT_EQ(m.modules(), 16u);
+  EXPECT_EQ(m.maxLoad(), 0u);
+  m.bump(3);
+  m.bump(3);
+  m.bump(7);
+  EXPECT_EQ(m.load(3), 2u);
+  EXPECT_EQ(m.load(7), 1u);
+  EXPECT_EQ(m.load(0), 0u);
+  EXPECT_EQ(m.maxLoad(), 2u);
+  EXPECT_EQ(m.touchedCount(), 2u);  // one touched entry per module, not bump
+}
+
+TEST(ModuleLoadModel, ResetIsSparseAndComplete) {
+  ModuleLoadModel m;
+  m.ensure(8);
+  m.bump(1);
+  m.bump(5);
+  m.reset();
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(m.load(i), 0u);
+  EXPECT_EQ(m.maxLoad(), 0u);
+  EXPECT_EQ(m.touchedCount(), 0u);
+  // Reusable after reset; ensure() with the same size is a no-op that
+  // preserves state.
+  m.bump(5);
+  m.ensure(8);
+  EXPECT_EQ(m.load(5), 1u);
+}
+
+// build() spreads a batch of same-copy-set requests across the copy
+// modules: with 3 requests over the same 3 modules and a read target count
+// of 2, the greedy sweep balances 6 planned units over 3 modules — peak 2 —
+// and leaves the scratch model reset.
+TEST(BatchPlan, BuildBalancesAndLeavesModelReset) {
+  const std::size_t r = 3;
+  const std::vector<PhysicalAddress> copies = {
+      {10, 0}, {11, 0}, {12, 0},  // request 0
+      {10, 1}, {11, 1}, {12, 1},  // request 1
+      {10, 2}, {11, 2}, {12, 2},  // request 2
+  };
+  BatchPlan plan;
+  plan.count = {2, 2, 2};
+  ModuleLoadModel model;
+  model.ensure(16);
+  plan.build(copies.data(), r, model);
+
+  EXPECT_TRUE(plan.planned);
+  EXPECT_EQ(plan.order.size(), 9u);
+  EXPECT_EQ(plan.wireSavings, 3u);      // (r - 2) per request
+  EXPECT_EQ(plan.maxPlannedLoad, 2u);   // 6 units over 3 modules
+  EXPECT_EQ(model.touchedCount(), 0u);  // sparse reset ran
+  // Every request's order is a permutation of its copy indices.
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::vector<bool> seen(r, false);
+    for (std::size_t k = 0; k < r; ++k) {
+      const std::uint16_t j = plan.order[i * r + k];
+      ASSERT_LT(j, r);
+      EXPECT_FALSE(seen[j]);
+      seen[j] = true;
+    }
+  }
+  // Request 0 on a cold histogram picks modules in index order.
+  EXPECT_EQ(plan.order[0], 0u);
+  EXPECT_EQ(plan.order[1], 1u);
+  // The downward summary: planned wire volume and bottleneck.
+  const mpc::WirePlan wire = plan.wire(r);
+  EXPECT_EQ(wire.plannedRequests, 3u * r - 3u);
+  EXPECT_EQ(wire.plannedPeakLoad, 2u);
+}
+
+TEST(BatchPlan, EscalationHelpersMaintainLiveTargetInvariant) {
+  const std::size_t r = 5;
+  const unsigned quorum = 3;
+  const std::uint16_t order[r] = {2, 0, 4, 1, 3};
+  std::uint8_t dead[r] = {0, 0, 0, 0, 0};
+
+  // Clean init: target prefix = planned count, all live.
+  unsigned tc = 0, live = 0;
+  BatchPlan::initTargets(order, quorum, dead, quorum, r, tc, live);
+  EXPECT_EQ(tc, 3u);
+  EXPECT_EQ(live, 3u);
+
+  // Premarked dead target escalates at init: rank 0 targets copy 2.
+  dead[2] = 1;
+  BatchPlan::initTargets(order, quorum, dead, quorum, r, tc, live);
+  EXPECT_EQ(tc, 4u);
+  EXPECT_EQ(live, 3u);
+
+  // Mid-phase death of another open target: one more spare opens.
+  dead[0] = 1;
+  --live;
+  EXPECT_TRUE(
+      BatchPlan::escalateUntilQuorum(order, dead, quorum, r, tc, live));
+  EXPECT_EQ(tc, 5u);
+  EXPECT_EQ(live, 3u);
+  // Spares exhausted: further escalation is a no-op that reports so.
+  dead[4] = 1;
+  --live;
+  EXPECT_FALSE(
+      BatchPlan::escalateUntilQuorum(order, dead, quorum, r, tc, live));
+  EXPECT_EQ(live, 2u);
+
+  // openOneSpare opens exactly one rank (live only if that copy is up).
+  unsigned tc2 = 2, live2 = 2;
+  std::uint8_t none[r] = {0, 0, 0, 0, 0};
+  BatchPlan::openOneSpare(order, none, tc2, live2);
+  EXPECT_EQ(tc2, 3u);
+  EXPECT_EQ(live2, 3u);
+}
+
+// The §15 replay invariant: committing placements one slot at a time with
+// commitPlacement reproduces EXACTLY the histogram build() computes for the
+// same batch — same peak, same per-module loads — and probePlacement's
+// score is the true post-placement peak of the request's own targets.
+TEST(PlanReplay, CommitSequenceMatchesBuildHistogram) {
+  const scheme::PpScheme s(1, 5);
+  const std::size_t r = s.copiesPerVariable();
+  util::Xoshiro256 rng(42);
+  const std::size_t b = 24;
+
+  std::vector<std::uint64_t> vars;
+  std::vector<PhysicalAddress> copies(b * r);
+  while (vars.size() < b) {
+    const std::uint64_t v = rng.below(s.numVariables());
+    bool dup = false;
+    for (const std::uint64_t u : vars) dup |= u == v;
+    if (!dup) vars.push_back(v);
+  }
+  s.copiesBatch(vars.data(), b, copies.data());
+
+  BatchPlan plan;
+  plan.count.resize(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    plan.count[i] =
+        static_cast<std::uint16_t>(i % 3 == 0 ? r : s.readQuorum());
+  }
+  ModuleLoadModel scratch;
+  scratch.ensure(s.numModules());
+  plan.build(copies.data(), r, scratch);
+
+  // Serve-side replay: commit each slot in batch order on a fresh model.
+  ModuleLoadModel replay;
+  replay.ensure(s.numModules());
+  std::vector<std::uint16_t> picks;
+  std::uint32_t peak = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    const std::uint32_t probe = probePlacement(replay, &copies[i * r], r,
+                                               plan.count[i], picks);
+    commitPlacement(replay, &copies[i * r], r, plan.count[i], picks);
+    // The probe predicted this placement's contribution to the peak.
+    peak = std::max(peak, probe);
+    // And the committed picks are the plan's target ranks for request i.
+    for (std::size_t k = 0; k < plan.count[i]; ++k) {
+      EXPECT_EQ(picks[k], plan.order[i * r + k]) << "req " << i << " rank "
+                                                 << k;
+    }
+  }
+  EXPECT_EQ(peak, plan.maxPlannedLoad);
+  EXPECT_EQ(replay.maxLoad(), plan.maxPlannedLoad);
+}
+
+// ---------------------------------------------------------------------------
+// Plan-priced routing bit-identity: two butterfly machines fed the same wire
+// history — one with a WirePlan installed (winners derived from response
+// flags), one without (legacy arbitration replay) — must report identical
+// responses AND identical network metrics, under a module outage and grant-
+// drop noise. This is the invariant that lets planned batches skip the
+// replay entirely.
+
+TEST(PlanRouting, FlagDerivedWinnersMatchArbitrationReplay) {
+  const std::uint64_t modules = 8;
+  const std::uint64_t slots = 16;
+  const auto mk = [&]() {
+    auto m = std::make_unique<mpc::Machine>(modules, slots);
+    m->setInterconnect(std::make_unique<mpc::ButterflyInterconnect>(modules));
+    mpc::FaultPlan fp;
+    fp.grantDropProbability = 0.3;
+    fp.seed = 9;
+    fp.transientAt(4, 2, 5);
+    m->setFaultPlan(fp);
+    return m;
+  };
+  auto legacy = mk();
+  auto planned = mk();
+  planned->beginPlannedWire(mpc::WirePlan{64, 4});
+  ASSERT_TRUE(planned->wirePlanActive());
+
+  util::Xoshiro256 rng(2026);
+  std::vector<mpc::Request> wire;
+  std::vector<mpc::Response> ra, rb;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    wire.clear();
+    const std::size_t n = 4 + rng.below(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      mpc::Request q;
+      q.processor = static_cast<std::uint32_t>(i);
+      q.module = rng.below(modules / 2);  // heavy contention: many losers
+      q.slot = rng.below(slots);
+      q.op = rng.below(2) == 0 ? mpc::Op::kRead : mpc::Op::kWrite;
+      q.value = rng();
+      q.timestamp = static_cast<std::uint64_t>(cycle) + 1;
+      wire.push_back(q);
+    }
+    legacy->step(wire, ra);
+    planned->step(wire, rb);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].granted, rb[i].granted) << "cycle " << cycle;
+      EXPECT_EQ(ra[i].dropped, rb[i].dropped) << "cycle " << cycle;
+      EXPECT_EQ(ra[i].moduleFailed, rb[i].moduleFailed) << "cycle " << cycle;
+      EXPECT_EQ(ra[i].value, rb[i].value);
+      EXPECT_EQ(ra[i].timestamp, rb[i].timestamp);
+    }
+  }
+
+  const mpc::MachineMetrics& ma = legacy->metrics();
+  const mpc::MachineMetrics& mb = planned->metrics();
+  EXPECT_GT(mb.networkCycles, 0u);
+  EXPECT_GT(mb.grantsDropped, 0u);  // the drop/outage paths genuinely ran
+  EXPECT_EQ(ma.networkCycles, mb.networkCycles);
+  EXPECT_EQ(ma.networkPackets, mb.networkPackets);
+  EXPECT_EQ(ma.networkMaxQueue, mb.networkMaxQueue);
+  EXPECT_EQ(ma.networkIdealCycles, mb.networkIdealCycles);
+  EXPECT_EQ(ma.requestsGranted, mb.requestsGranted);
+  EXPECT_EQ(ma.grantsDropped, mb.grantsDropped);
+
+  // endPlannedWire restores the replay path (still identical results).
+  planned->endPlannedWire();
+  EXPECT_FALSE(planned->wirePlanActive());
+  legacy->step(wire, ra);
+  planned->step(wire, rb);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].granted, rb[i].granted);
+  }
+  EXPECT_EQ(legacy->metrics().networkCycles, planned->metrics().networkCycles);
+}
+
+}  // namespace
+}  // namespace dsm::plan

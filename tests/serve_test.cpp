@@ -5,8 +5,10 @@
 // counts, with an active FaultPlan.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "dsm/mpc/interconnect.hpp"
 #include "dsm/mpc/machine.hpp"
 #include "dsm/protocol/engines.hpp"
 #include "dsm/scheme/pp_scheme.hpp"
@@ -245,7 +247,7 @@ struct TraceRun {
   ServeMetrics metrics;
 };
 
-TraceRun runTrace(unsigned threads) {
+TraceRun runTrace(unsigned threads, bool plan_aware = false) {
   const scheme::PpScheme scheme(1, 3);
   mpc::Machine machine(scheme.numModules(), scheme.slotsPerModule(), threads);
   mpc::FaultPlan plan;
@@ -253,7 +255,15 @@ TraceRun runTrace(unsigned threads) {
   plan.seed = 7;
   plan.transientAt(3, 1, 9);
   machine.setFaultPlan(plan);
+  if (plan_aware) {
+    // The plan-aware leg threads the plan all the way down: a routed
+    // backend receives the planned wire and derives winners from the
+    // response flags (machine.cpp) — under the same outage + drop noise.
+    machine.setInterconnect(
+        std::make_unique<mpc::ButterflyInterconnect>(scheme.numModules()));
+  }
   protocol::MajorityEngine engine(scheme, machine);
+  engine.setPlannerEnabled(plan_aware);
 
   ServeConfig cfg;
   cfg.maxBatch = 8;
@@ -261,8 +271,10 @@ TraceRun runTrace(unsigned threads) {
   cfg.maxWaitTicks = 2;
   cfg.queueCapacity = 24;
   cfg.recordBatches = true;
-  cfg.combineDuplicates = false;  // pins the legacy deferral composition;
-                                  // serve_combine_test replays combined
+  cfg.combineDuplicates = plan_aware;  // legacy leg pins the deferral
+                                       // composition; serve_combine_test
+                                       // replays combined
+  cfg.planAwareComposition = plan_aware;
   AdmissionScheduler sched(engine, cfg);
 
   std::vector<ClientSession*> sessions;
@@ -315,18 +327,11 @@ void expectSameMetrics(const ServeMetrics& a, const ServeMetrics& b) {
   EXPECT_EQ(a.frontCacheMisses, b.frontCacheMisses);
   EXPECT_EQ(a.frontCacheInvalidations, b.frontCacheInvalidations);
   EXPECT_EQ(a.maxQueueDepth, b.maxQueueDepth);
+  EXPECT_EQ(a.planAwarePlacements, b.planAwarePlacements);
+  EXPECT_EQ(a.planDeflections, b.planDeflections);
 }
 
-TEST(ServeDeterminism, TraceBitIdenticalAcrossThreadCountsUnderFaults) {
-  const TraceRun serial = runTrace(1);
-  const TraceRun pipelined = runTrace(3);
-
-  // The trace genuinely exercised the interesting paths.
-  EXPECT_GT(serial.metrics.served, 0u);
-  EXPECT_GT(serial.metrics.shed, 0u);
-  EXPECT_GT(serial.metrics.coalesceDeferrals, 0u);
-  EXPECT_GT(serial.metrics.batchesComposed, 2u);
-
+void expectSameTrace(const TraceRun& serial, const TraceRun& pipelined) {
   // Identical batch composition...
   ASSERT_EQ(serial.batches.size(), pipelined.batches.size());
   for (std::size_t b = 0; b < serial.batches.size(); ++b) {
@@ -361,6 +366,70 @@ TEST(ServeDeterminism, TraceBitIdenticalAcrossThreadCountsUnderFaults) {
 
   // ...and identical serving metrics.
   expectSameMetrics(serial.metrics, pipelined.metrics);
+}
+
+TEST(ServeDeterminism, TraceBitIdenticalAcrossThreadCountsUnderFaults) {
+  const TraceRun serial = runTrace(1);
+  const TraceRun pipelined = runTrace(3);
+
+  // The trace genuinely exercised the interesting paths.
+  EXPECT_GT(serial.metrics.served, 0u);
+  EXPECT_GT(serial.metrics.shed, 0u);
+  EXPECT_GT(serial.metrics.coalesceDeferrals, 0u);
+  EXPECT_GT(serial.metrics.batchesComposed, 2u);
+
+  expectSameTrace(serial, pipelined);
+}
+
+// The load-model feed-forward leg of the headline gate: the same trace with
+// plan-aware composition on (per-batch ModuleLoadModel scoring), the quorum
+// planner on, and a routed butterfly consuming the plan — still byte-
+// identical batches, responses and metrics at 1 vs defaultThreads() machine
+// threads, under the same transient outage + grant-drop noise. Composition
+// is a pure function of the queue and the models; nothing downstream leaks
+// thread count back up.
+TEST(ServeDeterminism, PlanAwareTraceBitIdenticalAcrossThreadCounts) {
+  const TraceRun serial = runTrace(1, /*plan_aware=*/true);
+  const TraceRun pipelined =
+      runTrace(mpc::ThreadPool::defaultThreads(), /*plan_aware=*/true);
+
+  EXPECT_GT(serial.metrics.served, 0u);
+  EXPECT_GT(serial.metrics.batchesComposed, 2u);
+  // The plan-aware scorer actually ran (every placed slot goes through it).
+  EXPECT_GT(serial.metrics.planAwarePlacements, 0u);
+
+  expectSameTrace(serial, pipelined);
+}
+
+// EngineMetrics::plannedWireSavings accumulates across a multi-pump,
+// combining-on serving run: with r = 3, q = 2 and no faults, every read
+// slot saves exactly r - q = 1 wire request and write slots save none, so
+// the counter equals the cumulative read-slot count after each pump.
+TEST(Serve, PlannedWireSavingsAccumulateAcrossPumps) {
+  ServeConfig cfg;
+  cfg.maxWaitTicks = 0;  // every pump with queued work is due
+  Fixture f(cfg);
+  f.engine.setPlannerEnabled(true);
+  ASSERT_EQ(f.scheme.copiesPerVariable(), 3u);
+  ASSERT_EQ(f.scheme.readQuorum(), 2u);
+
+  ClientSession& s = f.sched.openSession();
+  for (std::uint64_t v = 0; v < 5; ++v) s.submitRead(v);
+  s.submitWrite(5, 50);  // full-attack write: saves nothing
+  f.sched.pump();
+  EXPECT_EQ(f.engine.metrics().plannedWireSavings, 5u);
+  EXPECT_EQ(f.engine.metrics().escalations, 0u);
+
+  for (std::uint64_t v = 6; v < 10; ++v) s.submitRead(v);
+  f.sched.pump();
+  EXPECT_EQ(f.engine.metrics().plannedWireSavings, 9u);
+
+  // Duplicate reads combine into ONE slot — the saving is per slot, not
+  // per request, so three reads of one variable still add exactly 1.
+  for (int i = 0; i < 3; ++i) s.submitRead(11);
+  f.sched.pump();
+  EXPECT_EQ(f.engine.metrics().plannedWireSavings, 10u);
+  EXPECT_EQ(f.sched.metrics().combinedReads, 2u);
 }
 
 // ---------------------------------------------------------------------------
